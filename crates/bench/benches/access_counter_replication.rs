@@ -1,0 +1,8 @@
+//! E8: page-access counters driving alarm-based replication (§2.2.6).
+
+fn main() {
+    println!(
+        "{}",
+        tg_bench::access_counter_replication(200, &[4, 8, 16, 32, 64])
+    );
+}

@@ -1,0 +1,5 @@
+//! E7: pending-write counter CAM sizing (§2.3.4: 16-32 entries suffice).
+
+fn main() {
+    println!("{}", tg_bench::cam_sweep(&[1, 2, 4, 8, 16, 32, 64]));
+}

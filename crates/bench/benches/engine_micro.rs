@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the simulator itself: event-engine
+//! throughput, network forwarding, protocol steps, and a full cluster run.
+//! These measure the *simulator's* wall-clock performance, not simulated
+//! time — useful for keeping the experiment harness fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use telegraphos::ClusterBuilder;
+use tg_proto::{owner::OwnerSerialized, Scenario};
+use tg_sim::{Component, Ctx, Engine, SimTime};
+use tg_workloads::stream_writes;
+
+struct Relay {
+    peer: Option<tg_sim::CompId>,
+    remaining: u64,
+}
+
+impl Component<u64> for Relay {
+    fn on_event(&mut self, v: u64, ctx: &mut Ctx<'_, u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let dst = self.peer.unwrap_or(ctx.self_id());
+            ctx.send(dst, SimTime::from_ns(10), v + 1);
+        }
+    }
+    fn name(&self) -> &str {
+        "relay"
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    c.bench_function("engine_1M_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let a = eng.add(Relay {
+                peer: None,
+                remaining: 0,
+            });
+            let x = eng.add(Relay {
+                peer: Some(a),
+                remaining: 500_000,
+            });
+            eng.get_mut::<Relay>(a).unwrap().peer = Some(x);
+            eng.get_mut::<Relay>(a).unwrap().remaining = 500_000;
+            eng.schedule(SimTime::ZERO, a, 0);
+            eng.run();
+            eng.stats().events_delivered
+        })
+    });
+}
+
+fn cluster_write_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_write_stream");
+    for &n in &[100u64, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cluster = ClusterBuilder::new(2).build();
+                let page = cluster.alloc_shared(1);
+                cluster.set_process(0, stream_writes(&page, n));
+                cluster.run();
+                cluster.fabric_packets()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn owner_protocol_step(c: &mut Criterion) {
+    c.bench_function("owner_protocol_scenario", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            OwnerSerialized::run(&Scenario::random(4, 8, 2, seed)).messages
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = engine_throughput, cluster_write_stream, owner_protocol_step
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E9: the §2.3.5 MEMORY_BARRIER experiment.
+
+fn main() {
+    println!("{}", tg_bench::fence_consistency());
+}

@@ -1,0 +1,5 @@
+//! E4: the Figure 2 inconsistency, naive multicast vs owner serialization.
+
+fn main() {
+    println!("{}", tg_bench::fig2_inconsistency(2000));
+}

@@ -1,0 +1,8 @@
+//! E3: remote-write burst sweep (the §3.2 batching measurement).
+
+fn main() {
+    println!(
+        "{}",
+        tg_bench::batch_writes(&[1, 5, 10, 25, 50, 100, 200, 500, 1000, 2000, 5000, 10000])
+    );
+}

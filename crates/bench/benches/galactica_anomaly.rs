@@ -1,0 +1,5 @@
+//! E5: Galactica Net "1,2,1" anomalies vs the Telegraphos owner protocol.
+
+fn main() {
+    println!("{}", tg_bench::galactica_anomaly(2000));
+}

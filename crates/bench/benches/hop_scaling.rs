@@ -1,0 +1,5 @@
+//! E12: remote-read latency vs fabric depth.
+
+fn main() {
+    println!("{}", tg_bench::hop_scaling(8));
+}

@@ -1,0 +1,5 @@
+//! E16: incast congestion and back-pressure fairness.
+
+fn main() {
+    println!("{}", tg_bench::incast_congestion(7, 300));
+}

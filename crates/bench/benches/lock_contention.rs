@@ -1,0 +1,5 @@
+//! E13: spinlock throughput under contention.
+
+fn main() {
+    println!("{}", tg_bench::lock_contention(8, 20));
+}

@@ -1,0 +1,8 @@
+//! E10: OS-trap message passing vs user-level remote writes.
+
+fn main() {
+    println!(
+        "{}",
+        tg_bench::messaging_comparison(&[8, 64, 256, 1024, 4096, 8192, 65536])
+    );
+}

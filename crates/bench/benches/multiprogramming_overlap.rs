@@ -1,0 +1,6 @@
+//! E15: overlapping a paging-bound and a compute-bound process on one
+//! workstation via the per-process context machinery.
+
+fn main() {
+    println!("{}", tg_bench::multiprogramming_overlap(8, 250));
+}

@@ -1,0 +1,5 @@
+//! E11: disk paging vs remote-memory paging (ref \[21\]).
+
+fn main() {
+    println!("{}", tg_bench::remote_paging(8, 3, 4));
+}

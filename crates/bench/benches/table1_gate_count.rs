@@ -1,0 +1,5 @@
+//! E1: regenerate Table 1 (gate counts of the Telegraphos I HIB).
+
+fn main() {
+    println!("{}", tg_bench::table1());
+}

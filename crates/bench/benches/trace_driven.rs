@@ -1,0 +1,5 @@
+//! E14: trace-driven update vs invalidate comparison (ref \[22\] style).
+
+fn main() {
+    println!("{}", tg_bench::trace_driven(&[0.05, 0.2, 0.5], 300));
+}

@@ -1,0 +1,5 @@
+//! E6: update-based vs invalidate-based coherence across sharing patterns.
+
+fn main() {
+    println!("{}", tg_bench::update_vs_invalidate(32, 8, 256));
+}

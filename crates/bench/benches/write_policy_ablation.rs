@@ -1,0 +1,5 @@
+//! E7b: immediate-apply + counter filtering vs stall-until-reflected.
+
+fn main() {
+    println!("{}", tg_bench::write_policy_ablation(400));
+}

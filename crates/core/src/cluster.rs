@@ -1,0 +1,530 @@
+//! Cluster construction and the experiment-facing API.
+
+use tg_hib::{HibConfig, PageMode};
+use tg_mem::{PAddr, PageFlags, VAddr};
+use tg_net::{build_network, Topology};
+use tg_sim::{CompId, Engine, RunLimit, SimTime};
+use tg_wire::{GOffset, NodeId, PageNum, TimingConfig, PAGE_BYTES};
+
+use crate::event::ClusterEvent;
+use crate::node::Node;
+use crate::os::{Os, ReplicatePolicy};
+use crate::pager::{Backing, RemotePager};
+use crate::process::Process;
+
+/// Base virtual address of each node's private heap.
+pub const PRIVATE_VA_BASE: u64 = 0x1000_0000;
+/// Base virtual address of the cluster-wide shared region (same on every
+/// node, as the OS of the paper would arrange).
+pub const SHARED_VA_BASE: u64 = 0x4000_0000;
+/// Base virtual address of a node's pager-managed region (experiment E11).
+pub const PAGED_VA_BASE: u64 = 0x6000_0000;
+/// Segment frames reserved for OS use (replication, VSM frames) per node.
+const OS_FRAME_POOL: u32 = 256;
+
+/// One cluster-wide shared page: a virtual page (common to all nodes)
+/// backed by a page of the home node's exported segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SharedPage {
+    /// Index within the shared region (defines the virtual address).
+    pub index: u64,
+    /// Home node.
+    pub home: NodeId,
+    /// Page within the home node's segment.
+    pub home_page: PageNum,
+}
+
+impl SharedPage {
+    /// Virtual address of byte `off` within the page (any node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` exceeds the page.
+    pub fn va(&self, off: u64) -> VAddr {
+        assert!(off < PAGE_BYTES, "offset beyond the page");
+        VAddr::new(SHARED_VA_BASE + self.index * PAGE_BYTES + off)
+    }
+
+    /// The common virtual page number.
+    pub fn vpage(&self) -> u64 {
+        (SHARED_VA_BASE + self.index * PAGE_BYTES) >> tg_wire::PAGE_SHIFT
+    }
+}
+
+/// Builder for a simulated Telegraphos cluster.
+///
+/// # Example
+///
+/// ```
+/// use telegraphos::{Action, ClusterBuilder, Script};
+///
+/// let mut cluster = ClusterBuilder::new(2).build();
+/// let page = cluster.alloc_shared(1);
+/// cluster.set_process(
+///     0,
+///     Script::new(vec![
+///         Action::Write(page.va(0), 42),
+///         Action::Fence,
+///     ]),
+/// );
+/// cluster.run();
+/// assert_eq!(cluster.read_shared(&page, 0), 42);
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    nodes: u16,
+    topology: Option<Topology>,
+    timing: TimingConfig,
+    hib: HibConfig,
+    policy: ReplicatePolicy,
+    private_pages: u64,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `nodes` workstations (default: one switch, star wiring,
+    /// Telegraphos I calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: u16) -> Self {
+        assert!(nodes > 0, "a cluster needs nodes");
+        ClusterBuilder {
+            nodes,
+            topology: None,
+            timing: TimingConfig::telegraphos_i(),
+            hib: HibConfig::telegraphos_i(),
+            policy: ReplicatePolicy::Never,
+            private_pages: 64,
+        }
+    }
+
+    /// Uses a custom wiring (must have exactly `nodes` endpoints).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
+        self
+    }
+
+    /// Overrides the timing calibration.
+    pub fn timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides the HIB configuration.
+    pub fn hib_config(mut self, hib: HibConfig) -> Self {
+        self.hib = hib;
+        self
+    }
+
+    /// Sets the page-replication policy of every node's OS.
+    pub fn replicate_policy(mut self, policy: ReplicatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology endpoint count mismatches the node count or
+    /// the network is disconnected.
+    pub fn build(self) -> Cluster {
+        let topo = self
+            .topology
+            .unwrap_or_else(|| Topology::star(self.nodes));
+        assert_eq!(
+            topo.endpoint_count(),
+            self.nodes as usize,
+            "topology endpoints != cluster nodes"
+        );
+        let mut engine: Engine<ClusterEvent> = Engine::new();
+        let mut node_ids = Vec::new();
+        for i in 0..self.nodes {
+            let id = NodeId::new(i);
+            let mut os = Os::new(id);
+            os.set_policy(self.policy);
+            let seg_pages = self.hib.segment_pages;
+            os.grant_frames(
+                (seg_pages.saturating_sub(OS_FRAME_POOL)..seg_pages).map(PageNum::new),
+            );
+            let node = Node::new(id, self.timing.clone(), self.hib.clone(), os);
+            node_ids.push(engine.add(node));
+        }
+        let handles =
+            build_network(&mut engine, &topo, &self.timing, &node_ids).expect("connected fabric");
+        for (idx, wiring) in handles.endpoints.into_iter().enumerate() {
+            let node = engine
+                .get_mut::<Node>(node_ids[idx])
+                .expect("node component");
+            node.hib_mut()
+                .wire(wiring.tx, wiring.rx_upstream, wiring.rx_capacity);
+            // Map the private heap.
+            for p in 0..self.private_pages {
+                node.mmu_mut().table_mut().map(
+                    (PRIVATE_VA_BASE >> tg_wire::PAGE_SHIFT) + p,
+                    PAddr::private(p * PAGE_BYTES),
+                    PageFlags::RW,
+                );
+            }
+        }
+        Cluster {
+            engine,
+            nodes: node_ids,
+            switches: handles.switches,
+            n: self.nodes,
+            next_seg_page: vec![0; self.nodes as usize],
+            next_index: 0,
+            max_seg_page: self.hib.segment_pages.saturating_sub(OS_FRAME_POOL),
+        }
+    }
+}
+
+/// A running simulated cluster.
+///
+/// See [`ClusterBuilder`] for construction; the methods here are the
+/// "privileged OS" interface experiments use to map pages, install
+/// processes and inspect results.
+#[derive(Debug)]
+pub struct Cluster {
+    engine: Engine<ClusterEvent>,
+    nodes: Vec<CompId>,
+    switches: Vec<CompId>,
+    n: u16,
+    next_seg_page: Vec<u32>,
+    next_index: u64,
+    max_seg_page: u32,
+}
+
+impl Cluster {
+    /// Number of workstations.
+    pub fn node_count(&self) -> u16 {
+        self.n
+    }
+
+    /// Allocates a cluster-wide shared page homed at `home`: mapped into
+    /// every node's address space (locally at the home, as a remote window
+    /// elsewhere) — the paper's "initialization phase that maps the shared
+    /// pages".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is out of range or the home segment is full.
+    pub fn alloc_shared(&mut self, home: u16) -> SharedPage {
+        assert!(home < self.n, "home out of range");
+        let home_page = self.alloc_frame(home);
+        let sp = SharedPage {
+            index: self.next_index,
+            home: NodeId::new(home),
+            home_page,
+        };
+        self.next_index += 1;
+        for i in 0..self.n {
+            let vpage = sp.vpage();
+            let node = self.node_mut(i);
+            let base = if i == home {
+                PAddr::local_shared(home_page.base())
+            } else {
+                PAddr::remote(NodeId::new(home), home_page.base())
+            };
+            node.mmu_mut().table_mut().map(vpage, base, PageFlags::RW);
+            if i != home {
+                node.os_mut()
+                    .note_remote_mapping(NodeId::new(home), home_page, vpage);
+            }
+        }
+        sp
+    }
+
+    fn alloc_frame(&mut self, node: u16) -> PageNum {
+        let p = self.next_seg_page[node as usize];
+        assert!(p < self.max_seg_page, "segment exhausted on node{node}");
+        self.next_seg_page[node as usize] = p + 1;
+        PageNum::new(p)
+    }
+
+    /// Replicates a shared page coherently onto `copies` (the §2.3 setup):
+    /// each copy node gets a local frame bound by the owner-serialized
+    /// update protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a copy node is the home or out of range.
+    pub fn make_coherent(&mut self, sp: &SharedPage, copies: &[u16]) {
+        let mut copy_list = Vec::new();
+        for &c in copies {
+            assert!(c < self.n && NodeId::new(c) != sp.home, "bad copy node");
+            let frame = self.alloc_frame(c);
+            let node = self.node_mut(c);
+            node.mmu_mut().table_mut().map(
+                sp.vpage(),
+                PAddr::local_shared(frame.base()),
+                PageFlags::RW,
+            );
+            node.hib_mut().shared_map().set_mode(
+                frame,
+                PageMode::Replica {
+                    owner: sp.home,
+                    owner_page: sp.home_page,
+                },
+            );
+            copy_list.push((NodeId::new(c), frame));
+        }
+        let home = self.node_mut(sp.home.raw());
+        home.hib_mut()
+            .shared_map()
+            .set_mode(sp.home_page, PageMode::Owned { copies: copy_list });
+    }
+
+    /// Maps a shared page out for eager-update multicast (§2.2.7): every
+    /// store by the home lands in each consumer's local frame; consumers
+    /// read locally (read-only mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a consumer node is the home or out of range.
+    pub fn make_eager(&mut self, sp: &SharedPage, consumers: &[u16]) {
+        let mut outs = Vec::new();
+        for &c in consumers {
+            assert!(c < self.n && NodeId::new(c) != sp.home, "bad consumer");
+            let frame = self.alloc_frame(c);
+            let node = self.node_mut(c);
+            node.mmu_mut().table_mut().map(
+                sp.vpage(),
+                PAddr::local_shared(frame.base()),
+                PageFlags::RO,
+            );
+            outs.push((NodeId::new(c), frame));
+        }
+        let home = self.node_mut(sp.home.raw());
+        home.hib_mut()
+            .shared_map()
+            .set_mode(sp.home_page, PageMode::EagerMapped { outs });
+    }
+
+    /// Converts a shared page to software VSM management (the invalidate
+    /// baseline): non-home nodes start unmapped and fault their way to
+    /// copies.
+    pub fn make_vsm(&mut self, sp: &SharedPage) {
+        for i in 0..self.n {
+            let frame = if NodeId::new(i) == sp.home {
+                sp.home_page
+            } else {
+                self.alloc_frame(i)
+            };
+            let node = self.node_mut(i);
+            node.os_mut()
+                .vsm
+                .register(sp.index, sp.vpage(), sp.home, frame);
+            if NodeId::new(i) != sp.home {
+                node.mmu_mut().table_mut().unmap(sp.vpage());
+            }
+        }
+    }
+
+    /// Configures remote-memory (or disk) paging on `node`: `n_pages`
+    /// virtual pages at [`PAGED_VA_BASE`], of which at most `capacity` are
+    /// resident. With [`Backing::RemoteMemory`] the backing frames live in
+    /// `server`'s segment and pages move over the fabric; with
+    /// [`Backing::Disk`] each transfer costs the configured disk latency.
+    /// Returns the virtual addresses of the paged pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing server equals the paging node or is out of
+    /// range.
+    pub fn make_paged(
+        &mut self,
+        node: u16,
+        backing: Backing,
+        n_pages: u32,
+        capacity: usize,
+    ) -> Vec<VAddr> {
+        if let Backing::RemoteMemory { server } = backing {
+            assert!(server.raw() < self.n, "server out of range");
+            assert_ne!(server.raw(), node, "server must be a different node");
+        }
+        let mut pager = RemotePager::new(backing, capacity);
+        let mut vas = Vec::new();
+        // Backing frames are allocated on the server (or symbolically for
+        // disk); resident frames on the paging node.
+        for k in 0..n_pages {
+            let vpage = (PAGED_VA_BASE >> tg_wire::PAGE_SHIFT) + u64::from(k);
+            let local_frame = self.alloc_frame(node);
+            let server_frame = match backing {
+                Backing::RemoteMemory { server } => self.alloc_frame(server.raw()),
+                Backing::Disk => PageNum::new(k),
+            };
+            pager.register(vpage, local_frame, server_frame);
+            vas.push(VAddr::new(vpage << tg_wire::PAGE_SHIFT));
+        }
+        self.node_mut(node).os_mut().pager = Some(pager);
+        vas
+    }
+
+    /// Arms the §2.2.6 access counters for a remote page at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the page's home (counters track *remote* pages).
+    pub fn arm_counters(&mut self, node: u16, sp: &SharedPage, reads: u16, writes: u16) {
+        assert_ne!(NodeId::new(node), sp.home, "counters are for remote pages");
+        let (home, page) = (sp.home, sp.home_page);
+        self.node_mut(node)
+            .hib_mut()
+            .shared_map()
+            .arm_counters(home, page, reads, writes);
+    }
+
+    /// Reads back a remote page's access counters at `node` — the §2.2.6
+    /// monitoring use ("by setting the counters to very large values and
+    /// periodically reading them, the system can monitor the page access,
+    /// find hot-spots, display statistics"). Returns
+    /// `(remaining_reads, remaining_writes)` if armed.
+    pub fn read_counters(&mut self, node: u16, sp: &SharedPage) -> Option<(u16, u16)> {
+        let (home, page) = (sp.home, sp.home_page);
+        self.node_mut(node)
+            .hib_mut()
+            .shared_map()
+            .counters(home, page)
+            .map(|c| (c.reads, c.writes))
+    }
+
+    /// Installs a process on a node and schedules its start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_process(&mut self, node: u16, p: impl Process) {
+        let comp = self.nodes[node as usize];
+        self.node_mut(node).set_process(Box::new(p));
+        self.engine.schedule(SimTime::ZERO, comp, ClusterEvent::Start);
+    }
+
+    /// Adds an additional process to a node (multiprogramming): it gets
+    /// its own Telegraphos context + key and is scheduled cooperatively
+    /// with the node's other processes, switching on OS-level blocks.
+    /// Returns the process index on that node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn add_process(&mut self, node: u16, p: impl Process) -> usize {
+        let comp = self.nodes[node as usize];
+        let idx = self.node_mut(node).add_process(Box::new(p));
+        self.engine.schedule(SimTime::ZERO, comp, ClusterEvent::Start);
+        idx
+    }
+
+    /// Runs until every event drains.
+    pub fn run(&mut self) -> RunLimit {
+        self.engine.run()
+    }
+
+    /// Runs until the given simulated instant.
+    pub fn run_until(&mut self, t: SimTime) -> RunLimit {
+        self.engine.run_until(t)
+    }
+
+    /// Runs at most `n` events (livelock guard for tests).
+    pub fn run_events(&mut self, n: u64) -> RunLimit {
+        self.engine.run_events(n)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Immutable node access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: u16) -> &Node {
+        self.engine
+            .get::<Node>(self.nodes[i as usize])
+            .expect("node component")
+    }
+
+    /// Mutable node access (privileged setup).
+    pub fn node_mut(&mut self, i: u16) -> &mut Node {
+        self.engine
+            .get_mut::<Node>(self.nodes[i as usize])
+            .expect("node component")
+    }
+
+    /// Reads word `word` of a shared page at its home (ground truth).
+    pub fn read_shared(&self, sp: &SharedPage, word: u64) -> u64 {
+        self.node(sp.home.raw())
+            .segment_read(GOffset::from_page(sp.home_page, word * 8))
+    }
+
+    /// Reads word `word` of the frame backing `sp` at `node` (the local
+    /// copy under coherent replication or VSM).
+    pub fn read_local_frame(&self, node: u16, frame: PageNum, word: u64) -> u64 {
+        self.node(node)
+            .segment_read(GOffset::from_page(frame, word * 8))
+    }
+
+    /// True when every node with a process has halted.
+    pub fn all_halted(&self) -> bool {
+        (0..self.n).all(|i| {
+            let node = self.node(i);
+            !node.has_process() || node.stats().halted_at.is_some()
+        })
+    }
+
+    /// Total bytes switched through the fabric.
+    pub fn fabric_bytes(&self) -> u64 {
+        self.switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(|s| s.stats().bytes)
+            .sum()
+    }
+
+    /// A formatted per-node operation summary — handy at the end of
+    /// examples and experiments.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<6} {:>7} {:>9} {:>7} {:>9} {:>8} {:>7} {:>7}",
+            "node", "rd-rem", "rd-rem us", "wr-rem", "wr-rem us", "atomics", "faults", "repl"
+        );
+        for i in 0..self.n {
+            let st = self.node(i).stats();
+            let _ = writeln!(
+                s,
+                "{:<6} {:>7} {:>9.2} {:>7} {:>9.2} {:>8} {:>7} {:>7}",
+                format!("n{i}"),
+                st.remote_reads.count(),
+                st.remote_reads.mean(),
+                st.remote_writes.count(),
+                st.remote_writes.mean(),
+                st.atomics.count(),
+                st.faults,
+                st.replications,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "fabric: {} packets / {} bytes; simulated time {}",
+            self.fabric_packets(),
+            self.fabric_bytes(),
+            self.now()
+        );
+        s
+    }
+
+    /// Total packets switched through the fabric.
+    pub fn fabric_packets(&self) -> u64 {
+        self.switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(|s| s.stats().packets)
+            .sum()
+    }
+}

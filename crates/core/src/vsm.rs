@@ -1,0 +1,641 @@
+//! The Virtual Shared Memory baseline (§2.1's "traditional systems").
+//!
+//! A Li–Hudak-style single-writer, multiple-reader invalidate protocol with
+//! a fixed manager per page (the page's home node): read faults fetch a
+//! copy from the current owner; write faults invalidate every copy and
+//! migrate ownership. All of it runs in (simulated) OS software — page
+//! faults, traps, whole-page transfers — which is precisely the overhead
+//! Telegraphos hardware eliminates. Experiment E6 races this protocol
+//! against the owner-serialized update hardware.
+//!
+//! The module is a pure state machine: the node feeds it faults and
+//! messages and executes the returned [`VsmEffect`]s (sends, mappings,
+//! page-data writes), charging the OS costs as it does.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use tg_wire::{NodeId, PageNum, WireMsg};
+
+/// OS-control message kinds used by the protocol.
+pub mod kind {
+    /// Requester → manager: read fault on `a = gpage` by `b = node`.
+    pub const READ_REQ: u16 = 0x10;
+    /// Requester → manager: write fault.
+    pub const WRITE_REQ: u16 = 0x11;
+    /// Manager → owner: send the page to `b` and downgrade to read.
+    pub const FWD_READ: u16 = 0x12;
+    /// Manager → owner: send the page to `b` and invalidate yourself.
+    pub const FWD_WRITE: u16 = 0x13;
+    /// Manager → holder: invalidate `a = gpage`.
+    pub const INV: u16 = 0x14;
+    /// Holder → manager: invalidation done (`b = holder`).
+    pub const INV_ACK: u16 = 0x15;
+    /// Manager → requester: your (still valid) copy may be upgraded.
+    pub const GRANT_WRITE: u16 = 0x16;
+    /// Requester → manager: read mapping installed (`b = requester`).
+    pub const DONE_READ: u16 = 0x17;
+    /// Requester → manager: write mapping installed (`b = requester`).
+    pub const DONE_WRITE: u16 = 0x18;
+}
+
+/// Tag namespace for VSM page-data streams.
+pub const VSM_TAG_BASE: u32 = 0x8000_0000;
+
+/// Access mode of a VSM page at one node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VsmMode {
+    /// Not mapped; any access faults.
+    Invalid,
+    /// Mapped read-only.
+    Read,
+    /// Mapped read-write (this node is the owner).
+    Write,
+}
+
+/// What the node must do on behalf of the protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VsmEffect {
+    /// Send a protocol message (possibly to ourselves — loop it back).
+    Send {
+        /// Destination node.
+        dst: NodeId,
+        /// The message.
+        msg: WireMsg,
+    },
+    /// Stream our copy of the page (in `frame`) to `dst` as `PageData`
+    /// with the VSM tag for `gpage`.
+    SendPage {
+        /// Destination node.
+        dst: NodeId,
+        /// Global page id.
+        gpage: u64,
+        /// Local frame holding the data.
+        frame: PageNum,
+    },
+    /// Map the page read-only at this node (charge map cost).
+    MapRead {
+        /// Virtual page number.
+        vpage: u64,
+        /// Local frame.
+        frame: PageNum,
+    },
+    /// Map the page read-write.
+    MapWrite {
+        /// Virtual page number.
+        vpage: u64,
+        /// Local frame.
+        frame: PageNum,
+    },
+    /// Remove the mapping (invalidation).
+    Unmap {
+        /// Virtual page number.
+        vpage: u64,
+    },
+    /// Write an arriving burst of page data into the local frame.
+    WriteBurst {
+        /// Local frame.
+        frame: PageNum,
+        /// Word index within the page.
+        index: u32,
+        /// The words.
+        vals: Vec<u64>,
+    },
+    /// The stalled fault on `vpage` is resolved; retry the access.
+    ResumeFault {
+        /// Virtual page number.
+        vpage: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PageMeta {
+    gpage: u64,
+    home: NodeId,
+    frame: PageNum,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PageState {
+    meta: PageMeta,
+    mode: VsmMode,
+    pending_write_fault: bool,
+    faulted: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    requester: NodeId,
+    write: bool,
+    invs_left: usize,
+    /// True when the page image must travel from the owner (the requester
+    /// holds no current copy).
+    needs_data: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Dir {
+    owner: NodeId,
+    copyset: BTreeSet<NodeId>,
+    busy: Option<Pending>,
+    queue: VecDeque<(NodeId, bool)>,
+}
+
+/// Per-node VSM state: page table of managed pages plus, at home nodes,
+/// the manager directory.
+#[derive(Debug)]
+pub struct VsmNode {
+    me: NodeId,
+    pages: HashMap<u64, PageState>,
+    by_gpage: HashMap<u64, u64>,
+    dirs: HashMap<u64, Dir>,
+}
+
+impl VsmNode {
+    /// VSM state for node `me`.
+    pub fn new(me: NodeId) -> Self {
+        VsmNode {
+            me,
+            pages: HashMap::new(),
+            by_gpage: HashMap::new(),
+            dirs: HashMap::new(),
+        }
+    }
+
+    /// Registers a managed page at this node. The home node starts as the
+    /// owner with a writable mapping; everyone else starts invalid.
+    pub fn register(&mut self, gpage: u64, vpage: u64, home: NodeId, frame: PageNum) {
+        let meta = PageMeta { gpage, home, frame };
+        let mode = if home == self.me {
+            VsmMode::Write
+        } else {
+            VsmMode::Invalid
+        };
+        self.pages.insert(
+            vpage,
+            PageState {
+                meta,
+                mode,
+                pending_write_fault: false,
+                faulted: false,
+            },
+        );
+        self.by_gpage.insert(gpage, vpage);
+        if home == self.me {
+            self.dirs.insert(
+                gpage,
+                Dir {
+                    owner: home,
+                    copyset: BTreeSet::from([home]),
+                    busy: None,
+                    queue: VecDeque::new(),
+                },
+            );
+        }
+    }
+
+    /// True if `vpage` is VSM-managed here.
+    pub fn manages(&self, vpage: u64) -> bool {
+        self.pages.contains_key(&vpage)
+    }
+
+    /// Current mode of a managed page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not managed.
+    pub fn mode(&self, vpage: u64) -> VsmMode {
+        self.pages[&vpage].mode
+    }
+
+    /// The local frame backing a managed page.
+    pub fn frame(&self, vpage: u64) -> PageNum {
+        self.pages[&vpage].meta.frame
+    }
+
+    /// Reports a fault on a managed page; returns the protocol actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not managed or a fault is already pending on
+    /// it (the single CPU cannot fault twice).
+    pub fn on_fault(&mut self, vpage: u64, write: bool) -> Vec<VsmEffect> {
+        let page = self.pages.get_mut(&vpage).expect("managed page");
+        assert!(!page.faulted, "double fault on {vpage:#x}");
+        page.faulted = true;
+        page.pending_write_fault = write;
+        let k = if write {
+            kind::WRITE_REQ
+        } else {
+            kind::READ_REQ
+        };
+        vec![VsmEffect::Send {
+            dst: page.meta.home,
+            msg: WireMsg::OsCtl {
+                kind: k,
+                a: page.meta.gpage,
+                b: u64::from(self.me.raw()),
+            },
+        }]
+    }
+
+    /// Handles a protocol message (OsCtl with a VSM kind, or PageData with
+    /// a VSM tag).
+    pub fn on_msg(&mut self, _src: NodeId, msg: &WireMsg) -> Vec<VsmEffect> {
+        match *msg {
+            WireMsg::OsCtl { kind: k, a, b } => self.on_ctl(k, a, NodeId::new(b as u16)),
+            WireMsg::PageData {
+                tag,
+                index,
+                ref vals,
+                last,
+            } => self.on_page_data(tag, index, vals.clone(), last),
+            ref other => unreachable!("not a VSM message: {other:?}"),
+        }
+    }
+
+    /// True if this message belongs to the VSM protocol.
+    pub fn is_vsm_msg(msg: &WireMsg) -> bool {
+        match *msg {
+            WireMsg::OsCtl { kind: k, .. } => (kind::READ_REQ..=kind::DONE_WRITE).contains(&k),
+            WireMsg::PageData { tag, .. } => tag & VSM_TAG_BASE != 0,
+            _ => false,
+        }
+    }
+
+    fn on_ctl(&mut self, k: u16, gpage: u64, who: NodeId) -> Vec<VsmEffect> {
+        match k {
+            kind::READ_REQ => self.mgr_request(gpage, who, false),
+            kind::WRITE_REQ => self.mgr_request(gpage, who, true),
+            kind::FWD_READ => {
+                // We are the owner: stream the page and downgrade.
+                let vpage = self.by_gpage[&gpage];
+                let page = self.pages.get_mut(&vpage).expect("owner state");
+                let frame = page.meta.frame;
+                let mut fx = Vec::new();
+                if page.mode == VsmMode::Write {
+                    page.mode = VsmMode::Read;
+                    fx.push(VsmEffect::MapRead { vpage, frame });
+                }
+                fx.push(VsmEffect::SendPage {
+                    dst: who,
+                    gpage,
+                    frame,
+                });
+                fx
+            }
+            kind::FWD_WRITE => {
+                let vpage = self.by_gpage[&gpage];
+                let page = self.pages.get_mut(&vpage).expect("owner state");
+                let frame = page.meta.frame;
+                page.mode = VsmMode::Invalid;
+                vec![
+                    VsmEffect::SendPage {
+                        dst: who,
+                        gpage,
+                        frame,
+                    },
+                    VsmEffect::Unmap { vpage },
+                ]
+            }
+            kind::INV => {
+                let vpage = self.by_gpage[&gpage];
+                let page = self.pages.get_mut(&vpage).expect("holder state");
+                let home = page.meta.home;
+                let mut fx = Vec::new();
+                if page.mode != VsmMode::Invalid {
+                    page.mode = VsmMode::Invalid;
+                    fx.push(VsmEffect::Unmap { vpage });
+                }
+                fx.push(VsmEffect::Send {
+                    dst: home,
+                    msg: WireMsg::OsCtl {
+                        kind: kind::INV_ACK,
+                        a: gpage,
+                        b: u64::from(self.me.raw()),
+                    },
+                });
+                fx
+            }
+            kind::INV_ACK => self.mgr_inv_ack(gpage),
+            kind::GRANT_WRITE => {
+                let vpage = self.by_gpage[&gpage];
+                self.complete_fault(vpage)
+            }
+            kind::DONE_READ => self.mgr_done(gpage, who, false),
+            kind::DONE_WRITE => self.mgr_done(gpage, who, true),
+            other => unreachable!("unknown VSM kind {other:#x}"),
+        }
+    }
+
+    fn on_page_data(&mut self, tag: u32, index: u32, vals: Vec<u64>, last: bool) -> Vec<VsmEffect> {
+        let gpage = u64::from(tag & !VSM_TAG_BASE);
+        let vpage = self.by_gpage[&gpage];
+        let frame = self.pages[&vpage].meta.frame;
+        let mut fx = vec![VsmEffect::WriteBurst { frame, index, vals }];
+        if last {
+            fx.extend(self.complete_fault(vpage));
+        }
+        fx
+    }
+
+    /// Installs the mapping for a resolved fault and notifies the manager.
+    fn complete_fault(&mut self, vpage: u64) -> Vec<VsmEffect> {
+        let page = self.pages.get_mut(&vpage).expect("faulted page");
+        assert!(page.faulted, "completion without a fault");
+        page.faulted = false;
+        let frame = page.meta.frame;
+        let (map, done_kind) = if page.pending_write_fault {
+            page.mode = VsmMode::Write;
+            (VsmEffect::MapWrite { vpage, frame }, kind::DONE_WRITE)
+        } else {
+            page.mode = VsmMode::Read;
+            (VsmEffect::MapRead { vpage, frame }, kind::DONE_READ)
+        };
+        vec![
+            map,
+            VsmEffect::ResumeFault { vpage },
+            VsmEffect::Send {
+                dst: page.meta.home,
+                msg: WireMsg::OsCtl {
+                    kind: done_kind,
+                    a: page.meta.gpage,
+                    b: u64::from(self.me.raw()),
+                },
+            },
+        ]
+    }
+
+    // ---------------- manager side ----------------
+
+    fn mgr_request(&mut self, gpage: u64, requester: NodeId, write: bool) -> Vec<VsmEffect> {
+        let dir = self.dirs.get_mut(&gpage).expect("we are the manager");
+        if dir.busy.is_some() {
+            dir.queue.push_back((requester, write));
+            return Vec::new();
+        }
+        self.mgr_start(gpage, requester, write)
+    }
+
+    fn mgr_start(&mut self, gpage: u64, requester: NodeId, write: bool) -> Vec<VsmEffect> {
+        let me = self.me;
+        let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+        let owner = dir.owner;
+        let had_copy = dir.copyset.contains(&requester);
+        let mut fx = Vec::new();
+        if write {
+            // The owner is invalidated through FWD_WRITE when it must also
+            // ship the data; otherwise it gets a plain INV like any holder.
+            let needs_data = !had_copy && owner != requester;
+            let inv_targets: Vec<NodeId> = dir
+                .copyset
+                .iter()
+                .copied()
+                .filter(|&n| n != requester && !(needs_data && n == owner))
+                .collect();
+            dir.busy = Some(Pending {
+                requester,
+                write,
+                invs_left: inv_targets.len(),
+                needs_data,
+            });
+            for t in inv_targets {
+                fx.push(VsmEffect::Send {
+                    dst: t,
+                    msg: WireMsg::OsCtl {
+                        kind: kind::INV,
+                        a: gpage,
+                        b: 0,
+                    },
+                });
+            }
+            if fx.is_empty() {
+                // No invalidations outstanding: move straight to the data /
+                // grant phase.
+                fx.extend(self.mgr_data_phase(gpage));
+            }
+        } else {
+            dir.busy = Some(Pending {
+                requester,
+                write,
+                invs_left: 0,
+                needs_data: true,
+            });
+            let _ = (me, had_copy);
+            fx.push(VsmEffect::Send {
+                dst: owner,
+                msg: WireMsg::OsCtl {
+                    kind: kind::FWD_READ,
+                    a: gpage,
+                    b: u64::from(requester.raw()),
+                },
+            });
+        }
+        fx
+    }
+
+    fn mgr_inv_ack(&mut self, gpage: u64) -> Vec<VsmEffect> {
+        let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+        let pending = dir.busy.as_mut().expect("ack without pending op");
+        assert!(pending.invs_left > 0, "unexpected invalidation ack");
+        pending.invs_left -= 1;
+        if pending.invs_left == 0 {
+            self.mgr_data_phase(gpage)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Write-fault phase two: hand the data (or an upgrade grant) to the
+    /// requester.
+    fn mgr_data_phase(&mut self, gpage: u64) -> Vec<VsmEffect> {
+        let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+        let pending = dir.busy.as_ref().expect("pending op");
+        let (requester, owner) = (pending.requester, dir.owner);
+        if pending.needs_data {
+            vec![VsmEffect::Send {
+                dst: owner,
+                msg: WireMsg::OsCtl {
+                    kind: kind::FWD_WRITE,
+                    a: gpage,
+                    b: u64::from(requester.raw()),
+                },
+            }]
+        } else {
+            // Upgrade in place: the requester's copy is current.
+            vec![VsmEffect::Send {
+                dst: requester,
+                msg: WireMsg::OsCtl {
+                    kind: kind::GRANT_WRITE,
+                    a: gpage,
+                    b: 0,
+                },
+            }]
+        }
+    }
+
+    fn mgr_done(&mut self, gpage: u64, requester: NodeId, write: bool) -> Vec<VsmEffect> {
+        let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+        let pending = dir.busy.take().expect("done without pending op");
+        debug_assert_eq!(pending.requester, requester);
+        debug_assert_eq!(pending.write, write);
+        if write {
+            dir.owner = requester;
+            dir.copyset = BTreeSet::from([requester]);
+        } else {
+            dir.copyset.insert(requester);
+        }
+        if let Some((next, w)) = dir.queue.pop_front() {
+            self.mgr_start(gpage, next, w)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GP: u64 = 3;
+    const VP: u64 = 0x4000_0000 >> 13;
+
+    fn setup(n: u16, home: u16) -> Vec<VsmNode> {
+        (0..n)
+            .map(|i| {
+                let mut v = VsmNode::new(NodeId::new(i));
+                v.register(GP, VP, NodeId::new(home), PageNum::new(5));
+                v
+            })
+            .collect()
+    }
+
+    /// Message pump: applies effects, delivering Send/SendPage across the
+    /// node array (data as a single burst), collecting node-local effects.
+    fn pump(nodes: &mut [VsmNode], fx: Vec<(usize, VsmEffect)>) -> Vec<(usize, VsmEffect)> {
+        let mut local = Vec::new();
+        let mut queue: VecDeque<(usize, VsmEffect)> = fx.into();
+        while let Some((at, eff)) = queue.pop_front() {
+            match eff {
+                VsmEffect::Send { dst, msg } => {
+                    let out = nodes[dst.index()].on_msg(NodeId::new(at as u16), &msg);
+                    queue.extend(out.into_iter().map(|e| (dst.index(), e)));
+                }
+                VsmEffect::SendPage { dst, gpage, .. } => {
+                    let msg = WireMsg::PageData {
+                        tag: VSM_TAG_BASE | gpage as u32,
+                        index: 0,
+                        vals: vec![0; 4],
+                        last: true,
+                    };
+                    let out = nodes[dst.index()].on_msg(NodeId::new(at as u16), &msg);
+                    queue.extend(out.into_iter().map(|e| (dst.index(), e)));
+                }
+                other => local.push((at, other)),
+            }
+        }
+        local
+    }
+
+    #[test]
+    fn initial_modes() {
+        let nodes = setup(3, 0);
+        assert_eq!(nodes[0].mode(VP), VsmMode::Write);
+        assert_eq!(nodes[1].mode(VP), VsmMode::Invalid);
+        assert!(nodes[0].manages(VP));
+    }
+
+    #[test]
+    fn read_fault_fetches_and_downgrades_owner() {
+        let mut nodes = setup(3, 0);
+        let fx: Vec<_> = nodes[1]
+            .on_fault(VP, false)
+            .into_iter()
+            .map(|e| (1usize, e))
+            .collect();
+        let local = pump(&mut nodes, fx);
+        assert_eq!(nodes[1].mode(VP), VsmMode::Read);
+        assert_eq!(nodes[0].mode(VP), VsmMode::Read, "owner downgraded");
+        assert!(local
+            .iter()
+            .any(|(n, e)| *n == 1 && matches!(e, VsmEffect::ResumeFault { .. })));
+        assert!(local
+            .iter()
+            .any(|(n, e)| *n == 1 && matches!(e, VsmEffect::MapRead { .. })));
+    }
+
+    #[test]
+    fn write_fault_invalidates_readers_and_migrates() {
+        let mut nodes = setup(3, 0);
+        // Node 1 and 2 read first.
+        for reader in [1usize, 2] {
+            let fx: Vec<_> = nodes[reader]
+                .on_fault(VP, false)
+                .into_iter()
+                .map(|e| (reader, e))
+                .collect();
+            pump(&mut nodes, fx);
+        }
+        // Node 2 writes.
+        let fx: Vec<_> = nodes[2]
+            .on_fault(VP, true)
+            .into_iter()
+            .map(|e| (2usize, e))
+            .collect();
+        let local = pump(&mut nodes, fx);
+        assert_eq!(nodes[2].mode(VP), VsmMode::Write);
+        assert_eq!(nodes[1].mode(VP), VsmMode::Invalid, "reader invalidated");
+        assert_eq!(nodes[0].mode(VP), VsmMode::Invalid, "old owner invalidated");
+        assert!(local
+            .iter()
+            .any(|(n, e)| *n == 1 && matches!(e, VsmEffect::Unmap { .. })));
+        // Writer got an upgrade grant (it held a copy): mapped write.
+        assert!(local
+            .iter()
+            .any(|(n, e)| *n == 2 && matches!(e, VsmEffect::MapWrite { .. })));
+    }
+
+    #[test]
+    fn home_refaults_after_migration() {
+        let mut nodes = setup(2, 0);
+        // Node 1 takes ownership.
+        let fx: Vec<_> = nodes[1]
+            .on_fault(VP, true)
+            .into_iter()
+            .map(|e| (1usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[0].mode(VP), VsmMode::Invalid);
+        assert_eq!(nodes[1].mode(VP), VsmMode::Write);
+        // Home reads back: owner 1 serves and downgrades.
+        let fx: Vec<_> = nodes[0]
+            .on_fault(VP, false)
+            .into_iter()
+            .map(|e| (0usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[0].mode(VP), VsmMode::Read);
+        assert_eq!(nodes[1].mode(VP), VsmMode::Read);
+    }
+
+    #[test]
+    fn classifier_recognizes_vsm_traffic() {
+        assert!(VsmNode::is_vsm_msg(&WireMsg::OsCtl {
+            kind: kind::INV,
+            a: 0,
+            b: 0
+        }));
+        assert!(VsmNode::is_vsm_msg(&WireMsg::PageData {
+            tag: VSM_TAG_BASE | 7,
+            index: 0,
+            vals: vec![],
+            last: true
+        }));
+        assert!(!VsmNode::is_vsm_msg(&WireMsg::PageData {
+            tag: 7,
+            index: 0,
+            vals: vec![],
+            last: true
+        }));
+        assert!(!VsmNode::is_vsm_msg(&WireMsg::WriteAck));
+    }
+}

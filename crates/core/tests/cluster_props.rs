@@ -1,0 +1,136 @@
+//! Property tests at the full-system level: random workloads over random
+//! sharing setups must always drain, converge, and respect write
+//! ownership.
+
+use proptest::prelude::*;
+use telegraphos::{Action, ClusterBuilder, Script};
+use tg_sim::RunLimit;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Disjoint-word writers over plain shared pages: every write lands,
+    /// the simulation drains, and the result is exactly the last write per
+    /// word.
+    #[test]
+    fn plain_writes_always_land(
+        nodes in 2..5u16,
+        writes_per_node in 1..40usize,
+        home_pick in 0..5u16,
+        seed in 0..u64::MAX,
+    ) {
+        let home = home_pick % nodes;
+        let mut cluster = ClusterBuilder::new(nodes).build();
+        let page = cluster.alloc_shared(home);
+        let mut rng = tg_sim::SimRng::new(seed);
+        let mut expected = std::collections::HashMap::new();
+        for n in 0..nodes {
+            // Each node owns words [n*64, n*64+64).
+            let base = u64::from(n) * 64;
+            let mut actions = Vec::new();
+            for _ in 0..writes_per_node {
+                let w = base + rng.range(64);
+                let v = rng.next_u64() | 1;
+                actions.push(Action::Write(page.va(w * 8), v));
+                expected.insert(w, v);
+            }
+            actions.push(Action::Fence);
+            cluster.set_process(n, Script::new(actions));
+        }
+        prop_assert_eq!(cluster.run_events(5_000_000), RunLimit::Drained);
+        prop_assert!(cluster.all_halted());
+        for (w, v) in expected {
+            prop_assert_eq!(cluster.read_shared(&page, w), v, "word {}", w);
+        }
+    }
+
+    /// Coherent replication with disjoint-word writers: the owner and every
+    /// replica converge to the same final image.
+    #[test]
+    fn coherent_replicas_always_converge(
+        nodes in 3..5u16,
+        writes_per_node in 1..25usize,
+        cam in 1..20usize,
+        seed in 0..u64::MAX,
+    ) {
+        let hib = tg_hib::HibConfig {
+            cam_entries: cam,
+            ..tg_hib::HibConfig::telegraphos_i()
+        };
+        let mut cluster = ClusterBuilder::new(nodes).hib_config(hib).build();
+        let page = cluster.alloc_shared(0);
+        let copies: Vec<u16> = (1..nodes).collect();
+        cluster.make_coherent(&page, &copies);
+        let mut rng = tg_sim::SimRng::new(seed);
+        for n in 0..nodes {
+            let base = u64::from(n) * 32;
+            let mut actions = Vec::new();
+            for _ in 0..writes_per_node {
+                let w = base + rng.range(32);
+                actions.push(Action::Write(page.va(w * 8), rng.next_u64() | 1));
+            }
+            actions.push(Action::Fence);
+            cluster.set_process(n, Script::new(actions));
+        }
+        prop_assert_eq!(cluster.run_events(5_000_000), RunLimit::Drained);
+        // Every replica frame equals the owner's page image.
+        let owner_image: Vec<u64> = (0..1024)
+            .map(|w| cluster.read_shared(&page, w))
+            .collect();
+        for c in copies {
+            let pte = cluster
+                .node_mut(c)
+                .mmu_mut()
+                .table()
+                .lookup(page.vpage())
+                .expect("replica mapped");
+            let frame = match pte.base.decode() {
+                tg_mem::Decoded::LocalShared { off } => off.page(),
+                other => panic!("replica not local: {other:?}"),
+            };
+            for (w, &expect) in owner_image.iter().enumerate() {
+                prop_assert_eq!(
+                    cluster.read_local_frame(c, frame, w as u64),
+                    expect,
+                    "node {} word {}", c, w
+                );
+            }
+        }
+    }
+
+    /// Mixed random reads/writes/atomics/fences over several pages never
+    /// deadlock or livelock, and the run is deterministic.
+    #[test]
+    fn chaotic_mixes_always_drain(
+        nodes in 2..4u16,
+        ops in 5..50usize,
+        seed in 0..u64::MAX,
+    ) {
+        let build = || {
+            let mut cluster = ClusterBuilder::new(nodes).build();
+            let pages: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+            let mut rng = tg_sim::SimRng::new(seed);
+            for n in 0..nodes {
+                let mut actions = Vec::new();
+                for i in 0..ops {
+                    let page = pages[rng.range(pages.len() as u64) as usize];
+                    let va = page.va(rng.range(128) * 8);
+                    actions.push(match rng.range(5) {
+                        0 => Action::Read(va),
+                        1 => Action::Write(va, i as u64 + 1),
+                        2 => Action::FetchAdd(va, 1),
+                        3 => Action::Fence,
+                        _ => Action::Compute(tg_sim::SimTime::from_us(rng.range(5) + 1)),
+                    });
+                }
+                cluster.set_process(n, Script::new(actions));
+            }
+            let outcome = cluster.run_events(5_000_000);
+            (outcome, cluster.now(), cluster.fabric_bytes())
+        };
+        let a = build();
+        prop_assert_eq!(a.0, RunLimit::Drained, "livelock/deadlock");
+        let b = build();
+        prop_assert_eq!(a, b, "nondeterministic run");
+    }
+}

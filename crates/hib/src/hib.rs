@@ -1,0 +1,1096 @@
+//! The Host Interface Board state machine.
+
+use std::collections::{HashMap, VecDeque};
+
+use tg_mem::{Decoded, PAddr};
+use tg_net::{NetEvent, RxFifo, TxPort};
+use tg_proto::PendingCam;
+use tg_sim::{CompId, SimTime};
+use tg_wire::{AtomicOp, GOffset, NodeId, Packet, PageNum, TimingConfig, WireMsg};
+
+use crate::config::{HibConfig, LaunchMode, LocalWritePolicy};
+use crate::host::{
+    CounterKind, CpuResult, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome, StoreOutcome,
+};
+use crate::pagemode::{PageMode, SharedMap};
+use crate::regs::{decode_ctx_reg, opcode, reg, ShadowArg};
+
+/// Operation counters exported for the experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HibStats {
+    /// Remote writes issued by the local CPU.
+    pub remote_writes: u64,
+    /// Remote (blocking) reads issued.
+    pub remote_reads: u64,
+    /// Remote atomic operations launched.
+    pub atomics: u64,
+    /// Remote copies launched.
+    pub copies: u64,
+    /// Coherent updates sent to page owners.
+    pub updates_sent: u64,
+    /// Reflected writes received.
+    pub reflections_rx: u64,
+    /// Reflected writes ignored under rule 3 (counter non-zero).
+    pub reflections_filtered: u64,
+    /// Own reflected writes consumed under rule 2.
+    pub reflections_own: u64,
+    /// Multicast/reflected packets fanned out by this board.
+    pub fanout_tx: u64,
+    /// Write acknowledgements received.
+    pub acks_rx: u64,
+    /// Packets transmitted / received.
+    pub pkts_tx: u64,
+    /// Packets received.
+    pub pkts_rx: u64,
+    /// Bytes transmitted.
+    pub bytes_tx: u64,
+    /// Bytes received.
+    pub bytes_rx: u64,
+    /// CPU stalls because the TX queue was full.
+    pub tx_stalls: u64,
+    /// Page-access alarms raised.
+    pub alarms: u64,
+    /// Deepest TX-queue occupancy observed.
+    pub tx_high_water: usize,
+}
+
+/// Why a store is parked at the HIB waiting to retry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StallReason {
+    TxFull,
+    CamFull,
+    WaitReflect,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StalledStore {
+    pa: PAddr,
+    val: u64,
+    reason: StallReason,
+}
+
+#[derive(Clone, Debug)]
+struct CopyInFlight {
+    dst: GOffset,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Context {
+    key: u32,
+    op: u64,
+    addr: [Option<PAddr>; 2],
+    datum: [u64; 2],
+}
+
+#[derive(Clone, Debug)]
+struct SpecialMode {
+    op: u64,
+    args: Vec<(PAddr, u64)>,
+}
+
+/// The Telegraphos Host Interface Board (§2.2).
+///
+/// A passive state machine hosted inside a workstation component: the node
+/// feeds it CPU transactions ([`cpu_store`], [`cpu_load`], [`fence`]) and
+/// network events ([`on_net`], [`on_tick`]), and it reacts through the
+/// [`HibHost`] callbacks. See the crate docs for the full transaction map.
+///
+/// [`cpu_store`]: Hib::cpu_store
+/// [`cpu_load`]: Hib::cpu_load
+/// [`fence`]: Hib::fence
+/// [`on_net`]: Hib::on_net
+/// [`on_tick`]: Hib::on_tick
+#[derive(Debug)]
+pub struct Hib {
+    node: NodeId,
+    config: HibConfig,
+    timing: TimingConfig,
+    // Network wiring.
+    tx: Option<TxPort>,
+    rx_upstream: Option<(CompId, u32)>,
+    rx_fifo: RxFifo,
+    tx_queue: VecDeque<Packet>,
+    tx_busy: bool,
+    rx_current: Option<Packet>,
+    inject_seq: u64,
+    // Sharing metadata.
+    shared: SharedMap,
+    // Outstanding-operation state (§2.2, completion detection).
+    cam: PendingCam,
+    outstanding_writes: u64,
+    outstanding_updates: u64,
+    copies_in_flight: HashMap<u32, CopyInFlight>,
+    read_pending: Option<u32>,
+    launch_pending: Option<u32>,
+    next_tag: u32,
+    fence_waiting: bool,
+    stalled_store: Option<StalledStore>,
+    // Special-operation launch.
+    special: Option<SpecialMode>,
+    contexts: Vec<Context>,
+    stats: HibStats,
+}
+
+impl Hib {
+    /// Creates a board for `node`.
+    pub fn new(node: NodeId, config: HibConfig, timing: TimingConfig) -> Self {
+        let contexts = vec![Context::default(); config.contexts];
+        let cam = PendingCam::new(config.cam_entries.max(1));
+        Hib {
+            node,
+            config,
+            timing,
+            tx: None,
+            rx_upstream: None,
+            rx_fifo: RxFifo::new(8),
+            tx_queue: VecDeque::new(),
+            tx_busy: false,
+            rx_current: None,
+            inject_seq: 0,
+            shared: SharedMap::new(),
+            cam,
+            outstanding_writes: 0,
+            outstanding_updates: 0,
+            copies_in_flight: HashMap::new(),
+            read_pending: None,
+            launch_pending: None,
+            next_tag: 1,
+            fence_waiting: false,
+            stalled_store: None,
+            special: None,
+            contexts,
+            stats: HibStats::default(),
+        }
+    }
+
+    /// Wires the board to the fabric (from `tg-net`'s builder output).
+    pub fn wire(&mut self, tx: TxPort, rx_upstream: (CompId, u32), rx_capacity: u32) {
+        self.tx = Some(tx);
+        self.rx_upstream = Some(rx_upstream);
+        self.rx_fifo = RxFifo::new(rx_capacity);
+    }
+
+    /// This board's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> HibStats {
+        self.stats
+    }
+
+    /// The pending-write CAM (stall/occupancy statistics for E7).
+    pub fn cam(&self) -> &PendingCam {
+        &self.cam
+    }
+
+    /// The sharing-metadata table (privileged driver access).
+    pub fn shared_map(&mut self) -> &mut SharedMap {
+        &mut self.shared
+    }
+
+    /// Read-only sharing metadata.
+    pub fn shared_map_ref(&self) -> &SharedMap {
+        &self.shared
+    }
+
+    /// Installs the authentication key of a Telegraphos context
+    /// (privileged; done by the OS when handing a context to a process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn install_context_key(&mut self, ctx: usize, key: u32) {
+        self.contexts[ctx].key = key;
+    }
+
+    /// True when every outstanding remote operation has completed — the
+    /// FENCE condition of §2.3.5.
+    pub fn quiescent(&self) -> bool {
+        self.tx_queue.is_empty()
+            && !self.tx_busy
+            && self.outstanding_writes == 0
+            && self.outstanding_updates == 0
+            && self.copies_in_flight.is_empty()
+            && self.read_pending.is_none()
+            && self.launch_pending.is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // CPU side
+    // ------------------------------------------------------------------
+
+    /// Presents a CPU store that decoded to HIB-visible space.
+    pub fn cpu_store(&mut self, pa: PAddr, val: u64, host: &mut dyn HibHost) -> StoreOutcome {
+        if pa.is_shadow() {
+            return self.shadow_store(pa, val, host);
+        }
+        if let Some(special) = self.special.as_mut() {
+            if matches!(
+                pa.decode(),
+                Decoded::Remote { .. } | Decoded::LocalShared { .. }
+            ) {
+                // Telegraphos I special mode: shared-space stores are
+                // latched as operands, not performed (§2.2.4).
+                special.args.push((pa, val));
+                return StoreOutcome::Done;
+            }
+        }
+        match pa.decode() {
+            Decoded::Remote { node, off } => self.store_remote(node, off, val, host),
+            Decoded::LocalShared { off } => self.store_local_shared(off, val, host),
+            Decoded::HibReg { reg: r } => self.store_reg(r, val),
+            Decoded::Private { .. } => {
+                unreachable!("private stores never reach the HIB")
+            }
+        }
+    }
+
+    /// Presents a CPU load that decoded to HIB-visible space.
+    pub fn cpu_load(&mut self, pa: PAddr, host: &mut dyn HibHost) -> LoadOutcome {
+        match pa.unshadow().decode() {
+            Decoded::Remote { node, off } => self.load_remote(node, off, host),
+            Decoded::LocalShared { off } => {
+                if !self.in_segment(off) {
+                    return LoadOutcome::Fault(HibFault::OutOfSegment);
+                }
+                LoadOutcome::Ready(host.segment().read(off))
+            }
+            Decoded::HibReg { reg: r } => self.load_reg(r, host),
+            Decoded::Private { .. } => {
+                unreachable!("private loads never reach the HIB")
+            }
+        }
+    }
+
+    /// CPU fence (§2.3.5): returns `true` if already complete; otherwise
+    /// the HIB will deliver [`CpuResult::FenceDone`] when the outstanding
+    /// counters drain.
+    pub fn fence(&mut self) -> bool {
+        if self.quiescent() {
+            true
+        } else {
+            self.fence_waiting = true;
+            false
+        }
+    }
+
+    fn store_remote(
+        &mut self,
+        node: NodeId,
+        off: GOffset,
+        val: u64,
+        host: &mut dyn HibHost,
+    ) -> StoreOutcome {
+        if node == self.node {
+            // The window decodes back to ourselves: treat as local shared.
+            return self.store_local_shared(off, val, host);
+        }
+        if !self.tx_has_room(1) {
+            self.stats.tx_stalls += 1;
+            self.stalled_store = Some(StalledStore {
+                pa: PAddr::remote(node, off),
+                val,
+                reason: StallReason::TxFull,
+            });
+            return StoreOutcome::Stalled;
+        }
+        self.count_page_access(node, off.page(), CounterKind::Write, host);
+        self.stats.remote_writes += 1;
+        self.outstanding_writes += 1;
+        self.enqueue(node, WireMsg::WriteReq { addr: off, val }, host);
+        StoreOutcome::Done
+    }
+
+    fn store_local_shared(
+        &mut self,
+        off: GOffset,
+        val: u64,
+        host: &mut dyn HibHost,
+    ) -> StoreOutcome {
+        if !self.in_segment(off) {
+            return StoreOutcome::Fault(HibFault::OutOfSegment);
+        }
+        match self.shared.mode(off.page()).clone() {
+            PageMode::Plain => {
+                host.segment().write(off, val);
+                StoreOutcome::Done
+            }
+            PageMode::EagerMapped { outs } => {
+                if !self.tx_has_room(outs.len()) {
+                    self.stats.tx_stalls += 1;
+                    self.stalled_store = Some(StalledStore {
+                        pa: PAddr::local_shared(off),
+                        val,
+                        reason: StallReason::TxFull,
+                    });
+                    return StoreOutcome::Stalled;
+                }
+                host.segment().write(off, val);
+                let in_page = off.in_page();
+                for (dst, dst_page) in outs {
+                    self.outstanding_writes += 1;
+                    self.stats.fanout_tx += 1;
+                    self.enqueue(
+                        dst,
+                        WireMsg::MulticastWrite {
+                            addr: GOffset::from_page(dst_page, in_page),
+                            val,
+                        },
+                        host,
+                    );
+                }
+                StoreOutcome::Done
+            }
+            PageMode::Owned { copies } => {
+                if !self.tx_has_room(copies.len()) {
+                    self.stats.tx_stalls += 1;
+                    self.stalled_store = Some(StalledStore {
+                        pa: PAddr::local_shared(off),
+                        val,
+                        reason: StallReason::TxFull,
+                    });
+                    return StoreOutcome::Stalled;
+                }
+                host.segment().write(off, val);
+                self.reflect_to_copies(&copies, off.in_page(), val, self.node, host);
+                StoreOutcome::Done
+            }
+            PageMode::Replica { owner, owner_page } => {
+                self.store_replica(off, val, owner, owner_page, host)
+            }
+        }
+    }
+
+    fn store_replica(
+        &mut self,
+        off: GOffset,
+        val: u64,
+        owner: NodeId,
+        owner_page: PageNum,
+        host: &mut dyn HibHost,
+    ) -> StoreOutcome {
+        if !self.tx_has_room(1) {
+            self.stats.tx_stalls += 1;
+            self.stalled_store = Some(StalledStore {
+                pa: PAddr::local_shared(off),
+                val,
+                reason: StallReason::TxFull,
+            });
+            return StoreOutcome::Stalled;
+        }
+        let owner_addr = GOffset::from_page(owner_page, off.in_page());
+        match self.config.local_write_policy {
+            LocalWritePolicy::CountFiltered => {
+                // §2.3.3 rule 1: update the local copy, bump the counter,
+                // send the value to the owner.
+                if !self.cam.try_increment(off.word_index()) {
+                    self.stalled_store = Some(StalledStore {
+                        pa: PAddr::local_shared(off),
+                        val,
+                        reason: StallReason::CamFull,
+                    });
+                    return StoreOutcome::Stalled;
+                }
+                host.segment().write(off, val);
+                self.outstanding_updates += 1;
+                self.stats.updates_sent += 1;
+                self.enqueue(
+                    owner,
+                    WireMsg::UpdateToOwner {
+                        addr: owner_addr,
+                        val,
+                        writer: self.node,
+                    },
+                    host,
+                );
+                StoreOutcome::Done
+            }
+            LocalWritePolicy::StallUntilReflected => {
+                // The rejected §2.3.2 alternative: do not touch the local
+                // copy; hold the CPU until our reflected write applies it.
+                self.outstanding_updates += 1;
+                self.stats.updates_sent += 1;
+                self.enqueue(
+                    owner,
+                    WireMsg::UpdateToOwner {
+                        addr: owner_addr,
+                        val,
+                        writer: self.node,
+                    },
+                    host,
+                );
+                self.stalled_store = Some(StalledStore {
+                    pa: PAddr::local_shared(off),
+                    val,
+                    reason: StallReason::WaitReflect,
+                });
+                StoreOutcome::Stalled
+            }
+        }
+    }
+
+    fn store_reg(&mut self, r: u64, val: u64) -> StoreOutcome {
+        if r == reg::SPECIAL_MODE {
+            if self.config.launch_mode != LaunchMode::SpecialModePal {
+                return StoreOutcome::Fault(HibFault::BadRegister);
+            }
+            self.special = if val == 0 {
+                None
+            } else {
+                Some(SpecialMode {
+                    op: val,
+                    args: Vec::new(),
+                })
+            };
+            return StoreOutcome::Done;
+        }
+        if let Some((ctx, slot)) = decode_ctx_reg(r) {
+            if self.config.launch_mode != LaunchMode::ContextShadow
+                || ctx >= self.contexts.len()
+            {
+                return StoreOutcome::Fault(HibFault::BadRegister);
+            }
+            // Direct context-register stores are protected by the mapping:
+            // the OS maps each context's register page only into its owner
+            // process, so no key check is needed here (§2.2.4).
+            match slot {
+                reg::SLOT_OP => self.contexts[ctx].op = val,
+                reg::SLOT_DATUM0 => self.contexts[ctx].datum[0] = val,
+                reg::SLOT_DATUM1 => self.contexts[ctx].datum[1] = val,
+                _ => return StoreOutcome::Fault(HibFault::BadRegister),
+            }
+            return StoreOutcome::Done;
+        }
+        StoreOutcome::Fault(HibFault::BadRegister)
+    }
+
+    fn shadow_store(&mut self, pa: PAddr, val: u64, host: &mut dyn HibHost) -> StoreOutcome {
+        if self.config.launch_mode != LaunchMode::ContextShadow {
+            return StoreOutcome::Fault(HibFault::BadRegister);
+        }
+        let arg = ShadowArg::decode(val);
+        let Some(ctx) = self.contexts.get_mut(arg.ctx as usize) else {
+            host.interrupt(self.timing.interrupt_latency, HibInterrupt::Protection);
+            return StoreOutcome::Fault(HibFault::BadContextKey);
+        };
+        if ctx.key != arg.key {
+            // §2.2.5: "Only processes that know the key that corresponds to
+            // a specific context can write physical addresses into it."
+            host.interrupt(self.timing.interrupt_latency, HibInterrupt::Protection);
+            return StoreOutcome::Fault(HibFault::BadContextKey);
+        }
+        if arg.slot > 1 {
+            return StoreOutcome::Fault(HibFault::MalformedLaunch);
+        }
+        ctx.addr[arg.slot as usize] = Some(pa.unshadow());
+        StoreOutcome::Done
+    }
+
+    fn load_remote(
+        &mut self,
+        node: NodeId,
+        off: GOffset,
+        host: &mut dyn HibHost,
+    ) -> LoadOutcome {
+        if node == self.node {
+            if !self.in_segment(off) {
+                return LoadOutcome::Fault(HibFault::OutOfSegment);
+            }
+            return LoadOutcome::Ready(host.segment().read(off));
+        }
+        if self.read_pending.is_some() {
+            // Footnote ¶: "there can be no more than one outstanding read".
+            return LoadOutcome::Fault(HibFault::ReadBusy);
+        }
+        self.count_page_access(node, off.page(), CounterKind::Read, host);
+        self.stats.remote_reads += 1;
+        let tag = self.alloc_tag();
+        self.read_pending = Some(tag);
+        self.enqueue(node, WireMsg::ReadReq { addr: off, tag }, host);
+        LoadOutcome::Pending
+    }
+
+    fn load_reg(&mut self, r: u64, host: &mut dyn HibHost) -> LoadOutcome {
+        if r == reg::GO {
+            if self.config.launch_mode != LaunchMode::SpecialModePal {
+                return LoadOutcome::Fault(HibFault::BadRegister);
+            }
+            let Some(sp) = self.special.take() else {
+                return LoadOutcome::Fault(HibFault::MalformedLaunch);
+            };
+            return self.launch(sp.op, &sp.args, host);
+        }
+        if let Some((ctx_idx, slot)) = decode_ctx_reg(r) {
+            if self.config.launch_mode != LaunchMode::ContextShadow
+                || ctx_idx >= self.contexts.len()
+            {
+                return LoadOutcome::Fault(HibFault::BadRegister);
+            }
+            if slot != reg::SLOT_GO {
+                return LoadOutcome::Fault(HibFault::BadRegister);
+            }
+            let ctx = self.contexts[ctx_idx];
+            let mut args: Vec<(PAddr, u64)> = Vec::new();
+            if let Some(a0) = ctx.addr[0] {
+                args.push((a0, ctx.datum[0]));
+                match ctx.addr[1] {
+                    Some(a1) => args.push((a1, ctx.datum[1])),
+                    // Single-address operations (e.g. compare-and-swap)
+                    // still consume the second datum register.
+                    None => args.push((a0, ctx.datum[1])),
+                }
+            }
+            let out = self.launch(ctx.op, &args, host);
+            if !matches!(out, LoadOutcome::Fault(_)) {
+                // Launch consumed the context arguments.
+                let c = &mut self.contexts[ctx_idx];
+                c.addr = [None, None];
+            }
+            return out;
+        }
+        LoadOutcome::Fault(HibFault::BadRegister)
+    }
+
+    /// Executes a special operation with latched arguments.
+    fn launch(&mut self, op: u64, args: &[(PAddr, u64)], host: &mut dyn HibHost) -> LoadOutcome {
+        match op {
+            opcode::FETCH_STORE | opcode::FETCH_INC | opcode::COMPARE_SWAP => {
+                let Some(&(target, datum0)) = args.first() else {
+                    return LoadOutcome::Fault(HibFault::MalformedLaunch);
+                };
+                let datum1 = args.get(1).map(|&(_, d)| d).unwrap_or(0);
+                let aop = match op {
+                    opcode::FETCH_STORE => AtomicOp::FetchStore,
+                    opcode::FETCH_INC => AtomicOp::FetchInc,
+                    _ => AtomicOp::CompareSwap,
+                };
+                self.stats.atomics += 1;
+                match target.decode() {
+                    Decoded::Remote { node, off } if node != self.node => {
+                        self.count_page_access(node, off.page(), CounterKind::Write, host);
+                        let tag = self.alloc_tag();
+                        self.launch_pending = Some(tag);
+                        self.enqueue(
+                            node,
+                            WireMsg::AtomicReq {
+                                op: aop,
+                                addr: off,
+                                arg0: datum0,
+                                arg1: datum1,
+                                tag,
+                            },
+                            host,
+                        );
+                        LoadOutcome::Pending
+                    }
+                    Decoded::Remote { off, .. } | Decoded::LocalShared { off } => {
+                        if !self.in_segment(off) {
+                            return LoadOutcome::Fault(HibFault::OutOfSegment);
+                        }
+                        if let PageMode::Replica { owner, owner_page } =
+                            self.shared.mode(off.page()).clone()
+                        {
+                            // Atomics on a replicated page must be
+                            // serialized by its owner like any other write
+                            // (§2.3.1); executing them on the local copy
+                            // would break atomicity across copies.
+                            let owner_addr =
+                                GOffset::from_page(owner_page, off.in_page());
+                            let tag = self.alloc_tag();
+                            self.launch_pending = Some(tag);
+                            self.enqueue(
+                                owner,
+                                WireMsg::AtomicReq {
+                                    op: aop,
+                                    addr: owner_addr,
+                                    arg0: datum0,
+                                    arg1: datum1,
+                                    tag,
+                                },
+                                host,
+                            );
+                            return LoadOutcome::Pending;
+                        }
+                        let old = self.apply_atomic(aop, off, datum0, datum1, host);
+                        LoadOutcome::Ready(old)
+                    }
+                    _ => LoadOutcome::Fault(HibFault::MalformedLaunch),
+                }
+            }
+            opcode::COPY => {
+                // args[0] = remote source, args[1] = local destination;
+                // datum of the source argument = word count.
+                let (Some(&(src, words)), Some(&(dst, _))) = (args.first(), args.get(1)) else {
+                    return LoadOutcome::Fault(HibFault::MalformedLaunch);
+                };
+                let (Decoded::Remote { node, off }, Decoded::LocalShared { off: dst_off }) =
+                    (src.decode(), dst.decode())
+                else {
+                    return LoadOutcome::Fault(HibFault::MalformedLaunch);
+                };
+                if words == 0 {
+                    return LoadOutcome::Fault(HibFault::MalformedLaunch);
+                }
+                self.count_page_access(node, off.page(), CounterKind::Read, host);
+                self.stats.copies += 1;
+                let tag = self.alloc_tag();
+                self.copies_in_flight
+                    .insert(tag, CopyInFlight { dst: dst_off });
+                self.enqueue(
+                    node,
+                    WireMsg::CopyReq {
+                        from: off,
+                        words: words as u32,
+                        tag,
+                    },
+                    host,
+                );
+                // §2.2.2: "it returns control to the processor without
+                // waiting for the completion of the operation".
+                LoadOutcome::Ready(0)
+            }
+            _ => LoadOutcome::Fault(HibFault::MalformedLaunch),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network side
+    // ------------------------------------------------------------------
+
+    /// Handles a network event addressed to this board.
+    pub fn on_net(&mut self, ev: NetEvent, host: &mut dyn HibHost) {
+        match ev {
+            NetEvent::Arrive { packet, .. } => {
+                self.rx_fifo.push(packet);
+                self.pump_rx(host);
+            }
+            NetEvent::Credit { .. } => {
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_credit();
+                }
+                self.pump_tx(host);
+            }
+            NetEvent::PumpOut { .. } => {
+                // Switch-style pump events are not used by the HIB; its
+                // own TX release travels as HibTick::TxFree.
+                self.on_tick(HibTick::TxFree, host);
+            }
+        }
+    }
+
+    /// Handles an internal timer scheduled through the host.
+    pub fn on_tick(&mut self, tick: HibTick, host: &mut dyn HibHost) {
+        match tick {
+            HibTick::TxFree => {
+                self.tx_busy = false;
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_free();
+                }
+                self.retry_stalled(host);
+                self.pump_tx(host);
+                self.check_fence(host);
+            }
+            HibTick::RxDone => {
+                let packet = self.rx_current.take().expect("rx pipeline was busy");
+                self.handle_rx(packet, host);
+                // Return the credit for the consumed packet.
+                if let Some((up, port)) = self.rx_upstream {
+                    host.schedule_net(
+                        self.timing.link_prop,
+                        up,
+                        NetEvent::Credit { port },
+                    );
+                }
+                self.pump_rx(host);
+                self.check_fence(host);
+            }
+        }
+    }
+
+    fn pump_rx(&mut self, host: &mut dyn HibHost) {
+        if self.rx_current.is_some() {
+            return;
+        }
+        let Some(packet) = self.rx_fifo.pop() else {
+            return;
+        };
+        self.stats.pkts_rx += 1;
+        self.stats.bytes_rx += u64::from(packet.size_bytes());
+        let touches_memory = matches!(
+            packet.msg,
+            WireMsg::WriteReq { .. }
+                | WireMsg::ReadReq { .. }
+                | WireMsg::AtomicReq { .. }
+                | WireMsg::CopyReq { .. }
+                | WireMsg::CopyData { .. }
+                | WireMsg::UpdateToOwner { .. }
+                | WireMsg::ReflectedWrite { .. }
+                | WireMsg::MulticastWrite { .. }
+                | WireMsg::PageFetchReq { .. }
+        );
+        let delay = if touches_memory {
+            self.timing.hib_proc + self.timing.hib_sram_access
+        } else {
+            self.timing.hib_proc
+        };
+        self.rx_current = Some(packet);
+        host.schedule_tick(delay, HibTick::RxDone);
+    }
+
+    fn handle_rx(&mut self, packet: Packet, host: &mut dyn HibHost) {
+        let src = packet.src;
+        match packet.msg {
+            WireMsg::WriteReq { addr, val } => {
+                self.apply_home_write(addr, val, None, host);
+                self.enqueue(src, WireMsg::WriteAck, host);
+            }
+            WireMsg::WriteAck => {
+                debug_assert!(self.outstanding_writes > 0, "unmatched ack");
+                self.outstanding_writes = self.outstanding_writes.saturating_sub(1);
+                self.stats.acks_rx += 1;
+            }
+            WireMsg::ReadReq { addr, tag } => {
+                let val = host.segment().read(addr);
+                self.enqueue(src, WireMsg::ReadResp { tag, val }, host);
+            }
+            WireMsg::ReadResp { tag, val } => {
+                debug_assert_eq!(self.read_pending, Some(tag), "stray read response");
+                self.read_pending = None;
+                host.cpu_complete(SimTime::ZERO, CpuResult::LoadDone { val });
+            }
+            WireMsg::AtomicReq {
+                op,
+                addr,
+                arg0,
+                arg1,
+                tag,
+            } => {
+                let old = self.apply_atomic(op, addr, arg0, arg1, host);
+                self.enqueue(src, WireMsg::AtomicResp { tag, old }, host);
+            }
+            WireMsg::AtomicResp { tag, old } => {
+                debug_assert_eq!(self.launch_pending, Some(tag), "stray atomic response");
+                self.launch_pending = None;
+                host.cpu_complete(SimTime::ZERO, CpuResult::LaunchDone { result: old });
+            }
+            WireMsg::CopyReq { from, words, tag } => {
+                self.stream_block(src, from, words, tag, false, host);
+            }
+            WireMsg::CopyData {
+                tag,
+                index,
+                vals,
+                last,
+            } => {
+                let Some(copy) = self.copies_in_flight.get(&tag) else {
+                    debug_assert!(false, "copy data for unknown tag {tag}");
+                    return;
+                };
+                let base = copy.dst.add(u64::from(index) * 8);
+                host.segment().write_block(base, &vals);
+                if last {
+                    self.copies_in_flight.remove(&tag);
+                }
+            }
+            WireMsg::UpdateToOwner { addr, val, writer } => {
+                self.apply_home_write(addr, val, Some(writer), host);
+            }
+            WireMsg::ReflectedWrite { addr, val, writer } => {
+                self.apply_reflected(addr, val, writer, host);
+            }
+            WireMsg::MulticastWrite { addr, val } => {
+                if self.in_segment(addr) {
+                    host.segment().write(addr, val);
+                }
+                self.enqueue(src, WireMsg::WriteAck, host);
+            }
+            WireMsg::PageFetchReq { page, tag } => {
+                let from = PageNum::new(page).base();
+                self.stream_block(src, from, tg_wire::PAGE_WORDS as u32, tag, true, host);
+                // The OS may track who fetched which page (VSM copysets).
+                host.to_os(SimTime::ZERO, src, WireMsg::PageFetchReq { page, tag });
+            }
+            msg @ (WireMsg::PageData { .. }
+            | WireMsg::InvalidateReq { .. }
+            | WireMsg::InvalidateAck { .. }
+            | WireMsg::DmaData { .. }
+            | WireMsg::OsCtl { .. }) => {
+                // Software-level traffic: hand to the OS layer.
+                host.to_os(SimTime::ZERO, src, msg);
+            }
+        }
+    }
+
+    /// Applies a write arriving at this node as the page's home. `writer`
+    /// is `Some` for coherent updates (§2.3); reflected writes then carry
+    /// it so the writer can consume its own update (rule 2).
+    fn apply_home_write(
+        &mut self,
+        addr: GOffset,
+        val: u64,
+        writer: Option<NodeId>,
+        host: &mut dyn HibHost,
+    ) {
+        if !self.in_segment(addr) {
+            debug_assert!(false, "network write outside segment at {addr}");
+            return;
+        }
+        host.segment().write(addr, val);
+        if let PageMode::Owned { copies } = self.shared.mode(addr.page()).clone() {
+            // The owner serializes and multicasts in arrival order
+            // (§2.3.1). Plain remote writes into an owned page reflect with
+            // the owner as writer so no copy mistakes them for its own.
+            let w = writer.unwrap_or(self.node);
+            self.reflect_to_copies(&copies, addr.in_page(), val, w, host);
+        }
+    }
+
+    fn reflect_to_copies(
+        &mut self,
+        copies: &[(NodeId, PageNum)],
+        in_page: u64,
+        val: u64,
+        writer: NodeId,
+        host: &mut dyn HibHost,
+    ) {
+        for &(dst, dst_page) in copies {
+            self.stats.fanout_tx += 1;
+            self.enqueue(
+                dst,
+                WireMsg::ReflectedWrite {
+                    addr: GOffset::from_page(dst_page, in_page),
+                    val,
+                    writer,
+                },
+                host,
+            );
+        }
+    }
+
+    /// §2.3.3 rules 2 and 3 at a copy holder.
+    fn apply_reflected(
+        &mut self,
+        addr: GOffset,
+        val: u64,
+        writer: NodeId,
+        host: &mut dyn HibHost,
+    ) {
+        self.stats.reflections_rx += 1;
+        if !self.in_segment(addr) {
+            debug_assert!(false, "reflected write outside segment at {addr}");
+            return;
+        }
+        let key = addr.word_index();
+        if writer == self.node {
+            // Rule 2: our own write came back — consume, do not re-apply.
+            self.stats.reflections_own += 1;
+            match self.config.local_write_policy {
+                LocalWritePolicy::CountFiltered => {
+                    self.cam.decrement(key);
+                }
+                LocalWritePolicy::StallUntilReflected => {
+                    // The stalled store completes now: apply and release
+                    // the CPU.
+                    host.segment().write(addr, val);
+                    if let Some(s) = self.stalled_store.take() {
+                        debug_assert_eq!(s.reason, StallReason::WaitReflect);
+                        host.cpu_complete(SimTime::ZERO, CpuResult::StoreRetired);
+                    }
+                }
+            }
+            debug_assert!(self.outstanding_updates > 0);
+            self.outstanding_updates = self.outstanding_updates.saturating_sub(1);
+            self.retry_stalled(host);
+        } else if self.cam.is_pending(key) {
+            // Rule 3: older than our pending write — ignore.
+            self.stats.reflections_filtered += 1;
+        } else {
+            host.segment().write(addr, val);
+        }
+    }
+
+    fn apply_atomic(
+        &mut self,
+        op: AtomicOp,
+        addr: GOffset,
+        arg0: u64,
+        arg1: u64,
+        host: &mut dyn HibHost,
+    ) -> u64 {
+        let old = host.segment().read(addr);
+        let new = match op {
+            AtomicOp::FetchStore => Some(arg0),
+            AtomicOp::FetchInc => Some(old.wrapping_add(arg0)),
+            AtomicOp::CompareSwap => {
+                if old == arg0 {
+                    Some(arg1)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(new) = new {
+            host.segment().write(addr, new);
+            if let PageMode::Owned { copies } = self.shared.mode(addr.page()).clone() {
+                self.reflect_to_copies(&copies, addr.in_page(), new, self.node, host);
+            }
+        }
+        old
+    }
+
+    /// Streams `words` words starting at `from` back to `dst` as
+    /// `CopyData` (or `PageData` when `as_page`) bursts.
+    fn stream_block(
+        &mut self,
+        dst: NodeId,
+        from: GOffset,
+        words: u32,
+        tag: u32,
+        as_page: bool,
+        host: &mut dyn HibHost,
+    ) {
+        let burst = self.config.copy_burst_words.max(1);
+        let mut index = 0u32;
+        while index < words {
+            let n = burst.min(words - index);
+            let vals = host
+                .segment()
+                .read_block(from.add(u64::from(index) * 8), u64::from(n));
+            let last = index + n >= words;
+            let msg = if as_page {
+                WireMsg::PageData {
+                    tag,
+                    index,
+                    vals,
+                    last,
+                }
+            } else {
+                WireMsg::CopyData {
+                    tag,
+                    index,
+                    vals,
+                    last,
+                }
+            };
+            self.enqueue(dst, msg, host);
+            index += n;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit path
+    // ------------------------------------------------------------------
+
+    /// Sends an OS-generated message (VSM traffic, DMA bursts) through the
+    /// board. OS traffic bypasses the posted-write accounting.
+    pub fn send_os_message(&mut self, dst: NodeId, msg: WireMsg, host: &mut dyn HibHost) {
+        self.enqueue(dst, msg, host);
+    }
+
+    fn tx_has_room(&self, needed: usize) -> bool {
+        self.tx_queue.len() + needed <= self.config.tx_queue_depth
+    }
+
+    fn alloc_tag(&mut self) -> u32 {
+        let t = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1).max(1);
+        t
+    }
+
+    fn enqueue(&mut self, dst: NodeId, msg: WireMsg, host: &mut dyn HibHost) {
+        debug_assert_ne!(dst, self.node, "packet to self");
+        let seq = self.inject_seq;
+        self.inject_seq += 1;
+        self.tx_queue.push_back(Packet {
+            src: self.node,
+            dst,
+            msg,
+            inject_seq: seq,
+        });
+        self.stats.tx_high_water = self.stats.tx_high_water.max(self.tx_queue.len());
+        self.pump_tx(host);
+    }
+
+    fn pump_tx(&mut self, host: &mut dyn HibHost) {
+        if self.tx_busy {
+            return;
+        }
+        let Some(tx) = self.tx.as_mut() else {
+            return;
+        };
+        if !tx.ready() || self.tx_queue.is_empty() {
+            return;
+        }
+        let packet = self.tx_queue.pop_front().expect("nonempty queue");
+        self.stats.pkts_tx += 1;
+        self.stats.bytes_tx += u64::from(packet.size_bytes());
+        let times = tx.launch(&packet, &self.timing);
+        let (nbr, nbr_port) = (tx.neighbor(), tx.neighbor_port());
+        let proc = self.timing.hib_proc;
+        self.tx_busy = true;
+        host.schedule_net(
+            proc + times.arrival,
+            nbr,
+            NetEvent::Arrive {
+                port: nbr_port,
+                packet,
+            },
+        );
+        host.schedule_tick(proc + times.free, HibTick::TxFree);
+    }
+
+    fn retry_stalled(&mut self, host: &mut dyn HibHost) {
+        let Some(s) = self.stalled_store else {
+            return;
+        };
+        if s.reason == StallReason::WaitReflect {
+            // Released only by the matching reflected write.
+            return;
+        }
+        self.stalled_store = None;
+        match self.cpu_store(s.pa, s.val, host) {
+            StoreOutcome::Done => {
+                host.cpu_complete(SimTime::ZERO, CpuResult::StoreRetired);
+            }
+            StoreOutcome::Stalled => {
+                // Still blocked; cpu_store re-parked it.
+            }
+            StoreOutcome::Fault(f) => {
+                unreachable!("a stalled store cannot become invalid: {f}")
+            }
+        }
+    }
+
+    fn check_fence(&mut self, host: &mut dyn HibHost) {
+        if self.fence_waiting && self.quiescent() {
+            self.fence_waiting = false;
+            host.cpu_complete(SimTime::ZERO, CpuResult::FenceDone);
+        }
+    }
+
+    fn count_page_access(
+        &mut self,
+        node: NodeId,
+        page: PageNum,
+        kind: CounterKind,
+        host: &mut dyn HibHost,
+    ) {
+        if self.shared.count_access(node, page, kind) {
+            self.stats.alarms += 1;
+            host.interrupt(
+                self.timing.interrupt_latency,
+                HibInterrupt::PageAlarm {
+                    node,
+                    page,
+                    counter: kind,
+                },
+            );
+        }
+    }
+
+    fn in_segment(&self, off: GOffset) -> bool {
+        off.page().raw() < self.config.segment_pages
+    }
+}

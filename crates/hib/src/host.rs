@@ -1,0 +1,142 @@
+//! The interface between the HIB state machine and its hosting node.
+
+use tg_mem::PhysMem;
+use tg_net::NetEvent;
+use tg_sim::{CompId, SimTime};
+use tg_wire::{NodeId, PageNum, WireMsg};
+
+/// Services the hosting workstation component provides to its HIB.
+///
+/// The HIB is a passive state machine: the node drives it with CPU
+/// transactions and network events, and the HIB responds by asking the host
+/// to schedule things. Keeping the HIB free of direct engine access makes
+/// it unit-testable with a mock host.
+pub trait HibHost {
+    /// Schedules a network event (packet arrival or credit) at a fabric
+    /// neighbor.
+    fn schedule_net(&mut self, delay: SimTime, dst: CompId, ev: NetEvent);
+    /// Schedules an internal HIB timer; the node must route it back into
+    /// [`Hib::on_tick`](crate::Hib::on_tick).
+    fn schedule_tick(&mut self, delay: SimTime, tick: HibTick);
+    /// Completes a CPU-visible operation (blocking load, stalled store,
+    /// fence, special-operation result).
+    fn cpu_complete(&mut self, delay: SimTime, res: CpuResult);
+    /// Raises a HIB interrupt (page-access alarm, protection violation).
+    fn interrupt(&mut self, delay: SimTime, int: HibInterrupt);
+    /// Delivers a message the hardware does not handle to the OS layer
+    /// (VSM invalidations, page images, DMA message bursts).
+    fn to_os(&mut self, delay: SimTime, src: NodeId, msg: WireMsg);
+    /// The node's exported shared segment (Telegraphos I: HIB SRAM;
+    /// Telegraphos II: main-memory carve-out).
+    fn segment(&mut self) -> &mut PhysMem;
+}
+
+/// Internal HIB timers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HibTick {
+    /// The transmit port finished serializing; pump the TX queue.
+    TxFree,
+    /// The receive pipeline finished processing the current packet.
+    RxDone,
+}
+
+/// CPU-visible completions delivered through [`HibHost::cpu_complete`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CpuResult {
+    /// A blocking load (remote read) finished.
+    LoadDone {
+        /// The word read.
+        val: u64,
+    },
+    /// A store that had stalled (TX queue or CAM full) has been accepted.
+    StoreRetired,
+    /// All outstanding remote operations have completed (§2.3.5 FENCE).
+    FenceDone,
+    /// A special operation launched through the GO register finished.
+    LaunchDone {
+        /// Atomic result (old value) or 0 for remote-copy acceptance.
+        result: u64,
+    },
+}
+
+/// Faults the HIB raises synchronously on a bad CPU transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HibFault {
+    /// The key presented with a shadow store does not match the context.
+    BadContextKey,
+    /// A GO was issued with incomplete or inconsistent arguments.
+    MalformedLaunch,
+    /// A second blocking read was issued while one is outstanding (the
+    /// current Telegraphos allows a single outstanding read).
+    ReadBusy,
+    /// The register number does not exist.
+    BadRegister,
+    /// The address targets a page outside the exported segment.
+    OutOfSegment,
+}
+
+impl std::fmt::Display for HibFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HibFault::BadContextKey => "context key mismatch",
+            HibFault::MalformedLaunch => "malformed special-operation launch",
+            HibFault::ReadBusy => "a remote read is already outstanding",
+            HibFault::BadRegister => "no such HIB register",
+            HibFault::OutOfSegment => "address outside the shared segment",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HibFault {}
+
+/// Interrupts the HIB raises toward the operating system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HibInterrupt {
+    /// A page-access counter crossed from one to zero (§2.2.6): the OS
+    /// should consider replicating the page.
+    PageAlarm {
+        /// Home node of the hot remote page.
+        node: NodeId,
+        /// The hot page (within the home node's segment).
+        page: PageNum,
+        /// Which counter fired.
+        counter: CounterKind,
+    },
+    /// A protection violation detected at the HIB (bad context key).
+    Protection,
+}
+
+/// Which of the two per-page access counters is meant (§2.2.6: "one that
+/// counts read operations and one that counts write operations").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CounterKind {
+    /// The read counter.
+    Read,
+    /// The write counter.
+    Write,
+}
+
+/// Outcome of a CPU store presented to the HIB.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreOutcome {
+    /// Accepted; the TurboChannel is released after the latch time.
+    Done,
+    /// The HIB cannot take the store now (TX queue or CAM full); the CPU
+    /// stalls and the HIB will deliver [`CpuResult::StoreRetired`].
+    Stalled,
+    /// The store is architecturally invalid.
+    Fault(HibFault),
+}
+
+/// Outcome of a CPU load presented to the HIB.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadOutcome {
+    /// Satisfied immediately (local shared memory, ready registers).
+    Ready(u64),
+    /// In flight; the HIB will deliver [`CpuResult::LoadDone`] or
+    /// [`CpuResult::LaunchDone`].
+    Pending,
+    /// The load is architecturally invalid.
+    Fault(HibFault),
+}

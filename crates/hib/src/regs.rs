@@ -1,0 +1,118 @@
+//! The HIB register map and launch-argument encodings.
+
+/// Register numbers within the HIB register region (`PAddr::hib_reg`).
+///
+/// The map is deliberately small: user-visible launch machinery only. OS
+/// configuration (page modes, multicast lists, counters) goes through
+/// privileged driver calls on [`Hib`](crate::Hib) directly, standing in for
+/// the memory-mapped table writes of the real board.
+pub mod reg {
+    /// Telegraphos I: write 1+opcode to enter special mode, 0 to leave.
+    pub const SPECIAL_MODE: u64 = 0x00;
+    /// Load to launch the armed special operation and collect its result.
+    pub const GO: u64 = 0x08;
+    /// Base of the context register file (Telegraphos II). Context `c`,
+    /// slot `s` lives at `CTX_BASE + c * CTX_STRIDE + s * 8`.
+    pub const CTX_BASE: u64 = 0x1000;
+    /// Byte stride between contexts.
+    pub const CTX_STRIDE: u64 = 0x40;
+    /// Context slot: operation code.
+    pub const SLOT_OP: u64 = 0;
+    /// Context slot: first datum.
+    pub const SLOT_DATUM0: u64 = 1;
+    /// Context slot: second datum.
+    pub const SLOT_DATUM1: u64 = 2;
+    /// Context slot: load to launch and collect (per-context GO).
+    pub const SLOT_GO: u64 = 7;
+}
+
+/// Operation codes armed into `SLOT_OP` / `SPECIAL_MODE`.
+pub mod opcode {
+    /// fetch_and_store.
+    pub const FETCH_STORE: u64 = 1;
+    /// fetch_and_inc (datum = increment).
+    pub const FETCH_INC: u64 = 2;
+    /// compare_and_swap (datum0 = expected, datum1 = new).
+    pub const COMPARE_SWAP: u64 = 3;
+    /// remote copy (addr0 = source, addr1 = destination).
+    pub const COPY: u64 = 4;
+}
+
+/// Encoding of the *data word* of a shadow store (Telegraphos II): the
+/// physical address travels in the store's address; the data word names the
+/// context, authenticates with its key, and picks the argument slot.
+///
+/// ```text
+/// bits 63..48 : context id
+/// bits 47..16 : key
+/// bits 15..0  : address slot (0 or 1)
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShadowArg {
+    /// Target context.
+    pub ctx: u16,
+    /// Authentication key (compared against the context's installed key).
+    pub key: u32,
+    /// Which address slot to fill (0 = first operand, 1 = second).
+    pub slot: u16,
+}
+
+impl ShadowArg {
+    /// Packs into a store data word.
+    pub fn encode(self) -> u64 {
+        ((self.ctx as u64) << 48) | ((self.key as u64) << 16) | self.slot as u64
+    }
+
+    /// Unpacks from a store data word.
+    pub fn decode(val: u64) -> Self {
+        ShadowArg {
+            ctx: (val >> 48) as u16,
+            key: ((val >> 16) & 0xFFFF_FFFF) as u32,
+            slot: (val & 0xFFFF) as u16,
+        }
+    }
+}
+
+/// Decodes a register offset into the context file: `(context, slot)`.
+pub fn decode_ctx_reg(regno: u64) -> Option<(usize, u64)> {
+    if regno < reg::CTX_BASE {
+        return None;
+    }
+    let rel = regno - reg::CTX_BASE;
+    let ctx = (rel / reg::CTX_STRIDE) as usize;
+    let byte = rel % reg::CTX_STRIDE;
+    if !byte.is_multiple_of(8) {
+        return None;
+    }
+    Some((ctx, byte / 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_arg_round_trips() {
+        let a = ShadowArg {
+            ctx: 513,
+            key: 0xDEAD_BEEF,
+            slot: 1,
+        };
+        assert_eq!(ShadowArg::decode(a.encode()), a);
+    }
+
+    #[test]
+    fn ctx_reg_decoding() {
+        assert_eq!(decode_ctx_reg(reg::CTX_BASE), Some((0, 0)));
+        assert_eq!(
+            decode_ctx_reg(reg::CTX_BASE + reg::CTX_STRIDE + 8),
+            Some((1, 1))
+        );
+        assert_eq!(
+            decode_ctx_reg(reg::CTX_BASE + 2 * reg::CTX_STRIDE + 7 * 8),
+            Some((2, 7))
+        );
+        assert_eq!(decode_ctx_reg(reg::SPECIAL_MODE), None);
+        assert_eq!(decode_ctx_reg(reg::CTX_BASE + 3), None, "unaligned slot");
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the launch encodings: shadow-store arguments and
+//! context register decoding must round-trip for every representable
+//! input — a malformed encoding here would let a process reach another
+//! process's context (the §2.2.5 security argument).
+
+use proptest::prelude::*;
+use tg_hib::regs::{decode_ctx_reg, reg, ShadowArg};
+
+proptest! {
+    #[test]
+    fn shadow_arg_round_trips(ctx in any::<u16>(), key in any::<u32>(), slot in 0u16..2) {
+        let a = ShadowArg { ctx, key, slot };
+        let decoded = ShadowArg::decode(a.encode());
+        prop_assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn shadow_arg_fields_do_not_bleed(
+        a in any::<(u16, u32, u16)>(),
+        b in any::<(u16, u32, u16)>(),
+    ) {
+        // Two different argument tuples (restricted to the encodable slot
+        // width) encode differently.
+        let (sa, sb) = (
+            ShadowArg { ctx: a.0, key: a.1, slot: a.2 },
+            ShadowArg { ctx: b.0, key: b.1, slot: b.2 },
+        );
+        if (a.0, a.1, a.2) != (b.0, b.1, b.2) {
+            prop_assert_ne!(sa.encode(), sb.encode());
+        }
+    }
+
+    #[test]
+    fn ctx_reg_decode_inverts_the_layout(ctx in 0u64..256, slot in 0u64..8) {
+        let regno = reg::CTX_BASE + ctx * reg::CTX_STRIDE + slot * 8;
+        prop_assert_eq!(decode_ctx_reg(regno), Some((ctx as usize, slot)));
+    }
+
+    #[test]
+    fn unaligned_ctx_regs_are_rejected(ctx in 0u64..64, slot in 0u64..8, off in 1u64..8) {
+        let regno = reg::CTX_BASE + ctx * reg::CTX_STRIDE + slot * 8 + off;
+        prop_assert_eq!(decode_ctx_reg(regno), None);
+    }
+
+    #[test]
+    fn low_registers_never_decode_as_contexts(regno in 0u64..reg::CTX_BASE) {
+        prop_assert_eq!(decode_ctx_reg(regno), None);
+    }
+}

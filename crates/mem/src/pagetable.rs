@@ -1,0 +1,391 @@
+//! Virtual addressing: page tables, permissions, shadow translation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tg_wire::{PAGE_BYTES, PAGE_SHIFT, WORD_BYTES};
+
+use crate::paddr::PAddr;
+
+/// The shadow flag in *virtual* space mirrors the physical one: bit 63.
+const V_SHADOW_BIT: u64 = 1 << 63;
+
+/// A virtual address as issued by the simulated processor.
+///
+/// # Example
+///
+/// ```
+/// use tg_mem::VAddr;
+/// let va = VAddr::new(0x4000_0010);
+/// assert_eq!(va.vpage(), 0x4000_0000 / 8192);
+/// assert_eq!(va.in_page(), 0x10);
+/// assert!(va.shadow().is_shadow());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VAddr(u64);
+
+impl VAddr {
+    /// Creates a virtual address.
+    pub const fn new(bits: u64) -> Self {
+        VAddr(bits)
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number (shadow bit excluded).
+    pub const fn vpage(self) -> u64 {
+        (self.0 & !V_SHADOW_BIT) >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the page.
+    pub const fn in_page(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// The shadow twin (top bit set) used to pass physical addresses to the
+    /// HIB from user level.
+    pub const fn shadow(self) -> Self {
+        VAddr(self.0 | V_SHADOW_BIT)
+    }
+
+    /// True if the shadow bit is set.
+    pub const fn is_shadow(self) -> bool {
+        self.0 & V_SHADOW_BIT != 0
+    }
+
+    /// This address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        VAddr(self.0 + bytes)
+    }
+
+    /// True if word-aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        (self.0 & !V_SHADOW_BIT).is_multiple_of(WORD_BYTES)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// Page permissions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageFlags {
+    /// Loads allowed.
+    pub read: bool,
+    /// Stores allowed.
+    pub write: bool,
+}
+
+impl PageFlags {
+    /// Read-only mapping.
+    pub const RO: PageFlags = PageFlags {
+        read: true,
+        write: false,
+    };
+    /// Read-write mapping.
+    pub const RW: PageFlags = PageFlags {
+        read: true,
+        write: true,
+    };
+
+    /// Does this permission set allow `kind`?
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read,
+            AccessKind::Write => self.write,
+        }
+    }
+}
+
+/// Load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A page-table entry: the physical page base plus permissions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pte {
+    /// Page-aligned physical base address.
+    pub base: PAddr,
+    /// Permissions.
+    pub flags: PageFlags,
+}
+
+/// Translation faults (delivered to the simulated OS).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// No mapping for the page.
+    Unmapped(VAddr),
+    /// Mapping exists but forbids the access.
+    Protection(VAddr, AccessKind),
+    /// The address is not word-aligned (the HIB transfers whole words).
+    Misaligned(VAddr),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Unmapped(va) => write!(f, "page fault: {va} unmapped"),
+            Fault::Protection(va, k) => write!(f, "protection fault: {k} of {va}"),
+            Fault::Misaligned(va) => write!(f, "alignment fault at {va}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// One process's page table. The model runs one parallel process per
+/// workstation, so node and address space coincide.
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PageTable {
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Maps virtual page `vpage` to the physical page starting at `base`.
+    /// Remapping an existing page replaces it (used when the OS replicates
+    /// a remote page locally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`'s offset is not page-aligned.
+    pub fn map(&mut self, vpage: u64, base: PAddr, flags: PageFlags) {
+        assert_eq!(
+            base.bits() & (PAGE_BYTES - 1),
+            0,
+            "physical base must be page-aligned"
+        );
+        self.entries.insert(vpage, Pte { base, flags });
+    }
+
+    /// Removes a mapping (page invalidation); returns the old entry.
+    pub fn unmap(&mut self, vpage: u64) -> Option<Pte> {
+        self.entries.remove(&vpage)
+    }
+
+    /// Looks up a virtual page.
+    pub fn lookup(&self, vpage: u64) -> Option<Pte> {
+        self.entries.get(&vpage).copied()
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The translation unit in front of the simulated processor.
+///
+/// Shadow virtual addresses translate through the *same* page-table entry
+/// as their normal twin — protection is thereby enforced by the TLB exactly
+/// as §2.2.4 describes — and yield the shadow physical address, which the
+/// HIB interprets as "here is a physical argument for a special operation".
+/// Shadow accesses are stores by definition, so they require write
+/// permission.
+#[derive(Clone, Debug, Default)]
+pub struct Mmu {
+    table: PageTable,
+}
+
+impl Mmu {
+    /// An MMU with an empty page table.
+    pub fn new() -> Self {
+        Mmu {
+            table: PageTable::new(),
+        }
+    }
+
+    /// The backing page table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Mutable access to the page table (OS mapping operations).
+    pub fn table_mut(&mut self) -> &mut PageTable {
+        &mut self.table
+    }
+
+    /// Translates `va` for an access of kind `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] the real hardware would raise: misalignment,
+    /// missing mapping, or a permission violation.
+    pub fn translate(&self, va: VAddr, kind: AccessKind) -> Result<PAddr, Fault> {
+        if !va.is_word_aligned() {
+            return Err(Fault::Misaligned(va));
+        }
+        let pte = self
+            .table
+            .lookup(va.vpage())
+            .ok_or(Fault::Unmapped(va))?;
+        if va.is_shadow() && !pte.flags.allows(AccessKind::Write) {
+            // Passing a physical address to the HIB is only legal for pages
+            // the process could store to.
+            return Err(Fault::Protection(va, AccessKind::Write));
+        }
+        if !pte.flags.allows(kind) {
+            return Err(Fault::Protection(va, kind));
+        }
+        let pa = pte.base.add(va.in_page());
+        Ok(if va.is_shadow() { pa.shadow() } else { pa })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paddr::Decoded;
+    use tg_wire::{GOffset, NodeId};
+
+    fn mmu_with(vpage: u64, base: PAddr, flags: PageFlags) -> Mmu {
+        let mut mmu = Mmu::new();
+        mmu.table_mut().map(vpage, base, flags);
+        mmu
+    }
+
+    #[test]
+    fn translate_private_page() {
+        let mmu = mmu_with(4, PAddr::private(3 * PAGE_BYTES), PageFlags::RW);
+        let va = VAddr::new(4 * PAGE_BYTES + 0x20);
+        let pa = mmu.translate(va, AccessKind::Read).unwrap();
+        assert_eq!(pa.decode(), Decoded::Private { off: 3 * PAGE_BYTES + 0x20 });
+    }
+
+    #[test]
+    fn translate_remote_window() {
+        let base = PAddr::remote(NodeId::new(2), GOffset::new(PAGE_BYTES));
+        let mmu = mmu_with(10, base, PageFlags::RW);
+        let pa = mmu
+            .translate(VAddr::new(10 * PAGE_BYTES + 8), AccessKind::Write)
+            .unwrap();
+        assert_eq!(
+            pa.decode(),
+            Decoded::Remote {
+                node: NodeId::new(2),
+                off: GOffset::new(PAGE_BYTES + 8)
+            }
+        );
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mmu = Mmu::new();
+        let va = VAddr::new(0x8000);
+        assert_eq!(
+            mmu.translate(va, AccessKind::Read),
+            Err(Fault::Unmapped(va))
+        );
+    }
+
+    #[test]
+    fn protection_enforced() {
+        let mmu = mmu_with(1, PAddr::private(0), PageFlags::RO);
+        let va = VAddr::new(PAGE_BYTES);
+        assert!(mmu.translate(va, AccessKind::Read).is_ok());
+        assert_eq!(
+            mmu.translate(va, AccessKind::Write),
+            Err(Fault::Protection(va, AccessKind::Write))
+        );
+    }
+
+    #[test]
+    fn misaligned_faults() {
+        let mmu = mmu_with(1, PAddr::private(0), PageFlags::RW);
+        let va = VAddr::new(PAGE_BYTES + 1);
+        assert_eq!(
+            mmu.translate(va, AccessKind::Read),
+            Err(Fault::Misaligned(va))
+        );
+    }
+
+    #[test]
+    fn shadow_translation_sets_shadow_pa() {
+        let base = PAddr::remote(NodeId::new(1), GOffset::new(0));
+        let mmu = mmu_with(6, base, PageFlags::RW);
+        let va = VAddr::new(6 * PAGE_BYTES + 16).shadow();
+        let pa = mmu.translate(va, AccessKind::Write).unwrap();
+        assert!(pa.is_shadow());
+        assert_eq!(
+            pa.unshadow().decode(),
+            Decoded::Remote {
+                node: NodeId::new(1),
+                off: GOffset::new(16)
+            }
+        );
+    }
+
+    #[test]
+    fn shadow_requires_write_permission() {
+        // A malicious user cannot leak physical addresses of read-only
+        // pages to the HIB.
+        let mmu = mmu_with(6, PAddr::private(0), PageFlags::RO);
+        let va = VAddr::new(6 * PAGE_BYTES).shadow();
+        assert_eq!(
+            mmu.translate(va, AccessKind::Write),
+            Err(Fault::Protection(va, AccessKind::Write))
+        );
+    }
+
+    #[test]
+    fn remap_replaces() {
+        let mut mmu = mmu_with(3, PAddr::remote(NodeId::new(5), GOffset::new(0)), PageFlags::RW);
+        // OS replicates the page locally: same vpage now points at local
+        // shared memory.
+        mmu.table_mut()
+            .map(3, PAddr::local_shared(GOffset::new(0)), PageFlags::RW);
+        let pa = mmu
+            .translate(VAddr::new(3 * PAGE_BYTES), AccessKind::Read)
+            .unwrap();
+        assert_eq!(
+            pa.decode(),
+            Decoded::LocalShared {
+                off: GOffset::new(0)
+            }
+        );
+        assert_eq!(mmu.table().len(), 1);
+    }
+
+    #[test]
+    fn unmap_then_fault() {
+        let mut mmu = mmu_with(3, PAddr::private(0), PageFlags::RW);
+        assert!(mmu.table_mut().unmap(3).is_some());
+        assert!(mmu.table_mut().unmap(3).is_none());
+        let va = VAddr::new(3 * PAGE_BYTES);
+        assert_eq!(
+            mmu.translate(va, AccessKind::Read),
+            Err(Fault::Unmapped(va))
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Sparse word-addressed physical memory.
+
+use std::collections::HashMap;
+
+use tg_wire::{GOffset, PAGE_WORDS, WORD_BYTES};
+
+/// A sparse 64-bit-word memory, used both for each node's private DRAM and
+/// for its exported shared segment. Unwritten words read as zero, like
+/// freshly-mapped pages.
+///
+/// # Example
+///
+/// ```
+/// use tg_mem::PhysMem;
+/// use tg_wire::GOffset;
+///
+/// let mut m = PhysMem::new();
+/// assert_eq!(m.read(GOffset::new(0)), 0);
+/// m.write(GOffset::new(16), 99);
+/// assert_eq!(m.read(GOffset::new(16)), 99);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhysMem {
+    words: HashMap<u64, u64>,
+}
+
+impl PhysMem {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        PhysMem {
+            words: HashMap::new(),
+        }
+    }
+
+    /// Reads the word at a byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is not word-aligned — alignment is enforced at the
+    /// MMU; reaching here unaligned is a model bug.
+    pub fn read(&self, off: GOffset) -> u64 {
+        assert!(off.is_word_aligned(), "unaligned read at {off}");
+        self.words.get(&off.word_index()).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at a byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is not word-aligned.
+    pub fn write(&mut self, off: GOffset, val: u64) {
+        assert!(off.is_word_aligned(), "unaligned write at {off}");
+        if val == 0 {
+            self.words.remove(&off.word_index());
+        } else {
+            self.words.insert(off.word_index(), val);
+        }
+    }
+
+    /// Reads `words` consecutive words starting at `off`.
+    pub fn read_block(&self, off: GOffset, words: u64) -> Vec<u64> {
+        (0..words)
+            .map(|i| self.read(off.add(i * WORD_BYTES)))
+            .collect()
+    }
+
+    /// Writes consecutive words starting at `off`.
+    pub fn write_block(&mut self, off: GOffset, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            self.write(off.add(i as u64 * WORD_BYTES), v);
+        }
+    }
+
+    /// Snapshot of one whole page (1024 words), for page transfers and for
+    /// the coherence tests' convergence checks.
+    pub fn read_page(&self, page: tg_wire::PageNum) -> Vec<u64> {
+        self.read_block(page.base(), PAGE_WORDS)
+    }
+
+    /// Overwrites one whole page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is not exactly a page of words.
+    pub fn write_page(&mut self, page: tg_wire::PageNum, vals: &[u64]) {
+        assert_eq!(vals.len() as u64, PAGE_WORDS, "page image has 1024 words");
+        self.write_block(page.base(), vals);
+    }
+
+    /// Number of non-zero words stored (footprint diagnostics).
+    pub fn resident_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_wire::PageNum;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = PhysMem::new();
+        assert_eq!(m.read(GOffset::new(8)), 0);
+        assert_eq!(m.resident_words(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = PhysMem::new();
+        m.write(GOffset::new(0), u64::MAX);
+        m.write(GOffset::new(8), 1);
+        assert_eq!(m.read(GOffset::new(0)), u64::MAX);
+        assert_eq!(m.read(GOffset::new(8)), 1);
+        assert_eq!(m.resident_words(), 2);
+    }
+
+    #[test]
+    fn writing_zero_reclaims() {
+        let mut m = PhysMem::new();
+        m.write(GOffset::new(0), 5);
+        m.write(GOffset::new(0), 0);
+        assert_eq!(m.resident_words(), 0);
+        assert_eq!(m.read(GOffset::new(0)), 0);
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let mut m = PhysMem::new();
+        m.write_block(GOffset::new(64), &[1, 2, 3]);
+        assert_eq!(m.read_block(GOffset::new(64), 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn pages_round_trip() {
+        let mut m = PhysMem::new();
+        let mut img = vec![0u64; PAGE_WORDS as usize];
+        img[0] = 7;
+        img[1023] = 9;
+        m.write_page(PageNum::new(2), &img);
+        assert_eq!(m.read_page(PageNum::new(2)), img);
+        // Neighboring pages untouched.
+        assert_eq!(m.read(PageNum::new(1).base()), 0);
+        assert_eq!(m.read(PageNum::new(3).base()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_is_a_bug() {
+        let m = PhysMem::new();
+        let _ = m.read(GOffset::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "1024 words")]
+    fn short_page_image_rejected() {
+        let mut m = PhysMem::new();
+        m.write_page(PageNum::new(0), &[1, 2, 3]);
+    }
+}

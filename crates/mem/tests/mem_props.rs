@@ -1,0 +1,122 @@
+//! Property tests for the address machinery: encodings must round-trip
+//! for every representable input and translation must be total and
+//! consistent.
+
+use proptest::prelude::*;
+use tg_mem::{AccessKind, Decoded, Fault, Mmu, PAddr, PageFlags, VAddr};
+use tg_wire::{GOffset, NodeId, PAGE_BYTES};
+
+proptest! {
+    #[test]
+    fn private_round_trips(off in 0u64..0x1_0000_0000) {
+        let pa = PAddr::private(off);
+        prop_assert_eq!(pa.decode(), Decoded::Private { off });
+        prop_assert!(!pa.is_shadow());
+    }
+
+    #[test]
+    fn local_shared_round_trips(off in 0u64..0x1_0000_0000) {
+        let pa = PAddr::local_shared(GOffset::new(off));
+        prop_assert_eq!(pa.decode(), Decoded::LocalShared { off: GOffset::new(off) });
+    }
+
+    #[test]
+    fn remote_round_trips(node in 0u16..u16::MAX, off in 0u64..0x1_0000_0000) {
+        let pa = PAddr::remote(NodeId::new(node), GOffset::new(off));
+        prop_assert_eq!(
+            pa.decode(),
+            Decoded::Remote { node: NodeId::new(node), off: GOffset::new(off) }
+        );
+    }
+
+    #[test]
+    fn shadow_is_exactly_the_top_bit(node in 0u16..64, off in 0u64..0x1_0000_0000) {
+        let pa = PAddr::remote(NodeId::new(node), GOffset::new(off));
+        let sh = pa.shadow();
+        prop_assert_eq!(pa.bits() ^ sh.bits(), 1u64 << 63);
+        prop_assert_eq!(sh.unshadow(), pa);
+        prop_assert_eq!(sh.decode(), pa.decode());
+        prop_assert_eq!(sh.shadow(), sh, "shadow is idempotent");
+    }
+
+    #[test]
+    fn distinct_encodings_never_collide(
+        off_a in 0u64..0x1000_0000,
+        off_b in 0u64..0x1000_0000,
+        node in 0u16..256,
+    ) {
+        let variants = [
+            PAddr::private(off_a),
+            PAddr::local_shared(GOffset::new(off_a)),
+            PAddr::remote(NodeId::new(node), GOffset::new(off_a)),
+            PAddr::hib_reg(off_a),
+        ];
+        for (i, x) in variants.iter().enumerate() {
+            for (j, y) in variants.iter().enumerate() {
+                if i != j {
+                    prop_assert_ne!(x.bits(), y.bits());
+                }
+            }
+        }
+        // Different offsets in the same region differ.
+        if off_a != off_b {
+            prop_assert_ne!(
+                PAddr::private(off_a).bits(),
+                PAddr::private(off_b).bits()
+            );
+        }
+    }
+
+    #[test]
+    fn translation_is_total_and_consistent(
+        mapped_pages in proptest::collection::btree_set(0u64..64, 1..16),
+        probe_page in 0u64..64,
+        in_page in (0u64..PAGE_BYTES / 8).prop_map(|w| w * 8),
+        writable in any::<bool>(),
+    ) {
+        let mut mmu = Mmu::new();
+        for &vp in &mapped_pages {
+            let flags = if writable { PageFlags::RW } else { PageFlags::RO };
+            mmu.table_mut().map(vp, PAddr::private(vp * PAGE_BYTES), flags);
+        }
+        let va = VAddr::new(probe_page * PAGE_BYTES + in_page);
+        match mmu.translate(va, AccessKind::Read) {
+            Ok(pa) => {
+                prop_assert!(mapped_pages.contains(&probe_page));
+                prop_assert_eq!(
+                    pa.decode(),
+                    Decoded::Private { off: probe_page * PAGE_BYTES + in_page }
+                );
+            }
+            Err(Fault::Unmapped(fva)) => {
+                prop_assert!(!mapped_pages.contains(&probe_page));
+                prop_assert_eq!(fva, va);
+            }
+            Err(other) => prop_assert!(false, "unexpected fault {other:?}"),
+        }
+        // Writes honor permissions.
+        if mapped_pages.contains(&probe_page) {
+            let w = mmu.translate(va, AccessKind::Write);
+            if writable {
+                prop_assert!(w.is_ok());
+            } else {
+                prop_assert_eq!(w, Err(Fault::Protection(va, AccessKind::Write)));
+            }
+        }
+    }
+
+    #[test]
+    fn misalignment_always_faults(
+        page in 0u64..16,
+        misoff in 1u64..8,
+        word in 0u64..1024,
+    ) {
+        let mut mmu = Mmu::new();
+        mmu.table_mut().map(page, PAddr::private(0), PageFlags::RW);
+        let va = VAddr::new(page * PAGE_BYTES + word * 8 + misoff);
+        prop_assert_eq!(
+            mmu.translate(va, AccessKind::Read),
+            Err(Fault::Misaligned(va))
+        );
+    }
+}

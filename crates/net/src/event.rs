@@ -1,0 +1,59 @@
+//! Network events and the embedding trait.
+
+use tg_wire::Packet;
+
+/// Events exchanged between network components (switches and endpoints).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetEvent {
+    /// A packet finished arriving at input port `port`.
+    Arrive {
+        /// Receiving input port.
+        port: u32,
+        /// The packet.
+        packet: Packet,
+    },
+    /// One flow-control credit returned for output port `port`.
+    Credit {
+        /// The output port regaining a credit.
+        port: u32,
+    },
+    /// Self-scheduled: output port `port` finished serializing and is free.
+    PumpOut {
+        /// The output port that became free.
+        port: u32,
+    },
+}
+
+/// Embeds [`NetEvent`] into a simulation-wide message type.
+///
+/// The cluster model defines one event enum for the whole simulation; by
+/// implementing this trait for it, the switches from this crate can be
+/// registered in the same engine. `NetEvent` implements the trait
+/// identically, which is what the standalone network tests use.
+pub trait NetMessage: Sized + 'static {
+    /// Wraps a network event.
+    fn from_net(ev: NetEvent) -> Self;
+    /// Unwraps a network event, or gives the message back if it is not one.
+    fn into_net(self) -> Result<NetEvent, Self>;
+}
+
+impl NetMessage for NetEvent {
+    fn from_net(ev: NetEvent) -> Self {
+        ev
+    }
+    fn into_net(self) -> Result<NetEvent, Self> {
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_embedding_round_trips() {
+        let ev = NetEvent::Credit { port: 3 };
+        let wrapped = NetEvent::from_net(ev.clone());
+        assert_eq!(wrapped.into_net(), Ok(ev));
+    }
+}

@@ -1,0 +1,270 @@
+//! Reusable port state machines: credited transmit ports and receive FIFOs.
+//!
+//! Both the switches in this crate and the Host Interface Board in `tg-hib`
+//! drive one link end; the flow-control bookkeeping is identical, so it
+//! lives here.
+
+use std::collections::VecDeque;
+
+use tg_sim::{CompId, SimTime};
+use tg_wire::{Packet, TimingConfig};
+
+/// Delays produced by launching a packet on a [`TxPort`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TxTimes {
+    /// When the packet fully arrives at the neighbor's input port
+    /// (serialization + propagation), relative to launch.
+    pub arrival: SimTime,
+    /// When this output port becomes free again (serialization done),
+    /// relative to launch.
+    pub free: SimTime,
+}
+
+/// One credited transmit port: the sending end of a unidirectional link.
+///
+/// The owner may launch a packet only when the port is [`ready`]: the wire
+/// is idle and the neighbor's input FIFO granted a credit. Launching yields
+/// the two delays the owner must schedule ([`TxTimes`]); the neighbor
+/// returns credits as it drains its FIFO.
+///
+/// [`ready`]: TxPort::ready
+#[derive(Clone, Debug)]
+pub struct TxPort {
+    neighbor: CompId,
+    neighbor_port: u32,
+    credits: u32,
+    busy: bool,
+}
+
+impl TxPort {
+    /// Creates a transmit port toward `neighbor`'s input `neighbor_port`
+    /// with an initial credit allowance (= the neighbor FIFO capacity).
+    pub fn new(neighbor: CompId, neighbor_port: u32, credits: u32) -> Self {
+        TxPort {
+            neighbor,
+            neighbor_port,
+            credits,
+            busy: false,
+        }
+    }
+
+    /// The component at the far end of the link.
+    pub fn neighbor(&self) -> CompId {
+        self.neighbor
+    }
+
+    /// The input-port index this link feeds on the neighbor.
+    pub fn neighbor_port(&self) -> u32 {
+        self.neighbor_port
+    }
+
+    /// Credits currently available.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// True when a packet may be launched now.
+    pub fn ready(&self) -> bool {
+        !self.busy && self.credits > 0
+    }
+
+    /// Consumes a credit and occupies the wire for `packet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not [`ready`](TxPort::ready) — callers gate on
+    /// readiness; launching early would violate flow control.
+    pub fn launch(&mut self, packet: &Packet, timing: &TimingConfig) -> TxTimes {
+        assert!(self.ready(), "launch on a busy or credit-less port");
+        self.credits -= 1;
+        self.busy = true;
+        let ser = timing.serialize(packet.size_bytes());
+        TxTimes {
+            arrival: ser + timing.link_prop,
+            free: ser,
+        }
+    }
+
+    /// Records a returned credit.
+    pub fn on_credit(&mut self) {
+        self.credits += 1;
+    }
+
+    /// Marks serialization finished (the scheduled `free` delay elapsed).
+    pub fn on_free(&mut self) {
+        self.busy = false;
+    }
+}
+
+/// A bounded input FIFO whose occupancy is mirrored by the credits held at
+/// the upstream [`TxPort`].
+#[derive(Clone, Debug)]
+pub struct RxFifo {
+    queue: VecDeque<Packet>,
+    capacity: u32,
+    high_water: u32,
+}
+
+impl RxFifo {
+    /// Creates a FIFO holding at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        RxFifo {
+            queue: VecDeque::new(),
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// Accepts an arriving packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow — the upstream credit discipline makes overflow a
+    /// protocol bug, not an operational condition.
+    pub fn push(&mut self, packet: Packet) {
+        assert!(
+            (self.queue.len() as u32) < self.capacity,
+            "input FIFO overflow: credit protocol violated"
+        );
+        self.queue.push_back(packet);
+        self.high_water = self.high_water.max(self.queue.len() as u32);
+    }
+
+    /// The packet at the head, if any.
+    pub fn head(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.queue.pop_front()
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Capacity in packets.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Deepest occupancy observed (for congestion reporting).
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_wire::{GOffset, NodeId, WireMsg};
+
+    fn dummy_comp_id() -> CompId {
+        // CompId construction is private to tg-sim; engines assign them.
+        // For port unit tests we only need *a* value, so take one from a
+        // throwaway engine.
+        struct Noop;
+        impl tg_sim::Component<u32> for Noop {
+            fn on_event(&mut self, _: u32, _: &mut tg_sim::Ctx<'_, u32>) {}
+            fn name(&self) -> &str {
+                "noop"
+            }
+        }
+        let mut eng: tg_sim::Engine<u32> = tg_sim::Engine::new();
+        eng.add(Noop)
+    }
+
+    fn pkt() -> Packet {
+        Packet {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            msg: WireMsg::WriteAck,
+            inject_seq: 0,
+        }
+    }
+
+    #[test]
+    fn txport_credit_cycle() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 2, 1);
+        assert!(tx.ready());
+        let times = tx.launch(&pkt(), &timing);
+        assert!(times.arrival > times.free);
+        assert!(!tx.ready());
+        tx.on_free();
+        assert!(!tx.ready(), "still out of credits");
+        tx.on_credit();
+        assert!(tx.ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "busy or credit-less")]
+    fn txport_rejects_early_launch() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 1);
+        let _ = tx.launch(&pkt(), &timing);
+        let _ = tx.launch(&pkt(), &timing);
+    }
+
+    #[test]
+    fn txport_serialization_scales_with_size() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 2);
+        let small = tx.launch(&pkt(), &timing);
+        tx.on_free();
+        let big_pkt = Packet {
+            msg: WireMsg::CopyData {
+                tag: 0,
+                index: 0,
+                vals: vec![0; 64],
+                last: true,
+            },
+            ..pkt()
+        };
+        let big = tx.launch(&big_pkt, &timing);
+        assert!(big.free > small.free);
+    }
+
+    #[test]
+    fn rxfifo_orders_and_counts() {
+        let mut fifo = RxFifo::new(3);
+        for i in 0..3u64 {
+            fifo.push(Packet {
+                msg: WireMsg::WriteReq {
+                    addr: GOffset::new(i * 8),
+                    val: i,
+                },
+                ..pkt()
+            });
+        }
+        assert_eq!(fifo.len(), 3);
+        assert_eq!(fifo.high_water(), 3);
+        let first = fifo.pop().unwrap();
+        match first.msg {
+            WireMsg::WriteReq { val, .. } => assert_eq!(val, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(fifo.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn rxfifo_overflow_is_a_bug() {
+        let mut fifo = RxFifo::new(1);
+        fifo.push(pkt());
+        fifo.push(pkt());
+    }
+}
+

@@ -1,0 +1,288 @@
+//! Deterministic, deadlock-free route computation.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use tg_wire::NodeId;
+
+use crate::topology::{Topology, Vertex};
+
+/// Route computation failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// Some vertex cannot reach the rest of the network.
+    Disconnected(Vertex),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Disconnected(v) => write!(f, "topology is disconnected at {v}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Precomputed routing state: a BFS spanning tree (rooted at switch 0, or
+/// node 0 in a switchless wiring) and, per switch, a destination-to-output-
+/// port table.
+///
+/// Restricting traffic to spanning-tree edges is the always-legal core of
+/// up*/down* routing: every packet climbs toward the root and then descends,
+/// so the channel-dependency graph is acyclic and credit-based back-pressure
+/// cannot deadlock. Each (source, destination) pair has exactly one path,
+/// which with FIFO queueing gives the in-order guarantee of §2.3.1.
+#[derive(Clone, Debug)]
+pub struct Routes {
+    /// `tables[s][dst_node] = output port on switch s`.
+    tables: Vec<Vec<u32>>,
+    /// Parent pointers of the spanning tree, for diagnostics/tests.
+    parent: HashMap<Vertex, Vertex>,
+}
+
+impl Routes {
+    /// Computes routes for a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Disconnected`] if any vertex is unreachable
+    /// from the root.
+    pub fn compute(topology: &Topology) -> Result<Routes, RouteError> {
+        let root = if topology.switch_count() > 0 {
+            Vertex::Switch(0)
+        } else {
+            Vertex::Node(0)
+        };
+
+        // Deterministic BFS: neighbors are explored in port order.
+        let mut parent: HashMap<Vertex, Vertex> = HashMap::new();
+        let mut seen: HashMap<Vertex, bool> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(root, true);
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &(nbr, _) in topology.ports_of(v) {
+                if !seen.get(&nbr).copied().unwrap_or(false) {
+                    seen.insert(nbr, true);
+                    parent.insert(nbr, v);
+                    queue.push_back(nbr);
+                }
+            }
+        }
+        for s in 0..topology.switch_count() {
+            let v = Vertex::Switch(s as u16);
+            if !seen.get(&v).copied().unwrap_or(false) {
+                return Err(RouteError::Disconnected(v));
+            }
+        }
+        for n in 0..topology.endpoint_count() {
+            let v = Vertex::Node(n as u16);
+            if !seen.get(&v).copied().unwrap_or(false) {
+                return Err(RouteError::Disconnected(v));
+            }
+        }
+
+        // Tree path from any vertex to each destination endpoint: walk both
+        // ends up to the root, find the meeting point. We precompute, per
+        // switch, the next hop toward every destination node.
+        let path_to_root = |mut v: Vertex| -> Vec<Vertex> {
+            let mut path = vec![v];
+            while let Some(&p) = parent.get(&v) {
+                path.push(p);
+                v = p;
+            }
+            path
+        };
+
+        let mut tables = Vec::with_capacity(topology.switch_count());
+        for s in 0..topology.switch_count() {
+            let from = Vertex::Switch(s as u16);
+            let up_from = path_to_root(from);
+            let mut table = vec![u32::MAX; topology.endpoint_count()];
+            for (dst, slot) in table.iter_mut().enumerate() {
+                let to = Vertex::Node(dst as u16);
+                if to == from {
+                    continue;
+                }
+                let up_to = path_to_root(to);
+                // Lowest common ancestor: deepest vertex on both root paths.
+                let next = next_hop_on_tree(&up_from, &up_to);
+                let port = topology
+                    .ports_of(from)
+                    .iter()
+                    .position(|&(nbr, _)| nbr == next)
+                    .expect("tree edge is a real port");
+                *slot = port as u32;
+            }
+            tables.push(table);
+        }
+        Ok(Routes { tables, parent })
+    }
+
+    /// The routing table for switch `s`: `table[dst.index()]` is the output
+    /// port toward `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn table_for_switch(&self, s: u16) -> Vec<u32> {
+        self.tables[s as usize].clone()
+    }
+
+    /// The spanning-tree parent of a vertex (`None` for the root).
+    pub fn tree_parent(&self, v: Vertex) -> Option<Vertex> {
+        self.parent.get(&v).copied()
+    }
+
+    /// The full tree path between two endpoints (inclusive of both), for
+    /// tests and hop-count estimates.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Vec<Vertex> {
+        let up_a = self.root_path(Vertex::Node(from.raw()));
+        let up_b = self.root_path(Vertex::Node(to.raw()));
+        join_tree_paths(&up_a, &up_b)
+    }
+
+    fn root_path(&self, mut v: Vertex) -> Vec<Vertex> {
+        let mut path = vec![v];
+        while let Some(&p) = self.parent.get(&v) {
+            path.push(p);
+            v = p;
+        }
+        path
+    }
+}
+
+/// Given root paths of `from` and `to`, the first hop from `from` toward
+/// `to` along the tree.
+fn next_hop_on_tree(up_from: &[Vertex], up_to: &[Vertex]) -> Vertex {
+    let full = join_tree_paths(up_from, up_to);
+    full[1]
+}
+
+/// Joins two root paths into the tree path `a .. lca .. b`.
+fn join_tree_paths(up_a: &[Vertex], up_b: &[Vertex]) -> Vec<Vertex> {
+    // Find the lowest common ancestor: scan a's root path for the first
+    // vertex present in b's root path.
+    let lca_in_a = up_a
+        .iter()
+        .position(|v| up_b.contains(v))
+        .expect("connected tree has an LCA");
+    let lca = up_a[lca_in_a];
+    let lca_in_b = up_b.iter().position(|&v| v == lca).expect("lca in b");
+    let mut path: Vec<Vertex> = up_a[..=lca_in_a].to_vec();
+    path.extend(up_b[..lca_in_b].iter().rev().copied());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_routes_through_single_switch() {
+        let topo = Topology::star(3);
+        let routes = Routes::compute(&topo).unwrap();
+        let table = routes.table_for_switch(0);
+        // Switch port i is node i (links added in node order).
+        assert_eq!(table, vec![0, 1, 2]);
+        let p = routes.path(NodeId::new(0), NodeId::new(2));
+        assert_eq!(p, vec![Vertex::Node(0), Vertex::Switch(0), Vertex::Node(2)]);
+    }
+
+    #[test]
+    fn chain_routes_walk_the_line() {
+        let topo = Topology::chain(4);
+        let routes = Routes::compute(&topo).unwrap();
+        let p = routes.path(NodeId::new(0), NodeId::new(3));
+        assert_eq!(
+            p,
+            vec![
+                Vertex::Node(0),
+                Vertex::Switch(0),
+                Vertex::Switch(1),
+                Vertex::Switch(2),
+                Vertex::Switch(3),
+                Vertex::Node(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_routing_avoids_the_closing_link() {
+        // Tree rooted at switch 0: the 2-0 ring-closing edge is a non-tree
+        // edge if BFS reaches 2 through 1 first... with ring(3):
+        // links: n0-s0, s0-s1, n1-s1, s1-s2, n2-s2, s2-s0.
+        // BFS from s0 explores ports in order: n0, s1, s2 — so s2's parent
+        // is s0 and the tree uses the closing link; either way each pair has
+        // exactly one tree path.
+        let topo = Topology::ring(3);
+        let routes = Routes::compute(&topo).unwrap();
+        let p01 = routes.path(NodeId::new(0), NodeId::new(1));
+        let p12 = routes.path(NodeId::new(1), NodeId::new(2));
+        // Paths are simple: no repeated vertices.
+        for p in [&p01, &p12] {
+            let mut sorted = p.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.len(), "path revisits a vertex: {p:?}");
+        }
+    }
+
+    #[test]
+    fn mesh_routes_exist_between_all_pairs() {
+        let topo = Topology::mesh(3, 3);
+        let routes = Routes::compute(&topo).unwrap();
+        for a in 0..9u16 {
+            for b in 0..9u16 {
+                if a == b {
+                    continue;
+                }
+                let p = routes.path(NodeId::new(a), NodeId::new(b));
+                assert!(p.len() >= 3);
+                assert_eq!(p[0], Vertex::Node(a));
+                assert_eq!(*p.last().unwrap(), Vertex::Node(b));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_is_rejected() {
+        // A switch with no links.
+        let topo = Topology::new(1, 2);
+        let mut topo = topo;
+        topo.link(Vertex::Node(0), Vertex::Switch(0)).unwrap();
+        match Routes::compute(&topo) {
+            Err(RouteError::Disconnected(v)) => assert_eq!(v, Vertex::Switch(1)),
+            other => panic!("expected disconnection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_tables_are_consistent_with_paths() {
+        let topo = Topology::chain_of_stars(3, 2);
+        let routes = Routes::compute(&topo).unwrap();
+        // Walk the table hop by hop from every switch to every node and
+        // confirm we arrive.
+        for s in 0..topo.switch_count() as u16 {
+            for dst in 0..topo.endpoint_count() as u16 {
+                let mut at = Vertex::Switch(s);
+                let mut hops = 0;
+                loop {
+                    match at {
+                        Vertex::Node(n) => {
+                            assert_eq!(n, dst);
+                            break;
+                        }
+                        Vertex::Switch(sw) => {
+                            let port = routes.table_for_switch(sw)[dst as usize];
+                            at = topo.ports_of(at)[port as usize].0;
+                            hops += 1;
+                            assert!(hops < 32, "routing loop");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The cut-through switch component.
+
+use tg_sim::{Component, Ctx};
+use tg_wire::{Packet, TimingConfig};
+
+use crate::event::{NetEvent, NetMessage};
+use crate::port::{RxFifo, TxPort};
+
+/// Traffic counters for one switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SwitchStats {
+    /// Packets forwarded.
+    pub packets: u64,
+    /// Payload + header bytes forwarded.
+    pub bytes: u64,
+    /// Forwarding attempts deferred for want of credit or a busy output.
+    pub blocked: u64,
+}
+
+/// A Telegraphos switch: one input FIFO per port, a routing table mapping
+/// destination nodes to output ports, round-robin arbitration across
+/// inputs, and credit-based back-pressure on every link.
+///
+/// Forwarding a packet costs the configured cut-through latency plus
+/// serialization on the output link; a credit is returned to the upstream
+/// sender the moment the packet leaves the input FIFO.
+#[derive(Debug)]
+pub struct Switch {
+    name: String,
+    fifos: Vec<RxFifo>,
+    out: Vec<Option<TxPort>>,
+    /// dst node index -> output port.
+    table: Vec<u32>,
+    timing: TimingConfig,
+    rr_next: usize,
+    fifo_capacity: u32,
+    stats: SwitchStats,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports and the given routing table
+    /// (`table[dst.index()]` = output port). Ports must then be attached
+    /// with [`Switch::attach_port`] before traffic flows.
+    pub fn new(name: String, ports: usize, table: Vec<u32>, timing: TimingConfig) -> Self {
+        Switch {
+            name,
+            fifos: Vec::new(),
+            out: (0..ports).map(|_| None).collect(),
+            table,
+            timing,
+            rr_next: 0,
+            fifo_capacity: 8,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Overrides the per-port input FIFO capacity (must match the credits
+    /// granted to upstream senders; the network builder keeps these in
+    /// sync).
+    pub fn set_fifo_capacity(&mut self, cap: u32) {
+        assert!(self.fifos.is_empty(), "set capacity before traffic");
+        self.fifo_capacity = cap;
+    }
+
+    /// Wires output port `port` (and implicitly its input FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port index is out of range or already attached.
+    pub fn attach_port(&mut self, port: u32, tx: TxPort) {
+        let slot = self
+            .out
+            .get_mut(port as usize)
+            .expect("port index in range");
+        assert!(slot.is_none(), "port attached twice");
+        *slot = Some(tx);
+        while self.fifos.len() < self.out.len() {
+            let cap = self.fifo_capacity;
+            self.fifos.push(RxFifo::new(cap));
+        }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Deepest input-FIFO occupancy seen on any port.
+    pub fn max_fifo_high_water(&self) -> u32 {
+        self.fifos.iter().map(RxFifo::high_water).max().unwrap_or(0)
+    }
+
+    fn route(&self, packet: &Packet) -> u32 {
+        let port = self.table[packet.dst.index()];
+        assert_ne!(port, u32::MAX, "no route for {}", packet.dst);
+        port
+    }
+
+    /// Forwards as many FIFO heads as ports allow, round-robin over inputs.
+    fn pump<M: NetMessage>(&mut self, ctx: &mut Ctx<'_, M>) {
+        let nports = self.fifos.len();
+        loop {
+            let mut progressed = false;
+            for k in 0..nports {
+                let in_port = (self.rr_next + k) % nports;
+                let Some(packet) = self.fifos[in_port].head() else {
+                    continue;
+                };
+                let out_port = self.route(packet) as usize;
+                let ready = self.out[out_port]
+                    .as_ref()
+                    .map(TxPort::ready)
+                    .unwrap_or(false);
+                if !ready {
+                    self.stats.blocked += 1;
+                    continue;
+                }
+                let packet = self.fifos[in_port].pop().expect("head checked");
+                // Return a credit to whoever feeds this input port: the
+                // same neighbor our own output port `in_port` points at,
+                // because links come in bidirectional pairs.
+                let upstream = {
+                    let p = self.out[in_port].as_ref().expect("paired port attached");
+                    (p.neighbor(), p.neighbor_port())
+                };
+                ctx.send(
+                    upstream.0,
+                    self.timing.link_prop,
+                    M::from_net(NetEvent::Credit { port: upstream.1 }),
+                );
+                self.stats.packets += 1;
+                self.stats.bytes += u64::from(packet.size_bytes());
+                let tx = self.out[out_port].as_mut().expect("checked ready");
+                let times = tx.launch(&packet, &self.timing);
+                let lat = self.timing.switch_latency;
+                let (nbr, nbr_port) = (tx.neighbor(), tx.neighbor_port());
+                ctx.send(
+                    nbr,
+                    lat + times.arrival,
+                    M::from_net(NetEvent::Arrive {
+                        port: nbr_port,
+                        packet,
+                    }),
+                );
+                ctx.send_self(
+                    lat + times.free,
+                    M::from_net(NetEvent::PumpOut {
+                        port: out_port as u32,
+                    }),
+                );
+                self.rr_next = (in_port + 1) % nports;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl<M: NetMessage> Component<M> for Switch {
+    fn on_event(&mut self, ev: M, ctx: &mut Ctx<'_, M>) {
+        let ev = match ev.into_net() {
+            Ok(ev) => ev,
+            Err(_) => panic!("switch {} received a non-network event", self.name),
+        };
+        match ev {
+            NetEvent::Arrive { port, packet } => {
+                self.fifos[port as usize].push(packet);
+                self.pump(ctx);
+            }
+            NetEvent::Credit { port } => {
+                self.out[port as usize]
+                    .as_mut()
+                    .expect("credited port attached")
+                    .on_credit();
+                self.pump(ctx);
+            }
+            NetEvent::PumpOut { port } => {
+                self.out[port as usize]
+                    .as_mut()
+                    .expect("pumped port attached")
+                    .on_free();
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// Unit tests for the switch live in tests/network.rs (they need endpoints
+// and an engine); pure routing/port logic is tested in `route` and `port`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_zero() {
+        let s = Switch::new(
+            "s".into(),
+            2,
+            vec![0, 1],
+            TimingConfig::telegraphos_i(),
+        );
+        assert_eq!(s.stats(), SwitchStats::default());
+        assert_eq!(s.max_fifo_high_water(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_rejected() {
+        let mut s = Switch::new(
+            "s".into(),
+            1,
+            vec![0],
+            TimingConfig::telegraphos_i(),
+        );
+        let id = {
+            struct Noop;
+            impl Component<NetEvent> for Noop {
+                fn on_event(&mut self, _: NetEvent, _: &mut Ctx<'_, NetEvent>) {}
+                fn name(&self) -> &str {
+                    "noop"
+                }
+            }
+            let mut eng: tg_sim::Engine<NetEvent> = tg_sim::Engine::new();
+            eng.add(Noop)
+        };
+        s.attach_port(0, TxPort::new(id, 0, 8));
+        s.attach_port(0, TxPort::new(id, 0, 8));
+    }
+}

@@ -1,0 +1,155 @@
+//! Test endpoints for standalone network experiments.
+//!
+//! These components speak raw [`NetEvent`]s: a [`SourceSink`] injects a
+//! scripted list of packets into the fabric (respecting credit flow
+//! control) and records everything it receives, with timestamps. The
+//! crate's integration and property tests — and the network micro-benches —
+//! are built from them.
+
+use std::collections::VecDeque;
+
+use tg_sim::{Component, Ctx, SimTime};
+use tg_wire::{NodeId, Packet, TimingConfig, WireMsg};
+
+use crate::event::{NetEvent, NetMessage};
+use crate::port::TxPort;
+
+/// A packet receipt recorded by a [`SourceSink`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Receipt {
+    /// When the packet arrived.
+    pub at: SimTime,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// A scriptable endpoint: injects queued packets as fast as flow control
+/// allows and sinks arrivals (consuming each after a fixed delay, then
+/// returning the credit).
+#[derive(Debug)]
+pub struct SourceSink {
+    name: String,
+    node: NodeId,
+    tx: Option<TxPort>,
+    timing: TimingConfig,
+    consume_delay: SimTime,
+    pending: VecDeque<Packet>,
+    next_seq: u64,
+    /// Everything received, in arrival order.
+    pub received: Vec<Receipt>,
+    /// When each injected packet left the endpoint (issue completion).
+    pub injected_at: Vec<SimTime>,
+    rx_upstream: Option<(tg_sim::CompId, u32)>,
+}
+
+impl SourceSink {
+    /// Creates an endpoint for cluster node `node`.
+    pub fn new(node: NodeId, timing: TimingConfig) -> Self {
+        SourceSink {
+            name: format!("endpoint{}", node.raw()),
+            node,
+            tx: None,
+            timing,
+            consume_delay: SimTime::from_ns(100),
+            pending: VecDeque::new(),
+            next_seq: 0,
+            received: Vec::new(),
+            injected_at: Vec::new(),
+            rx_upstream: None,
+        }
+    }
+
+    /// Wires the endpoint after [`build_network`](crate::build_network).
+    pub fn wire(&mut self, tx: TxPort, rx_upstream: (tg_sim::CompId, u32)) {
+        self.tx = Some(tx);
+        self.rx_upstream = Some(rx_upstream);
+    }
+
+    /// Sets how long the sink takes to consume each arrival before
+    /// returning its credit.
+    pub fn set_consume_delay(&mut self, d: SimTime) {
+        self.consume_delay = d;
+    }
+
+    /// Queues a message for `dst`; it is injected when flow control allows.
+    pub fn enqueue(&mut self, dst: NodeId, msg: WireMsg) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back(Packet {
+            src: self.node,
+            dst,
+            msg,
+            inject_seq: seq,
+        });
+    }
+
+    /// Packets still waiting to be injected.
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
+        let Some(tx) = self.tx.as_mut() else {
+            return;
+        };
+        while tx.ready() {
+            let Some(packet) = self.pending.pop_front() else {
+                break;
+            };
+            let times = tx.launch(&packet, &self.timing);
+            ctx.send(
+                tx.neighbor(),
+                times.arrival,
+                NetEvent::Arrive {
+                    port: tx.neighbor_port(),
+                    packet,
+                },
+            );
+            // Reuse PumpOut as "my single tx port is free".
+            ctx.send_self(times.free, NetEvent::PumpOut { port: 0 });
+            self.injected_at.push(ctx.now() + times.free);
+        }
+    }
+}
+
+impl Component<NetEvent> for SourceSink {
+    fn on_event(&mut self, ev: NetEvent, ctx: &mut Ctx<'_, NetEvent>) {
+        match ev {
+            NetEvent::Arrive { packet, .. } => {
+                self.received.push(Receipt {
+                    at: ctx.now(),
+                    packet,
+                });
+                let (up, port) = self.rx_upstream.expect("wired endpoint");
+                ctx.send(
+                    up,
+                    self.consume_delay + self.timing.link_prop,
+                    NetEvent::from_net(NetEvent::Credit { port }),
+                );
+            }
+            NetEvent::Credit { .. } => {
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_credit();
+                }
+                self.pump(ctx);
+            }
+            NetEvent::PumpOut { .. } => {
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_free();
+                }
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Kicks an endpoint's injection pump: schedule this once after enqueueing.
+/// (Any credit-shaped event wakes the pump; this sends a zero-cost one.)
+pub fn kick(engine: &mut tg_sim::Engine<NetEvent>, endpoint: tg_sim::CompId) {
+    // A PumpOut on an idle port is a no-op apart from running the pump.
+    engine.schedule(SimTime::ZERO, endpoint, NetEvent::PumpOut { port: 0 });
+}

@@ -1,0 +1,219 @@
+//! The Galactica Net sharing-ring baseline (§2.4).
+//!
+//! Galactica Net links all sharers of a page into a ring. A writer applies
+//! its store locally and sends the update around the ring; every node
+//! applies updates in arrival order and forwards them until they return to
+//! their origin. Writers notice a conflict when a foreign update carrying a
+//! different value reaches them while their own update is still in flight:
+//! the higher-priority (lower-index) writer keeps its value, the loser
+//! *backs off* and accepts it — and once a conflicted writer's own update
+//! returns home, it re-asserts its current local value around the ring so
+//! every copy converges.
+//!
+//! The paper's complaint (§2.4) survives in this model: a third processor
+//! can observe the sequence "1, 2, 1" — the winner's value appearing, being
+//! overwritten by the loser's on one ring segment, and the back-off
+//! correction re-asserting the winner's value — which is "a sequence that
+//! is not a valid program sequence under any memory consistency model".
+//! The Telegraphos owner protocol makes such sequences impossible; this
+//! module exists to demonstrate the contrast (experiment E5).
+
+use tg_sim::SimRng;
+
+use crate::abstract_net::AbstractNet;
+use crate::recorder::SeqRecorder;
+use crate::scenario::{Outcome, Scenario};
+
+/// A ring update in flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Update {
+    value: u64,
+    origin: usize,
+}
+
+/// Per-node writer state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct WriterState {
+    /// True while an update of ours is traversing the ring.
+    outstanding: bool,
+    /// Set when a conflicting (different-valued) update passed us while
+    /// `outstanding`; triggers a re-assertion of our current value when our
+    /// own update returns home.
+    conflicted: bool,
+}
+
+/// The Galactica ring protocol simulator.
+#[derive(Debug)]
+pub struct GalacticaRing;
+
+impl GalacticaRing {
+    /// Executes `scenario` under a seeded adversarial interleaving.
+    ///
+    /// Nodes form a ring `0 → 1 → … → n-1 → 0`; lower node index wins
+    /// conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is invalid or has fewer than two nodes.
+    pub fn run(scenario: &Scenario) -> Outcome {
+        scenario.validate().expect("valid scenario");
+        let n = scenario.nodes;
+        assert!(n >= 2, "a ring needs at least two nodes");
+
+        let mut rng = SimRng::new(scenario.seed);
+        let mut net: AbstractNet<Update> = AbstractNet::new(n);
+        let mut scripts = scenario.scripts();
+        let mut values = vec![0u64; n];
+        let mut recorders: Vec<SeqRecorder> = (0..n).map(|_| SeqRecorder::new(0)).collect();
+        let mut writers = vec![WriterState::default(); n];
+
+        let next = |x: usize| (x + 1) % n;
+
+        loop {
+            // A node may issue its next write only when it has no update of
+            // its own still circling (one outstanding write per node).
+            let issuers: Vec<usize> = (0..n)
+                .filter(|&i| !scripts[i].is_empty() && !writers[i].outstanding)
+                .collect();
+            let can_deliver = !net.is_quiescent();
+            if issuers.is_empty() && !can_deliver {
+                break;
+            }
+            let issue = !issuers.is_empty() && (!can_deliver || rng.chance(0.5));
+            if issue {
+                let w = *rng.pick(&issuers);
+                let v = scripts[w].pop_front().expect("nonempty script");
+                values[w] = v;
+                recorders[w].observe(v);
+                writers[w] = WriterState {
+                    outstanding: true,
+                    conflicted: false,
+                };
+                net.send(w, next(w), Update { value: v, origin: w });
+            } else {
+                let (_src, at, up) = net.deliver_random(&mut rng).expect("deliverable");
+                if up.origin == at {
+                    // Our update completed the ring.
+                    writers[at].outstanding = false;
+                    if writers[at].conflicted {
+                        // Back-off correction: circulate our current local
+                        // value (the conflict winner's) once more so every
+                        // segment of the ring converges on it.
+                        writers[at].conflicted = false;
+                        writers[at].outstanding = true;
+                        let v = values[at];
+                        net.send(at, next(at), Update { value: v, origin: at });
+                    }
+                } else {
+                    if writers[at].outstanding && up.value != values[at] {
+                        // A concurrent, different-valued update: conflict.
+                        writers[at].conflicted = true;
+                        if at > up.origin {
+                            // We lose on priority: accept the winner's value.
+                            values[at] = up.value;
+                            recorders[at].observe(up.value);
+                        }
+                        // Winners keep their local value (the foreign update
+                        // is suppressed locally but still forwarded).
+                    } else if up.value != values[at] {
+                        values[at] = up.value;
+                        recorders[at].observe(up.value);
+                    }
+                    // Forward along the ring regardless.
+                    net.send(at, next(at), up);
+                }
+            }
+        }
+
+        Outcome {
+            final_values: values,
+            observed: recorders.iter().map(|r| r.changes().to_vec()).collect(),
+            serialization: None,
+            messages: net.delivered(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScriptedWrite;
+
+    #[test]
+    fn single_writer_converges_cleanly() {
+        let s = Scenario {
+            nodes: 4,
+            writes: vec![
+                ScriptedWrite { node: 1, value: 1 },
+                ScriptedWrite { node: 1, value: 2 },
+            ],
+            seed: 3,
+        };
+        let out = GalacticaRing::run(&s);
+        assert!(out.converged());
+        assert_eq!(out.final_values[0], 2);
+        assert!(out.anomalies().is_empty());
+    }
+
+    #[test]
+    fn two_writer_race_always_converges() {
+        for seed in 0..128 {
+            let out = GalacticaRing::run(&Scenario::figure2(seed));
+            assert!(out.converged(), "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn revisit_anomaly_occurs_on_some_interleaving() {
+        // The §2.4 "1,2,1" behaviour: with enough ring positions and
+        // interleavings, some node observes a value reappear.
+        let mut hits = 0;
+        for seed in 0..256 {
+            let s = Scenario {
+                nodes: 5,
+                writes: vec![
+                    ScriptedWrite { node: 0, value: 1 },
+                    ScriptedWrite { node: 2, value: 2 },
+                ],
+                seed,
+            };
+            let out = GalacticaRing::run(&s);
+            assert!(out.converged(), "seed {seed}");
+            if !out.anomalies().is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "no 1,2,1 anomaly over 256 interleavings");
+    }
+
+    #[test]
+    fn conflicts_resolve_by_priority() {
+        // Whenever the Figure 2 race actually collides in flight, the
+        // surviving value must be writer 0's (lower index wins).
+        let mut conflict_seen = false;
+        for seed in 0..128 {
+            let out = GalacticaRing::run(&Scenario::figure2(seed));
+            assert!(out.converged());
+            if out.final_values[0] == 1 && out.observed[2].len() > 1 {
+                conflict_seen = true;
+            }
+        }
+        assert!(conflict_seen, "expected at least one resolved conflict");
+    }
+
+    #[test]
+    fn three_writers_also_converge() {
+        for seed in 0..64 {
+            let s = Scenario::random(3, 2, 1, seed);
+            let out = GalacticaRing::run(&s);
+            assert!(out.converged(), "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GalacticaRing::run(&Scenario::figure2(9));
+        let b = GalacticaRing::run(&Scenario::figure2(9));
+        assert_eq!(a, b);
+    }
+}

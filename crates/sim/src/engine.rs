@@ -1,0 +1,599 @@
+//! The deterministic event engine.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Identifier of a component registered with an [`Engine`].
+///
+/// Ids are dense indices assigned in registration order, so they are stable
+/// across runs of the same setup code — part of the determinism contract.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// The raw index of this component.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A simulated hardware or software element.
+///
+/// Components receive events of the simulation-wide message type `M` and
+/// react by mutating their own state and emitting further events through the
+/// [`Ctx`]. Components never hold references to each other; all interaction
+/// is via scheduled events, which is what makes runs reproducible.
+pub trait Component<M>: Any {
+    /// Handles one event delivered to this component.
+    fn on_event(&mut self, ev: M, ctx: &mut Ctx<'_, M>);
+
+    /// A short human-readable name used in traces and panics.
+    fn name(&self) -> &str;
+}
+
+/// The per-delivery context handed to [`Component::on_event`].
+///
+/// Lets the component read the clock, learn its own id, schedule events
+/// (to itself or others), and stop the simulation.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: CompId,
+    outbox: &'a mut Vec<(SimTime, CompId, M)>,
+    halt: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component currently handling an event.
+    pub fn self_id(&self) -> CompId {
+        self.self_id
+    }
+
+    /// Schedules `msg` for delivery to `dst` after `delay`.
+    pub fn send(&mut self, dst: CompId, delay: SimTime, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Schedules `msg` for delivery back to this component after `delay`.
+    pub fn send_self(&mut self, delay: SimTime, msg: M) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
+    }
+
+    /// Requests that the engine stop after the current event completes.
+    /// Pending events remain queued and a later `run` call resumes them.
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunLimit {
+    /// The event queue drained completely.
+    Drained,
+    /// A component called [`Ctx::halt`].
+    Halted,
+    /// The time horizon passed to [`Engine::run_until`] was reached.
+    Deadline,
+    /// The event budget passed to [`Engine::run_events`] was exhausted.
+    EventBudget,
+}
+
+/// Counters describing an engine run; useful for detecting livelock in
+/// tests and for reporting simulator throughput in benches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineStats {
+    /// Total events delivered since construction.
+    pub events_delivered: u64,
+    /// Total events scheduled since construction.
+    pub events_scheduled: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_queue_len: usize,
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    dst: CompId,
+    msg: M,
+}
+
+// Ordering: earliest time first, then lowest sequence number. Only `at` and
+// `seq` participate; `seq` is unique so ties never reach further fields.
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One delivered event, as recorded by the trace facility.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Receiving component.
+    pub dst: CompId,
+    /// The component's registered name at delivery time.
+    pub component: String,
+    /// `Debug` rendering of the event.
+    pub event: String,
+}
+
+/// The discrete-event engine: a clock, a priority queue of scheduled events,
+/// and the set of registered components.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct Engine<M> {
+    components: Vec<Box<dyn Component<M>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    now: SimTime,
+    seq: u64,
+    halt: bool,
+    stats: EngineStats,
+    outbox: Vec<(SimTime, CompId, M)>,
+    #[allow(clippy::type_complexity)]
+    trace: Option<(usize, VecDeque<TraceEntry>, Box<dyn Fn(&M) -> String>)>,
+}
+
+impl<M> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("components", &self.components.len())
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M: 'static> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: 'static> Engine<M> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            components: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            halt: false,
+            stats: EngineStats::default(),
+            outbox: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing, keeping the most recent `capacity` delivered
+    /// events (a debugging flight recorder). Requires `M: Debug`.
+    pub fn enable_trace(&mut self, capacity: usize)
+    where
+        M: std::fmt::Debug,
+    {
+        self.trace = Some((
+            capacity.max(1),
+            VecDeque::new(),
+            Box::new(|m: &M| format!("{m:?}")),
+        ));
+    }
+
+    /// Disables tracing and returns whatever was recorded.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace
+            .take()
+            .map(|(_, buf, _)| buf.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// The recorded trace so far (empty when tracing is off).
+    pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.trace.iter().flat_map(|(_, buf, _)| buf.iter())
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add(&mut self, component: impl Component<M>) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Box::new(component));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Schedules `msg` for `dst` at `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` was not returned by [`Engine::add`] on this engine.
+    pub fn schedule(&mut self, delay: SimTime, dst: CompId, msg: M) {
+        assert!(
+            dst.index() < self.components.len(),
+            "schedule to unregistered component {dst}"
+        );
+        let at = self.now + delay;
+        self.push(at, dst, msg);
+    }
+
+    /// Schedules `msg` for `dst` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time, or if `dst` is not
+    /// registered.
+    pub fn schedule_at(&mut self, at: SimTime, dst: CompId, msg: M) {
+        assert!(at >= self.now, "schedule_at into the past");
+        assert!(
+            dst.index() < self.components.len(),
+            "schedule to unregistered component {dst}"
+        );
+        self.push(at, dst, msg);
+    }
+
+    fn push(&mut self, at: SimTime, dst: CompId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, dst, msg }));
+        self.stats.events_scheduled += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+    }
+
+    /// Delivers the single earliest pending event. Returns `false` if the
+    /// queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.stats.events_delivered += 1;
+        if let Some((cap, buf, render)) = self.trace.as_mut() {
+            if buf.len() == *cap {
+                buf.pop_front();
+            }
+            buf.push_back(TraceEntry {
+                at: ev.at,
+                dst: ev.dst,
+                component: self
+                    .components
+                    .get(ev.dst.index())
+                    .map(|c| c.name().to_string())
+                    .unwrap_or_default(),
+                event: render(&ev.msg),
+            });
+        }
+
+        let mut outbox = std::mem::take(&mut self.outbox);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.dst,
+                outbox: &mut outbox,
+                halt: &mut self.halt,
+            };
+            self.components[ev.dst.index()].on_event(ev.msg, &mut ctx);
+        }
+        for (at, dst, msg) in outbox.drain(..) {
+            assert!(
+                dst.index() < self.components.len(),
+                "event sent to unregistered component {dst}"
+            );
+            self.push(at, dst, msg);
+        }
+        self.outbox = outbox;
+        true
+    }
+
+    /// Runs until the queue drains or a component halts the engine.
+    pub fn run(&mut self) -> RunLimit {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `deadline` (inclusive of events *at* the deadline), the
+    /// queue drains, or a component halts the engine.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunLimit {
+        self.halt = false;
+        loop {
+            match self.queue.peek() {
+                None => return RunLimit::Drained,
+                Some(Reverse(ev)) if ev.at > deadline => {
+                    self.now = deadline.min(ev.at);
+                    return RunLimit::Deadline;
+                }
+                Some(_) => {}
+            }
+            self.step();
+            if self.halt {
+                return RunLimit::Halted;
+            }
+        }
+    }
+
+    /// Runs at most `budget` events; a safety valve against livelocked
+    /// component protocols in tests.
+    pub fn run_events(&mut self, budget: u64) -> RunLimit {
+        self.halt = false;
+        for _ in 0..budget {
+            if !self.step() {
+                return RunLimit::Drained;
+            }
+            if self.halt {
+                return RunLimit::Halted;
+            }
+        }
+        RunLimit::EventBudget
+    }
+
+    /// Immutable access to a registered component, downcast to its concrete
+    /// type. Returns `None` if the id is out of range or the type does not
+    /// match.
+    pub fn get<T: Component<M>>(&self, id: CompId) -> Option<&T> {
+        self.components
+            .get(id.index())
+            .and_then(|c| (c.as_ref() as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutable access to a registered component, downcast to its concrete
+    /// type.
+    pub fn get_mut<T: Component<M>>(&mut self, id: CompId) -> Option<&mut T> {
+        self.components
+            .get_mut(id.index())
+            .and_then(|c| (c.as_mut() as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// The registered name of a component.
+    pub fn name_of(&self, id: CompId) -> &str {
+        self.components
+            .get(id.index())
+            .map(|c| c.name())
+            .unwrap_or("<unregistered>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        peer: Option<CompId>,
+        rounds: u32,
+        got: Vec<u32>,
+    }
+
+    impl Component<Msg> for Pinger {
+        fn on_event(&mut self, ev: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match ev {
+                Msg::Ping(n) => {
+                    self.got.push(n);
+                    if let Some(peer) = self.peer {
+                        ctx.send(peer, SimTime::from_ns(5), Msg::Pong(n));
+                    }
+                }
+                Msg::Pong(n) => {
+                    self.got.push(n);
+                    if n + 1 < self.rounds {
+                        if let Some(peer) = self.peer {
+                            ctx.send(peer, SimTime::from_ns(5), Msg::Ping(n + 1));
+                        }
+                    }
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "pinger"
+        }
+    }
+
+    fn pinger(rounds: u32) -> Pinger {
+        Pinger {
+            peer: None,
+            rounds,
+            got: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut eng: Engine<Msg> = Engine::new();
+        let a = eng.add(pinger(3));
+        let b = eng.add(pinger(3));
+        eng.get_mut::<Pinger>(a).unwrap().peer = Some(b);
+        eng.get_mut::<Pinger>(b).unwrap().peer = Some(a);
+        eng.schedule(SimTime::ZERO, b, Msg::Ping(0));
+        assert_eq!(eng.run(), RunLimit::Drained);
+        // 3 rounds of ping+pong, 5ns per hop, first ping at t=0.
+        assert_eq!(eng.now(), SimTime::from_ns(25));
+        assert_eq!(eng.get::<Pinger>(b).unwrap().got, vec![0, 1, 2]);
+        assert_eq!(eng.get::<Pinger>(a).unwrap().got, vec![0, 1, 2]);
+    }
+
+    struct Recorder {
+        seen: Vec<u32>,
+    }
+    impl Component<u32> for Recorder {
+        fn on_event(&mut self, ev: u32, _ctx: &mut Ctx<'_, u32>) {
+            self.seen.push(ev);
+        }
+        fn name(&self) -> &str {
+            "recorder"
+        }
+    }
+
+    #[test]
+    fn same_time_events_delivered_in_schedule_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        for i in 0..100 {
+            eng.schedule(SimTime::from_ns(10), r, i);
+        }
+        eng.run();
+        let expect: Vec<u32> = (0..100).collect();
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, expect);
+    }
+
+    #[test]
+    fn interleaved_times_sorted() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.schedule(SimTime::from_ns(30), r, 3);
+        eng.schedule(SimTime::from_ns(10), r, 1);
+        eng.schedule(SimTime::from_ns(20), r, 2);
+        eng.run();
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.schedule(SimTime::from_ns(10), r, 1);
+        eng.schedule(SimTime::from_ns(50), r, 2);
+        assert_eq!(eng.run_until(SimTime::from_ns(20)), RunLimit::Deadline);
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, vec![1]);
+        assert_eq!(eng.now(), SimTime::from_ns(20));
+        assert_eq!(eng.run(), RunLimit::Drained);
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, vec![1, 2]);
+    }
+
+    struct SelfLooper {
+        fired: u64,
+    }
+    impl Component<u32> for SelfLooper {
+        fn on_event(&mut self, _ev: u32, ctx: &mut Ctx<'_, u32>) {
+            self.fired += 1;
+            ctx.send_self(SimTime::from_ns(1), 0);
+            if self.fired == 7 {
+                ctx.halt();
+            }
+        }
+        fn name(&self) -> &str {
+            "looper"
+        }
+    }
+
+    #[test]
+    fn halt_stops_run_and_resumes() {
+        let mut eng: Engine<u32> = Engine::new();
+        let l = eng.add(SelfLooper { fired: 0 });
+        eng.schedule(SimTime::ZERO, l, 0);
+        assert_eq!(eng.run(), RunLimit::Halted);
+        assert_eq!(eng.get::<SelfLooper>(l).unwrap().fired, 7);
+        assert_eq!(eng.run_events(3), RunLimit::EventBudget);
+        assert_eq!(eng.get::<SelfLooper>(l).unwrap().fired, 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        for _ in 0..5 {
+            eng.schedule(SimTime::ZERO, r, 0);
+        }
+        eng.run();
+        let s = eng.stats();
+        assert_eq!(s.events_delivered, 5);
+        assert_eq!(s.events_scheduled, 5);
+        assert_eq!(s.max_queue_len, 5);
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        assert!(eng.get::<SelfLooper>(r).is_none());
+        assert!(eng.get::<Recorder>(r).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn schedule_to_unknown_component_panics() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::ZERO, CompId(3), 0);
+    }
+
+    #[test]
+    fn trace_records_recent_events() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.enable_trace(3);
+        for i in 0..5 {
+            eng.schedule(SimTime::from_ns(i), r, i as u32);
+        }
+        eng.run();
+        let trace = eng.take_trace();
+        assert_eq!(trace.len(), 3, "bounded to capacity");
+        assert_eq!(trace[0].event, "2");
+        assert_eq!(trace[2].event, "4");
+        assert_eq!(trace[0].component, "recorder");
+        // Tracing off afterwards.
+        eng.schedule(SimTime::ZERO, r, 9);
+        eng.run();
+        assert_eq!(eng.trace().count(), 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut eng: Engine<u32> = Engine::new();
+            let r = eng.add(Recorder { seen: Vec::new() });
+            for i in 0..50u32 {
+                eng.schedule(SimTime::from_ns((i as u64 * 7) % 13), r, i);
+            }
+            eng.run();
+            eng.get::<Recorder>(r).unwrap().seen.clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic pseudo-random numbers for workloads and scenarios.
+
+/// A small, fast, seedable PRNG (xoshiro256++), self-contained so that every
+/// experiment in the repository is bit-reproducible from its seed alone.
+///
+/// The state is seeded through SplitMix64 as recommended by the xoshiro
+/// authors, so even trivially different seeds (0, 1, 2 …) give uncorrelated
+/// streams.
+///
+/// # Example
+///
+/// ```
+/// use tg_sim::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator; handy for giving each node of
+    /// a cluster its own stream from one experiment seed.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "range bound must be positive");
+        // Rejection sampling on the multiply-high method: unbiased.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_between(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.range(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `\[0, 1\]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Geometric-ish exponential sample with the given mean (inverse-CDF).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.range(xs.len() as u64) as usize]
+    }
+
+    /// Zipf-like draw over `[0, n)`: rank `k` has weight `1/(k+1)^theta`.
+    /// Used by the hot-page workloads. `theta = 0` is uniform.
+    pub fn zipf(&mut self, n: u64, theta: f64) -> u64 {
+        assert!(n > 0, "zipf over empty domain");
+        if theta == 0.0 {
+            return self.range(n);
+        }
+        // Inverse-CDF on the (cheaply approximated) harmonic weights; exact
+        // for the small n used by page-selection in workloads.
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(theta);
+        }
+        let mut target = self.f64() * total;
+        for k in 0..n {
+            target -= 1.0 / ((k + 1) as f64).powf(theta);
+            if target <= 0.0 {
+                return k;
+            }
+        }
+        n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_is_in_bounds_and_covers() {
+        let mut rng = SimRng::new(99);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.range(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_between_bounds() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            let x = rng.range_between(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+
+    #[test]
+    fn chance_roughly_calibrated() {
+        let mut rng = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut rng = SimRng::new(21);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((4.7..5.3).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(8);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..50).collect();
+        assert_eq!(sorted, expect);
+        assert_ne!(xs, expect, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut rng = SimRng::new(13);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.zipf(8, 1.2) as usize] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[0] > counts[7] * 3);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let mut rng = SimRng::new(13);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[rng.zipf(4, 0.0) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1700..2300).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::new(1);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = SimRng::new(2);
+        let xs = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(xs.contains(rng.pick(&xs)));
+        }
+    }
+}

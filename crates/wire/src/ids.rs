@@ -1,0 +1,67 @@
+//! Cluster-wide identifiers.
+
+use std::fmt;
+
+/// Identifier of a workstation node in the cluster.
+///
+/// The paper encodes the destination node in "the highest order bits of each
+/// physical address" seen on the TurboChannel; `tg-mem` performs that
+/// encoding, and everything else passes `NodeId`s around.
+///
+/// # Example
+///
+/// ```
+/// use tg_wire::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from its cluster index.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw cluster index.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The cluster index as a `usize`, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let n = NodeId::new(42);
+        assert_eq!(n.raw(), 42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u16), n);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

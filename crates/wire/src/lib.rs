@@ -1,0 +1,23 @@
+//! # tg-wire — shared vocabulary of the simulated Telegraphos cluster
+//!
+//! Pure data types exchanged between the subsystem crates: node identifiers,
+//! the shared-segment address geometry (8 KB Alpha pages, 64-bit words), the
+//! wire-message protocol spoken between Host Interface Boards, network
+//! packets with their size model, and the cluster-wide timing calibration.
+//!
+//! Nothing in this crate has behaviour beyond encoding/decoding and size
+//! arithmetic; the state machines live in `tg-net`, `tg-hib`, `tg-proto` and
+//! `telegraphos`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod ids;
+mod msg;
+mod timing;
+
+pub use addr::{GOffset, PageNum, PAGE_BYTES, PAGE_SHIFT, PAGE_WORDS, WORD_BYTES};
+pub use ids::NodeId;
+pub use msg::{AtomicOp, Packet, WireMsg, HEADER_BYTES};
+pub use timing::TimingConfig;

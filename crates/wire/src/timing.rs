@@ -1,0 +1,184 @@
+//! Cluster-wide timing calibration.
+
+use tg_sim::SimTime;
+
+/// Every latency and rate knob of the simulated cluster, in one place.
+///
+/// The default values are calibrated so that the paper's §3.2 measurements
+/// on two DEC 3000/300 workstations through one Telegraphos switch are
+/// reproduced by the default two-node cluster:
+///
+/// * remote write ≈ 0.70 µs sustained (HIB + link service rate),
+///   and < 0.5 µs per write for short bursts absorbed by HIB queueing;
+/// * remote read ≈ 7.2 µs round trip.
+///
+/// Each field says which state machine consumes it. All values are
+/// overridable, and [`TimingConfig::memory_bus`] provides the paper's §2.1
+/// hypothetical of plugging the HIB into the memory bus instead of the I/O
+/// bus.
+///
+/// # Example
+///
+/// ```
+/// use tg_wire::TimingConfig;
+/// let t = TimingConfig::telegraphos_i();
+/// assert!(t.tc_write_latch < t.tc_read_overhead);
+/// let fast = TimingConfig::memory_bus();
+/// assert!(fast.tc_write_latch < t.tc_write_latch);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingConfig {
+    /// CPU store to the TurboChannel until the bus is released (the cost the
+    /// processor pays per remote write when the HIB queue has room).
+    pub tc_write_latch: SimTime,
+    /// CPU-side overhead of a blocking TurboChannel read (issue, wait-state
+    /// polling, completion turnaround) excluding the network round trip.
+    pub tc_read_overhead: SimTime,
+    /// A cached/local main-memory access (non-shared data; Telegraphos does
+    /// not interfere with these at all).
+    pub local_mem_access: SimTime,
+    /// CPU-side cost of reading *local* shared data. In Telegraphos I the
+    /// shared segment lives on the HIB board, so the read crosses the
+    /// TurboChannel (uncached); Telegraphos II keeps it in cacheable main
+    /// memory — the §2.2.1 trade-off.
+    pub tc_local_shared_read: SimTime,
+    /// Access to the HIB-resident shared SRAM (the Telegraphos I "MPM").
+    pub hib_sram_access: SimTime,
+    /// HIB request/response processing per packet, each direction.
+    pub hib_proc: SimTime,
+    /// Wire propagation per link traversal.
+    pub link_prop: SimTime,
+    /// Link throughput in bytes per microsecond (serialization rate).
+    pub link_bytes_per_us: f64,
+    /// Switch cut-through latency per traversal.
+    pub switch_latency: SimTime,
+    /// Extra CPU cost of entering/leaving the uninterruptible PAL-code
+    /// sequence used by Telegraphos I special-operation launch.
+    pub pal_entry: SimTime,
+    /// Operating-system trap (enter + exit); paid by the VSM baseline, the
+    /// message-passing baseline and alarm-interrupt handling.
+    pub os_trap: SimTime,
+    /// OS work to change one page mapping (page-table + HIB table update).
+    pub os_page_map: SimTime,
+    /// Delivery latency of a HIB interrupt to the processor.
+    pub interrupt_latency: SimTime,
+    /// Per-byte software copy cost (memcpy in the messaging baseline).
+    pub copy_per_byte: SimTime,
+    /// One disk page transfer (seek + rotation + transfer) for the
+    /// disk-paging baseline of experiment E11 (early-90s disk: ~15 ms).
+    pub disk_page_transfer: SimTime,
+}
+
+impl TimingConfig {
+    /// The calibrated Telegraphos I prototype (the default).
+    pub fn telegraphos_i() -> Self {
+        TimingConfig {
+            tc_write_latch: SimTime::from_ns(460),
+            tc_read_overhead: SimTime::from_ns(2900),
+            local_mem_access: SimTime::from_ns(140),
+            tc_local_shared_read: SimTime::from_ns(1200),
+            hib_sram_access: SimTime::from_ns(250),
+            hib_proc: SimTime::from_ns(450),
+            link_prop: SimTime::from_ns(100),
+            link_bytes_per_us: 100.0,
+            switch_latency: SimTime::from_ns(550),
+            pal_entry: SimTime::from_ns(500),
+            os_trap: SimTime::from_us(25),
+            os_page_map: SimTime::from_us(10),
+            interrupt_latency: SimTime::from_us(5),
+            copy_per_byte: SimTime::from_ps(12_000), // ~80 MB/s memcpy
+            disk_page_transfer: SimTime::from_ms(15),
+        }
+    }
+
+    /// The single-chip Telegraphos II target: faster HIB logic and links,
+    /// shared data in main memory (cheaper local shared access), context
+    /// registers instead of PAL sequences.
+    pub fn telegraphos_ii() -> Self {
+        TimingConfig {
+            tc_write_latch: SimTime::from_ns(300),
+            tc_read_overhead: SimTime::from_ns(1500),
+            tc_local_shared_read: SimTime::from_ns(200),
+            hib_sram_access: SimTime::from_ns(140),
+            hib_proc: SimTime::from_ns(200),
+            link_bytes_per_us: 400.0,
+            switch_latency: SimTime::from_ns(250),
+            pal_entry: SimTime::ZERO,
+            ..Self::telegraphos_i()
+        }
+    }
+
+    /// The §2.1 hypothetical: the HIB on the memory bus instead of the I/O
+    /// bus. Bus latch costs shrink to cache-controller scale; everything
+    /// network-side is unchanged.
+    pub fn memory_bus() -> Self {
+        TimingConfig {
+            tc_write_latch: SimTime::from_ns(100),
+            tc_read_overhead: SimTime::from_ns(500),
+            ..Self::telegraphos_i()
+        }
+    }
+
+    /// Serialization delay of `bytes` on a link.
+    pub fn serialize(&self, bytes: u32) -> SimTime {
+        SimTime::from_us_f64(bytes as f64 / self.link_bytes_per_us)
+    }
+
+    /// Software copy cost of `bytes` (messaging baseline).
+    pub fn copy_cost(&self, bytes: u64) -> SimTime {
+        SimTime::from_ps(self.copy_per_byte.as_ps() * bytes)
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self::telegraphos_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_telegraphos_i() {
+        assert_eq!(TimingConfig::default(), TimingConfig::telegraphos_i());
+    }
+
+    #[test]
+    fn serialize_scales_linearly() {
+        let t = TimingConfig::telegraphos_i();
+        let one = t.serialize(10);
+        let two = t.serialize(20);
+        assert_eq!(two, one * 2);
+        // 100 bytes at 100 B/us is 1 us.
+        assert_eq!(t.serialize(100), SimTime::from_us(1));
+    }
+
+    #[test]
+    fn telegraphos_ii_is_faster() {
+        let i = TimingConfig::telegraphos_i();
+        let ii = TimingConfig::telegraphos_ii();
+        assert!(ii.hib_proc < i.hib_proc);
+        assert!(ii.link_bytes_per_us > i.link_bytes_per_us);
+        assert!(ii.pal_entry.is_zero());
+        // OS costs are workstation properties, unchanged.
+        assert_eq!(ii.os_trap, i.os_trap);
+    }
+
+    #[test]
+    fn copy_cost_scales() {
+        let t = TimingConfig::telegraphos_i();
+        assert_eq!(t.copy_cost(1000), SimTime::from_ns(12_000));
+    }
+
+    #[test]
+    fn write_service_rate_matches_calibration() {
+        // The sustained remote-write rate is one write per
+        // hib_proc + serialize(header + WriteReq payload) = 0.45 + 0.22 us.
+        let t = TimingConfig::telegraphos_i();
+        let service = t.hib_proc + t.serialize(8 + 14);
+        let us = service.as_us_f64();
+        assert!((0.65..0.75).contains(&us), "service = {us} us");
+    }
+}

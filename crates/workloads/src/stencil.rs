@@ -1,0 +1,293 @@
+//! A distributed 1-D Jacobi stencil — the style of "engineering design and
+//! simulation" application the paper's introduction motivates.
+//!
+//! The grid is strip-partitioned across the workstations. Each node keeps
+//! its strip privately and publishes its two edge cells on a small
+//! *boundary page* that is eager-update-multicast (§2.2.7) to its
+//! neighbors, so every boundary read is a local access. Iterations are
+//! separated by the fence-embedding sense-reversing barrier (§2.3.5).
+
+use telegraphos::sync::{BarrierWait, SyncStep};
+use telegraphos::{Action, Process, Resume, SharedPage};
+use tg_mem::VAddr;
+use tg_sim::SimTime;
+
+/// Integer Jacobi update: the new cell is the floor-average of its
+/// neighbors.
+fn relax(left: u64, right: u64) -> u64 {
+    (left + right) / 2
+}
+
+/// Sequential reference: `iters` Jacobi sweeps over `initial` with fixed
+/// boundary values.
+pub fn jacobi_reference(initial: &[u64], iters: u32, left_bc: u64, right_bc: u64) -> Vec<u64> {
+    let mut cur = initial.to_vec();
+    let n = cur.len();
+    for _ in 0..iters {
+        let mut next = vec![0u64; n];
+        for i in 0..n {
+            let l = if i == 0 { left_bc } else { cur[i - 1] };
+            let r = if i + 1 == n { right_bc } else { cur[i + 1] };
+            next[i] = relax(l, r);
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Shared coordination pages for a Jacobi run.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobiShared {
+    /// This node's boundary page (word 0 = left edge, word 1 = right edge),
+    /// eager-mapped to the neighbors.
+    pub my_boundary: SharedPage,
+    /// Left neighbor's boundary page (read word 1), if any.
+    pub left_boundary: Option<SharedPage>,
+    /// Right neighbor's boundary page (read word 0), if any.
+    pub right_boundary: Option<SharedPage>,
+    /// This node's result page: the final strip is written here.
+    pub result: SharedPage,
+    /// Barrier counter word.
+    pub barrier_counter: VAddr,
+    /// Barrier sense word.
+    pub barrier_sense: VAddr,
+}
+
+/// One strip worker.
+#[derive(Debug)]
+pub struct JacobiWorker {
+    shared: JacobiShared,
+    parties: u64,
+    iters: u32,
+    left_bc: u64,
+    right_bc: u64,
+    strip: Vec<u64>,
+    cell_cost: SimTime,
+    iter: u32,
+    /// Barrier episodes completed (two per iteration: after publish, after
+    /// the edge reads).
+    episode: u32,
+    state: JState,
+    barrier: Option<BarrierWait>,
+    left_edge_in: u64,
+    right_edge_in: u64,
+    write_back: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JState {
+    PublishLeft,
+    PublishRight,
+    PublishFence,
+    EnterBarrier,
+    Barrier,
+    ReadLeft,
+    ReadRight,
+    EnterReadBarrier,
+    ReadBarrier,
+    Compute,
+    WriteResults,
+    Done,
+}
+
+impl JacobiWorker {
+    /// Creates the worker for one strip. `left_bc`/`right_bc` are the
+    /// boundary values seen by the outermost strips (inner strips receive
+    /// them from neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strip is empty.
+    pub fn new(
+        shared: JacobiShared,
+        parties: u64,
+        iters: u32,
+        strip: Vec<u64>,
+        left_bc: u64,
+        right_bc: u64,
+    ) -> Self {
+        assert!(!strip.is_empty(), "strip must hold at least one cell");
+        JacobiWorker {
+            shared,
+            parties,
+            iters,
+            left_bc,
+            right_bc,
+            strip,
+            cell_cost: SimTime::from_ns(100),
+            iter: 0,
+            episode: 0,
+            state: JState::PublishLeft,
+            barrier: None,
+            left_edge_in: 0,
+            right_edge_in: 0,
+            write_back: 0,
+        }
+    }
+
+    fn arm_barrier(&mut self) {
+        // Sense reverses every episode; two episodes per iteration.
+        let my_sense = u64::from(self.episode % 2 == 1);
+        self.episode += 1;
+        self.barrier = Some(BarrierWait::new(
+            self.shared.barrier_counter,
+            self.shared.barrier_sense,
+            self.parties,
+            my_sense,
+        ));
+    }
+}
+
+impl Process for JacobiWorker {
+    fn resume(&mut self, r: Resume) -> Action {
+        loop {
+            match self.state {
+                JState::PublishLeft => {
+                    self.state = JState::PublishRight;
+                    return Action::Write(self.shared.my_boundary.va(0), self.strip[0]);
+                }
+                JState::PublishRight => {
+                    self.state = JState::PublishFence;
+                    let last = *self.strip.last().expect("non-empty strip");
+                    return Action::Write(self.shared.my_boundary.va(8), last);
+                }
+                JState::PublishFence => {
+                    self.state = JState::EnterBarrier;
+                    return Action::Fence;
+                }
+                JState::EnterBarrier => {
+                    self.arm_barrier();
+                    self.state = JState::Barrier;
+                    match self.barrier.as_mut().expect("armed").step(Resume::Start) {
+                        SyncStep::Do(a) => return a,
+                        SyncStep::Ready => unreachable!("barrier cannot be instant"),
+                    }
+                }
+                JState::Barrier => {
+                    match self.barrier.as_mut().expect("armed").step(r) {
+                        SyncStep::Do(a) => return a,
+                        SyncStep::Ready => {
+                            if self.iter == self.iters {
+                                self.state = JState::WriteResults;
+                                self.write_back = 0;
+                                continue;
+                            }
+                            self.state = JState::ReadLeft;
+                        }
+                    }
+                }
+                JState::ReadLeft => {
+                    self.state = JState::ReadRight;
+                    match self.shared.left_boundary {
+                        // Neighbor's right edge is its boundary word 1.
+                        Some(p) => return Action::Read(p.va(8)),
+                        None => {
+                            self.left_edge_in = self.left_bc;
+                            continue;
+                        }
+                    }
+                }
+                JState::ReadRight => {
+                    if self.shared.left_boundary.is_some() {
+                        self.left_edge_in = r.value();
+                    }
+                    self.state = JState::EnterReadBarrier;
+                    match self.shared.right_boundary {
+                        Some(p) => return Action::Read(p.va(0)),
+                        None => {
+                            self.right_edge_in = self.right_bc;
+                            continue;
+                        }
+                    }
+                }
+                JState::EnterReadBarrier => {
+                    if self.shared.right_boundary.is_some() {
+                        self.right_edge_in = r.value();
+                    }
+                    // Second barrier: nobody may republish edges until every
+                    // node has captured this iteration's values.
+                    self.arm_barrier();
+                    self.state = JState::ReadBarrier;
+                    match self.barrier.as_mut().expect("armed").step(Resume::Start) {
+                        SyncStep::Do(a) => return a,
+                        SyncStep::Ready => unreachable!("barrier cannot be instant"),
+                    }
+                }
+                JState::ReadBarrier => match self.barrier.as_mut().expect("armed").step(r) {
+                    SyncStep::Do(a) => return a,
+                    SyncStep::Ready => {
+                        self.state = JState::Compute;
+                        continue;
+                    }
+                },
+                JState::Compute => {
+                    // One Jacobi sweep over the strip.
+                    let n = self.strip.len();
+                    let next: Vec<u64> = (0..n)
+                        .map(|i| {
+                            let l = if i == 0 {
+                                self.left_edge_in
+                            } else {
+                                self.strip[i - 1]
+                            };
+                            let rr = if i + 1 == n {
+                                self.right_edge_in
+                            } else {
+                                self.strip[i + 1]
+                            };
+                            relax(l, rr)
+                        })
+                        .collect();
+                    self.strip = next;
+                    self.iter += 1;
+                    self.state = JState::PublishLeft;
+                    return Action::Compute(self.cell_cost * self.strip.len() as u64);
+                }
+                JState::WriteResults => {
+                    if self.write_back < self.strip.len() {
+                        let i = self.write_back;
+                        self.write_back += 1;
+                        return Action::Write(
+                            self.shared.result.va(i as u64 * 8),
+                            self.strip[i],
+                        );
+                    }
+                    self.state = JState::Done;
+                    return Action::Fence;
+                }
+                JState::Done => return Action::Halt,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_fixed_point_of_constant_field() {
+        // A constant field with matching boundaries is a fixed point.
+        let field = vec![5u64; 8];
+        let out = jacobi_reference(&field, 10, 5, 5);
+        assert_eq!(out, field);
+    }
+
+    #[test]
+    fn reference_diffuses_toward_boundaries() {
+        // Zero field between hot boundaries warms up monotonically.
+        let out1 = jacobi_reference(&[0, 0, 0, 0], 1, 100, 100);
+        assert_eq!(out1, vec![50, 0, 0, 50]);
+        let out2 = jacobi_reference(&[0, 0, 0, 0], 2, 100, 100);
+        assert_eq!(out2, vec![50, 25, 25, 50]);
+        let far = jacobi_reference(&[0, 0, 0, 0], 200, 100, 100);
+        // Long-run: interior approaches the boundary value (integer floor).
+        assert!(far.iter().all(|&v| v >= 90), "{far:?}");
+    }
+
+    #[test]
+    fn reference_zero_iters_is_identity() {
+        let field = vec![1, 2, 3];
+        assert_eq!(jacobi_reference(&field, 0, 9, 9), field);
+    }
+}

@@ -1,0 +1,228 @@
+//! Synthetic trace generation (the methodology of the paper's ref \[22\],
+//! "Trace-Driven Simulations of Data-Alignment and Other Factors affecting
+//! Update and Invalidate Based Coherent Memory").
+//!
+//! Traces are streams of reads/writes over shared pages with tunable write
+//! fraction, temporal locality (stay on the current page), spatial
+//! locality (sequential word drift), and data alignment (whether writers
+//! are blocked into disjoint word regions or interleaved — false sharing).
+
+use telegraphos::{Action, Script, SharedPage};
+use tg_sim::{SimRng, SimTime};
+use tg_wire::PAGE_WORDS;
+
+/// Parameters of a synthetic trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Number of memory operations.
+    pub ops: u64,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+    /// Probability that the next access stays on the same page.
+    pub page_locality: f64,
+    /// Probability that the next access is sequential (word + 1) rather
+    /// than a random word.
+    pub spatial_locality: f64,
+    /// When true, each trace writes only its own word block ("aligned"
+    /// data); when false, writers interleave over the full page (false
+    /// sharing on the paper's terms).
+    pub aligned: bool,
+    /// This trace's writer index and the total writer count (defines the
+    /// aligned block).
+    pub writer: (u64, u64),
+    /// Think time between operations.
+    pub think: SimTime,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ops: 200,
+            write_fraction: 0.3,
+            page_locality: 0.9,
+            spatial_locality: 0.7,
+            aligned: true,
+            writer: (0, 1),
+            think: SimTime::from_us(2),
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a trace as a [`Script`] over the given pages.
+///
+/// # Panics
+///
+/// Panics if `pages` is empty or the writer index is out of range.
+pub fn synthetic_trace(pages: &[SharedPage], cfg: TraceConfig) -> Script {
+    assert!(!pages.is_empty(), "need at least one page");
+    let (me, writers) = cfg.writer;
+    assert!(me < writers, "writer index out of range");
+    let mut rng = SimRng::new(cfg.seed);
+    let block = PAGE_WORDS / writers.max(1);
+    let (lo, hi) = if cfg.aligned {
+        (me * block, (me + 1) * block)
+    } else {
+        (0, PAGE_WORDS)
+    };
+
+    let mut page_idx = rng.range(pages.len() as u64) as usize;
+    let mut word = lo + rng.range(hi - lo);
+    let mut actions = Vec::with_capacity(2 * cfg.ops as usize);
+    for i in 0..cfg.ops {
+        if !rng.chance(cfg.page_locality) {
+            page_idx = rng.range(pages.len() as u64) as usize;
+        }
+        if rng.chance(cfg.spatial_locality) {
+            word += 1;
+            if word >= hi {
+                word = lo;
+            }
+        } else {
+            word = lo + rng.range(hi - lo);
+        }
+        let va = pages[page_idx].va(word * 8);
+        if rng.chance(cfg.write_fraction) {
+            actions.push(Action::Write(va, (me << 48) | (i + 1)));
+        } else {
+            actions.push(Action::Read(va));
+        }
+        if !cfg.think.is_zero() {
+            actions.push(Action::Compute(cfg.think));
+        }
+    }
+    Script::new(actions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telegraphos::{Process, Resume};
+    use tg_wire::{NodeId, PageNum};
+
+    fn pages() -> Vec<SharedPage> {
+        (0..2)
+            .map(|i| SharedPage {
+                index: i,
+                home: NodeId::new(0),
+                home_page: PageNum::new(i as u32),
+            })
+            .collect()
+    }
+
+    fn drain(mut s: Script) -> Vec<Action> {
+        let mut out = Vec::new();
+        let mut r = Resume::Start;
+        loop {
+            let a = s.resume(r);
+            if a == Action::Halt {
+                return out;
+            }
+            r = match a {
+                Action::Read(_) => Resume::Value(0),
+                _ => Resume::Done,
+            };
+            out.push(a);
+        }
+    }
+
+    #[test]
+    fn trace_respects_op_count_and_think() {
+        let cfg = TraceConfig {
+            ops: 50,
+            ..TraceConfig::default()
+        };
+        let acts = drain(synthetic_trace(&pages(), cfg));
+        let mem_ops = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Read(_) | Action::Write(..)))
+            .count();
+        let computes = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Compute(_)))
+            .count();
+        assert_eq!(mem_ops, 50);
+        assert_eq!(computes, 50);
+    }
+
+    #[test]
+    fn write_fraction_is_roughly_respected() {
+        let cfg = TraceConfig {
+            ops: 2000,
+            write_fraction: 0.25,
+            think: SimTime::ZERO,
+            ..TraceConfig::default()
+        };
+        let acts = drain(synthetic_trace(&pages(), cfg));
+        let writes = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Write(..)))
+            .count();
+        assert!((400..600).contains(&writes), "writes = {writes}");
+    }
+
+    #[test]
+    fn aligned_traces_stay_in_their_block() {
+        let cfg = TraceConfig {
+            ops: 500,
+            aligned: true,
+            writer: (1, 4), // words [256, 512)
+            think: SimTime::ZERO,
+            ..TraceConfig::default()
+        };
+        let base = pages()[0].va(0).bits();
+        for a in drain(synthetic_trace(&pages(), cfg)) {
+            let va = match a {
+                Action::Read(va) | Action::Write(va, _) => va,
+                _ => continue,
+            };
+            let word = (va.bits() - base) % 8192 / 8;
+            assert!((256..512).contains(&word), "word {word} outside block");
+        }
+    }
+
+    #[test]
+    fn interleaved_traces_roam_the_page() {
+        let cfg = TraceConfig {
+            ops: 500,
+            aligned: false,
+            writer: (1, 4),
+            think: SimTime::ZERO,
+            ..TraceConfig::default()
+        };
+        let base = pages()[0].va(0).bits();
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for a in drain(synthetic_trace(&pages(), cfg)) {
+            let va = match a {
+                Action::Read(va) | Action::Write(va, _) => va,
+                _ => continue,
+            };
+            let word = (va.bits() - base) % 8192 / 8;
+            if word < 256 {
+                seen_low = true;
+            }
+            if word >= 512 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high, "unaligned trace stayed in a block");
+    }
+
+    #[test]
+    fn traces_are_seeded() {
+        let a = drain(synthetic_trace(&pages(), TraceConfig::default()));
+        let b = drain(synthetic_trace(&pages(), TraceConfig::default()));
+        let c = drain(synthetic_trace(
+            &pages(),
+            TraceConfig {
+                seed: 2,
+                ..TraceConfig::default()
+            },
+        ));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

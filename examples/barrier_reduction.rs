@@ -1,0 +1,149 @@
+//! A bulk-synchronous parallel reduction on four workstations: each node
+//! computes a partial sum in private memory, contributes it with a remote
+//! fetch-and-add (§2.2.3), and synchronizes with the fence-embedding
+//! sense-reversing barrier from `telegraphos::sync` (§2.3.5).
+//!
+//! Run with: `cargo run --example barrier_reduction`
+
+use telegraphos::sync::{BarrierWait, SyncStep};
+use telegraphos::{Action, ClusterBuilder, Process, Resume};
+use tg_mem::VAddr;
+use tg_sim::SimTime;
+
+struct ReduceWorker {
+    rank: u64,
+    parties: u64,
+    items: u64,
+    sum_va: VAddr,
+    counter: VAddr,
+    sense: VAddr,
+    result_out: VAddr,
+    phase: Phase,
+    acc: u64,
+    i: u64,
+    barrier: Option<BarrierWait>,
+}
+
+enum Phase {
+    Compute,
+    Contribute,
+    EnterBarrier,
+    Barrier,
+    ReadResult,
+    WriteBack,
+    Done,
+}
+
+impl Process for ReduceWorker {
+    fn resume(&mut self, r: Resume) -> Action {
+        loop {
+            match self.phase {
+                Phase::Compute => {
+                    if self.i < self.items {
+                        // "Compute" one item: rank-dependent value.
+                        self.acc += self.rank * 1000 + self.i;
+                        self.i += 1;
+                        return Action::Compute(SimTime::from_us(1));
+                    }
+                    self.phase = Phase::Contribute;
+                }
+                Phase::Contribute => {
+                    self.phase = Phase::EnterBarrier;
+                    self.barrier = Some(BarrierWait::new(
+                        self.counter,
+                        self.sense,
+                        self.parties,
+                        0,
+                    ));
+                    return Action::FetchAdd(self.sum_va, self.acc);
+                }
+                Phase::EnterBarrier => {
+                    // Discard the fetch&add result; the barrier starts its
+                    // own arrival sequence.
+                    self.phase = Phase::Barrier;
+                    match self
+                        .barrier
+                        .as_mut()
+                        .expect("armed in Contribute")
+                        .step(Resume::Start)
+                    {
+                        SyncStep::Do(a) => return a,
+                        SyncStep::Ready => unreachable!("barrier cannot be instant"),
+                    }
+                }
+                Phase::Barrier => {
+                    match self
+                        .barrier
+                        .as_mut()
+                        .expect("barrier armed in Contribute")
+                        .step(r)
+                    {
+                        SyncStep::Do(a) => return a,
+                        SyncStep::Ready => self.phase = Phase::ReadResult,
+                    }
+                }
+                Phase::ReadResult => {
+                    self.phase = Phase::WriteBack;
+                    return Action::Read(self.sum_va);
+                }
+                Phase::WriteBack => {
+                    self.phase = Phase::Done;
+                    return Action::Write(self.result_out, r.value());
+                }
+                Phase::Done => return Action::Halt,
+            }
+        }
+    }
+}
+
+fn main() {
+    let parties = 4u16;
+    let items = 25u64;
+    let mut cluster = ClusterBuilder::new(parties).build();
+    let page = cluster.alloc_shared(0);
+    let sum_va = page.va(0);
+    let counter = page.va(8);
+    let sense = page.va(16);
+
+    for rank in 0..parties {
+        cluster.set_process(
+            rank,
+            ReduceWorker {
+                rank: u64::from(rank),
+                parties: u64::from(parties),
+                items,
+                sum_va,
+                counter,
+                sense,
+                result_out: page.va(32 + u64::from(rank) * 8),
+                phase: Phase::Compute,
+                acc: 0,
+                i: 0,
+                barrier: None,
+            },
+        );
+    }
+    cluster.run();
+    assert!(cluster.all_halted(), "reduction hung");
+
+    let expect: u64 = (0..u64::from(parties))
+        .map(|r| (0..items).map(|i| r * 1000 + i).sum::<u64>())
+        .sum();
+    let global = cluster.read_shared(&page, 0);
+    println!("global sum: {global} (expected {expect})");
+    assert_eq!(global, expect);
+
+    // Every node read the same total after the barrier.
+    for rank in 0..parties {
+        let seen = cluster.read_shared(&page, 4 + u64::from(rank));
+        assert_eq!(seen, expect, "node {rank} saw a partial sum");
+        let stats = cluster.node(rank).stats();
+        println!(
+            "node {rank}: atomics {:.2} us mean, fence {:.2} us, done at {}",
+            stats.atomics.mean(),
+            stats.fences.mean(),
+            stats.halted_at.unwrap()
+        );
+    }
+    println!("ok: all {parties} nodes agree after the barrier");
+}

@@ -1,0 +1,61 @@
+//! Page-access counters and alarm-driven replication (§2.2.6): a node
+//! hammers a remote page; after the armed threshold the HIB interrupts the
+//! OS, which replicates the page locally — reads drop from ~7 µs to local
+//! latency.
+//!
+//! Run with: `cargo run --example page_migration`
+
+use telegraphos::{ClusterBuilder, ReplicatePolicy};
+use tg_sim::SimTime;
+use tg_workloads::hot_page_reader;
+
+fn run(threshold: Option<u16>) -> (f64, u64, u64, u64) {
+    let policy = if threshold.is_some() {
+        ReplicatePolicy::OnAlarm
+    } else {
+        ReplicatePolicy::Never
+    };
+    let mut cluster = ClusterBuilder::new(2).replicate_policy(policy).build();
+    let page = cluster.alloc_shared(1);
+    // Put recognizable data on the home node.
+    for w in 0..16 {
+        cluster
+            .node_mut(1)
+            .segment_write(tg_wire::GOffset::from_page(page.home_page, w * 8), 100 + w);
+    }
+    if let Some(t) = threshold {
+        cluster.arm_counters(0, &page, t, u16::MAX);
+    }
+    cluster.set_process(0, hot_page_reader(&page, 200, SimTime::from_us(25)));
+    cluster.run();
+    let s = cluster.node(0).stats();
+    let mut reads = s.local_reads.clone();
+    reads.merge(&s.remote_reads);
+    (
+        reads.mean(),
+        s.remote_reads.count(),
+        s.local_reads.count(),
+        s.replications,
+    )
+}
+
+fn main() {
+    println!("hot-page reader, 200 reads, 25 us think time\n");
+    println!(
+        "{:<24} {:>10} {:>8} {:>8} {:>6}",
+        "policy", "read (us)", "remote", "local", "repl"
+    );
+    for (name, threshold) in [
+        ("never replicate", None),
+        ("alarm at 32 reads", Some(32u16)),
+        ("alarm at 8 reads", Some(8)),
+    ] {
+        let (mean, remote, local, repl) = run(threshold);
+        println!("{name:<24} {mean:>10.2} {remote:>8} {local:>8} {repl:>6}");
+    }
+    println!(
+        "\nAfter the alarm the OS pulls the page across with the hardware\n\
+         page-fetch stream and remaps it; the HIB counters made the decision\n\
+         cheap and precise (§2.2.6)."
+    );
+}

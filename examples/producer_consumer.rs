@@ -1,0 +1,82 @@
+//! Producer/consumer over three sharing modes: plain remote reads,
+//! eager-update-style coherent replication (§2.3), and the software VSM
+//! baseline — the §2.3.6 comparison, live.
+//!
+//! Run with: `cargo run --example producer_consumer`
+
+use telegraphos::{ClusterBuilder, Cluster, SharedPage};
+use tg_sim::SimTime;
+use tg_workloads::{Consumer, PcConfig, Producer};
+
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    RemoteOnly,
+    CoherentUpdate,
+    Vsm,
+}
+
+fn run(mode: Mode, words: u64, rounds: u64) -> (f64, f64, u64) {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let data: SharedPage = cluster.alloc_shared(0);
+    match mode {
+        Mode::RemoteOnly => {}
+        Mode::CoherentUpdate => cluster.make_coherent(&data, &[1]),
+        Mode::Vsm => cluster.make_vsm(&data),
+    }
+    let flag = cluster.alloc_shared(1); // consumer spins locally
+    let ack = cluster.alloc_shared(0); // producer spins locally
+    let cfg = PcConfig {
+        data,
+        flag,
+        ack,
+        words,
+        rounds,
+        poll: SimTime::from_us(2),
+        fence: true,
+    };
+    cluster.set_process(0, Producer::new(cfg));
+    cluster.set_process(1, Consumer::new(cfg));
+    cluster.run();
+    assert!(cluster.all_halted(), "handshake deadlocked");
+    verify(&cluster, &data, words, rounds, mode);
+    let total = cluster.now().as_us_f64();
+    let mut reads = cluster.node(1).stats().local_reads.clone();
+    reads.merge(&cluster.node(1).stats().remote_reads);
+    (total, reads.mean(), cluster.fabric_bytes())
+}
+
+fn verify(cluster: &Cluster, data: &SharedPage, words: u64, rounds: u64, mode: Mode) {
+    // After the last round the producer's values must be globally visible.
+    for w in 0..words {
+        let expect = rounds * 10_000 + w;
+        let got = match mode {
+            // Under VSM the authoritative copy migrated to the producer's
+            // frame; read it through the home ground truth only for the
+            // hardware modes.
+            Mode::Vsm => return,
+            _ => cluster.read_shared(data, w),
+        };
+        assert_eq!(got, expect, "word {w}");
+    }
+}
+
+fn main() {
+    let (words, rounds) = (64, 10);
+    println!("producer/consumer: {words} words x {rounds} rounds\n");
+    println!(
+        "{:<28} {:>12} {:>14} {:>12}",
+        "data-page mode", "total (us)", "cons. read us", "wire bytes"
+    );
+    for (name, mode) in [
+        ("remote reads (no caching)", Mode::RemoteOnly),
+        ("coherent update (Telegraphos)", Mode::CoherentUpdate),
+        ("VSM invalidate (software)", Mode::Vsm),
+    ] {
+        let (total, read, bytes) = run(mode, words, rounds);
+        println!("{name:<28} {total:>12.1} {read:>14.2} {bytes:>12}");
+    }
+    println!(
+        "\nThe coherent-update hardware turns every consumer read into a\n\
+         local access — the §2.3.6 producer/consumer win."
+    );
+}

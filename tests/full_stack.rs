@@ -1,0 +1,228 @@
+//! Workspace-level integration tests: scenarios that span every crate —
+//! larger topologies, mixed mechanisms, determinism, and workload-driven
+//! end-to-end checks.
+
+use telegraphos::{Action, ClusterBuilder, ReplicatePolicy, Script};
+use tg_hib::HibConfig;
+use tg_net::Topology;
+use tg_sim::SimTime;
+use tg_wire::TimingConfig;
+use tg_workloads::{stream_reads, stream_writes, uniform_mixed, Consumer, PcConfig, Producer};
+
+#[test]
+fn nine_node_mesh_all_pairs_traffic() {
+    let mut cluster = ClusterBuilder::new(9)
+        .topology(Topology::mesh(3, 3))
+        .build();
+    // Each node owns one page; every other node writes its rank into a
+    // distinct word of every page.
+    let pages: Vec<_> = (0..9).map(|n| cluster.alloc_shared(n)).collect();
+    for writer in 0..9u16 {
+        let mut actions = Vec::new();
+        for (pi, page) in pages.iter().enumerate() {
+            if pi as u16 != writer {
+                actions.push(Action::Write(
+                    page.va(u64::from(writer) * 8),
+                    u64::from(writer) + 100,
+                ));
+            }
+        }
+        actions.push(Action::Fence);
+        cluster.set_process(writer, Script::new(actions));
+    }
+    cluster.run();
+    assert!(cluster.all_halted());
+    for (pi, page) in pages.iter().enumerate() {
+        for writer in 0..9u64 {
+            if pi as u64 != writer {
+                assert_eq!(
+                    cluster.read_shared(page, writer),
+                    writer + 100,
+                    "page {pi} word {writer}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_of_stars_topology_works() {
+    let mut cluster = ClusterBuilder::new(6)
+        .topology(Topology::chain_of_stars(3, 2))
+        .build();
+    let page = cluster.alloc_shared(5);
+    cluster.set_process(0, stream_writes(&page, 64));
+    cluster.run();
+    assert_eq!(cluster.read_shared(&page, 63), 64);
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let run = || {
+        let mut cluster = ClusterBuilder::new(4).build();
+        let pages: Vec<_> = (0..4).map(|n| cluster.alloc_shared(n)).collect();
+        for n in 0..4u16 {
+            cluster.set_process(n, uniform_mixed(&pages, 200, 0.5, u64::from(n) + 1));
+        }
+        cluster.run();
+        let t = cluster.now();
+        let bytes = cluster.fabric_bytes();
+        let sums: Vec<u64> = (0..4)
+            .map(|n| {
+                (0..64)
+                    .map(|w| cluster.read_shared(&pages[n as usize], w))
+                    .sum::<u64>()
+            })
+            .collect();
+        (t, bytes, sums)
+    };
+    assert_eq!(run(), run(), "simulation must be bit-deterministic");
+}
+
+#[test]
+fn coherent_and_vsm_pages_coexist() {
+    let mut cluster = ClusterBuilder::new(3).build();
+    let coherent = cluster.alloc_shared(0);
+    cluster.make_coherent(&coherent, &[1, 2]);
+    let vsm = cluster.alloc_shared(0);
+    cluster.make_vsm(&vsm);
+    cluster.set_process(
+        1,
+        Script::new(vec![
+            Action::Write(coherent.va(0), 11),
+            Action::Write(vsm.va(0), 22),
+            Action::Fence,
+        ]),
+    );
+    cluster.run();
+    assert_eq!(cluster.read_shared(&coherent, 0), 11);
+    // The VSM write migrated the page to node 1's frame.
+    let frame = cluster.node_mut(1).os_mut().vsm.frame(vsm.vpage());
+    assert_eq!(cluster.read_local_frame(1, frame, 0), 22);
+    assert!(cluster.node(1).stats().faults >= 1);
+}
+
+#[test]
+fn replication_and_streaming_mix() {
+    let mut cluster = ClusterBuilder::new(3)
+        .replicate_policy(ReplicatePolicy::OnAlarm)
+        .build();
+    let hot = cluster.alloc_shared(2);
+    let cold = cluster.alloc_shared(2);
+    cluster.arm_counters(0, &hot, 4, u16::MAX);
+    let mut actions = Vec::new();
+    for i in 0..30u64 {
+        actions.push(Action::Read(hot.va(0)));
+        actions.push(Action::Compute(SimTime::from_us(40)));
+        actions.push(Action::Write(cold.va((i % 1024) * 8), i));
+    }
+    cluster.set_process(0, Script::new(actions));
+    cluster.run();
+    let s = cluster.node(0).stats();
+    assert!(s.replications >= 1, "hot page should replicate");
+    // Cold-page writes kept flowing remotely the whole time.
+    assert_eq!(s.remote_writes.count(), 30);
+    assert_eq!(cluster.read_shared(&cold, 29), 29);
+}
+
+#[test]
+fn producer_consumer_checksum_over_eager_pages() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let data = cluster.alloc_shared(0);
+    cluster.make_coherent(&data, &[1]);
+    let flag = cluster.alloc_shared(1);
+    let ack = cluster.alloc_shared(0);
+    let cfg = PcConfig {
+        data,
+        flag,
+        ack,
+        words: 16,
+        rounds: 4,
+        poll: SimTime::from_us(2),
+        fence: true,
+    };
+    cluster.set_process(0, Producer::new(cfg));
+    cluster.set_process(1, Consumer::new(cfg));
+    cluster.run();
+    assert!(cluster.all_halted(), "handshake deadlocked");
+    // Expected checksum: sum over rounds/words of (round+1)*10_000 + w.
+    let expect: u64 = (0..4u64)
+        .flat_map(|r| (0..16u64).map(move |w| (r + 1) * 10_000 + w))
+        .sum();
+    // The consumer's internal checksum is not reachable after the run, but
+    // its final-round data must be in both copies.
+    for w in 0..16u64 {
+        assert_eq!(cluster.read_shared(&data, w), 4 * 10_000 + w);
+    }
+    let _ = expect;
+    // Fenced producer + counter filtering: the consumer never saw a stale
+    // round value as current (verified inside Consumer when embedded in
+    // unit tests; here we check convergence).
+}
+
+#[test]
+fn telegraphos_ii_full_stack() {
+    let mut cluster = ClusterBuilder::new(3)
+        .hib_config(HibConfig::telegraphos_ii())
+        .timing(TimingConfig::telegraphos_ii())
+        .build();
+    let page = cluster.alloc_shared(2);
+    let local = cluster.alloc_shared(0);
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::FetchAdd(page.va(0), 3),
+            Action::CompareSwap(page.va(8), 0, 7),
+            Action::Copy {
+                from: page.va(0),
+                to: local.va(0),
+                words: 2,
+            },
+            Action::Fence,
+        ]),
+    );
+    cluster.run();
+    assert_eq!(cluster.read_shared(&page, 0), 3);
+    assert_eq!(cluster.read_shared(&page, 1), 7);
+}
+
+#[test]
+fn reads_survive_heavy_cross_traffic() {
+    // A reader's blocking reads interleave with two writers hammering the
+    // same home node; back-pressure may slow everything but nothing may be
+    // lost or reordered per source.
+    let mut cluster = ClusterBuilder::new(4).build();
+    let page = cluster.alloc_shared(3);
+    cluster.set_process(1, stream_writes(&page, 500));
+    cluster.set_process(2, {
+        // Writer 2 writes to the upper half of the page.
+        let acts = (0..500u64)
+            .map(|i| Action::Write(page.va(4096 + (i % 512) * 8), 7_000 + i))
+            .collect();
+        Script::new(acts)
+    });
+    cluster.set_process(0, stream_reads(&page, 50));
+    cluster.run();
+    assert!(cluster.all_halted());
+    // Last values from both writers are present.
+    assert_eq!(cluster.read_shared(&page, 499), 500); // writer 1's last store
+    let w2_last = cluster.read_shared(&page, 512 + 499);
+    assert_eq!(w2_last, 7_499);
+    // Reads were slower than the uncontended 7.2us on average, never lost.
+    let s = cluster.node(0).stats();
+    assert_eq!(s.remote_reads.count(), 50);
+    assert!(s.remote_reads.mean() >= 6.7);
+}
+
+#[test]
+fn fabric_accounting_is_consistent() {
+    let mut cluster = ClusterBuilder::new(2).build();
+    let page = cluster.alloc_shared(1);
+    cluster.set_process(0, stream_writes(&page, 100));
+    cluster.run();
+    // Every write generates a request and an ack through the one switch:
+    // 200 packets minimum.
+    assert!(cluster.fabric_packets() >= 200);
+    let hib_tx = cluster.node(0).hib_stats().pkts_tx + cluster.node(1).hib_stats().pkts_tx;
+    assert_eq!(cluster.fabric_packets(), hib_tx, "switch saw every packet");
+}
