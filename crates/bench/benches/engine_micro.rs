@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks of the simulator itself: event-engine
-//! throughput, network forwarding, protocol steps, and a full cluster run.
-//! These measure the *simulator's* wall-clock performance, not simulated
-//! time — useful for keeping the experiment harness fast.
+//! Micro-benchmarks of the simulator itself: event-engine throughput,
+//! network forwarding, protocol steps, and a full cluster run. These
+//! measure the *simulator's* wall-clock performance, not simulated time —
+//! useful for keeping the experiment harness fast.
+//!
+//! Timing uses plain `std::time::Instant` (no criterion) so the target
+//! builds in offline/vendored environments; for the JSON-reporting perf
+//! harness see the `simbench` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use telegraphos::ClusterBuilder;
 use tg_proto::{owner::OwnerSerialized, Scenario};
@@ -28,59 +32,63 @@ impl Component<u64> for Relay {
     }
 }
 
-fn engine_throughput(c: &mut Criterion) {
-    c.bench_function("engine_1M_events", |b| {
-        b.iter(|| {
-            let mut eng: Engine<u64> = Engine::new();
-            let a = eng.add(Relay {
-                peer: None,
-                remaining: 0,
-            });
-            let x = eng.add(Relay {
-                peer: Some(a),
-                remaining: 500_000,
-            });
-            eng.get_mut::<Relay>(a).unwrap().peer = Some(x);
-            eng.get_mut::<Relay>(a).unwrap().remaining = 500_000;
-            eng.schedule(SimTime::ZERO, a, 0);
-            eng.run();
-            eng.stats().events_delivered
-        })
+/// Runs `f` a few times and reports the best wall time alongside a
+/// caller-provided work counter.
+fn bench<F: FnMut() -> u64>(name: &str, iters: u32, mut f: F) {
+    let mut best = f64::INFINITY;
+    let mut work = 0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        work = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let rate = work as f64 / best;
+    println!("{name:<28} {best:>10.4}s  ({work} units, {rate:.0}/s)");
+}
+
+fn engine_throughput() {
+    bench("engine_1M_events", 3, || {
+        let mut eng: Engine<u64> = Engine::new();
+        let a = eng.add(Relay {
+            peer: None,
+            remaining: 0,
+        });
+        let x = eng.add(Relay {
+            peer: Some(a),
+            remaining: 500_000,
+        });
+        eng.get_mut::<Relay>(a).unwrap().peer = Some(x);
+        eng.get_mut::<Relay>(a).unwrap().remaining = 500_000;
+        eng.schedule(SimTime::ZERO, a, 0);
+        eng.run();
+        eng.stats().events_delivered
     });
 }
 
-fn cluster_write_stream(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster_write_stream");
+fn cluster_write_stream() {
     for &n in &[100u64, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut cluster = ClusterBuilder::new(2).build();
-                let page = cluster.alloc_shared(1);
-                cluster.set_process(0, stream_writes(&page, n));
-                cluster.run();
-                cluster.fabric_packets()
-            })
+        bench(&format!("cluster_write_stream/{n}"), 3, || {
+            let mut cluster = ClusterBuilder::new(2).build();
+            let page = cluster.alloc_shared(1);
+            cluster.set_process(0, stream_writes(&page, n));
+            cluster.run();
+            cluster.fabric_packets()
         });
     }
-    group.finish();
 }
 
-fn owner_protocol_step(c: &mut Criterion) {
-    c.bench_function("owner_protocol_scenario", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            OwnerSerialized::run(&Scenario::random(4, 8, 2, seed)).messages
-        })
+fn owner_protocol_step() {
+    bench("owner_protocol_scenario", 3, || {
+        let mut messages = 0;
+        for seed in 0..64u64 {
+            messages += OwnerSerialized::run(&Scenario::random(4, 8, 2, seed)).messages;
+        }
+        messages
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = engine_throughput, cluster_write_stream, owner_protocol_step
+fn main() {
+    engine_throughput();
+    cluster_write_stream();
+    owner_protocol_step();
 }
-criterion_main!(benches);

@@ -1,28 +1,25 @@
-//! Property tests at the full-system level: random workloads over random
+//! Randomized tests at the full-system level: random workloads over random
 //! sharing setups must always drain, converge, and respect write
-//! ownership.
+//! ownership. Cases are drawn from a seeded [`tg_sim::SimRng`] so the
+//! sweep is deterministic and dependency-free.
 
-use proptest::prelude::*;
 use telegraphos::{Action, ClusterBuilder, Script};
-use tg_sim::RunLimit;
+use tg_sim::{RunLimit, SimRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Disjoint-word writers over plain shared pages: every write lands, the
+/// simulation drains, and the result is exactly the last write per word.
+#[test]
+fn plain_writes_always_land() {
+    let mut cases = SimRng::new(0x11AD);
+    for _ in 0..16 {
+        let nodes = cases.range_between(2, 5) as u16;
+        let writes_per_node = cases.range_between(1, 40) as usize;
+        let home = (cases.range(5) as u16) % nodes;
+        let seed = cases.next_u64();
 
-    /// Disjoint-word writers over plain shared pages: every write lands,
-    /// the simulation drains, and the result is exactly the last write per
-    /// word.
-    #[test]
-    fn plain_writes_always_land(
-        nodes in 2..5u16,
-        writes_per_node in 1..40usize,
-        home_pick in 0..5u16,
-        seed in 0..u64::MAX,
-    ) {
-        let home = home_pick % nodes;
         let mut cluster = ClusterBuilder::new(nodes).build();
         let page = cluster.alloc_shared(home);
-        let mut rng = tg_sim::SimRng::new(seed);
+        let mut rng = SimRng::new(seed);
         let mut expected = std::collections::HashMap::new();
         for n in 0..nodes {
             // Each node owns words [n*64, n*64+64).
@@ -37,22 +34,25 @@ proptest! {
             actions.push(Action::Fence);
             cluster.set_process(n, Script::new(actions));
         }
-        prop_assert_eq!(cluster.run_events(5_000_000), RunLimit::Drained);
-        prop_assert!(cluster.all_halted());
+        assert_eq!(cluster.run_events(5_000_000), RunLimit::Drained);
+        assert!(cluster.all_halted());
         for (w, v) in expected {
-            prop_assert_eq!(cluster.read_shared(&page, w), v, "word {}", w);
+            assert_eq!(cluster.read_shared(&page, w), v, "word {w}");
         }
     }
+}
 
-    /// Coherent replication with disjoint-word writers: the owner and every
-    /// replica converge to the same final image.
-    #[test]
-    fn coherent_replicas_always_converge(
-        nodes in 3..5u16,
-        writes_per_node in 1..25usize,
-        cam in 1..20usize,
-        seed in 0..u64::MAX,
-    ) {
+/// Coherent replication with disjoint-word writers: the owner and every
+/// replica converge to the same final image.
+#[test]
+fn coherent_replicas_always_converge() {
+    let mut cases = SimRng::new(0xC0CE);
+    for _ in 0..16 {
+        let nodes = cases.range_between(3, 5) as u16;
+        let writes_per_node = cases.range_between(1, 25) as usize;
+        let cam = cases.range_between(1, 20) as usize;
+        let seed = cases.next_u64();
+
         let hib = tg_hib::HibConfig {
             cam_entries: cam,
             ..tg_hib::HibConfig::telegraphos_i()
@@ -61,7 +61,7 @@ proptest! {
         let page = cluster.alloc_shared(0);
         let copies: Vec<u16> = (1..nodes).collect();
         cluster.make_coherent(&page, &copies);
-        let mut rng = tg_sim::SimRng::new(seed);
+        let mut rng = SimRng::new(seed);
         for n in 0..nodes {
             let base = u64::from(n) * 32;
             let mut actions = Vec::new();
@@ -72,11 +72,9 @@ proptest! {
             actions.push(Action::Fence);
             cluster.set_process(n, Script::new(actions));
         }
-        prop_assert_eq!(cluster.run_events(5_000_000), RunLimit::Drained);
+        assert_eq!(cluster.run_events(5_000_000), RunLimit::Drained);
         // Every replica frame equals the owner's page image.
-        let owner_image: Vec<u64> = (0..1024)
-            .map(|w| cluster.read_shared(&page, w))
-            .collect();
+        let owner_image: Vec<u64> = (0..1024).map(|w| cluster.read_shared(&page, w)).collect();
         for c in copies {
             let pte = cluster
                 .node_mut(c)
@@ -89,27 +87,30 @@ proptest! {
                 other => panic!("replica not local: {other:?}"),
             };
             for (w, &expect) in owner_image.iter().enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     cluster.read_local_frame(c, frame, w as u64),
                     expect,
-                    "node {} word {}", c, w
+                    "node {c} word {w}"
                 );
             }
         }
     }
+}
 
-    /// Mixed random reads/writes/atomics/fences over several pages never
-    /// deadlock or livelock, and the run is deterministic.
-    #[test]
-    fn chaotic_mixes_always_drain(
-        nodes in 2..4u16,
-        ops in 5..50usize,
-        seed in 0..u64::MAX,
-    ) {
+/// Mixed random reads/writes/atomics/fences over several pages never
+/// deadlock or livelock, and the run is deterministic.
+#[test]
+fn chaotic_mixes_always_drain() {
+    let mut cases = SimRng::new(0xC4A0);
+    for _ in 0..16 {
+        let nodes = cases.range_between(2, 4) as u16;
+        let ops = cases.range_between(5, 50) as usize;
+        let seed = cases.next_u64();
+
         let build = || {
             let mut cluster = ClusterBuilder::new(nodes).build();
             let pages: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
-            let mut rng = tg_sim::SimRng::new(seed);
+            let mut rng = SimRng::new(seed);
             for n in 0..nodes {
                 let mut actions = Vec::new();
                 for i in 0..ops {
@@ -129,8 +130,8 @@ proptest! {
             (outcome, cluster.now(), cluster.fabric_bytes())
         };
         let a = build();
-        prop_assert_eq!(a.0, RunLimit::Drained, "livelock/deadlock");
+        assert_eq!(a.0, RunLimit::Drained, "livelock/deadlock");
         let b = build();
-        prop_assert_eq!(a, b, "nondeterministic run");
+        assert_eq!(a, b, "nondeterministic run");
     }
 }

@@ -1,50 +1,79 @@
-//! Property tests for the address machinery: encodings must round-trip
-//! for every representable input and translation must be total and
-//! consistent.
+//! Randomized tests for the address machinery: encodings must round-trip
+//! across the representable input space and translation must be total and
+//! consistent. Cases are drawn from a seeded [`tg_sim::SimRng`] so the
+//! sweep is deterministic and dependency-free.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
 use tg_mem::{AccessKind, Decoded, Fault, Mmu, PAddr, PageFlags, VAddr};
+use tg_sim::SimRng;
 use tg_wire::{GOffset, NodeId, PAGE_BYTES};
 
-proptest! {
-    #[test]
-    fn private_round_trips(off in 0u64..0x1_0000_0000) {
+#[test]
+fn private_round_trips() {
+    let mut rng = SimRng::new(1);
+    for _ in 0..512 {
+        let off = rng.range(0x1_0000_0000);
         let pa = PAddr::private(off);
-        prop_assert_eq!(pa.decode(), Decoded::Private { off });
-        prop_assert!(!pa.is_shadow());
+        assert_eq!(pa.decode(), Decoded::Private { off });
+        assert!(!pa.is_shadow());
     }
+}
 
-    #[test]
-    fn local_shared_round_trips(off in 0u64..0x1_0000_0000) {
+#[test]
+fn local_shared_round_trips() {
+    let mut rng = SimRng::new(2);
+    for _ in 0..512 {
+        let off = rng.range(0x1_0000_0000);
         let pa = PAddr::local_shared(GOffset::new(off));
-        prop_assert_eq!(pa.decode(), Decoded::LocalShared { off: GOffset::new(off) });
-    }
-
-    #[test]
-    fn remote_round_trips(node in 0u16..u16::MAX, off in 0u64..0x1_0000_0000) {
-        let pa = PAddr::remote(NodeId::new(node), GOffset::new(off));
-        prop_assert_eq!(
+        assert_eq!(
             pa.decode(),
-            Decoded::Remote { node: NodeId::new(node), off: GOffset::new(off) }
+            Decoded::LocalShared {
+                off: GOffset::new(off)
+            }
         );
     }
+}
 
-    #[test]
-    fn shadow_is_exactly_the_top_bit(node in 0u16..64, off in 0u64..0x1_0000_0000) {
+#[test]
+fn remote_round_trips() {
+    let mut rng = SimRng::new(3);
+    for _ in 0..512 {
+        let node = rng.range(u64::from(u16::MAX)) as u16;
+        let off = rng.range(0x1_0000_0000);
+        let pa = PAddr::remote(NodeId::new(node), GOffset::new(off));
+        assert_eq!(
+            pa.decode(),
+            Decoded::Remote {
+                node: NodeId::new(node),
+                off: GOffset::new(off)
+            }
+        );
+    }
+}
+
+#[test]
+fn shadow_is_exactly_the_top_bit() {
+    let mut rng = SimRng::new(4);
+    for _ in 0..512 {
+        let node = rng.range(64) as u16;
+        let off = rng.range(0x1_0000_0000);
         let pa = PAddr::remote(NodeId::new(node), GOffset::new(off));
         let sh = pa.shadow();
-        prop_assert_eq!(pa.bits() ^ sh.bits(), 1u64 << 63);
-        prop_assert_eq!(sh.unshadow(), pa);
-        prop_assert_eq!(sh.decode(), pa.decode());
-        prop_assert_eq!(sh.shadow(), sh, "shadow is idempotent");
+        assert_eq!(pa.bits() ^ sh.bits(), 1u64 << 63);
+        assert_eq!(sh.unshadow(), pa);
+        assert_eq!(sh.decode(), pa.decode());
+        assert_eq!(sh.shadow(), sh, "shadow is idempotent");
     }
+}
 
-    #[test]
-    fn distinct_encodings_never_collide(
-        off_a in 0u64..0x1000_0000,
-        off_b in 0u64..0x1000_0000,
-        node in 0u16..256,
-    ) {
+#[test]
+fn distinct_encodings_never_collide() {
+    let mut rng = SimRng::new(5);
+    for _ in 0..256 {
+        let off_a = rng.range(0x1000_0000);
+        let off_b = rng.range(0x1000_0000);
+        let node = rng.range(256) as u16;
         let variants = [
             PAddr::private(off_a),
             PAddr::local_shared(GOffset::new(off_a)),
@@ -54,69 +83,78 @@ proptest! {
         for (i, x) in variants.iter().enumerate() {
             for (j, y) in variants.iter().enumerate() {
                 if i != j {
-                    prop_assert_ne!(x.bits(), y.bits());
+                    assert_ne!(x.bits(), y.bits());
                 }
             }
         }
         // Different offsets in the same region differ.
         if off_a != off_b {
-            prop_assert_ne!(
-                PAddr::private(off_a).bits(),
-                PAddr::private(off_b).bits()
-            );
+            assert_ne!(PAddr::private(off_a).bits(), PAddr::private(off_b).bits());
         }
     }
+}
 
-    #[test]
-    fn translation_is_total_and_consistent(
-        mapped_pages in proptest::collection::btree_set(0u64..64, 1..16),
-        probe_page in 0u64..64,
-        in_page in (0u64..PAGE_BYTES / 8).prop_map(|w| w * 8),
-        writable in any::<bool>(),
-    ) {
+#[test]
+fn translation_is_total_and_consistent() {
+    let mut rng = SimRng::new(6);
+    for _ in 0..256 {
+        let n_mapped = rng.range_between(1, 16) as usize;
+        let mut mapped_pages = BTreeSet::new();
+        while mapped_pages.len() < n_mapped {
+            mapped_pages.insert(rng.range(64));
+        }
+        let probe_page = rng.range(64);
+        let in_page = rng.range(PAGE_BYTES / 8) * 8;
+        let writable = rng.chance(0.5);
+
         let mut mmu = Mmu::new();
         for &vp in &mapped_pages {
-            let flags = if writable { PageFlags::RW } else { PageFlags::RO };
+            let flags = if writable {
+                PageFlags::RW
+            } else {
+                PageFlags::RO
+            };
             mmu.table_mut().map(vp, PAddr::private(vp * PAGE_BYTES), flags);
         }
         let va = VAddr::new(probe_page * PAGE_BYTES + in_page);
         match mmu.translate(va, AccessKind::Read) {
             Ok(pa) => {
-                prop_assert!(mapped_pages.contains(&probe_page));
-                prop_assert_eq!(
+                assert!(mapped_pages.contains(&probe_page));
+                assert_eq!(
                     pa.decode(),
-                    Decoded::Private { off: probe_page * PAGE_BYTES + in_page }
+                    Decoded::Private {
+                        off: probe_page * PAGE_BYTES + in_page
+                    }
                 );
             }
             Err(Fault::Unmapped(fva)) => {
-                prop_assert!(!mapped_pages.contains(&probe_page));
-                prop_assert_eq!(fva, va);
+                assert!(!mapped_pages.contains(&probe_page));
+                assert_eq!(fva, va);
             }
-            Err(other) => prop_assert!(false, "unexpected fault {other:?}"),
+            Err(other) => panic!("unexpected fault {other:?}"),
         }
         // Writes honor permissions.
         if mapped_pages.contains(&probe_page) {
             let w = mmu.translate(va, AccessKind::Write);
             if writable {
-                prop_assert!(w.is_ok());
+                assert!(w.is_ok());
             } else {
-                prop_assert_eq!(w, Err(Fault::Protection(va, AccessKind::Write)));
+                assert_eq!(w, Err(Fault::Protection(va, AccessKind::Write)));
             }
         }
     }
+}
 
-    #[test]
-    fn misalignment_always_faults(
-        page in 0u64..16,
-        misoff in 1u64..8,
-        word in 0u64..1024,
-    ) {
+#[test]
+fn misalignment_always_faults() {
+    let mut rng = SimRng::new(7);
+    for _ in 0..256 {
+        let page = rng.range(16);
+        let misoff = rng.range_between(1, 8);
+        let word = rng.range(1024);
         let mut mmu = Mmu::new();
         mmu.table_mut().map(page, PAddr::private(0), PageFlags::RW);
         let va = VAddr::new(page * PAGE_BYTES + word * 8 + misoff);
-        prop_assert_eq!(
-            mmu.translate(va, AccessKind::Read),
-            Err(Fault::Misaligned(va))
-        );
+        assert_eq!(mmu.translate(va, AccessKind::Read), Err(Fault::Misaligned(va)));
     }
 }

@@ -1,46 +1,66 @@
-//! Property tests for the wire vocabulary: geometry decompositions and
-//! packet sizing must hold for all representable inputs.
+//! Randomized tests for the wire vocabulary: geometry decompositions and
+//! packet sizing must hold across the representable input space. Cases are
+//! drawn from a seeded [`tg_sim::SimRng`] so the sweep is deterministic and
+//! dependency-free.
 
-use proptest::prelude::*;
+use tg_sim::SimRng;
 use tg_wire::{
     AtomicOp, GOffset, NodeId, Packet, PageNum, WireMsg, HEADER_BYTES, PAGE_BYTES, PAGE_WORDS,
 };
 
-proptest! {
-    #[test]
-    fn offset_page_decomposition_round_trips(off in 0u64..0x1_0000_0000) {
+#[test]
+fn offset_page_decomposition_round_trips() {
+    let mut rng = SimRng::new(0xA11CE);
+    for _ in 0..512 {
+        let off = rng.range(0x1_0000_0000);
         let g = GOffset::new(off);
         let rebuilt = GOffset::from_page(g.page(), g.in_page());
-        prop_assert_eq!(rebuilt, g);
-        prop_assert!(g.in_page() < PAGE_BYTES);
+        assert_eq!(rebuilt, g);
+        assert!(g.in_page() < PAGE_BYTES);
     }
+}
 
-    #[test]
-    fn word_index_is_consistent(word in 0u64..0x100_0000) {
+#[test]
+fn word_index_is_consistent() {
+    let mut rng = SimRng::new(0xB0B);
+    for _ in 0..512 {
+        let word = rng.range(0x100_0000);
         let g = GOffset::new(word * 8);
-        prop_assert_eq!(g.word_index(), word);
-        prop_assert!(g.is_word_aligned());
-        prop_assert!(!GOffset::new(word * 8 + 3).is_word_aligned());
+        assert_eq!(g.word_index(), word);
+        assert!(g.is_word_aligned());
+        assert!(!GOffset::new(word * 8 + 3).is_word_aligned());
     }
+}
 
-    #[test]
-    fn page_base_has_zero_in_page(page in 0u32..0x10_0000) {
+#[test]
+fn page_base_has_zero_in_page() {
+    let mut rng = SimRng::new(0xCAFE);
+    for _ in 0..512 {
+        let page = rng.range(0x10_0000) as u32;
         let p = PageNum::new(page);
-        prop_assert_eq!(p.base().page(), p);
-        prop_assert_eq!(p.base().in_page(), 0);
-        prop_assert_eq!(p.base().word_index() % PAGE_WORDS, 0);
+        assert_eq!(p.base().page(), p);
+        assert_eq!(p.base().in_page(), 0);
+        assert_eq!(p.base().word_index() % PAGE_WORDS, 0);
     }
+}
 
-    #[test]
-    fn packet_size_is_header_plus_payload(
-        addr in 0u64..0x1000_0000,
-        val in any::<u64>(),
-        words in 1usize..64,
-    ) {
+#[test]
+fn packet_size_is_header_plus_payload() {
+    let mut rng = SimRng::new(0xD00D);
+    for _ in 0..256 {
+        let addr = rng.range(0x1000_0000);
+        let val = rng.next_u64();
+        let words = rng.range_between(1, 64) as usize;
         let msgs = [
-            WireMsg::WriteReq { addr: GOffset::new(addr), val },
+            WireMsg::WriteReq {
+                addr: GOffset::new(addr),
+                val,
+            },
             WireMsg::WriteAck,
-            WireMsg::ReadReq { addr: GOffset::new(addr), tag: 1 },
+            WireMsg::ReadReq {
+                addr: GOffset::new(addr),
+                tag: 1,
+            },
             WireMsg::ReadResp { tag: 1, val },
             WireMsg::AtomicReq {
                 op: AtomicOp::CompareSwap,
@@ -49,8 +69,17 @@ proptest! {
                 arg1: val,
                 tag: 2,
             },
-            WireMsg::CopyData { tag: 3, index: 0, vals: vec![val; words], last: true },
-            WireMsg::OsCtl { kind: 7, a: val, b: val },
+            WireMsg::CopyData {
+                tag: 3,
+                index: 0,
+                vals: vec![val; words],
+                last: true,
+            },
+            WireMsg::OsCtl {
+                kind: 7,
+                a: val,
+                b: val,
+            },
         ];
         for msg in msgs {
             let payload = msg.payload_bytes();
@@ -60,41 +89,61 @@ proptest! {
                 msg,
                 inject_seq: 0,
             };
-            prop_assert_eq!(p.size_bytes(), HEADER_BYTES + payload);
-            prop_assert!(payload >= 2, "every message carries something");
+            assert_eq!(p.size_bytes(), HEADER_BYTES + payload);
+            assert!(payload >= 2, "every message carries something");
         }
     }
+}
 
-    #[test]
-    fn bulk_payloads_scale_with_content(words in 1usize..128, extra in 1usize..64) {
-        let small = WireMsg::PageData { tag: 0, index: 0, vals: vec![0; words], last: false };
+#[test]
+fn bulk_payloads_scale_with_content() {
+    let mut rng = SimRng::new(0xFEED);
+    for _ in 0..256 {
+        let words = rng.range_between(1, 128) as usize;
+        let extra = rng.range_between(1, 64) as usize;
+        let small = WireMsg::PageData {
+            tag: 0,
+            index: 0,
+            vals: vec![0; words],
+            last: false,
+        };
         let big = WireMsg::PageData {
             tag: 0,
             index: 0,
             vals: vec![0; words + extra],
             last: false,
         };
-        prop_assert_eq!(
+        assert_eq!(
             big.payload_bytes() - small.payload_bytes(),
             (extra * 8) as u32
         );
     }
+}
 
-    #[test]
-    fn posted_messages_are_exactly_the_unacked_writes(
-        addr in 0u64..0x1000_0000,
-        val in any::<u64>(),
-    ) {
+#[test]
+fn posted_messages_are_exactly_the_unacked_writes() {
+    let mut rng = SimRng::new(0xF00);
+    for _ in 0..256 {
+        let addr = rng.range(0x1000_0000);
+        let val = rng.next_u64();
         let g = GOffset::new(addr);
         let n = NodeId::new(3);
         // Posted (covered by outstanding counters, no direct reply):
         for m in [
             WireMsg::WriteReq { addr: g, val },
             WireMsg::MulticastWrite { addr: g, val },
-            WireMsg::UpdateToOwner { addr: g, val, writer: n },
-            WireMsg::ReflectedWrite { addr: g, val, writer: n },
+            WireMsg::UpdateToOwner {
+                addr: g,
+                val,
+                writer: n,
+            },
+            WireMsg::ReflectedWrite {
+                addr: g,
+                val,
+                writer: n,
+            },
         ] {
-            prop_assert!(m.is_posted(), "{m:?}");
+            assert!(m.is_posted(), "{m:?}");
         }
         // Request/response traffic is not posted:
         for m in [
@@ -104,7 +153,7 @@ proptest! {
             WireMsg::PageFetchReq { page: 0, tag: 0 },
             WireMsg::OsCtl { kind: 1, a: 0, b: 0 },
         ] {
-            prop_assert!(!m.is_posted(), "{m:?}");
+            assert!(!m.is_posted(), "{m:?}");
         }
     }
 }

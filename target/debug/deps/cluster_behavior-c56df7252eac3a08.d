@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_behavior-c56df7252eac3a08.d: crates/core/tests/cluster_behavior.rs
+
+/root/repo/target/debug/deps/cluster_behavior-c56df7252eac3a08: crates/core/tests/cluster_behavior.rs
+
+crates/core/tests/cluster_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_props-8465219b720b27c2.d: crates/core/tests/cluster_props.rs
+
+/root/repo/target/debug/deps/cluster_props-8465219b720b27c2: crates/core/tests/cluster_props.rs
+
+crates/core/tests/cluster_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-7f7c6878d08ad155.d: crates/bench/tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-7f7c6878d08ad155: crates/bench/tests/experiment_shapes.rs
+
+crates/bench/tests/experiment_shapes.rs:

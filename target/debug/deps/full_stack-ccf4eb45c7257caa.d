@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-ccf4eb45c7257caa.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-ccf4eb45c7257caa: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hib_behavior-158c38d6af05db4a.d: crates/hib/tests/hib_behavior.rs
+
+/root/repo/target/debug/deps/hib_behavior-158c38d6af05db4a: crates/hib/tests/hib_behavior.rs
+
+crates/hib/tests/hib_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem_props-6962938726669467.d: crates/mem/tests/mem_props.rs
+
+/root/repo/target/debug/deps/mem_props-6962938726669467: crates/mem/tests/mem_props.rs
+
+crates/mem/tests/mem_props.rs:

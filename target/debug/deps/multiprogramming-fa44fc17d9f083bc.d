@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiprogramming-fa44fc17d9f083bc.d: crates/core/tests/multiprogramming.rs
+
+/root/repo/target/debug/deps/multiprogramming-fa44fc17d9f083bc: crates/core/tests/multiprogramming.rs
+
+crates/core/tests/multiprogramming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network-889b28fc54068d39.d: crates/net/tests/network.rs
+
+/root/repo/target/debug/deps/network-889b28fc54068d39: crates/net/tests/network.rs
+
+crates/net/tests/network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pager_behavior-fa1c4b74bd7930b8.d: crates/core/tests/pager_behavior.rs
+
+/root/repo/target/debug/deps/pager_behavior-fa1c4b74bd7930b8: crates/core/tests/pager_behavior.rs
+
+crates/core/tests/pager_behavior.rs:

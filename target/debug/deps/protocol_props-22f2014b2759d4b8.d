@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_props-22f2014b2759d4b8.d: crates/proto/tests/protocol_props.rs
+
+/root/repo/target/debug/deps/protocol_props-22f2014b2759d4b8: crates/proto/tests/protocol_props.rs
+
+crates/proto/tests/protocol_props.rs:

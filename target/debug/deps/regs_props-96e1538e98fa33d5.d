@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regs_props-96e1538e98fa33d5.d: crates/hib/tests/regs_props.rs
+
+/root/repo/target/debug/deps/regs_props-96e1538e98fa33d5: crates/hib/tests/regs_props.rs
+
+crates/hib/tests/regs_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stencil-6b0a09236d1ce1c2.d: tests/stencil.rs
+
+/root/repo/target/debug/deps/stencil-6b0a09236d1ce1c2: tests/stencil.rs
+
+tests/stencil.rs:

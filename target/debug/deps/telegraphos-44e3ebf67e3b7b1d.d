@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/telegraphos-44e3ebf67e3b7b1d.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/event.rs crates/core/src/node.rs crates/core/src/os.rs crates/core/src/pager.rs crates/core/src/process.rs crates/core/src/stats.rs crates/core/src/sync.rs crates/core/src/vsm.rs
+
+/root/repo/target/debug/deps/telegraphos-44e3ebf67e3b7b1d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/event.rs crates/core/src/node.rs crates/core/src/os.rs crates/core/src/pager.rs crates/core/src/process.rs crates/core/src/stats.rs crates/core/src/sync.rs crates/core/src/vsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/event.rs:
+crates/core/src/node.rs:
+crates/core/src/os.rs:
+crates/core/src/pager.rs:
+crates/core/src/process.rs:
+crates/core/src/stats.rs:
+crates/core/src/sync.rs:
+crates/core/src/vsm.rs:

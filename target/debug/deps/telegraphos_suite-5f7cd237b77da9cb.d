@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/telegraphos_suite-5f7cd237b77da9cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtelegraphos_suite-5f7cd237b77da9cb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtelegraphos_suite-5f7cd237b77da9cb.rmeta: src/lib.rs
+
+src/lib.rs:

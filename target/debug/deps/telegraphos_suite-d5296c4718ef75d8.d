@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telegraphos_suite-d5296c4718ef75d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/telegraphos_suite-d5296c4718ef75d8: src/lib.rs
+
+src/lib.rs:

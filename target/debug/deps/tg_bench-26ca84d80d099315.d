@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tg_bench-26ca84d80d099315.d: crates/bench/src/lib.rs crates/bench/src/coherence.rs crates/bench/src/micro.rs crates/bench/src/replication.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/tg_bench-26ca84d80d099315: crates/bench/src/lib.rs crates/bench/src/coherence.rs crates/bench/src/micro.rs crates/bench/src/replication.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/coherence.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/replication.rs:
+crates/bench/src/scale.rs:

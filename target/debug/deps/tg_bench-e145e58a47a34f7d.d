@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tg_bench-e145e58a47a34f7d.d: crates/bench/src/lib.rs crates/bench/src/coherence.rs crates/bench/src/micro.rs crates/bench/src/replication.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libtg_bench-e145e58a47a34f7d.rlib: crates/bench/src/lib.rs crates/bench/src/coherence.rs crates/bench/src/micro.rs crates/bench/src/replication.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libtg_bench-e145e58a47a34f7d.rmeta: crates/bench/src/lib.rs crates/bench/src/coherence.rs crates/bench/src/micro.rs crates/bench/src/replication.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/coherence.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/replication.rs:
+crates/bench/src/scale.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tg_hib-4d80baa0f2e8c5a6.d: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+/root/repo/target/debug/deps/tg_hib-4d80baa0f2e8c5a6: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+crates/hib/src/lib.rs:
+crates/hib/src/config.rs:
+crates/hib/src/hib.rs:
+crates/hib/src/host.rs:
+crates/hib/src/pagemode.rs:
+crates/hib/src/regs.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tg_hib-b02e76fce527911a.d: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+/root/repo/target/debug/deps/libtg_hib-b02e76fce527911a.rlib: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+/root/repo/target/debug/deps/libtg_hib-b02e76fce527911a.rmeta: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+crates/hib/src/lib.rs:
+crates/hib/src/config.rs:
+crates/hib/src/hib.rs:
+crates/hib/src/host.rs:
+crates/hib/src/pagemode.rs:
+crates/hib/src/regs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tg_hw-b15090379e390df3.d: crates/hw/src/lib.rs
+
+/root/repo/target/debug/deps/libtg_hw-b15090379e390df3.rlib: crates/hw/src/lib.rs
+
+/root/repo/target/debug/deps/libtg_hw-b15090379e390df3.rmeta: crates/hw/src/lib.rs
+
+crates/hw/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tg_hw-dcdf39480493da91.d: crates/hw/src/lib.rs
+
+/root/repo/target/debug/deps/tg_hw-dcdf39480493da91: crates/hw/src/lib.rs
+
+crates/hw/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tg_mem-34690ebbceee62e0.d: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/tg_mem-34690ebbceee62e0: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/paddr.rs:
+crates/mem/src/pagetable.rs:
+crates/mem/src/phys.rs:

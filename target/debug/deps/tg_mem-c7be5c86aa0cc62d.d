@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tg_mem-c7be5c86aa0cc62d.d: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/libtg_mem-c7be5c86aa0cc62d.rlib: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/libtg_mem-c7be5c86aa0cc62d.rmeta: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/paddr.rs:
+crates/mem/src/pagetable.rs:
+crates/mem/src/phys.rs:

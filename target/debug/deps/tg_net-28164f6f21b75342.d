@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tg_net-28164f6f21b75342.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libtg_net-28164f6f21b75342.rlib: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libtg_net-28164f6f21b75342.rmeta: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/port.rs:
+crates/net/src/route.rs:
+crates/net/src/switch.rs:
+crates/net/src/testing.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tg_net-eef37ea2fbcb8f1c.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/tg_net-eef37ea2fbcb8f1c: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/port.rs:
+crates/net/src/route.rs:
+crates/net/src/switch.rs:
+crates/net/src/testing.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tg_proto-060272307fc7d0b4.d: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+/root/repo/target/debug/deps/tg_proto-060272307fc7d0b4: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/abstract_net.rs:
+crates/proto/src/cam.rs:
+crates/proto/src/galactica.rs:
+crates/proto/src/naive.rs:
+crates/proto/src/owner.rs:
+crates/proto/src/recorder.rs:
+crates/proto/src/scenario.rs:

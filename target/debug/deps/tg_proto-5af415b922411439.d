@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tg_proto-5af415b922411439.d: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+/root/repo/target/debug/deps/libtg_proto-5af415b922411439.rlib: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+/root/repo/target/debug/deps/libtg_proto-5af415b922411439.rmeta: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/abstract_net.rs:
+crates/proto/src/cam.rs:
+crates/proto/src/galactica.rs:
+crates/proto/src/naive.rs:
+crates/proto/src/owner.rs:
+crates/proto/src/recorder.rs:
+crates/proto/src/scenario.rs:

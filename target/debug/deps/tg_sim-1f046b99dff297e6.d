@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tg_sim-1f046b99dff297e6.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/tg_sim-1f046b99dff297e6: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

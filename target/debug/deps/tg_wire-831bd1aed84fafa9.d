@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tg_wire-831bd1aed84fafa9.d: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+/root/repo/target/debug/deps/tg_wire-831bd1aed84fafa9: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/addr.rs:
+crates/wire/src/ids.rs:
+crates/wire/src/msg.rs:
+crates/wire/src/timing.rs:

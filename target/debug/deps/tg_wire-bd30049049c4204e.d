@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tg_wire-bd30049049c4204e.d: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+/root/repo/target/debug/deps/libtg_wire-bd30049049c4204e.rlib: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+/root/repo/target/debug/deps/libtg_wire-bd30049049c4204e.rmeta: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/addr.rs:
+crates/wire/src/ids.rs:
+crates/wire/src/msg.rs:
+crates/wire/src/timing.rs:

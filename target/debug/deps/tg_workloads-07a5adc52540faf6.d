@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tg_workloads-07a5adc52540faf6.d: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libtg_workloads-07a5adc52540faf6.rlib: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libtg_workloads-07a5adc52540faf6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phased.rs:
+crates/workloads/src/scripts.rs:
+crates/workloads/src/stencil.rs:
+crates/workloads/src/trace.rs:

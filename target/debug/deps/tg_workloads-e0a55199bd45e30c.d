@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tg_workloads-e0a55199bd45e30c.d: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+/root/repo/target/debug/deps/tg_workloads-e0a55199bd45e30c: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phased.rs:
+crates/workloads/src/scripts.rs:
+crates/workloads/src/stencil.rs:
+crates/workloads/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_props-b39086ddce19612e.d: crates/wire/tests/wire_props.rs
+
+/root/repo/target/debug/deps/wire_props-b39086ddce19612e: crates/wire/tests/wire_props.rs
+
+crates/wire/tests/wire_props.rs:

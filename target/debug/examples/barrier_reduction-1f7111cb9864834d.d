@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_reduction-1f7111cb9864834d.d: examples/barrier_reduction.rs
+
+/root/repo/target/debug/examples/barrier_reduction-1f7111cb9864834d: examples/barrier_reduction.rs
+
+examples/barrier_reduction.rs:

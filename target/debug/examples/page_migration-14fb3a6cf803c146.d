@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/page_migration-14fb3a6cf803c146.d: examples/page_migration.rs
+
+/root/repo/target/debug/examples/page_migration-14fb3a6cf803c146: examples/page_migration.rs
+
+examples/page_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/producer_consumer-ef480977771fbdc5.d: examples/producer_consumer.rs
+
+/root/repo/target/debug/examples/producer_consumer-ef480977771fbdc5: examples/producer_consumer.rs
+
+examples/producer_consumer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ce2ddabea3998d53.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ce2ddabea3998d53: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_heat-5de3645147518207.d: examples/stencil_heat.rs
+
+/root/repo/target/debug/examples/stencil_heat-5de3645147518207: examples/stencil_heat.rs
+
+examples/stencil_heat.rs:

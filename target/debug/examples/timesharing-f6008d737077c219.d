@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timesharing-f6008d737077c219.d: examples/timesharing.rs
+
+/root/repo/target/debug/examples/timesharing-f6008d737077c219: examples/timesharing.rs
+
+examples/timesharing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/telegraphos-c4d378008a564355.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/event.rs crates/core/src/node.rs crates/core/src/os.rs crates/core/src/pager.rs crates/core/src/process.rs crates/core/src/stats.rs crates/core/src/sync.rs crates/core/src/vsm.rs
+
+/root/repo/target/release/deps/libtelegraphos-c4d378008a564355.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/event.rs crates/core/src/node.rs crates/core/src/os.rs crates/core/src/pager.rs crates/core/src/process.rs crates/core/src/stats.rs crates/core/src/sync.rs crates/core/src/vsm.rs
+
+/root/repo/target/release/deps/libtelegraphos-c4d378008a564355.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/event.rs crates/core/src/node.rs crates/core/src/os.rs crates/core/src/pager.rs crates/core/src/process.rs crates/core/src/stats.rs crates/core/src/sync.rs crates/core/src/vsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/event.rs:
+crates/core/src/node.rs:
+crates/core/src/os.rs:
+crates/core/src/pager.rs:
+crates/core/src/process.rs:
+crates/core/src/stats.rs:
+crates/core/src/sync.rs:
+crates/core/src/vsm.rs:

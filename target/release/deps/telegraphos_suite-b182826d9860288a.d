@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/telegraphos_suite-b182826d9860288a.d: src/lib.rs
+
+/root/repo/target/release/deps/libtelegraphos_suite-b182826d9860288a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtelegraphos_suite-b182826d9860288a.rmeta: src/lib.rs
+
+src/lib.rs:

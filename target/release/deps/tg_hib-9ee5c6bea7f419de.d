@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tg_hib-9ee5c6bea7f419de.d: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+/root/repo/target/release/deps/libtg_hib-9ee5c6bea7f419de.rlib: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+/root/repo/target/release/deps/libtg_hib-9ee5c6bea7f419de.rmeta: crates/hib/src/lib.rs crates/hib/src/config.rs crates/hib/src/hib.rs crates/hib/src/host.rs crates/hib/src/pagemode.rs crates/hib/src/regs.rs
+
+crates/hib/src/lib.rs:
+crates/hib/src/config.rs:
+crates/hib/src/hib.rs:
+crates/hib/src/host.rs:
+crates/hib/src/pagemode.rs:
+crates/hib/src/regs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tg_hw-5de477376afe9fb9.d: crates/hw/src/lib.rs
+
+/root/repo/target/release/deps/libtg_hw-5de477376afe9fb9.rlib: crates/hw/src/lib.rs
+
+/root/repo/target/release/deps/libtg_hw-5de477376afe9fb9.rmeta: crates/hw/src/lib.rs
+
+crates/hw/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tg_mem-e360602aa0a715a2.d: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+/root/repo/target/release/deps/libtg_mem-e360602aa0a715a2.rlib: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+/root/repo/target/release/deps/libtg_mem-e360602aa0a715a2.rmeta: crates/mem/src/lib.rs crates/mem/src/paddr.rs crates/mem/src/pagetable.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/paddr.rs:
+crates/mem/src/pagetable.rs:
+crates/mem/src/phys.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tg_net-a63ef9591e799601.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libtg_net-a63ef9591e799601.rlib: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libtg_net-a63ef9591e799601.rmeta: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/port.rs crates/net/src/route.rs crates/net/src/switch.rs crates/net/src/testing.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/port.rs:
+crates/net/src/route.rs:
+crates/net/src/switch.rs:
+crates/net/src/testing.rs:
+crates/net/src/topology.rs:

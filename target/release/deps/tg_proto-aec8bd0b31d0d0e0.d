@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tg_proto-aec8bd0b31d0d0e0.d: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+/root/repo/target/release/deps/libtg_proto-aec8bd0b31d0d0e0.rlib: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+/root/repo/target/release/deps/libtg_proto-aec8bd0b31d0d0e0.rmeta: crates/proto/src/lib.rs crates/proto/src/abstract_net.rs crates/proto/src/cam.rs crates/proto/src/galactica.rs crates/proto/src/naive.rs crates/proto/src/owner.rs crates/proto/src/recorder.rs crates/proto/src/scenario.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/abstract_net.rs:
+crates/proto/src/cam.rs:
+crates/proto/src/galactica.rs:
+crates/proto/src/naive.rs:
+crates/proto/src/owner.rs:
+crates/proto/src/recorder.rs:
+crates/proto/src/scenario.rs:

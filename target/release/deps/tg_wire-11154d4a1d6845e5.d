@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tg_wire-11154d4a1d6845e5.d: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+/root/repo/target/release/deps/libtg_wire-11154d4a1d6845e5.rlib: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+/root/repo/target/release/deps/libtg_wire-11154d4a1d6845e5.rmeta: crates/wire/src/lib.rs crates/wire/src/addr.rs crates/wire/src/ids.rs crates/wire/src/msg.rs crates/wire/src/timing.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/addr.rs:
+crates/wire/src/ids.rs:
+crates/wire/src/msg.rs:
+crates/wire/src/timing.rs:

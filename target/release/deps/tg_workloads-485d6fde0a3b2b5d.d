@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tg_workloads-485d6fde0a3b2b5d.d: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libtg_workloads-485d6fde0a3b2b5d.rlib: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+/root/repo/target/release/deps/libtg_workloads-485d6fde0a3b2b5d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/phased.rs crates/workloads/src/scripts.rs crates/workloads/src/stencil.rs crates/workloads/src/trace.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/phased.rs:
+crates/workloads/src/scripts.rs:
+crates/workloads/src/stencil.rs:
+crates/workloads/src/trace.rs:
