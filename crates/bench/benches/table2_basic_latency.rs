@@ -6,7 +6,10 @@ use tg_wire::TimingConfig;
 fn main() {
     println!("{}", tg_bench::basic_latency(TimingConfig::telegraphos_i()));
     println!("ablation — Telegraphos II calibration:");
-    println!("{}", tg_bench::basic_latency(TimingConfig::telegraphos_ii()));
+    println!(
+        "{}",
+        tg_bench::basic_latency(TimingConfig::telegraphos_ii())
+    );
     println!("ablation — HIB on the memory bus (§2.1 hypothetical):");
     println!("{}", tg_bench::basic_latency(TimingConfig::memory_bus()));
 }

@@ -5,11 +5,11 @@ use std::fmt;
 
 use telegraphos::{ClusterBuilder, SharedPage};
 use tg_hib::HibConfig;
-use tg_proto::{
-    galactica::GalacticaRing, naive::NaiveMulticast, owner::OwnerSerialized, Scenario,
-};
+use tg_proto::{galactica::GalacticaRing, naive::NaiveMulticast, owner::OwnerSerialized, Scenario};
 use tg_sim::SimTime;
-use tg_workloads::{bursty_scatter, synthetic_trace, Consumer, Migratory, PcConfig, Producer, TraceConfig};
+use tg_workloads::{
+    bursty_scatter, synthetic_trace, Consumer, Migratory, PcConfig, Producer, TraceConfig,
+};
 
 /// E4 / Figure 2: run the two-writer race over many interleavings under
 /// naive multicast and under the owner-serialized protocol.
@@ -253,7 +253,10 @@ fn run_pc(mode: SharingMode, words: u64, rounds: u64) -> SharingRow {
     cluster.set_process(0, Producer::new(cfg));
     cluster.set_process(1, Consumer::new(cfg));
     cluster.run();
-    assert!(cluster.all_halted(), "producer/consumer deadlocked ({mode})");
+    assert!(
+        cluster.all_halted(),
+        "producer/consumer deadlocked ({mode})"
+    );
     let consumer = cluster.node(1).stats();
     let reads = {
         // Data reads are whichever class dominates under this mode.
@@ -374,10 +377,7 @@ pub fn cam_sweep(sizes: &[usize]) -> CamSweep {
             // between synchronization points).
             let data = cluster.alloc_shared(1);
             cluster.make_coherent(&data, &[0]);
-            cluster.set_process(
-                0,
-                bursty_scatter(&data, 64, 12, SimTime::from_us(40), 120),
-            );
+            cluster.set_process(0, bursty_scatter(&data, 64, 12, SimTime::from_us(40), 120));
             cluster.run();
             let cam = cluster.node(0).cam();
             CamRow {
@@ -576,7 +576,11 @@ impl fmt::Display for WritePolicyAblation {
             f,
             "E7b / §2.3.2 — coherent-store policy ablation (2 nodes, bursts of 8)"
         )?;
-        writeln!(f, "{:<26} {:>12} {:>12}", "policy", "store (us)", "total (us)")?;
+        writeln!(
+            f,
+            "{:<26} {:>12} {:>12}",
+            "policy", "store (us)", "total (us)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

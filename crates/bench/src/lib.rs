@@ -16,7 +16,12 @@ pub mod micro;
 pub mod replication;
 pub mod scale;
 
-pub use coherence::{cam_sweep, fig2_inconsistency, galactica_anomaly, trace_driven, update_vs_invalidate, write_policy_ablation};
+pub use coherence::{
+    cam_sweep, fig2_inconsistency, galactica_anomaly, trace_driven, update_vs_invalidate,
+    write_policy_ablation,
+};
 pub use micro::{basic_latency, batch_writes, fence_consistency, messaging_comparison, table1};
 pub use replication::access_counter_replication;
-pub use scale::{hop_scaling, incast_congestion, lock_contention, multiprogramming_overlap, remote_paging};
+pub use scale::{
+    hop_scaling, incast_congestion, lock_contention, multiprogramming_overlap, remote_paging,
+};

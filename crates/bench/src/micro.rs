@@ -144,7 +144,11 @@ impl fmt::Display for BatchWrites {
             "E3 / §3.2 — remote-write bursts (paper: 100 writes < 50us;"
         )?;
         writeln!(f, "long streams at the network rate, ~0.70us each)")?;
-        writeln!(f, "{:>8} {:>12} {:>12}", "writes", "total (us)", "per write")?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>12}",
+            "writes", "total (us)", "per write"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -273,8 +277,7 @@ pub fn messaging_comparison(sizes: &[u32]) -> MessagingComparison {
         cluster.run();
         // One-way delivery = the sender's trap/copy before any wire
         // activity plus the receiver's blocked time in Recv.
-        let os_us =
-            cluster.node(0).stats().sends.mean() + cluster.node(1).stats().recvs.mean();
+        let os_us = cluster.node(0).stats().sends.mean() + cluster.node(1).stats().recvs.mean();
 
         // User-level path: payload and flag live in the receiver's memory;
         // the sender streams plain stores, the receiver spins locally and

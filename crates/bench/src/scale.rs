@@ -33,7 +33,11 @@ pub struct PagingSweep {
 /// resident slots, paged against a disk and against remote memory.
 pub fn remote_paging(pages: u32, capacity: usize, passes: u32) -> PagingSweep {
     let run = |backing: Backing, label: &str| -> PagingRow {
-        let nodes = if matches!(backing, Backing::Disk) { 1 } else { 2 };
+        let nodes = if matches!(backing, Backing::Disk) {
+            1
+        } else {
+            2
+        };
         let mut cluster = ClusterBuilder::new(nodes).build();
         let vas = cluster.make_paged(0, backing, pages, capacity);
         let mut actions = Vec::new();

@@ -2,8 +2,8 @@
 //! factor, and where the crossovers fall — the reproduction criteria from
 //! DESIGN.md §3.
 
-use tg_bench::*;
 use tg_bench::coherence::SharingMode;
+use tg_bench::*;
 use tg_wire::TimingConfig;
 
 #[test]
@@ -197,7 +197,10 @@ fn e10_messaging_shapes() {
         "expected >5x at 8B, got {:.1}x",
         small.os_trap_us / small.telegraphos_us
     );
-    assert!(r.rows[1].telegraphos_us < r.rows[1].os_trap_us, "64B still wins");
+    assert!(
+        r.rows[1].telegraphos_us < r.rows[1].os_trap_us,
+        "64B still wins"
+    );
     // Bulk messages cross over: per-word stores cannot beat DMA streaming,
     // which is why Telegraphos also offers remote copy for bulk data.
     let bulk = r.rows.last().unwrap();

@@ -130,9 +130,7 @@ impl ClusterBuilder {
     /// Panics if the topology endpoint count mismatches the node count or
     /// the network is disconnected.
     pub fn build(self) -> Cluster {
-        let topo = self
-            .topology
-            .unwrap_or_else(|| Topology::star(self.nodes));
+        let topo = self.topology.unwrap_or_else(|| Topology::star(self.nodes));
         assert_eq!(
             topo.endpoint_count(),
             self.nodes as usize,
@@ -145,9 +143,7 @@ impl ClusterBuilder {
             let mut os = Os::new(id);
             os.set_policy(self.policy);
             let seg_pages = self.hib.segment_pages;
-            os.grant_frames(
-                (seg_pages.saturating_sub(OS_FRAME_POOL)..seg_pages).map(PageNum::new),
-            );
+            os.grant_frames((seg_pages.saturating_sub(OS_FRAME_POOL)..seg_pages).map(PageNum::new));
             let node = Node::new(id, self.timing.clone(), self.hib.clone(), os);
             node_ids.push(engine.add(node));
         }
@@ -398,7 +394,8 @@ impl Cluster {
     pub fn set_process(&mut self, node: u16, p: impl Process) {
         let comp = self.nodes[node as usize];
         self.node_mut(node).set_process(Box::new(p));
-        self.engine.schedule(SimTime::ZERO, comp, ClusterEvent::Start);
+        self.engine
+            .schedule(SimTime::ZERO, comp, ClusterEvent::Start);
     }
 
     /// Adds an additional process to a node (multiprogramming): it gets
@@ -412,7 +409,8 @@ impl Cluster {
     pub fn add_process(&mut self, node: u16, p: impl Process) -> usize {
         let comp = self.nodes[node as usize];
         let idx = self.node_mut(node).add_process(Box::new(p));
-        self.engine.schedule(SimTime::ZERO, comp, ClusterEvent::Start);
+        self.engine
+            .schedule(SimTime::ZERO, comp, ClusterEvent::Start);
         idx
     }
 
@@ -434,6 +432,21 @@ impl Cluster {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Event-engine run counters (delivered/scheduled totals, queue
+    /// high-water mark, wall time) — the simulator-throughput side of an
+    /// experiment. `events_per_wall_second()` on the result reports
+    /// simulator speed.
+    pub fn engine_stats(&self) -> tg_sim::EngineStats {
+        self.engine.stats()
+    }
+
+    /// Per-component delivered/scheduled counters, paired with each
+    /// component's registered name — which parts of the simulated cluster
+    /// the event budget went to.
+    pub fn component_stats(&self) -> Vec<(&str, tg_sim::ComponentStats)> {
+        self.engine.component_stats_named().collect()
     }
 
     /// Immutable node access.

@@ -56,7 +56,9 @@ mod stats;
 pub mod sync;
 pub mod vsm;
 
-pub use cluster::{Cluster, ClusterBuilder, SharedPage, PAGED_VA_BASE, PRIVATE_VA_BASE, SHARED_VA_BASE};
+pub use cluster::{
+    Cluster, ClusterBuilder, SharedPage, PAGED_VA_BASE, PRIVATE_VA_BASE, SHARED_VA_BASE,
+};
 pub use event::ClusterEvent;
 pub use node::Node;
 pub use os::{Os, OsEffect, ReplicatePolicy};

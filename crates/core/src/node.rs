@@ -22,11 +22,11 @@
 
 use std::collections::VecDeque;
 
+use tg_hib::regs::{opcode, reg, ShadowArg};
 use tg_hib::{
     CpuResult, Hib, HibConfig, HibHost, HibInterrupt, HibTick, LaunchMode, LoadOutcome,
     StoreOutcome,
 };
-use tg_hib::regs::{opcode, reg, ShadowArg};
 use tg_mem::{AccessKind, Decoded, Fault, Mmu, PAddr, PhysMem, VAddr};
 use tg_net::NetEvent;
 use tg_sim::{CompId, Component, Ctx, SimTime};
@@ -158,7 +158,8 @@ impl HibHost for Shim<'_> {
         self.out.push((delay, None, ClusterEvent::Interrupt(int)));
     }
     fn to_os(&mut self, delay: SimTime, src: NodeId, msg: WireMsg) {
-        self.out.push((delay, None, ClusterEvent::OsMsg { src, msg }));
+        self.out
+            .push((delay, None, ClusterEvent::OsMsg { src, msg }));
     }
     fn segment(&mut self) -> &mut PhysMem {
         self.segment
@@ -174,12 +175,7 @@ const PAGER_PUSH_TAG: u32 = 0x1000_0000;
 
 impl Node {
     /// Creates a workstation node (cluster-builder internal).
-    pub(crate) fn new(
-        id: NodeId,
-        timing: TimingConfig,
-        hib_config: HibConfig,
-        os: Os,
-    ) -> Self {
+    pub(crate) fn new(id: NodeId, timing: TimingConfig, hib_config: HibConfig, os: Os) -> Self {
         let launch_mode = hib_config.launch_mode;
         let hib = Hib::new(id, hib_config, timing.clone());
         Node {
@@ -391,9 +387,7 @@ impl Node {
             Action::FetchStore(va, v) => {
                 self.launch_atomic(i, opcode::FETCH_STORE, va, v, 0, action)
             }
-            Action::FetchAdd(va, v) => {
-                self.launch_atomic(i, opcode::FETCH_INC, va, v, 0, action)
-            }
+            Action::FetchAdd(va, v) => self.launch_atomic(i, opcode::FETCH_INC, va, v, 0, action),
             Action::CompareSwap(va, expect, new) => {
                 self.launch_atomic(i, opcode::COMPARE_SWAP, va, expect, new, action)
             }
@@ -557,15 +551,7 @@ impl Node {
         }
     }
 
-    fn launch_atomic(
-        &mut self,
-        i: usize,
-        op: u64,
-        va: VAddr,
-        d0: u64,
-        d1: u64,
-        action: Action,
-    ) {
+    fn launch_atomic(&mut self, i: usize, op: u64, va: VAddr, d0: u64, d1: u64, action: Action) {
         let Some(target) = self.translate(i, va, AccessKind::Write, action) else {
             return;
         };
@@ -793,10 +779,7 @@ impl Node {
                 // invalidation can no longer starve it.
                 for (dst, msg) in std::mem::take(&mut self.deferred_os_sends) {
                     if dst == self.id {
-                        self.schedule_self(
-                            OS_LOOPBACK,
-                            ClusterEvent::OsMsg { src: self.id, msg },
-                        );
+                        self.schedule_self(OS_LOOPBACK, ClusterEvent::OsMsg { src: self.id, msg });
                     } else {
                         self.with_hib(|hib, shim| hib.send_os_message(dst, msg, shim));
                     }
@@ -804,10 +787,9 @@ impl Node {
                 self.start_queued_fault();
             }
             task::REPLICATE => {
-                let effects = self.os.start_replication(
-                    NodeId::new(a as u16),
-                    tg_wire::PageNum::new(b as u32),
-                );
+                let effects = self
+                    .os
+                    .start_replication(NodeId::new(a as u16), tg_wire::PageNum::new(b as u32));
                 self.apply_os_effects(effects);
             }
             task::PAGER_FAULT => {
@@ -843,11 +825,10 @@ impl Node {
             .iter()
             .position(|t| matches!(t.state, ThreadState::WaitFaultSlot(_)));
         if let Some(j) = waiting {
-            let action =
-                match std::mem::replace(&mut self.threads[j].state, ThreadState::Running) {
-                    ThreadState::WaitFaultSlot(a) => a,
-                    other => unreachable!("checked state, got {other:?}"),
-                };
+            let action = match std::mem::replace(&mut self.threads[j].state, ThreadState::Running) {
+                ThreadState::WaitFaultSlot(a) => a,
+                other => unreachable!("checked state, got {other:?}"),
+            };
             let start = self.threads[j].cur_start;
             self.dispatch(j, action, start, false);
         }
@@ -862,9 +843,10 @@ impl Node {
         match msg {
             WireMsg::DmaData { tag, nbytes, last } => {
                 if self.os.accept_dma(tag, nbytes, last).is_some() {
-                    let waiting = self.threads.iter().position(
-                        |t| matches!(t.state, ThreadState::WaitRecv(w) if w == tag),
-                    );
+                    let waiting = self
+                        .threads
+                        .iter()
+                        .position(|t| matches!(t.state, ThreadState::WaitRecv(w) if w == tag));
                     if let Some(i) = waiting {
                         let total = self.os.take_message(tag).expect("just completed");
                         let cost = self.timing.os_trap + self.timing.copy_cost(total);
@@ -928,10 +910,7 @@ impl Node {
             match eff {
                 OsEffect::SendMsg { dst, msg } => {
                     if dst == self.id {
-                        self.schedule_self(
-                            OS_LOOPBACK,
-                            ClusterEvent::OsMsg { src: self.id, msg },
-                        );
+                        self.schedule_self(OS_LOOPBACK, ClusterEvent::OsMsg { src: self.id, msg });
                     } else {
                         self.with_hib(|hib, shim| hib.send_os_message(dst, msg, shim));
                     }
@@ -972,10 +951,7 @@ impl Node {
                     if retrying && is_vsm_done(&msg) {
                         self.deferred_os_sends.push((dst, msg));
                     } else if dst == self.id {
-                        self.schedule_self(
-                            OS_LOOPBACK,
-                            ClusterEvent::OsMsg { src: self.id, msg },
-                        );
+                        self.schedule_self(OS_LOOPBACK, ClusterEvent::OsMsg { src: self.id, msg });
                     } else {
                         self.with_hib(|hib, shim| hib.send_os_message(dst, msg, shim));
                     }
@@ -1063,10 +1039,9 @@ impl Node {
                     let mut index = 0;
                     while index < words {
                         let n = burst.min(words - index);
-                        let vals = self.segment.read_block(
-                            local_frame.base().add(u64::from(index) * 8),
-                            u64::from(n),
-                        );
+                        let vals = self
+                            .segment
+                            .read_block(local_frame.base().add(u64::from(index) * 8), u64::from(n));
                         let last = index + n >= words;
                         self.with_hib(|hib, shim| {
                             hib.send_os_message(

@@ -237,7 +237,10 @@ impl Os {
 
     /// True if the pager manages this virtual page.
     pub fn pager_manages(&self, vpage: u64) -> bool {
-        self.pager.as_ref().map(|p| p.manages(vpage)).unwrap_or(false)
+        self.pager
+            .as_ref()
+            .map(|p| p.manages(vpage))
+            .unwrap_or(false)
     }
 
     /// LRU touch for pager-managed pages (no-op without a pager).
@@ -314,7 +317,9 @@ mod tests {
         os.grant_frames([PageNum::new(9)]);
         os.note_remote_mapping(NodeId::new(1), PageNum::new(3), 0x20000);
         assert!(!os.wants_replication(NodeId::new(1), PageNum::new(3)));
-        assert!(os.start_replication(NodeId::new(1), PageNum::new(3)).is_empty());
+        assert!(os
+            .start_replication(NodeId::new(1), PageNum::new(3))
+            .is_empty());
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
             Action::Compute(SimTime::from_ns(5)),
             Action::Read(VAddr::new(64)),
         ]);
-        assert_eq!(s.resume(Resume::Start), Action::Compute(SimTime::from_ns(5)));
+        assert_eq!(
+            s.resume(Resume::Start),
+            Action::Compute(SimTime::from_ns(5))
+        );
         assert_eq!(s.resume(Resume::Done), Action::Read(VAddr::new(64)));
         assert_eq!(s.resume(Resume::Value(9)), Action::Halt);
         assert_eq!(s.resume(Resume::Done), Action::Halt, "stays halted");

@@ -158,9 +158,7 @@ impl BarrierWait {
         use BarrierState as S;
         match self.state {
             S::Arrive => match r {
-                Resume::Start | Resume::Done => {
-                    SyncStep::Do(Action::FetchAdd(self.counter, 1))
-                }
+                Resume::Start | Resume::Done => SyncStep::Do(Action::FetchAdd(self.counter, 1)),
                 Resume::Value(old) => {
                     if old + 1 == self.participants {
                         self.state = S::LastFence;
@@ -238,9 +236,7 @@ impl TicketAcquire {
     pub fn step(&mut self, r: Resume) -> SyncStep {
         match self.state {
             TicketState::TakeTicket => match r {
-                Resume::Start | Resume::Done => {
-                    SyncStep::Do(Action::FetchAdd(self.ticket_word, 1))
-                }
+                Resume::Start | Resume::Done => SyncStep::Do(Action::FetchAdd(self.ticket_word, 1)),
                 Resume::Value(t) => {
                     self.my_ticket = t;
                     self.state = TicketState::CheckServing;

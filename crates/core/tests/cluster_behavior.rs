@@ -2,9 +2,7 @@
 //! the simulated cluster end to end.
 
 use telegraphos::sync::{BarrierWait, LockAcquire, LockRelease, SyncStep};
-use telegraphos::{
-    Action, ClusterBuilder, Process, ReplicatePolicy, Resume, Script, SharedPage,
-};
+use telegraphos::{Action, ClusterBuilder, Process, ReplicatePolicy, Resume, Script, SharedPage};
 use tg_hib::{HibConfig, LaunchMode};
 use tg_net::Topology;
 use tg_sim::SimTime;
@@ -81,10 +79,9 @@ fn values_actually_arrive() {
 fn remote_reads_return_fresh_values() {
     let mut cluster = ClusterBuilder::new(2).build();
     let page = cluster.alloc_shared(1);
-    cluster.node_mut(1).segment_write(
-        tg_wire::GOffset::from_page(page.home_page, 40),
-        4242,
-    );
+    cluster
+        .node_mut(1)
+        .segment_write(tg_wire::GOffset::from_page(page.home_page, 40), 4242);
     let mut script = Script::new(vec![Action::Read(page.va(40))]);
     // Run and capture through the script's value log.
     cluster.set_process(0, {
@@ -443,7 +440,10 @@ fn coherent_writes_converge_across_copies() {
     // Copies: read each replica frame via the node's mapped va... verified
     // through a second phase of local reads instead:
     let (mut cluster, page) = coherent_setup(3);
-    cluster.set_process(0, Script::new(vec![Action::Write(page.va(0), 5), Action::Fence]));
+    cluster.set_process(
+        0,
+        Script::new(vec![Action::Write(page.va(0), 5), Action::Fence]),
+    );
     cluster.run();
     // Now node 2 reads its local copy — must be 5 without network traffic.
     let before = cluster.node(2).hib_stats().remote_reads;
@@ -789,9 +789,7 @@ fn memory_bus_ablation_is_faster() {
 
 #[test]
 fn switchless_direct_cluster_works() {
-    let mut cluster = ClusterBuilder::new(2)
-        .topology(Topology::direct())
-        .build();
+    let mut cluster = ClusterBuilder::new(2).topology(Topology::direct()).build();
     let page = cluster.alloc_shared(1);
     cluster.set_process(
         0,

@@ -65,10 +65,7 @@ fn hardware_reads_freeze_every_process() {
         0,
         Script::new((0..20).map(|i| Action::Read(page.va(i * 8))).collect()),
     );
-    cluster.add_process(
-        0,
-        Script::new(vec![Action::Compute(SimTime::from_us(100))]),
-    );
+    cluster.add_process(0, Script::new(vec![Action::Compute(SimTime::from_us(100))]));
     cluster.run();
     assert!(cluster.all_halted());
     let total_us = cluster.now().as_us_f64();

@@ -21,14 +21,12 @@ fn disk_paging_faults_and_preserves_data() {
     cluster.set_process(0, Script::new(actions));
     cluster.run();
     let stats = cluster.node(0).stats();
-    assert!(stats.faults >= 6, "expected thrashing, got {}", stats.faults);
-    let pager_stats = cluster
-        .node_mut(0)
-        .os_mut()
-        .pager
-        .as_ref()
-        .unwrap()
-        .stats();
+    assert!(
+        stats.faults >= 6,
+        "expected thrashing, got {}",
+        stats.faults
+    );
+    let pager_stats = cluster.node_mut(0).os_mut().pager.as_ref().unwrap().stats();
     assert!(pager_stats.evictions >= 4);
     // Disk latency dominates: every fault costs ~15 ms.
     assert!(cluster.now() >= tg_sim::SimTime::from_ms(15 * 6));
@@ -109,7 +107,11 @@ fn lru_keeps_the_hot_page_resident() {
 #[test]
 fn remote_memory_is_far_faster_than_disk() {
     let run = |backing: Backing| {
-        let nodes = if matches!(backing, Backing::Disk) { 1 } else { 2 };
+        let nodes = if matches!(backing, Backing::Disk) {
+            1
+        } else {
+            2
+        };
         let mut cluster = ClusterBuilder::new(nodes).build();
         let pages = cluster.make_paged(0, backing, 6, 2);
         let mut actions = Vec::new();

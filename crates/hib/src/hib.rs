@@ -447,9 +447,7 @@ impl Hib {
             return StoreOutcome::Done;
         }
         if let Some((ctx, slot)) = decode_ctx_reg(r) {
-            if self.config.launch_mode != LaunchMode::ContextShadow
-                || ctx >= self.contexts.len()
-            {
+            if self.config.launch_mode != LaunchMode::ContextShadow || ctx >= self.contexts.len() {
                 return StoreOutcome::Fault(HibFault::BadRegister);
             }
             // Direct context-register stores are protected by the mapping:
@@ -488,12 +486,7 @@ impl Hib {
         StoreOutcome::Done
     }
 
-    fn load_remote(
-        &mut self,
-        node: NodeId,
-        off: GOffset,
-        host: &mut dyn HibHost,
-    ) -> LoadOutcome {
+    fn load_remote(&mut self, node: NodeId, off: GOffset, host: &mut dyn HibHost) -> LoadOutcome {
         if node == self.node {
             if !self.in_segment(off) {
                 return LoadOutcome::Fault(HibFault::OutOfSegment);
@@ -596,8 +589,7 @@ impl Hib {
                             // serialized by its owner like any other write
                             // (§2.3.1); executing them on the local copy
                             // would break atomicity across copies.
-                            let owner_addr =
-                                GOffset::from_page(owner_page, off.in_page());
+                            let owner_addr = GOffset::from_page(owner_page, off.in_page());
                             let tag = self.alloc_tag();
                             self.launch_pending = Some(tag);
                             self.enqueue(
@@ -697,11 +689,7 @@ impl Hib {
                 self.handle_rx(packet, host);
                 // Return the credit for the consumed packet.
                 if let Some((up, port)) = self.rx_upstream {
-                    host.schedule_net(
-                        self.timing.link_prop,
-                        up,
-                        NetEvent::Credit { port },
-                    );
+                    host.schedule_net(self.timing.link_prop, up, NetEvent::Credit { port });
                 }
                 self.pump_rx(host);
                 self.check_fence(host);
@@ -870,13 +858,7 @@ impl Hib {
     }
 
     /// §2.3.3 rules 2 and 3 at a copy holder.
-    fn apply_reflected(
-        &mut self,
-        addr: GOffset,
-        val: u64,
-        writer: NodeId,
-        host: &mut dyn HibHost,
-    ) {
+    fn apply_reflected(&mut self, addr: GOffset, val: u64, writer: NodeId, host: &mut dyn HibHost) {
         self.stats.reflections_rx += 1;
         if !self.in_segment(addr) {
             debug_assert!(false, "reflected write outside segment at {addr}");

@@ -140,7 +140,10 @@ mod tests {
                 owner_page: PageNum::new(9),
             },
         );
-        assert!(matches!(map.mode(PageNum::new(1)), PageMode::Replica { .. }));
+        assert!(matches!(
+            map.mode(PageNum::new(1)),
+            PageMode::Replica { .. }
+        ));
         assert_eq!(map.tracked_pages(), 1);
         map.set_mode(PageNum::new(1), PageMode::Plain);
         assert_eq!(map.tracked_pages(), 0);

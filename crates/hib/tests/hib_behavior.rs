@@ -4,10 +4,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use tg_hib::{
-    CounterKind, CpuResult, Hib, HibConfig, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome, LocalWritePolicy, PageMode, StoreOutcome,
-};
 use tg_hib::regs::{opcode, reg, ShadowArg};
+use tg_hib::{
+    CounterKind, CpuResult, Hib, HibConfig, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome,
+    LocalWritePolicy, PageMode, StoreOutcome,
+};
 use tg_mem::{PAddr, PhysMem};
 use tg_net::NetEvent;
 use tg_sim::{CompId, SimTime};
@@ -46,7 +47,8 @@ impl HibHost for Host<'_> {
         // Credits to the hub are dropped: the hub has infinite capacity.
     }
     fn schedule_tick(&mut self, delay: SimTime, tick: HibTick) {
-        self.out.push((self.now + delay, self.board, Ev::Tick(tick)));
+        self.out
+            .push((self.now + delay, self.board, Ev::Tick(tick)));
     }
     fn cpu_complete(&mut self, delay: SimTime, res: CpuResult) {
         self.completions.push((self.now + delay, res));
@@ -275,7 +277,10 @@ fn context_shadow_launch_with_key() {
         b.store(0, ctx_reg(reg::SLOT_OP), opcode::FETCH_STORE),
         StoreOutcome::Done
     );
-    assert_eq!(b.store(0, ctx_reg(reg::SLOT_DATUM0), 555), StoreOutcome::Done);
+    assert_eq!(
+        b.store(0, ctx_reg(reg::SLOT_DATUM0), 555),
+        StoreOutcome::Done
+    );
     // Shadow store: the physical address rides in the address, the context
     // id + key + slot in the datum.
     let arg = ShadowArg {
@@ -326,8 +331,16 @@ fn remote_copy_streams_into_local_segment() {
     b.store(0, ctx_reg(reg::SLOT_OP), opcode::COPY);
     // datum0 = word count travels with the source address slot.
     b.store(0, ctx_reg(reg::SLOT_DATUM0), 20);
-    let src = ShadowArg { ctx: 0, key: 1, slot: 0 };
-    let dst = ShadowArg { ctx: 0, key: 1, slot: 1 };
+    let src = ShadowArg {
+        ctx: 0,
+        key: 1,
+        slot: 0,
+    };
+    let dst = ShadowArg {
+        ctx: 0,
+        key: 1,
+        slot: 1,
+    };
     b.store(0, remote(1, 0).shadow(), src.encode());
     b.store(0, local(PAGE_BYTES).shadow(), dst.encode());
     // Copy returns immediately (non-blocking).
@@ -643,9 +656,8 @@ fn interleaved_context_launches_do_not_corrupt_each_other() {
     b.segments[1].write(GOffset::new(0), 7);
     b.segments[1].write(GOffset::new(8), 50);
 
-    let ctx_reg = |ctx: u64, slot: u64| {
-        PAddr::hib_reg(reg::CTX_BASE + ctx * reg::CTX_STRIDE + slot * 8)
-    };
+    let ctx_reg =
+        |ctx: u64, slot: u64| PAddr::hib_reg(reg::CTX_BASE + ctx * reg::CTX_STRIDE + slot * 8);
     // Process A arms a fetch&inc(+1) on word 0 in context 0...
     b.store(0, ctx_reg(0, reg::SLOT_OP), opcode::FETCH_INC);
     // ...interleaved: process B arms a fetch&store(999) on word 1 in
@@ -653,8 +665,16 @@ fn interleaved_context_launches_do_not_corrupt_each_other() {
     b.store(0, ctx_reg(1, reg::SLOT_OP), opcode::FETCH_STORE);
     b.store(0, ctx_reg(0, reg::SLOT_DATUM0), 1);
     b.store(0, ctx_reg(1, reg::SLOT_DATUM0), 999);
-    let arg_a = ShadowArg { ctx: 0, key: 100, slot: 0 };
-    let arg_b = ShadowArg { ctx: 1, key: 200, slot: 0 };
+    let arg_a = ShadowArg {
+        ctx: 0,
+        key: 100,
+        slot: 0,
+    };
+    let arg_b = ShadowArg {
+        ctx: 1,
+        key: 200,
+        slot: 0,
+    };
     b.store(0, remote(1, 8).shadow(), arg_b.encode());
     b.store(0, remote(1, 0).shadow(), arg_a.encode());
     // B fires first, then A.
@@ -718,7 +738,10 @@ fn hardware_page_fetch_streams_a_whole_page() {
     let mut words = 0u64;
     let mut saw_last = false;
     for (_, msg) in &b.os_msgs[0] {
-        if let WireMsg::PageData { tag, vals, last, .. } = msg {
+        if let WireMsg::PageData {
+            tag, vals, last, ..
+        } = msg
+        {
             assert_eq!(*tag, 77);
             words += vals.len() as u64;
             saw_last |= *last;

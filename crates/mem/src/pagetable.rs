@@ -246,10 +246,7 @@ impl Mmu {
         if !va.is_word_aligned() {
             return Err(Fault::Misaligned(va));
         }
-        let pte = self
-            .table
-            .lookup(va.vpage())
-            .ok_or(Fault::Unmapped(va))?;
+        let pte = self.table.lookup(va.vpage()).ok_or(Fault::Unmapped(va))?;
         if va.is_shadow() && !pte.flags.allows(AccessKind::Write) {
             // Passing a physical address to the HIB is only legal for pages
             // the process could store to.
@@ -280,7 +277,12 @@ mod tests {
         let mmu = mmu_with(4, PAddr::private(3 * PAGE_BYTES), PageFlags::RW);
         let va = VAddr::new(4 * PAGE_BYTES + 0x20);
         let pa = mmu.translate(va, AccessKind::Read).unwrap();
-        assert_eq!(pa.decode(), Decoded::Private { off: 3 * PAGE_BYTES + 0x20 });
+        assert_eq!(
+            pa.decode(),
+            Decoded::Private {
+                off: 3 * PAGE_BYTES + 0x20
+            }
+        );
     }
 
     #[test]
@@ -360,7 +362,11 @@ mod tests {
 
     #[test]
     fn remap_replaces() {
-        let mut mmu = mmu_with(3, PAddr::remote(NodeId::new(5), GOffset::new(0)), PageFlags::RW);
+        let mut mmu = mmu_with(
+            3,
+            PAddr::remote(NodeId::new(5), GOffset::new(0)),
+            PageFlags::RW,
+        );
         // OS replicates the page locally: same vpage now points at local
         // shared memory.
         mmu.table_mut()

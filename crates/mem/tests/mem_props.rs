@@ -114,7 +114,8 @@ fn translation_is_total_and_consistent() {
             } else {
                 PageFlags::RO
             };
-            mmu.table_mut().map(vp, PAddr::private(vp * PAGE_BYTES), flags);
+            mmu.table_mut()
+                .map(vp, PAddr::private(vp * PAGE_BYTES), flags);
         }
         let va = VAddr::new(probe_page * PAGE_BYTES + in_page);
         match mmu.translate(va, AccessKind::Read) {
@@ -155,6 +156,9 @@ fn misalignment_always_faults() {
         let mut mmu = Mmu::new();
         mmu.table_mut().map(page, PAddr::private(0), PageFlags::RW);
         let va = VAddr::new(page * PAGE_BYTES + word * 8 + misoff);
-        assert_eq!(mmu.translate(va, AccessKind::Read), Err(Fault::Misaligned(va)));
+        assert_eq!(
+            mmu.translate(va, AccessKind::Read),
+            Err(Fault::Misaligned(va))
+        );
     }
 }

@@ -33,6 +33,9 @@ pub struct TxPort {
     neighbor: CompId,
     neighbor_port: u32,
     credits: u32,
+    /// The initial grant (= the downstream FIFO capacity). Credits in hand
+    /// can never legitimately exceed it.
+    allowance: u32,
     busy: bool,
 }
 
@@ -44,6 +47,7 @@ impl TxPort {
             neighbor,
             neighbor_port,
             credits,
+            allowance: credits,
             busy: false,
         }
     }
@@ -86,7 +90,18 @@ impl TxPort {
     }
 
     /// Records a returned credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if credits would exceed the initial allowance: a duplicated
+    /// credit should fail here, at the source, rather than as a distant
+    /// "input FIFO overflow" panic downstream.
     pub fn on_credit(&mut self) {
+        assert!(
+            self.credits < self.allowance,
+            "credit return exceeds the initial allowance of {}",
+            self.allowance
+        );
         self.credits += 1;
     }
 
@@ -210,6 +225,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds the initial allowance")]
+    fn txport_rejects_duplicated_credit() {
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 2);
+        tx.on_credit();
+    }
+
+    #[test]
     #[should_panic(expected = "busy or credit-less")]
     fn txport_rejects_early_launch() {
         let timing = TimingConfig::telegraphos_i();
@@ -267,4 +289,3 @@ mod tests {
         fifo.push(pkt());
     }
 }
-

@@ -32,7 +32,11 @@ pub struct Switch {
     /// dst node index -> output port.
     table: Vec<u32>,
     timing: TimingConfig,
-    rr_next: usize,
+    /// Per-output-port round-robin pointer: the input to consider first the
+    /// next time this output is free. A single shared pointer would let
+    /// traffic on one output reset the arbitration state of another and
+    /// starve high-numbered inputs under saturation.
+    rr_next: Vec<usize>,
     fifo_capacity: u32,
     stats: SwitchStats,
 }
@@ -48,7 +52,7 @@ impl Switch {
             out: (0..ports).map(|_| None).collect(),
             table,
             timing,
-            rr_next: 0,
+            rr_next: Vec::new(),
             fifo_capacity: 8,
             stats: SwitchStats::default(),
         }
@@ -77,6 +81,7 @@ impl Switch {
         while self.fifos.len() < self.out.len() {
             let cap = self.fifo_capacity;
             self.fifos.push(RxFifo::new(cap));
+            self.rr_next.push(0);
         }
     }
 
@@ -96,21 +101,36 @@ impl Switch {
         port
     }
 
-    /// Forwards as many FIFO heads as ports allow, round-robin over inputs.
+    /// The input port whose head is routed to `out_port`, round-robin from
+    /// this output's arbitration pointer.
+    fn pick_input(&self, out_port: usize) -> Option<usize> {
+        let nports = self.fifos.len();
+        let start = self.rr_next[out_port];
+        for k in 0..nports {
+            let in_port = (start + k) % nports;
+            if let Some(packet) = self.fifos[in_port].head() {
+                if self.route(packet) as usize == out_port {
+                    return Some(in_port);
+                }
+            }
+        }
+        None
+    }
+
+    /// Forwards as many FIFO heads as ports allow: each free output port
+    /// arbitrates round-robin over the inputs requesting it.
     fn pump<M: NetMessage>(&mut self, ctx: &mut Ctx<'_, M>) {
         let nports = self.fifos.len();
         loop {
             let mut progressed = false;
-            for k in 0..nports {
-                let in_port = (self.rr_next + k) % nports;
-                let Some(packet) = self.fifos[in_port].head() else {
-                    continue;
-                };
-                let out_port = self.route(packet) as usize;
+            for out_port in 0..nports {
                 let ready = self.out[out_port]
                     .as_ref()
                     .map(TxPort::ready)
                     .unwrap_or(false);
+                let Some(in_port) = self.pick_input(out_port) else {
+                    continue;
+                };
                 if !ready {
                     self.stats.blocked += 1;
                     continue;
@@ -148,7 +168,7 @@ impl Switch {
                         port: out_port as u32,
                     }),
                 );
-                self.rr_next = (in_port + 1) % nports;
+                self.rr_next[out_port] = (in_port + 1) % nports;
                 progressed = true;
             }
             if !progressed {
@@ -199,12 +219,7 @@ mod tests {
 
     #[test]
     fn stats_default_zero() {
-        let s = Switch::new(
-            "s".into(),
-            2,
-            vec![0, 1],
-            TimingConfig::telegraphos_i(),
-        );
+        let s = Switch::new("s".into(), 2, vec![0, 1], TimingConfig::telegraphos_i());
         assert_eq!(s.stats(), SwitchStats::default());
         assert_eq!(s.max_fifo_high_water(), 0);
     }
@@ -212,12 +227,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "attached twice")]
     fn double_attach_rejected() {
-        let mut s = Switch::new(
-            "s".into(),
-            1,
-            vec![0],
-            TimingConfig::telegraphos_i(),
-        );
+        let mut s = Switch::new("s".into(), 1, vec![0], TimingConfig::telegraphos_i());
         let id = {
             struct Noop;
             impl Component<NetEvent> for Noop {

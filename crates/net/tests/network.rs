@@ -70,7 +70,11 @@ fn latency_grows_with_hop_count() {
             .enqueue(NodeId::new(dst), write(0, 1));
         kick(&mut engine, ids[0]);
         engine.run();
-        engine.get::<SourceSink>(ids[dst as usize]).unwrap().received[0].at
+        engine
+            .get::<SourceSink>(ids[dst as usize])
+            .unwrap()
+            .received[0]
+            .at
     };
     let one_switch = arrival_at(Topology::star(2), 1);
     let four_switches = arrival_at(Topology::chain(4), 3);
@@ -197,7 +201,10 @@ fn random_traffic_is_delivered_in_order() {
         let mut expected: std::collections::HashMap<(u16, u16), Vec<u64>> =
             std::collections::HashMap::new();
         for _ in 0..n_sends {
-            let (src, dst) = (rng.range(u64::from(n)) as u16, rng.range(u64::from(n)) as u16);
+            let (src, dst) = (
+                rng.range(u64::from(n)) as u16,
+                rng.range(u64::from(n)) as u16,
+            );
             let val = rng.range(1000);
             if src == dst {
                 continue;
@@ -255,6 +262,60 @@ fn switchless_direct_wiring_delivers_both_ways() {
     assert_eq!(engine.get::<SourceSink>(ids[1]).unwrap().received.len(), 1);
 }
 
+/// Regression test for cross-output arbitration interference: node 0
+/// streams to every other node (keeping its input port permanently busy on
+/// *other* outputs) while all other nodes stream back to node 0 through one
+/// contended output. With a single switch-wide round-robin pointer, every
+/// forward of node 0's stream reset the pointer past the high-numbered
+/// inputs, which then starved on the contended output; per-output pointers
+/// must deliver everything.
+#[test]
+fn arbitration_survives_cross_output_interference() {
+    let timing = TimingConfig::telegraphos_i();
+    let n_nodes = 12u16;
+    let (mut engine, ids, _sw) = build(&Topology::star(n_nodes), &timing);
+    let per_flow = 40u64;
+    // Node 0 fans out to everyone.
+    for dst in 1..n_nodes {
+        for i in 0..per_flow {
+            engine
+                .get_mut::<SourceSink>(ids[0])
+                .unwrap()
+                .enqueue(NodeId::new(dst), write(i * 8, i));
+        }
+    }
+    // Everyone floods node 0.
+    for src in 1..n_nodes {
+        for i in 0..per_flow {
+            engine
+                .get_mut::<SourceSink>(ids[src as usize])
+                .unwrap()
+                .enqueue(NodeId::new(0), write(i * 8, i));
+        }
+    }
+    for id in &ids {
+        kick(&mut engine, *id);
+    }
+    assert_eq!(engine.run(), RunLimit::Drained);
+    let flows = u64::from(n_nodes) - 1;
+    let rx0 = &engine.get::<SourceSink>(ids[0]).unwrap().received;
+    assert_eq!(rx0.len() as u64, flows * per_flow, "a flow starved");
+    for src in 1..n_nodes {
+        let from_src = rx0
+            .iter()
+            .filter(|r| r.packet.src == NodeId::new(src))
+            .count() as u64;
+        assert_eq!(from_src, per_flow, "source {src} starved");
+    }
+    for dst in 1..n_nodes {
+        let rx = &engine
+            .get::<SourceSink>(ids[dst as usize])
+            .unwrap()
+            .received;
+        assert_eq!(rx.len() as u64, per_flow, "fan-out to {dst} starved");
+    }
+}
+
 #[test]
 fn arbitration_shares_a_contended_output_fairly() {
     // Two sources blast one sink through a single switch; round-robin
@@ -280,7 +341,10 @@ fn arbitration_shares_a_contended_output_fairly() {
         if window.len() < 16 {
             continue;
         }
-        let from0 = window.iter().filter(|r| r.packet.src == NodeId::new(0)).count();
+        let from0 = window
+            .iter()
+            .filter(|r| r.packet.src == NodeId::new(0))
+            .count();
         assert!(
             from0 > 0 && from0 < 16,
             "starvation in a window: {from0}/16 from source 0"

@@ -31,6 +31,7 @@ pub struct AbstractNet<M> {
     /// channel[src * n + dst]
     channels: Vec<VecDeque<M>>,
     in_flight: usize,
+    peak_in_flight: usize,
     delivered: u64,
 }
 
@@ -46,6 +47,7 @@ impl<M> AbstractNet<M> {
             n,
             channels: (0..n * n).map(|_| VecDeque::new()).collect(),
             in_flight: 0,
+            peak_in_flight: 0,
             delivered: 0,
         }
     }
@@ -64,6 +66,7 @@ impl<M> AbstractNet<M> {
         assert!(src < self.n && dst < self.n, "node out of range");
         self.channels[src * self.n + dst].push_back(msg);
         self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
     }
 
     /// Delivers the head of a uniformly random non-empty channel, or `None`
@@ -85,6 +88,11 @@ impl<M> AbstractNet<M> {
     /// Messages still queued.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// High-water mark of queued messages (congestion reporting).
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
     }
 
     /// True when nothing is queued.

@@ -89,7 +89,14 @@ impl GalacticaRing {
                     outstanding: true,
                     conflicted: false,
                 };
-                net.send(w, next(w), Update { value: v, origin: w });
+                net.send(
+                    w,
+                    next(w),
+                    Update {
+                        value: v,
+                        origin: w,
+                    },
+                );
             } else {
                 let (_src, at, up) = net.deliver_random(&mut rng).expect("deliverable");
                 if up.origin == at {
@@ -102,7 +109,14 @@ impl GalacticaRing {
                         writers[at].conflicted = false;
                         writers[at].outstanding = true;
                         let v = values[at];
-                        net.send(at, next(at), Update { value: v, origin: at });
+                        net.send(
+                            at,
+                            next(at),
+                            Update {
+                                value: v,
+                                origin: at,
+                            },
+                        );
                     }
                 } else {
                     if writers[at].outstanding && up.value != values[at] {
@@ -130,6 +144,7 @@ impl GalacticaRing {
             observed: recorders.iter().map(|r| r.changes().to_vec()).collect(),
             serialization: None,
             messages: net.delivered(),
+            peak_in_flight: net.peak_in_flight(),
         }
     }
 }

@@ -73,6 +73,7 @@ impl NaiveMulticast {
             observed: recorders.iter().map(|r| r.changes().to_vec()).collect(),
             serialization: None,
             messages: net.delivered(),
+            peak_in_flight: net.peak_in_flight(),
         }
     }
 }

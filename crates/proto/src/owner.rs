@@ -21,15 +21,9 @@ use crate::scenario::{Outcome, Scenario};
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Msg {
     /// Writer → owner: please serialize this store.
-    ToOwner {
-        value: u64,
-        writer: usize,
-    },
+    ToOwner { value: u64, writer: usize },
     /// Owner → copy: the next update in serialization order.
-    Reflected {
-        value: u64,
-        writer: usize,
-    },
+    Reflected { value: u64, writer: usize },
 }
 
 /// Configuration of an owner-protocol run.
@@ -86,8 +80,9 @@ impl OwnerSerialized {
         let mut scripts = scenario.scripts();
         let mut values = vec![0u64; n];
         let mut recorders: Vec<SeqRecorder> = (0..n).map(|_| SeqRecorder::new(0)).collect();
-        let mut cams: Vec<PendingCam> =
-            (0..n).map(|_| PendingCam::new(config.cam_entries)).collect();
+        let mut cams: Vec<PendingCam> = (0..n)
+            .map(|_| PendingCam::new(config.cam_entries))
+            .collect();
         let mut serialization: Vec<u64> = Vec::new();
 
         loop {
@@ -117,7 +112,14 @@ impl OwnerSerialized {
                     serialization.push(v);
                     for dst in 0..n {
                         if dst != owner {
-                            net.send(owner, dst, Msg::Reflected { value: v, writer: owner });
+                            net.send(
+                                owner,
+                                dst,
+                                Msg::Reflected {
+                                    value: v,
+                                    writer: owner,
+                                },
+                            );
                         }
                     }
                 } else {
@@ -127,7 +129,14 @@ impl OwnerSerialized {
                     assert!(accepted, "issuer availability was checked above");
                     values[w] = v;
                     recorders[w].observe(v);
-                    net.send(w, owner, Msg::ToOwner { value: v, writer: w });
+                    net.send(
+                        w,
+                        owner,
+                        Msg::ToOwner {
+                            value: v,
+                            writer: w,
+                        },
+                    );
                 }
             } else {
                 let (_src, dst, msg) = net.deliver_random(&mut rng).expect("deliverable");
@@ -169,6 +178,7 @@ impl OwnerSerialized {
             observed: recorders.iter().map(|r| r.changes().to_vec()).collect(),
             serialization: Some(serialization),
             messages: net.delivered(),
+            peak_in_flight: net.peak_in_flight(),
         }
     }
 }

@@ -58,10 +58,7 @@ impl Scenario {
         for round in 0..per_writer {
             for w in 0..writers {
                 let _ = round;
-                writes.push(ScriptedWrite {
-                    node: w,
-                    value,
-                });
+                writes.push(ScriptedWrite { node: w, value });
                 value += 1;
             }
         }
@@ -118,6 +115,8 @@ pub struct Outcome {
     pub serialization: Option<Vec<u64>>,
     /// Total protocol messages delivered.
     pub messages: u64,
+    /// High-water mark of in-flight protocol messages.
+    pub peak_in_flight: usize,
 }
 
 impl Outcome {
@@ -223,6 +222,7 @@ mod tests {
             observed: vec![vec![1, 2], vec![2]],
             serialization: Some(vec![1, 2]),
             messages: 4,
+            peak_in_flight: 4,
         };
         assert!(good.converged());
         assert!(good.anomalies().is_empty());
@@ -233,6 +233,7 @@ mod tests {
             observed: vec![vec![1, 2, 1], vec![2, 1, 2]],
             serialization: Some(vec![1, 2]),
             messages: 4,
+            peak_in_flight: 4,
         };
         assert!(!bad.converged());
         assert_eq!(bad.anomalies().len(), 2);

@@ -1,10 +1,11 @@
 //! The deterministic event engine.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+use std::time::Instant;
 
+use crate::heap::{Entry, EventHeap};
 use crate::time::SimTime;
 
 /// Identifier of a component registered with an [`Engine`].
@@ -105,32 +106,37 @@ pub struct EngineStats {
     pub events_scheduled: u64,
     /// High-water mark of the pending-event queue.
     pub max_queue_len: usize,
+    /// Wall-clock nanoseconds spent inside `run`/`run_until`/`run_events`
+    /// since construction (individual `step` calls are not timed).
+    pub wall_nanos: u64,
 }
 
+impl EngineStats {
+    /// Delivered events per wall-clock second across all timed runs; 0.0
+    /// before any timed run has completed.
+    pub fn events_per_wall_second(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events_delivered as f64 / (self.wall_nanos as f64 * 1e-9)
+        }
+    }
+}
+
+/// Per-component delivery counters, indexed by [`CompId`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ComponentStats {
+    /// Events delivered to this component.
+    pub delivered: u64,
+    /// Events scheduled with this component as destination.
+    pub scheduled: u64,
+}
+
+/// The payload stored in the event heap; the `(at, seq)` ordering key lives
+/// packed inside the heap entry itself.
 struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
     dst: CompId,
     msg: M,
-}
-
-// Ordering: earliest time first, then lowest sequence number. Only `at` and
-// `seq` participate; `seq` is unique so ties never reach further fields.
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// One delivered event, as recorded by the trace facility.
@@ -152,11 +158,15 @@ pub struct TraceEntry {
 /// See the [crate docs](crate) for a complete example.
 pub struct Engine<M> {
     components: Vec<Box<dyn Component<M>>>,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    /// Component names captured once at registration, so the trace path
+    /// never makes a virtual `name()` call (or re-allocates) per event.
+    names: Vec<Box<str>>,
+    queue: EventHeap<Scheduled<M>>,
     now: SimTime,
     seq: u64,
     halt: bool,
     stats: EngineStats,
+    comp_stats: Vec<ComponentStats>,
     outbox: Vec<(SimTime, CompId, M)>,
     #[allow(clippy::type_complexity)]
     trace: Option<(usize, VecDeque<TraceEntry>, Box<dyn Fn(&M) -> String>)>,
@@ -184,11 +194,13 @@ impl<M: 'static> Engine<M> {
     pub fn new() -> Self {
         Engine {
             components: Vec::new(),
-            queue: BinaryHeap::new(),
+            names: Vec::new(),
+            queue: EventHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
             halt: false,
             stats: EngineStats::default(),
+            comp_stats: Vec::new(),
             outbox: Vec::new(),
             trace: None,
         }
@@ -220,10 +232,13 @@ impl<M: 'static> Engine<M> {
         self.trace.iter().flat_map(|(_, buf, _)| buf.iter())
     }
 
-    /// Registers a component and returns its id.
+    /// Registers a component and returns its id. The component's name is
+    /// interned here, once.
     pub fn add(&mut self, component: impl Component<M>) -> CompId {
         let id = CompId(self.components.len() as u32);
+        self.names.push(component.name().into());
         self.components.push(Box::new(component));
+        self.comp_stats.push(ComponentStats::default());
         id
     }
 
@@ -245,6 +260,19 @@ impl<M: 'static> Engine<M> {
     /// Run counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Per-component delivered/scheduled counters, indexed by [`CompId`].
+    pub fn component_stats(&self) -> &[ComponentStats] {
+        &self.comp_stats
+    }
+
+    /// `(name, stats)` pairs for every component, in registration order.
+    pub fn component_stats_named(&self) -> impl Iterator<Item = (&str, ComponentStats)> {
+        self.names
+            .iter()
+            .map(|n| &**n)
+            .zip(self.comp_stats.iter().copied())
     }
 
     /// Schedules `msg` for `dst` at `delay` after the current time.
@@ -279,33 +307,37 @@ impl<M: 'static> Engine<M> {
     fn push(&mut self, at: SimTime, dst: CompId, msg: M) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, dst, msg }));
+        self.queue.push(Entry::new(at, seq, Scheduled { dst, msg }));
         self.stats.events_scheduled += 1;
+        self.comp_stats[dst.index()].scheduled += 1;
         self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
     }
 
     /// Delivers the single earliest pending event. Returns `false` if the
     /// queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(entry) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
+        let at = entry.at();
+        let Scheduled { dst, msg } = entry.item;
+        assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
         self.stats.events_delivered += 1;
+        self.comp_stats[dst.index()].delivered += 1;
         if let Some((cap, buf, render)) = self.trace.as_mut() {
             if buf.len() == *cap {
                 buf.pop_front();
             }
             buf.push_back(TraceEntry {
-                at: ev.at,
-                dst: ev.dst,
+                at,
+                dst,
                 component: self
-                    .components
-                    .get(ev.dst.index())
-                    .map(|c| c.name().to_string())
+                    .names
+                    .get(dst.index())
+                    .map(|n| n.to_string())
                     .unwrap_or_default(),
-                event: render(&ev.msg),
+                event: render(&msg),
             });
         }
 
@@ -313,11 +345,11 @@ impl<M: 'static> Engine<M> {
         {
             let mut ctx = Ctx {
                 now: self.now,
-                self_id: ev.dst,
+                self_id: dst,
                 outbox: &mut outbox,
                 halt: &mut self.halt,
             };
-            self.components[ev.dst.index()].on_event(ev.msg, &mut ctx);
+            self.components[dst.index()].on_event(msg, &mut ctx);
         }
         for (at, dst, msg) in outbox.drain(..) {
             assert!(
@@ -339,35 +371,43 @@ impl<M: 'static> Engine<M> {
     /// queue drains, or a component halts the engine.
     pub fn run_until(&mut self, deadline: SimTime) -> RunLimit {
         self.halt = false;
-        loop {
+        let t0 = Instant::now();
+        let limit = loop {
             match self.queue.peek() {
-                None => return RunLimit::Drained,
-                Some(Reverse(ev)) if ev.at > deadline => {
-                    self.now = deadline.min(ev.at);
-                    return RunLimit::Deadline;
+                None => break RunLimit::Drained,
+                Some(ev) if ev.at() > deadline => {
+                    self.now = deadline.min(ev.at());
+                    break RunLimit::Deadline;
                 }
                 Some(_) => {}
             }
             self.step();
             if self.halt {
-                return RunLimit::Halted;
+                break RunLimit::Halted;
             }
-        }
+        };
+        self.stats.wall_nanos += t0.elapsed().as_nanos() as u64;
+        limit
     }
 
     /// Runs at most `budget` events; a safety valve against livelocked
     /// component protocols in tests.
     pub fn run_events(&mut self, budget: u64) -> RunLimit {
         self.halt = false;
+        let t0 = Instant::now();
+        let mut limit = RunLimit::EventBudget;
         for _ in 0..budget {
             if !self.step() {
-                return RunLimit::Drained;
+                limit = RunLimit::Drained;
+                break;
             }
             if self.halt {
-                return RunLimit::Halted;
+                limit = RunLimit::Halted;
+                break;
             }
         }
-        RunLimit::EventBudget
+        self.stats.wall_nanos += t0.elapsed().as_nanos() as u64;
+        limit
     }
 
     /// Immutable access to a registered component, downcast to its concrete
@@ -387,11 +427,11 @@ impl<M: 'static> Engine<M> {
             .and_then(|c| (c.as_mut() as &mut dyn Any).downcast_mut::<T>())
     }
 
-    /// The registered name of a component.
+    /// The registered (interned) name of a component.
     pub fn name_of(&self, id: CompId) -> &str {
-        self.components
+        self.names
             .get(id.index())
-            .map(|c| c.name())
+            .map(|n| &**n)
             .unwrap_or("<unregistered>")
     }
 }
@@ -595,5 +635,111 @@ mod tests {
             eng.get::<Recorder>(r).unwrap().seen.clone()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Pins the indexed heap to the old `BinaryHeap` semantics on a heavy
+    /// adversarial mix: many components, duplicate instants, events
+    /// scheduled from within deliveries. The expected order is recomputed
+    /// with a stable sort by `(at, seq)` — the documented contract.
+    #[test]
+    fn delivery_order_matches_stable_sort_reference() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        let mut rng = crate::SimRng::new(2024);
+        let mut expected: Vec<(u64, u64, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let at = rng.range(40); // dense ties
+            eng.schedule(SimTime::from_ps(at), r, i);
+            expected.push((at, u64::from(i), i));
+        }
+        expected.sort(); // stable, (at, seq) lexicographic
+        eng.run();
+        let want: Vec<u32> = expected.iter().map(|&(_, _, v)| v).collect();
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, want);
+    }
+
+    #[test]
+    fn run_events_resumes_where_it_stopped() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        for i in 0..10u32 {
+            eng.schedule(SimTime::from_ns(u64::from(i)), r, i);
+        }
+        assert_eq!(eng.run_events(4), RunLimit::EventBudget);
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, vec![0, 1, 2, 3]);
+        assert_eq!(eng.pending_events(), 6);
+        assert_eq!(eng.run_events(100), RunLimit::Drained);
+        let expect: Vec<u32> = (0..10).collect();
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, expect);
+    }
+
+    #[test]
+    fn run_until_then_run_events_preserves_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        for i in 0..10u32 {
+            eng.schedule(SimTime::from_ns(u64::from(i) * 10), r, i);
+        }
+        assert_eq!(eng.run_until(SimTime::from_ns(35)), RunLimit::Deadline);
+        assert_eq!(eng.get::<Recorder>(r).unwrap().seen, vec![0, 1, 2, 3]);
+        // New events landing between the deadline and the rest interleave
+        // correctly with what was already queued.
+        eng.schedule(SimTime::from_ns(10), r, 100); // now + 10ns = 45ns
+        assert_eq!(eng.run(), RunLimit::Drained);
+        assert_eq!(
+            eng.get::<Recorder>(r).unwrap().seen,
+            vec![0, 1, 2, 3, 4, 100, 5, 6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn per_component_stats_track_destinations() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.add(Recorder { seen: Vec::new() });
+        let b = eng.add(Recorder { seen: Vec::new() });
+        for _ in 0..3 {
+            eng.schedule(SimTime::ZERO, a, 0);
+        }
+        eng.schedule(SimTime::ZERO, b, 0);
+        eng.run();
+        let cs = eng.component_stats();
+        assert_eq!(cs[a.index()].scheduled, 3);
+        assert_eq!(cs[a.index()].delivered, 3);
+        assert_eq!(cs[b.index()].scheduled, 1);
+        assert_eq!(cs[b.index()].delivered, 1);
+        let named: Vec<_> = eng.component_stats_named().collect();
+        assert_eq!(named.len(), 2);
+        assert_eq!(named[0].0, "recorder");
+        assert_eq!(named[0].1.delivered, 3);
+    }
+
+    #[test]
+    fn wall_time_accumulates_and_rate_is_finite() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        for i in 0..100u32 {
+            eng.schedule(SimTime::from_ns(u64::from(i)), r, i);
+        }
+        assert_eq!(eng.stats().events_per_wall_second(), 0.0);
+        eng.run();
+        let s = eng.stats();
+        assert!(s.wall_nanos > 0);
+        assert!(s.events_per_wall_second() > 0.0);
+        assert!(s.events_per_wall_second().is_finite());
+    }
+
+    /// The clock can only go backwards through a bug (`step`'s guard is a
+    /// hard `assert!` in every profile); the reachable edge is scheduling
+    /// into the past, which must be refused at the API boundary.
+    #[test]
+    #[should_panic(expected = "past")]
+    fn schedule_at_into_the_past_panics() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.schedule(SimTime::from_ns(10), r, 1);
+        eng.run();
+        eng.schedule_at(SimTime::from_ns(10), r, 2); // at `now`: legal
+        eng.run();
+        eng.schedule_at(SimTime::from_ns(5), r, 3); // before `now`: refused
     }
 }

@@ -39,11 +39,14 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+mod heap;
 mod rng;
 mod stats;
 mod time;
 
-pub use engine::{CompId, Component, Ctx, Engine, EngineStats, RunLimit, TraceEntry};
+pub use engine::{
+    CompId, Component, ComponentStats, Ctx, Engine, EngineStats, RunLimit, TraceEntry,
+};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::SimTime;

@@ -72,12 +72,15 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn range(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "range bound must be positive");
-        // Rejection sampling on the multiply-high method: unbiased.
+        // Rejection sampling on the multiply-high method: unbiased. The
+        // rejection threshold is (2^64 - bound) % bound, i.e. computed from
+        // the *bound*, not from the low product word.
+        let threshold = bound.wrapping_neg() % bound;
         loop {
             let x = self.next_u64();
             let m = (x as u128).wrapping_mul(bound as u128);
             let lo = m as u64;
-            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+            if lo >= threshold {
                 return (m >> 64) as u64;
             }
         }
@@ -182,6 +185,62 @@ mod tests {
             seen[x as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Regression test for the Lemire rejection threshold: it must be
+    /// derived from the bound, not from the low product word. With the
+    /// wrong threshold the draw is visibly biased; with the right one each
+    /// residue of a small bound appears equally often to within noise.
+    #[test]
+    fn range_is_unbiased_over_small_bound() {
+        let mut rng = SimRng::new(1234);
+        const BOUND: u64 = 6;
+        const DRAWS: u64 = 60_000;
+        let mut counts = [0u64; BOUND as usize];
+        for _ in 0..DRAWS {
+            counts[rng.range(BOUND) as usize] += 1;
+        }
+        assert_eq!(counts.iter().sum::<u64>(), DRAWS);
+        // Chi-square with 5 degrees of freedom: the 99.9th percentile is
+        // ~20.5, so a correct generator fails this about once per thousand
+        // seeds — and the seed is fixed.
+        let expected = DRAWS as f64 / BOUND as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 20.5, "chi2 = {chi2}, counts = {counts:?}");
+        // Every residue must also land within 3% of the expected share.
+        for &c in &counts {
+            let frac = c as f64 / DRAWS as f64;
+            assert!(
+                (frac - 1.0 / BOUND as f64).abs() < 0.03,
+                "counts = {counts:?}"
+            );
+        }
+    }
+
+    /// The rejection loop must also be exact for bounds that do not divide
+    /// 2^64, including ones above 2^63 where `x >= bound` already implies
+    /// acceptance of a biased remainder if the threshold is wrong.
+    #[test]
+    fn range_handles_huge_bounds() {
+        let mut rng = SimRng::new(77);
+        let bound = (1u64 << 63) + 12345;
+        for _ in 0..1000 {
+            assert!(rng.range(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn range_bound_one_is_zero() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10 {
+            assert_eq!(rng.range(1), 0);
+        }
     }
 
     #[test]

@@ -104,8 +104,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -210,10 +209,15 @@ impl Histogram {
     /// the quantile lands there.
     pub fn quantile(&self, q: f64) -> f64 {
         let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        if target == 0 {
+            // Empty histogram or q = 0: no sample lies at or below any edge,
+            // so don't let `seen >= target` fire on a leading empty bucket.
+            return 0.0;
+        }
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
-            if seen >= target {
+            if c > 0 && seen >= target {
                 return (i as f64 + 1.0) * self.width;
             }
         }
@@ -315,6 +319,36 @@ mod tests {
         assert_eq!(h.quantile(0.05), 1.0);
         assert_eq!(h.quantile(0.5), 5.0);
         assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    /// Regression tests for the quantile edge cases: an empty histogram and
+    /// `q = 0` must report 0.0 instead of the first bucket's upper edge, and
+    /// leading empty buckets must never satisfy the target.
+    #[test]
+    fn histogram_quantile_empty_and_zero() {
+        let empty = Histogram::new(2.0, 4);
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+
+        let mut h = Histogram::new(2.0, 4);
+        h.add(5.0); // bucket 2; buckets 0 and 1 stay empty
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 6.0, "must skip the leading empty buckets");
+        assert_eq!(h.quantile(1.0), 6.0);
+    }
+
+    #[test]
+    fn histogram_quantile_lands_in_overflow() {
+        let mut h = Histogram::new(1.0, 4);
+        h.add(0.5);
+        h.add(100.0);
+        h.add(200.0);
+        // 1/3 of the mass is in bucket 0; the rest only exists past the
+        // last edge, so upper quantiles report the overflow edge.
+        assert_eq!(h.quantile(0.3), 1.0);
+        assert_eq!(h.quantile(0.9), 4.0);
+        assert_eq!(h.quantile(1.0), 4.0);
     }
 
     #[test]

@@ -127,14 +127,26 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on overflow in all build profiles: a wrapped clock would
+    /// silently schedule events in the past. Use [`SimTime::checked_add`]
+    /// where overflow is an expected outcome (e.g. "infinite" deadlines).
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime addition overflowed"),
+        )
     }
 }
 
 impl AddAssign for SimTime {
+    /// # Panics
+    ///
+    /// Panics on overflow in all build profiles (see [`Add`]).
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -221,6 +233,21 @@ mod tests {
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
+    }
+
+    /// Regression test: addition must panic on overflow in every build
+    /// profile instead of wrapping the clock into the past.
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_overflow_panics() {
+        let _ = SimTime::MAX + SimTime::from_ps(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_assign_overflow_panics() {
+        let mut t = SimTime::MAX;
+        t += SimTime::from_ps(1);
     }
 
     #[test]

@@ -151,7 +151,11 @@ fn posted_messages_are_exactly_the_unacked_writes() {
             WireMsg::ReadResp { tag: 0, val },
             WireMsg::WriteAck,
             WireMsg::PageFetchReq { page: 0, tag: 0 },
-            WireMsg::OsCtl { kind: 1, a: 0, b: 0 },
+            WireMsg::OsCtl {
+                kind: 1,
+                a: 0,
+                b: 0,
+            },
         ] {
             assert!(!m.is_posted(), "{m:?}");
         }

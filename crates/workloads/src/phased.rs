@@ -387,10 +387,10 @@ mod tests {
     fn consumer_polls_reads_acks() {
         let mut c = Consumer::new(cfg());
         assert!(matches!(c.resume(Resume::Start), Action::Read(_))); // poll
-        // Flag not set yet.
+                                                                     // Flag not set yet.
         assert!(matches!(c.resume(Resume::Value(0)), Action::Compute(_)));
         assert!(matches!(c.resume(Resume::Done), Action::Read(_))); // re-poll
-        // Flag set: the transition itself issues the word-0 read.
+                                                                    // Flag set: the transition itself issues the word-0 read.
         assert!(matches!(c.resume(Resume::Value(1)), Action::Read(_)));
         assert!(matches!(c.resume(Resume::Value(10_000)), Action::Read(_)));
         // Ack after the last word.
@@ -418,15 +418,7 @@ mod tests {
 
     #[test]
     fn migratory_runs_its_turn_then_passes() {
-        let mut m = Migratory::new(
-            sp(0, 0),
-            sp(1, 0),
-            0,
-            2,
-            1,
-            2,
-            SimTime::from_us(1),
-        );
+        let mut m = Migratory::new(sp(0, 0), sp(1, 0), 0, 2, 1, 2, SimTime::from_us(1));
         assert!(matches!(m.resume(Resume::Start), Action::Read(_))); // token poll
         assert!(matches!(m.resume(Resume::Value(0)), Action::Read(_))); // data read
         assert!(matches!(m.resume(Resume::Value(5)), Action::Write(_, 6)));

@@ -65,7 +65,10 @@ pub fn bursty_scatter(
     let mut v = 1;
     for _ in 0..bursts {
         for k in 0..burst {
-            actions.push(Action::Write(page.va(((v + k) % distinct_words) * 8), v + k));
+            actions.push(Action::Write(
+                page.va(((v + k) % distinct_words) * 8),
+                v + k,
+            ));
         }
         v += burst;
         actions.push(Action::Compute(pause));
@@ -74,12 +77,7 @@ pub fn bursty_scatter(
 }
 
 /// A seeded mix of reads and writes uniformly spread over several pages.
-pub fn uniform_mixed(
-    pages: &[SharedPage],
-    ops: u64,
-    write_fraction: f64,
-    seed: u64,
-) -> Script {
+pub fn uniform_mixed(pages: &[SharedPage], ops: u64, write_fraction: f64, seed: u64) -> Script {
     assert!(!pages.is_empty(), "need at least one page");
     let mut rng = SimRng::new(seed);
     let actions = (0..ops)
@@ -226,7 +224,10 @@ mod tests {
             ping.resume(Resume::Start),
             Action::Send { tag: 0, .. }
         ));
-        assert!(matches!(pong.resume(Resume::Start), Action::Recv { tag: 0 }));
+        assert!(matches!(
+            pong.resume(Resume::Start),
+            Action::Recv { tag: 0 }
+        ));
         assert!(matches!(ping.resume(Resume::Done), Action::Recv { tag: 1 }));
         assert!(matches!(
             pong.resume(Resume::Value(64)),

@@ -163,19 +163,17 @@ impl Process for JacobiWorker {
                         SyncStep::Ready => unreachable!("barrier cannot be instant"),
                     }
                 }
-                JState::Barrier => {
-                    match self.barrier.as_mut().expect("armed").step(r) {
-                        SyncStep::Do(a) => return a,
-                        SyncStep::Ready => {
-                            if self.iter == self.iters {
-                                self.state = JState::WriteResults;
-                                self.write_back = 0;
-                                continue;
-                            }
-                            self.state = JState::ReadLeft;
+                JState::Barrier => match self.barrier.as_mut().expect("armed").step(r) {
+                    SyncStep::Do(a) => return a,
+                    SyncStep::Ready => {
+                        if self.iter == self.iters {
+                            self.state = JState::WriteResults;
+                            self.write_back = 0;
+                            continue;
                         }
+                        self.state = JState::ReadLeft;
                     }
-                }
+                },
                 JState::ReadLeft => {
                     self.state = JState::ReadRight;
                     match self.shared.left_boundary {
@@ -247,10 +245,7 @@ impl Process for JacobiWorker {
                     if self.write_back < self.strip.len() {
                         let i = self.write_back;
                         self.write_back += 1;
-                        return Action::Write(
-                            self.shared.result.va(i as u64 * 8),
-                            self.strip[i],
-                        );
+                        return Action::Write(self.shared.result.va(i as u64 * 8), self.strip[i]);
                     }
                     self.state = JState::Done;
                     return Action::Fence;

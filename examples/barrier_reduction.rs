@@ -49,12 +49,8 @@ impl Process for ReduceWorker {
                 }
                 Phase::Contribute => {
                     self.phase = Phase::EnterBarrier;
-                    self.barrier = Some(BarrierWait::new(
-                        self.counter,
-                        self.sense,
-                        self.parties,
-                        0,
-                    ));
+                    self.barrier =
+                        Some(BarrierWait::new(self.counter, self.sense, self.parties, 0));
                     return Action::FetchAdd(self.sum_va, self.acc);
                 }
                 Phase::EnterBarrier => {

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example producer_consumer`
 
-use telegraphos::{ClusterBuilder, Cluster, SharedPage};
+use telegraphos::{Cluster, ClusterBuilder, SharedPage};
 use tg_sim::SimTime;
 use tg_workloads::{Consumer, PcConfig, Producer};
 

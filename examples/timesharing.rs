@@ -45,7 +45,10 @@ fn main() {
     let together = run(true);
     println!("paging process alone:   {paging_alone:>7.0} us (8 remote-pager faults)");
     println!("compute process alone:  {compute_alone:>7.0} us (250 x 10 us chunks)");
-    println!("serial sum:             {:>7.0} us", paging_alone + compute_alone);
+    println!(
+        "serial sum:             {:>7.0} us",
+        paging_alone + compute_alone
+    );
     println!("multiprogrammed:        {together:>7.0} us");
     let saved = paging_alone + compute_alone - together;
     println!(

@@ -1,0 +1,224 @@
+//! `simbench` — the engine performance harness.
+//!
+//! Drives three representative workloads through the simulator and writes
+//! `BENCH_engine.json` with events/sec, wall time and peak queue depth for
+//! each, establishing the repository's perf trajectory:
+//!
+//! 1. `ping_pong` — a two-component event-engine microbench (pure
+//!    scheduler hot path, queue depth ~1).
+//! 2. `stencil_16` — a 16-node Jacobi stencil over eager-update boundary
+//!    pages via `tg-workloads` (full cluster stack, deep queues).
+//! 3. `proto_sweep` — a coherence-interleaving sweep of the owner
+//!    protocol via `tg-proto` (adversarial RNG-driven delivery).
+//!
+//! Deliberately dependency-free (plain `std::time::Instant`, hand-rolled
+//! JSON) so it runs in offline/vendored environments. Each workload is run
+//! a few times and the best wall time is reported.
+
+use std::time::Instant;
+
+use telegraphos::ClusterBuilder;
+use tg_proto::{owner::OwnerSerialized, Scenario};
+use tg_sim::{Component, Ctx, Engine, SimTime};
+use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
+
+/// One measured workload.
+struct Measurement {
+    name: &'static str,
+    /// Events (or protocol messages) delivered in one run.
+    events: u64,
+    /// Best wall time over the repetitions, seconds.
+    wall_seconds: f64,
+    /// Deepest pending-event queue observed.
+    peak_queue_depth: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `f` `reps` times, keeping the best wall time; `f` returns
+/// `(events, peak_queue_depth)` for the run it performed.
+fn measure(name: &'static str, reps: u32, mut f: impl FnMut() -> (u64, u64)) -> Measurement {
+    let mut best = f64::INFINITY;
+    let (mut events, mut peak) = (0, 0);
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let (ev, pk) = f();
+        let dt = t0.elapsed().as_secs_f64();
+        eprintln!("  {name} rep {rep}: {dt:.3}s");
+        if dt < best {
+            best = dt;
+        }
+        events = ev;
+        peak = pk;
+    }
+    Measurement {
+        name,
+        events,
+        wall_seconds: best,
+        peak_queue_depth: peak,
+    }
+}
+
+// ---------------------------------------------------------------- ping-pong
+
+struct Relay {
+    peer: Option<tg_sim::CompId>,
+    remaining: u64,
+}
+
+impl Component<u64> for Relay {
+    fn on_event(&mut self, v: u64, ctx: &mut Ctx<'_, u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let dst = self.peer.unwrap_or(ctx.self_id());
+            ctx.send(dst, SimTime::from_ns(10), v + 1);
+        }
+    }
+    fn name(&self) -> &str {
+        "relay"
+    }
+}
+
+/// Two relays bouncing one event back and forth: the pure scheduler hot
+/// path — pop, deliver, push — with no payload work.
+fn ping_pong() -> (u64, u64) {
+    const ROUNDS: u64 = 1_000_000;
+    let mut eng: Engine<u64> = Engine::new();
+    let a = eng.add(Relay {
+        peer: None,
+        remaining: ROUNDS / 2,
+    });
+    let b = eng.add(Relay {
+        peer: Some(a),
+        remaining: ROUNDS / 2,
+    });
+    eng.get_mut::<Relay>(a).unwrap().peer = Some(b);
+    eng.schedule(SimTime::ZERO, a, 0);
+    eng.run();
+    let s = eng.stats();
+    (s.events_delivered, s.max_queue_len as u64)
+}
+
+// ------------------------------------------------------------- stencil_16
+
+/// A 16-node distributed Jacobi stencil (the tests/stencil.rs setup at
+/// benchmark scale): full cluster stack with fences, barriers and
+/// eager-update multicast traffic.
+fn stencil_16() -> (u64, u64) {
+    const NODES: u16 = 16;
+    const STRIP: usize = 8;
+    const ITERS: u32 = 12;
+    let (left_bc, right_bc) = (900u64, 100u64);
+    let total = STRIP * NODES as usize;
+    let initial: Vec<u64> = (0..total).map(|i| (i as u64 * 53) % 777).collect();
+
+    let mut cluster = ClusterBuilder::new(NODES).build();
+    let boundary: Vec<_> = (0..NODES).map(|n| cluster.alloc_shared(n)).collect();
+    for n in 0..NODES {
+        let mut consumers = Vec::new();
+        if n > 0 {
+            consumers.push(n - 1);
+        }
+        if n + 1 < NODES {
+            consumers.push(n + 1);
+        }
+        cluster.make_eager(&boundary[n as usize], &consumers);
+    }
+    let results: Vec<_> = (0..NODES).map(|n| cluster.alloc_shared(n)).collect();
+    let coord = cluster.alloc_shared(0);
+    for n in 0..NODES {
+        let i = n as usize;
+        let strip = initial[i * STRIP..(i + 1) * STRIP].to_vec();
+        let shared = JacobiShared {
+            my_boundary: boundary[i],
+            left_boundary: (n > 0).then(|| boundary[i - 1]),
+            right_boundary: (n + 1 < NODES).then(|| boundary[i + 1]),
+            result: results[i],
+            barrier_counter: coord.va(0),
+            barrier_sense: coord.va(8),
+        };
+        cluster.set_process(
+            n,
+            JacobiWorker::new(shared, u64::from(NODES), ITERS, strip, left_bc, right_bc),
+        );
+    }
+    cluster.run();
+    assert!(cluster.all_halted(), "stencil deadlocked");
+    // Sanity: the distributed answer matches the sequential reference, so
+    // the benchmark cannot silently measure a broken run.
+    let want = jacobi_reference(&initial, ITERS, left_bc, right_bc);
+    let mut got = Vec::with_capacity(total);
+    for page in &results {
+        for w in 0..STRIP {
+            got.push(cluster.read_shared(page, w as u64));
+        }
+    }
+    assert_eq!(got, want, "stencil diverged from reference");
+    let s = cluster.engine_stats();
+    (s.events_delivered, s.max_queue_len as u64)
+}
+
+// ------------------------------------------------------------- proto sweep
+
+/// A sweep of owner-serialized coherence runs over many adversarial
+/// interleavings: the RNG-heavy protocol-exploration workload.
+fn proto_sweep() -> (u64, u64) {
+    const SEEDS: u64 = 2_000;
+    let mut messages = 0u64;
+    let mut peak = 0usize;
+    for seed in 0..SEEDS {
+        let out = OwnerSerialized::run(&Scenario::random(4, 8, 2, seed));
+        assert!(out.converged(), "protocol diverged at seed {seed}");
+        messages += out.messages;
+        peak = peak.max(out.peak_in_flight);
+    }
+    (messages, peak as u64)
+}
+
+// ------------------------------------------------------------------- main
+
+fn json_escape_free(name: &str) -> &str {
+    debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() {
+    let measurements = [
+        measure("ping_pong", 5, ping_pong),
+        measure("stencil_16", 5, stencil_16),
+        measure("proto_sweep", 3, proto_sweep),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"engine\",\n  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        println!(
+            "{:<12} {:>9} events  {:>9.4}s  {:>12.0} events/s  peak queue {}",
+            m.name,
+            m.events,
+            m.wall_seconds,
+            m.events_per_sec(),
+            m.peak_queue_depth
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_seconds\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}}}{}\n",
+            json_escape_free(m.name),
+            m.events,
+            m.wall_seconds,
+            m.events_per_sec(),
+            m.peak_queue_depth,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}
