@@ -3,11 +3,13 @@
 use tg_hib::{HibConfig, PageMode};
 use tg_mem::{PAddr, PageFlags, VAddr};
 use tg_net::{build_network, Topology};
-use tg_sim::{CompId, Engine, RunLimit, SimTime};
+use tg_sim::{CompId, Engine, MetricsRegistry, RunLimit, SimTime};
+use tg_wire::trace::SharedProbe;
 use tg_wire::{GOffset, NodeId, PageNum, TimingConfig, PAGE_BYTES};
 
 use crate::event::ClusterEvent;
 use crate::node::Node;
+use crate::observe::TraceCollector;
 use crate::os::{Os, ReplicatePolicy};
 use crate::pager::{Backing, RemotePager};
 use crate::process::Process;
@@ -172,8 +174,55 @@ impl ClusterBuilder {
             next_seg_page: vec![0; self.nodes as usize],
             next_index: 0,
             max_seg_page: self.hib.segment_pages.saturating_sub(OS_FRAME_POOL),
+            timing: self.timing,
         }
     }
+}
+
+/// Per-component event counters plus component-kind-specific congestion
+/// detail, as reported by [`Cluster::component_stats`].
+#[derive(Clone, Debug)]
+pub struct ComponentReport {
+    /// The component's registered name (`node0`, `switch1`, ...).
+    pub name: String,
+    /// Engine-level delivered/scheduled event counters.
+    pub events: tg_sim::ComponentStats,
+    /// Congestion and queue detail for the component kind.
+    pub detail: ComponentDetail,
+}
+
+/// Kind-specific detail of a [`ComponentReport`].
+#[derive(Clone, Debug)]
+pub enum ComponentDetail {
+    /// A workstation node (its HIB's queue state).
+    Node {
+        /// Deepest occupancy the HIB receive FIFO has reached.
+        rx_fifo_high_water: u32,
+        /// Packets currently queued in the HIB receive FIFO.
+        rx_fifo_depth: usize,
+        /// Packets currently queued for transmission.
+        tx_queue_depth: usize,
+        /// Total simulated time the transmit port spent blocked on
+        /// credits.
+        credit_stall: SimTime,
+    },
+    /// A fabric switch.
+    Switch {
+        /// Packets forwarded.
+        packets: u64,
+        /// Bytes forwarded.
+        bytes: u64,
+        /// Forwarding attempts deferred for want of credit or a busy
+        /// output.
+        blocked: u64,
+        /// Deepest input-FIFO occupancy seen on any port.
+        fifo_high_water: u32,
+        /// Packets currently queued across all input FIFOs.
+        fifo_depth: usize,
+        /// Total simulated time output ports spent blocked on credits,
+        /// summed across ports.
+        credit_stall: SimTime,
+    },
 }
 
 /// A running simulated cluster.
@@ -190,6 +239,7 @@ pub struct Cluster {
     next_seg_page: Vec<u32>,
     next_index: u64,
     max_seg_page: u32,
+    timing: TimingConfig,
 }
 
 impl Cluster {
@@ -442,11 +492,186 @@ impl Cluster {
         self.engine.stats()
     }
 
-    /// Per-component delivered/scheduled counters, paired with each
-    /// component's registered name — which parts of the simulated cluster
-    /// the event budget went to.
-    pub fn component_stats(&self) -> Vec<(&str, tg_sim::ComponentStats)> {
-        self.engine.component_stats_named().collect()
+    /// Per-component delivered/scheduled counters plus kind-specific
+    /// congestion detail: receive-FIFO high-water marks and credit-stall
+    /// time for nodes, traffic and queue state for switches — which parts
+    /// of the simulated cluster the event budget went to, and where
+    /// back-pressure built up.
+    pub fn component_stats(&self) -> Vec<ComponentReport> {
+        let per = self.engine.component_stats();
+        let mut out = Vec::with_capacity(self.nodes.len() + self.switches.len());
+        for &id in &self.nodes {
+            let node = self.engine.get::<Node>(id).expect("node component");
+            out.push(ComponentReport {
+                name: format!("node{}", node.id().raw()),
+                events: per[id.index()],
+                detail: ComponentDetail::Node {
+                    rx_fifo_high_water: node.rx_fifo_high_water(),
+                    rx_fifo_depth: node.rx_fifo_depth(),
+                    tx_queue_depth: node.tx_queue_depth(),
+                    credit_stall: node.credit_stall(),
+                },
+            });
+        }
+        for (k, &id) in self.switches.iter().enumerate() {
+            let sw = self
+                .engine
+                .get::<tg_net::Switch>(id)
+                .expect("switch component");
+            let st = sw.stats();
+            out.push(ComponentReport {
+                name: format!("switch{k}"),
+                events: per[id.index()],
+                detail: ComponentDetail::Switch {
+                    packets: st.packets,
+                    bytes: st.bytes,
+                    blocked: st.blocked,
+                    fifo_high_water: sw.max_fifo_high_water(),
+                    fifo_depth: sw.fifo_depth_total(),
+                    credit_stall: sw.credit_stall(),
+                },
+            });
+        }
+        out
+    }
+
+    /// Installs a packet/operation lifecycle probe on every node (CPU +
+    /// HIB) and every switch of the fabric.
+    pub fn install_probe(&mut self, probe: SharedProbe) {
+        for i in 0..self.n {
+            self.node_mut(i).set_probe(probe.clone());
+        }
+        let switches = self.switches.clone();
+        for (k, id) in switches.into_iter().enumerate() {
+            self.engine
+                .get_mut::<tg_net::Switch>(id)
+                .expect("switch component")
+                .set_probe(probe.clone(), k as u16);
+        }
+    }
+
+    /// Enables cluster-wide packet-lifecycle tracing and returns the
+    /// collector gathering the events. Convenience wrapper around
+    /// [`Cluster::install_probe`] with a [`TraceCollector`].
+    pub fn enable_tracing(&mut self) -> TraceCollector {
+        let collector = TraceCollector::new();
+        self.install_probe(collector.probe());
+        collector
+    }
+
+    /// Runs the cluster to completion, pausing every `interval` of
+    /// simulated time to sample congestion metrics into `metrics`:
+    ///
+    /// * `fabric.bytes_total` — cumulative bytes switched;
+    /// * `fabric.link_utilization` — wire time of the interval's traffic
+    ///   over the interval (aggregated across links, so it can exceed 1.0
+    ///   on a multi-link fabric);
+    /// * `fabric.credit_stall_us` — cumulative credit-stall time summed
+    ///   over nodes and switches;
+    /// * `node{i}.rx_fifo_depth` / `switch{k}.fifo_depth` — queue depths
+    ///   at the sampling instant.
+    ///
+    /// On completion the registry's gauges hold the final high-water marks
+    /// (`node{i}.rx_fifo_high_water`, `switch{k}.fifo_high_water`) and its
+    /// counters the per-node operation mix (`node{i}.remote_writes`, ...;
+    /// totals as of this run — call once per registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_sampled(&mut self, interval: SimTime, metrics: &mut MetricsRegistry) -> RunLimit {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let bytes_series = metrics.series("fabric.bytes_total");
+        let util_series = metrics.series("fabric.link_utilization");
+        let stall_series = metrics.series("fabric.credit_stall_us");
+        let node_depth: Vec<_> = (0..self.n)
+            .map(|i| metrics.series(&format!("node{i}.rx_fifo_depth")))
+            .collect();
+        let switch_depth: Vec<_> = (0..self.switches.len())
+            .map(|k| metrics.series(&format!("switch{k}.fifo_depth")))
+            .collect();
+        let mut prev_bytes = self.fabric_bytes();
+        let limit = loop {
+            let target = self.now() + interval;
+            let limit = self.engine.run_until(target);
+            let at = self.now();
+            let bytes = self.fabric_bytes();
+            let delta = (bytes - prev_bytes).min(u64::from(u32::MAX)) as u32;
+            prev_bytes = bytes;
+            metrics.record(bytes_series, at, bytes as f64);
+            metrics.record(
+                util_series,
+                at,
+                self.timing.serialize(delta).as_us_f64() / interval.as_us_f64(),
+            );
+            let mut stall = SimTime::ZERO;
+            for report in self.component_stats() {
+                match report.detail {
+                    ComponentDetail::Node {
+                        credit_stall,
+                        rx_fifo_depth,
+                        ..
+                    } => {
+                        stall += credit_stall;
+                        let i = report.name.trim_start_matches("node");
+                        if let Ok(i) = i.parse::<usize>() {
+                            metrics.record(node_depth[i], at, rx_fifo_depth as f64);
+                        }
+                    }
+                    ComponentDetail::Switch {
+                        credit_stall,
+                        fifo_depth,
+                        ..
+                    } => {
+                        stall += credit_stall;
+                        let k = report.name.trim_start_matches("switch");
+                        if let Ok(k) = k.parse::<usize>() {
+                            metrics.record(switch_depth[k], at, fifo_depth as f64);
+                        }
+                    }
+                }
+            }
+            metrics.record(stall_series, at, stall.as_us_f64());
+            match limit {
+                RunLimit::Deadline => {}
+                other => break other,
+            }
+        };
+        // Final high-water gauges and per-node operation-mix counters.
+        for report in self.component_stats() {
+            match report.detail {
+                ComponentDetail::Node {
+                    rx_fifo_high_water, ..
+                } => {
+                    let g = metrics.gauge(&format!("{}.rx_fifo_high_water", report.name));
+                    metrics.set_gauge(g, f64::from(rx_fifo_high_water));
+                }
+                ComponentDetail::Switch {
+                    fifo_high_water, ..
+                } => {
+                    let g = metrics.gauge(&format!("{}.fifo_high_water", report.name));
+                    metrics.set_gauge(g, f64::from(fifo_high_water));
+                }
+            }
+        }
+        for i in 0..self.n {
+            let st = self.node(i).stats();
+            let mix = [
+                ("remote_reads", st.remote_reads.count()),
+                ("remote_writes", st.remote_writes.count()),
+                ("local_reads", st.local_reads.count()),
+                ("local_writes", st.local_writes.count()),
+                ("atomics", st.atomics.count()),
+                ("copies", st.copies.count()),
+                ("sends", st.sends.count()),
+                ("recvs", st.recvs.count()),
+            ];
+            for (name, count) in mix {
+                let c = metrics.counter(&format!("node{i}.{name}"));
+                metrics.inc(c, count);
+            }
+        }
+        limit
     }
 
     /// Immutable node access.

@@ -49,6 +49,7 @@
 mod cluster;
 mod event;
 mod node;
+pub mod observe;
 mod os;
 pub mod pager;
 mod process;
@@ -57,10 +58,12 @@ pub mod sync;
 pub mod vsm;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, SharedPage, PAGED_VA_BASE, PRIVATE_VA_BASE, SHARED_VA_BASE,
+    Cluster, ClusterBuilder, ComponentDetail, ComponentReport, SharedPage, PAGED_VA_BASE,
+    PRIVATE_VA_BASE, SHARED_VA_BASE,
 };
 pub use event::ClusterEvent;
 pub use node::Node;
+pub use observe::{OpBreakdown, Segment, TraceCollector};
 pub use os::{Os, OsEffect, ReplicatePolicy};
 pub use pager::{Backing, RemotePager};
 pub use process::{Action, Process, Resume, Script};

@@ -30,6 +30,7 @@ use tg_hib::{
 use tg_mem::{AccessKind, Decoded, Fault, Mmu, PAddr, PhysMem, VAddr};
 use tg_net::NetEvent;
 use tg_sim::{CompId, Component, Ctx, SimTime};
+use tg_wire::trace::{OpEvent, SharedProbe, TraceId};
 use tg_wire::{GOffset, NodeId, TimingConfig, WireMsg};
 
 use crate::event::ClusterEvent;
@@ -84,6 +85,9 @@ struct Thread {
     state: ThreadState,
     cur_start: SimTime,
     cur_class: OpClass,
+    /// Trace id of the request packet the current operation injected, for
+    /// linking the CPU-level [`OpEvent`] to the packet lifecycle.
+    cur_trace: Option<TraceId>,
     /// Telegraphos context id + key (Telegraphos II launch).
     ctx: (u16, u32),
 }
@@ -126,6 +130,12 @@ pub struct Node {
     deferred_os_sends: Vec<(NodeId, WireMsg)>,
     stats: NodeStats,
     outbox: Vec<(SimTime, Option<CompId>, ClusterEvent)>,
+    /// Engine time of the event being handled, mirrored into the HIB host
+    /// shim so the HIB can timestamp observability events.
+    now: SimTime,
+    /// Operation-lifecycle probe; `None` (the default) costs one branch
+    /// per completed operation.
+    probe: Option<SharedProbe>,
 }
 
 impl std::fmt::Debug for Node {
@@ -142,6 +152,7 @@ impl std::fmt::Debug for Node {
 struct Shim<'a> {
     segment: &'a mut PhysMem,
     out: &'a mut Vec<(SimTime, Option<CompId>, ClusterEvent)>,
+    now: SimTime,
 }
 
 impl HibHost for Shim<'_> {
@@ -163,6 +174,9 @@ impl HibHost for Shim<'_> {
     }
     fn segment(&mut self) -> &mut PhysMem {
         self.segment
+    }
+    fn now(&self) -> SimTime {
+        self.now
     }
 }
 
@@ -197,6 +211,8 @@ impl Node {
             deferred_os_sends: Vec::new(),
             stats: NodeStats::default(),
             outbox: Vec::new(),
+            now: SimTime::ZERO,
+            probe: None,
         }
     }
 
@@ -229,6 +245,7 @@ impl Node {
             }),
             cur_start: SimTime::ZERO,
             cur_class: OpClass::Compute,
+            cur_trace: None,
             ctx: (idx as u16, key),
         });
         idx
@@ -247,6 +264,34 @@ impl Node {
     /// HIB statistics.
     pub fn hib_stats(&self) -> tg_hib::HibStats {
         self.hib.stats()
+    }
+
+    /// Installs a packet/operation lifecycle probe on this node and its
+    /// HIB. Without one, every hook is a single `None` branch.
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.hib.set_probe(probe.clone());
+        self.probe = Some(probe);
+    }
+
+    /// Deepest occupancy the HIB's receive FIFO has reached.
+    pub fn rx_fifo_high_water(&self) -> u32 {
+        self.hib.rx_fifo_high_water()
+    }
+
+    /// Packets currently queued in the HIB's receive FIFO.
+    pub fn rx_fifo_depth(&self) -> usize {
+        self.hib.rx_fifo_depth()
+    }
+
+    /// Packets currently queued for transmission at the HIB.
+    pub fn tx_queue_depth(&self) -> usize {
+        self.hib.tx_queue_depth()
+    }
+
+    /// Total simulated time the HIB's transmit port spent blocked on
+    /// credits (link back-pressure).
+    pub fn credit_stall(&self) -> SimTime {
+        self.hib.credit_stall()
     }
 
     /// The HIB's pending-write CAM (experiment E7).
@@ -360,6 +405,17 @@ impl Node {
         if !matches!(saved.r, Resume::Start) {
             let (class, start) = (self.threads[i].cur_class, self.threads[i].cur_start);
             self.stats.record(class, now - start);
+            if let Some(probe) = self.probe.as_ref() {
+                if let Some(kind) = class.op_kind() {
+                    probe.op(OpEvent {
+                        node: self.id,
+                        kind,
+                        start,
+                        end: now,
+                        trace: self.threads[i].cur_trace.take(),
+                    });
+                }
+            }
         }
         let action = self.threads[i].proc.resume(saved.r);
         self.dispatch(i, action, now, true);
@@ -368,6 +424,7 @@ impl Node {
     fn dispatch(&mut self, i: usize, action: Action, now: SimTime, fresh: bool) {
         if fresh {
             self.threads[i].cur_start = now;
+            self.threads[i].cur_trace = None;
         }
         match action {
             Action::Halt => {
@@ -497,7 +554,7 @@ impl Node {
             }
             Decoded::Remote { node, .. } if node != self.id => {
                 self.threads[i].cur_class = OpClass::RemoteRead;
-                match self.with_hib(|hib, shim| hib.cpu_load(pa, shim)) {
+                match self.with_hib_traced(i, |hib, shim| hib.cpu_load(pa, shim)) {
                     LoadOutcome::Pending => self.freeze(i),
                     LoadOutcome::Ready(v) => {
                         self.requeue(i, Resume::Value(v), self.timing.tc_read_overhead);
@@ -539,7 +596,7 @@ impl Node {
                 if matches!(self.threads[i].cur_class, OpClass::LocalWrite) {
                     self.os.pager_touch(va.vpage());
                 }
-                match self.with_hib(|hib, shim| hib.cpu_store(pa, val, shim)) {
+                match self.with_hib_traced(i, |hib, shim| hib.cpu_store(pa, val, shim)) {
                     StoreOutcome::Done => {
                         self.requeue(i, Resume::Done, self.timing.tc_write_latch);
                         self.kick(SimTime::ZERO);
@@ -648,7 +705,7 @@ impl Node {
             MicroOp::Go(r) => {
                 self.micro_thread = None;
                 let pa = PAddr::hib_reg(r);
-                match self.with_hib(|hib, shim| hib.cpu_load(pa, shim)) {
+                match self.with_hib_traced(i, |hib, shim| hib.cpu_load(pa, shim)) {
                     LoadOutcome::Pending => self.freeze(i),
                     LoadOutcome::Ready(v) => {
                         let resume = self.finish_value(i, v);
@@ -691,7 +748,7 @@ impl Node {
             while sent < bytes {
                 let n = DMA_BURST.min(bytes - sent);
                 let last = sent + n >= bytes;
-                self.with_hib(|hib, shim| {
+                self.with_hib_traced(i, |hib, shim| {
                     hib.send_os_message(
                         dst,
                         WireMsg::DmaData {
@@ -1097,8 +1154,25 @@ impl Node {
         let mut shim = Shim {
             segment: &mut self.segment,
             out: &mut self.outbox,
+            now: self.now,
         };
         f(&mut self.hib, &mut shim)
+    }
+
+    /// Like [`Node::with_hib`], but attributes any packet the call injects
+    /// to thread `i`'s current operation (for the op-level probe). Stale
+    /// injections from interleaved rx handling are discarded first.
+    fn with_hib_traced<R>(&mut self, i: usize, f: impl FnOnce(&mut Hib, &mut Shim<'_>) -> R) -> R {
+        if self.probe.is_some() {
+            let _ = self.hib.take_last_injected();
+        }
+        let r = self.with_hib(f);
+        if self.probe.is_some() {
+            if let Some(t) = self.hib.take_last_injected() {
+                self.threads[i].cur_trace = Some(t);
+            }
+        }
+        r
     }
 }
 
@@ -1116,6 +1190,7 @@ fn is_vsm_done(msg: &WireMsg) -> bool {
 
 impl Component<ClusterEvent> for Node {
     fn on_event(&mut self, ev: ClusterEvent, ctx: &mut Ctx<'_, ClusterEvent>) {
+        self.now = ctx.now();
         match ev {
             ClusterEvent::Start => {
                 // Build the ready queue from every queued (fresh) process.

@@ -77,6 +77,26 @@ pub(crate) enum OpClass {
     Compute,
 }
 
+impl OpClass {
+    /// The probe-level operation kind, if this class is observable
+    /// (compute and private-memory ops have no packet lifecycle).
+    pub(crate) fn op_kind(self) -> Option<tg_wire::trace::OpKind> {
+        use tg_wire::trace::OpKind;
+        match self {
+            OpClass::RemoteRead => Some(OpKind::RemoteRead),
+            OpClass::RemoteWrite => Some(OpKind::RemoteWrite),
+            OpClass::LocalRead => Some(OpKind::LocalRead),
+            OpClass::LocalWrite => Some(OpKind::LocalWrite),
+            OpClass::Atomic => Some(OpKind::Atomic),
+            OpClass::Copy => Some(OpKind::Copy),
+            OpClass::Fence => Some(OpKind::Fence),
+            OpClass::Send => Some(OpKind::Send),
+            OpClass::Recv => Some(OpKind::Recv),
+            OpClass::Private | OpClass::Compute => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,7 @@ use tg_mem::{Decoded, PAddr};
 use tg_net::{NetEvent, RxFifo, TxPort};
 use tg_proto::PendingCam;
 use tg_sim::{CompId, SimTime};
+use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
 use tg_wire::{AtomicOp, GOffset, NodeId, Packet, PageNum, TimingConfig, WireMsg};
 
 use crate::config::{HibConfig, LaunchMode, LocalWritePolicy};
@@ -129,6 +130,14 @@ pub struct Hib {
     special: Option<SpecialMode>,
     contexts: Vec<Context>,
     stats: HibStats,
+    // Observability (all `None`/no-op unless a probe is installed).
+    probe: Option<SharedProbe>,
+    /// Trace id of the packet currently being processed in `handle_rx`;
+    /// packets enqueued while set are responses and get it as parent.
+    rx_handling: Option<TraceId>,
+    /// Trace id of the most recently injected packet, for the host to
+    /// attribute to the CPU operation that caused it.
+    last_injected: Option<TraceId>,
 }
 
 impl Hib {
@@ -160,6 +169,58 @@ impl Hib {
             special: None,
             contexts,
             stats: HibStats::default(),
+            probe: None,
+            rx_handling: None,
+            last_injected: None,
+        }
+    }
+
+    /// Installs a packet-lifecycle probe; events report this board's node
+    /// as their [`Site`].
+    pub fn set_probe(&mut self, probe: SharedProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// Trace id of the most recently injected packet, consumed by the host
+    /// to attribute an injection to the CPU operation that caused it.
+    pub fn take_last_injected(&mut self) -> Option<TraceId> {
+        self.last_injected.take()
+    }
+
+    /// Deepest receive-FIFO occupancy observed.
+    pub fn rx_fifo_high_water(&self) -> u32 {
+        self.rx_fifo.high_water()
+    }
+
+    /// Packets currently queued in the receive FIFO.
+    pub fn rx_fifo_depth(&self) -> usize {
+        self.rx_fifo.len()
+    }
+
+    /// Total simulated time the transmit port spent blocked on credits.
+    pub fn credit_stall(&self) -> SimTime {
+        self.tx
+            .as_ref()
+            .map(TxPort::credit_stall)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Packets queued behind the transmit port.
+    pub fn tx_queue_depth(&self) -> usize {
+        self.tx_queue.len()
+    }
+
+    fn emit(&self, now: SimTime, packet: &Packet, stage: Stage, parent: Option<TraceId>) {
+        if let Some(probe) = &self.probe {
+            probe.packet(PacketEvent {
+                at: now,
+                trace: packet.trace_id(),
+                parent,
+                site: Site::Node(self.node),
+                stage,
+                kind: packet.msg.kind_str(),
+                bytes: packet.size_bytes(),
+            });
         }
     }
 
@@ -655,12 +716,14 @@ impl Hib {
     pub fn on_net(&mut self, ev: NetEvent, host: &mut dyn HibHost) {
         match ev {
             NetEvent::Arrive { packet, .. } => {
+                self.emit(host.now(), &packet, Stage::RxEnqueue, None);
                 self.rx_fifo.push(packet);
                 self.pump_rx(host);
             }
             NetEvent::Credit { .. } => {
+                let now = host.now();
                 if let Some(tx) = self.tx.as_mut() {
-                    tx.on_credit();
+                    tx.on_credit_at(now);
                 }
                 self.pump_tx(host);
             }
@@ -723,11 +786,19 @@ impl Hib {
         } else {
             self.timing.hib_proc
         };
+        self.emit(host.now(), &packet, Stage::RxStart, None);
         self.rx_current = Some(packet);
         host.schedule_tick(delay, HibTick::RxDone);
     }
 
     fn handle_rx(&mut self, packet: Packet, host: &mut dyn HibHost) {
+        self.emit(host.now(), &packet, Stage::Commit, None);
+        self.rx_handling = Some(packet.trace_id());
+        self.dispatch_rx(packet, host);
+        self.rx_handling = None;
+    }
+
+    fn dispatch_rx(&mut self, packet: Packet, host: &mut dyn HibHost) {
         let src = packet.src;
         match packet.msg {
             WireMsg::WriteReq { addr, val } => {
@@ -985,12 +1056,19 @@ impl Hib {
         debug_assert_ne!(dst, self.node, "packet to self");
         let seq = self.inject_seq;
         self.inject_seq += 1;
-        self.tx_queue.push_back(Packet {
+        let packet = Packet {
             src: self.node,
             dst,
             msg,
             inject_seq: seq,
-        });
+        };
+        if self.probe.is_some() {
+            // Injections made while a received packet is being processed
+            // are responses; chain them to their request.
+            self.emit(host.now(), &packet, Stage::TxEnqueue, self.rx_handling);
+        }
+        self.last_injected = Some(packet.trace_id());
+        self.tx_queue.push_back(packet);
         self.stats.tx_high_water = self.stats.tx_high_water.max(self.tx_queue.len());
         self.pump_tx(host);
     }
@@ -1002,13 +1080,23 @@ impl Hib {
         let Some(tx) = self.tx.as_mut() else {
             return;
         };
-        if !tx.ready() || self.tx_queue.is_empty() {
+        if !tx.ready() {
+            if !self.tx_queue.is_empty() {
+                tx.note_blocked(host.now());
+            }
+            return;
+        }
+        if self.tx_queue.is_empty() {
             return;
         }
         let packet = self.tx_queue.pop_front().expect("nonempty queue");
         self.stats.pkts_tx += 1;
         self.stats.bytes_tx += u64::from(packet.size_bytes());
         let times = tx.launch(&packet, &self.timing);
+        if self.probe.is_some() {
+            self.emit(host.now(), &packet, Stage::TxLaunch, None);
+        }
+        let tx = self.tx.as_mut().expect("tx wired");
         let (nbr, nbr_port) = (tx.neighbor(), tx.neighbor_port());
         let proc = self.timing.hib_proc;
         self.tx_busy = true;

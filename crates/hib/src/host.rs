@@ -29,6 +29,13 @@ pub trait HibHost {
     /// The node's exported shared segment (Telegraphos I: HIB SRAM;
     /// Telegraphos II: main-memory carve-out).
     fn segment(&mut self) -> &mut PhysMem;
+    /// Current simulated time, for observability timestamps and credit-
+    /// stall accounting. Defaults to [`SimTime::ZERO`] so mock hosts that
+    /// don't model a clock keep working; the cluster's real host reports
+    /// engine time.
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
 }
 
 /// Internal HIB timers.

@@ -37,6 +37,12 @@ pub struct TxPort {
     /// can never legitimately exceed it.
     allowance: u32,
     busy: bool,
+    /// When the port first deferred a launch for want of credit; open
+    /// window of the current stall.
+    stall_since: Option<SimTime>,
+    /// Accumulated simulated time spent with traffic pending but zero
+    /// credits in hand (back-pressure from the downstream FIFO).
+    credit_stall: SimTime,
 }
 
 impl TxPort {
@@ -49,6 +55,8 @@ impl TxPort {
             credits,
             allowance: credits,
             busy: false,
+            stall_since: None,
+            credit_stall: SimTime::ZERO,
         }
     }
 
@@ -103,6 +111,35 @@ impl TxPort {
             self.allowance
         );
         self.credits += 1;
+    }
+
+    /// Records a returned credit at simulated time `now`, closing any open
+    /// credit-stall window (see [`TxPort::note_blocked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TxPort::on_credit`] on a duplicated credit.
+    pub fn on_credit_at(&mut self, now: SimTime) {
+        if let Some(since) = self.stall_since.take() {
+            self.credit_stall += now.saturating_sub(since);
+        }
+        self.on_credit();
+    }
+
+    /// Notes that the owner had traffic for this port at `now` but could
+    /// not launch because no credit was in hand. Opens the stall window
+    /// that [`TxPort::on_credit_at`] closes; repeated calls while already
+    /// stalled keep the original window start.
+    pub fn note_blocked(&mut self, now: SimTime) {
+        if self.credits == 0 && self.stall_since.is_none() {
+            self.stall_since = Some(now);
+        }
+    }
+
+    /// Total simulated time this port spent blocked on credits (closed
+    /// windows only; an ongoing stall counts once a credit returns).
+    pub fn credit_stall(&self) -> SimTime {
+        self.credit_stall
     }
 
     /// Marks serialization finished (the scheduled `free` delay elapsed).
@@ -257,6 +294,27 @@ mod tests {
         };
         let big = tx.launch(&big_pkt, &timing);
         assert!(big.free > small.free);
+    }
+
+    #[test]
+    fn txport_accumulates_credit_stall_time() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 1);
+        let _ = tx.launch(&pkt(), &timing);
+        tx.on_free();
+        // Blocked from 100ns until the credit lands at 250ns.
+        tx.note_blocked(SimTime::from_ns(100));
+        tx.note_blocked(SimTime::from_ns(180)); // keeps the original start
+        assert_eq!(tx.credit_stall(), SimTime::ZERO, "window still open");
+        tx.on_credit_at(SimTime::from_ns(250));
+        assert_eq!(tx.credit_stall(), SimTime::from_ns(150));
+        // With a credit in hand, note_blocked is a no-op.
+        tx.note_blocked(SimTime::from_ns(300));
+        tx.on_free();
+        let _ = tx.launch(&pkt(), &timing);
+        tx.on_free();
+        tx.on_credit_at(SimTime::from_ns(400));
+        assert_eq!(tx.credit_stall(), SimTime::from_ns(150), "no phantom stall");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The cut-through switch component.
 
-use tg_sim::{Component, Ctx};
+use tg_sim::{Component, Ctx, SimTime};
+use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage};
 use tg_wire::{Packet, TimingConfig};
 
 use crate::event::{NetEvent, NetMessage};
@@ -39,6 +40,10 @@ pub struct Switch {
     rr_next: Vec<usize>,
     fifo_capacity: u32,
     stats: SwitchStats,
+    /// Observability sink; `None` (the default) costs one branch per hook.
+    probe: Option<SharedProbe>,
+    /// This switch's fabric index, reported as the probe [`Site`].
+    site: Site,
 }
 
 impl Switch {
@@ -55,6 +60,29 @@ impl Switch {
             rr_next: Vec::new(),
             fifo_capacity: 8,
             stats: SwitchStats::default(),
+            probe: None,
+            site: Site::Switch(0),
+        }
+    }
+
+    /// Installs a packet-lifecycle probe, reporting this switch as fabric
+    /// index `index` in emitted events.
+    pub fn set_probe(&mut self, probe: SharedProbe, index: u16) {
+        self.probe = Some(probe);
+        self.site = Site::Switch(index);
+    }
+
+    fn emit(&self, at: SimTime, packet: &Packet, stage: Stage) {
+        if let Some(probe) = &self.probe {
+            probe.packet(PacketEvent {
+                at,
+                trace: packet.trace_id(),
+                parent: None,
+                site: self.site,
+                stage,
+                kind: packet.msg.kind_str(),
+                bytes: packet.size_bytes(),
+            });
         }
     }
 
@@ -95,6 +123,21 @@ impl Switch {
         self.fifos.iter().map(RxFifo::high_water).max().unwrap_or(0)
     }
 
+    /// Packets currently queued across all input FIFOs.
+    pub fn fifo_depth_total(&self) -> usize {
+        self.fifos.iter().map(RxFifo::len).sum()
+    }
+
+    /// Total simulated time this switch's output ports spent blocked on
+    /// credits (summed across ports; see [`TxPort::credit_stall`]).
+    pub fn credit_stall(&self) -> SimTime {
+        self.out
+            .iter()
+            .flatten()
+            .map(TxPort::credit_stall)
+            .fold(SimTime::ZERO, |acc, t| acc + t)
+    }
+
     fn route(&self, packet: &Packet) -> u32 {
         let port = self.table[packet.dst.index()];
         assert_ne!(port, u32::MAX, "no route for {}", packet.dst);
@@ -133,9 +176,15 @@ impl Switch {
                 };
                 if !ready {
                     self.stats.blocked += 1;
+                    // Start the credit-stall clock when it is specifically
+                    // credits (not a busy wire) holding this output back.
+                    if let Some(tx) = self.out[out_port].as_mut() {
+                        tx.note_blocked(ctx.now());
+                    }
                     continue;
                 }
                 let packet = self.fifos[in_port].pop().expect("head checked");
+                self.emit(ctx.now(), &packet, Stage::SwitchTx);
                 // Return a credit to whoever feeds this input port: the
                 // same neighbor our own output port `in_port` points at,
                 // because links come in bidirectional pairs.
@@ -186,6 +235,7 @@ impl<M: NetMessage> Component<M> for Switch {
         };
         match ev {
             NetEvent::Arrive { port, packet } => {
+                self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
                 self.fifos[port as usize].push(packet);
                 self.pump(ctx);
             }
@@ -193,7 +243,7 @@ impl<M: NetMessage> Component<M> for Switch {
                 self.out[port as usize]
                     .as_mut()
                     .expect("credited port attached")
-                    .on_credit();
+                    .on_credit_at(ctx.now());
                 self.pump(ctx);
             }
             NetEvent::PumpOut { port } => {

@@ -144,6 +144,10 @@ struct Scheduled<M> {
 pub struct TraceEntry {
     /// Delivery time.
     pub at: SimTime,
+    /// Scheduling sequence number: the engine delivers events in strict
+    /// `(at, seq)` order, so trace entries are totally ordered even across
+    /// same-instant ties.
+    pub seq: u64,
     /// Receiving component.
     pub dst: CompId,
     /// The component's registered name at delivery time.
@@ -151,6 +155,10 @@ pub struct TraceEntry {
     /// `Debug` rendering of the event.
     pub event: String,
 }
+
+/// An observer invoked on every event delivery (time, scheduling sequence
+/// number, destination), installed with [`Engine::set_delivery_hook`].
+pub type DeliveryHook = Box<dyn FnMut(SimTime, u64, CompId)>;
 
 /// The discrete-event engine: a clock, a priority queue of scheduled events,
 /// and the set of registered components.
@@ -170,6 +178,7 @@ pub struct Engine<M> {
     outbox: Vec<(SimTime, CompId, M)>,
     #[allow(clippy::type_complexity)]
     trace: Option<(usize, VecDeque<TraceEntry>, Box<dyn Fn(&M) -> String>)>,
+    hook: Option<DeliveryHook>,
 }
 
 impl<M> fmt::Debug for Engine<M> {
@@ -203,6 +212,7 @@ impl<M: 'static> Engine<M> {
             comp_stats: Vec::new(),
             outbox: Vec::new(),
             trace: None,
+            hook: None,
         }
     }
 
@@ -219,8 +229,20 @@ impl<M: 'static> Engine<M> {
         ));
     }
 
-    /// Disables tracing and returns whatever was recorded.
+    /// Drains and returns everything recorded so far, leaving tracing
+    /// *enabled*: subsequent deliveries keep being recorded, so callers can
+    /// poll the flight recorder incrementally. Returns an empty vector when
+    /// tracing was never enabled. Use [`Engine::disable_trace`] to turn the
+    /// recorder off.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace
+            .as_mut()
+            .map(|(_, buf, _)| buf.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Disables tracing and returns whatever was still recorded.
+    pub fn disable_trace(&mut self) -> Vec<TraceEntry> {
         self.trace
             .take()
             .map(|(_, buf, _)| buf.into_iter().collect())
@@ -230,6 +252,18 @@ impl<M: 'static> Engine<M> {
     /// The recorded trace so far (empty when tracing is off).
     pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
         self.trace.iter().flat_map(|(_, buf, _)| buf.iter())
+    }
+
+    /// Installs an observer called on every delivery with `(at, seq, dst)`.
+    /// One `Option` branch on the hot path when absent; replaces any
+    /// previous hook.
+    pub fn set_delivery_hook(&mut self, hook: DeliveryHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the delivery hook installed by [`Engine::set_delivery_hook`].
+    pub fn clear_delivery_hook(&mut self) {
+        self.hook = None;
     }
 
     /// Registers a component and returns its id. The component's name is
@@ -320,17 +354,22 @@ impl<M: 'static> Engine<M> {
             return false;
         };
         let at = entry.at();
+        let seq = entry.seq();
         let Scheduled { dst, msg } = entry.item;
         assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.stats.events_delivered += 1;
         self.comp_stats[dst.index()].delivered += 1;
+        if let Some(hook) = self.hook.as_mut() {
+            hook(at, seq, dst);
+        }
         if let Some((cap, buf, render)) = self.trace.as_mut() {
             if buf.len() == *cap {
                 buf.pop_front();
             }
             buf.push_back(TraceEntry {
                 at,
+                seq,
                 dst,
                 component: self
                     .names
@@ -617,10 +656,110 @@ mod tests {
         assert_eq!(trace[0].event, "2");
         assert_eq!(trace[2].event, "4");
         assert_eq!(trace[0].component, "recorder");
-        // Tracing off afterwards.
+    }
+
+    /// Regression: `take_trace` drains but must NOT disable the recorder.
+    /// (It previously `take`d the whole `Option`, so the first drain
+    /// silently switched tracing off.)
+    #[test]
+    fn take_trace_drains_and_keeps_recording() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.enable_trace(8);
+        eng.schedule(SimTime::ZERO, r, 1);
+        eng.run();
+        assert_eq!(eng.take_trace().len(), 1);
+        assert_eq!(eng.take_trace().len(), 0, "drained");
+        // Still enabled: later deliveries are recorded.
+        eng.schedule(SimTime::ZERO, r, 2);
+        eng.run();
+        assert_eq!(eng.trace().count(), 1);
+        let trace = eng.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].event, "2");
+        // disable_trace is the off switch.
+        eng.schedule(SimTime::ZERO, r, 3);
+        eng.run();
+        assert_eq!(eng.disable_trace().len(), 1);
+        eng.schedule(SimTime::ZERO, r, 4);
+        eng.run();
+        assert_eq!(eng.trace().count(), 0, "off after disable_trace");
+        assert_eq!(eng.take_trace().len(), 0);
+    }
+
+    /// `enable_trace(0)` clamps to one slot rather than panicking or
+    /// recording nothing, and survives repeated drains.
+    #[test]
+    fn enable_trace_zero_capacity_keeps_latest_event() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.enable_trace(0);
+        for i in 0..4u32 {
+            eng.schedule(SimTime::from_ns(u64::from(i)), r, i);
+        }
+        eng.run();
+        let trace = eng.take_trace();
+        assert_eq!(trace.len(), 1, "capacity clamped to 1");
+        assert_eq!(trace[0].event, "3", "keeps the most recent event");
+        eng.schedule(SimTime::ZERO, r, 7);
+        eng.run();
+        let trace = eng.take_trace();
+        assert_eq!(trace.len(), 1, "still recording after the drain");
+        assert_eq!(trace[0].event, "7");
+    }
+
+    /// Property: the recorded trace order IS the engine's documented
+    /// `(at, seq)` delivery order, including dense same-instant ties, and
+    /// every entry carries the sequence number that proves it.
+    #[test]
+    fn trace_order_matches_at_seq_delivery_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        eng.enable_trace(1000);
+        let mut rng = crate::SimRng::new(7);
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for i in 0..400u64 {
+            let at = rng.range(25); // picoseconds: lots of exact ties
+            eng.schedule(SimTime::from_ps(at), r, i as u32);
+            expected.push((at, i));
+        }
+        expected.sort(); // stable (at, seq) lexicographic reference
+        eng.run();
+        let trace = eng.take_trace();
+        assert_eq!(trace.len(), 400);
+        let got: Vec<(u64, u64)> = trace.iter().map(|e| (e.at.as_ps(), e.seq)).collect();
+        assert_eq!(got, expected, "trace order == (at, seq) delivery order");
+        // Redundant but explicit: (at, seq) is strictly increasing, so ties
+        // on `at` are broken by schedule order.
+        for w in trace.windows(2) {
+            assert!(
+                (w[0].at, w[0].seq) < (w[1].at, w[1].seq),
+                "trace must be strictly ordered by (at, seq)"
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_hook_sees_every_delivery_and_uninstalls() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut eng: Engine<u32> = Engine::new();
+        let r = eng.add(Recorder { seen: Vec::new() });
+        let seen: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        eng.set_delivery_hook(Box::new(move |at, seq, _dst| {
+            sink.borrow_mut().push((at.as_ps(), seq));
+        }));
+        for i in 0..5u32 {
+            eng.schedule(SimTime::from_ns(1), r, i);
+        }
+        eng.run();
+        assert_eq!(seen.borrow().len(), 5);
+        assert!(seen.borrow().windows(2).all(|w| w[0] < w[1]));
+        eng.clear_delivery_hook();
         eng.schedule(SimTime::ZERO, r, 9);
         eng.run();
-        assert_eq!(eng.trace().count(), 0);
+        assert_eq!(seen.borrow().len(), 5, "hook removed");
     }
 
     #[test]

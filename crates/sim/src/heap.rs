@@ -37,6 +37,11 @@ impl<T> Entry<T> {
     pub(crate) fn at(&self) -> SimTime {
         SimTime::from_ps((self.key >> 64) as u64)
     }
+
+    /// The scheduling sequence number encoded in the key.
+    pub(crate) fn seq(&self) -> u64 {
+        self.key as u64
+    }
 }
 
 const ARITY: usize = 4;

@@ -40,13 +40,15 @@
 
 mod engine;
 mod heap;
+mod metrics;
 mod rng;
 mod stats;
 mod time;
 
 pub use engine::{
-    CompId, Component, ComponentStats, Ctx, Engine, EngineStats, RunLimit, TraceEntry,
+    CompId, Component, ComponentStats, Ctx, DeliveryHook, Engine, EngineStats, RunLimit, TraceEntry,
 };
+pub use metrics::{CounterId, GaugeId, MetricsRegistry, Sample, SeriesId};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::SimTime;

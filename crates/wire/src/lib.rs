@@ -16,8 +16,10 @@ mod addr;
 mod ids;
 mod msg;
 mod timing;
+pub mod trace;
 
 pub use addr::{GOffset, PageNum, PAGE_BYTES, PAGE_SHIFT, PAGE_WORDS, WORD_BYTES};
 pub use ids::NodeId;
 pub use msg::{AtomicOp, Packet, WireMsg, HEADER_BYTES};
 pub use timing::TimingConfig;
+pub use trace::{OpEvent, OpKind, PacketEvent, Probe, SharedProbe, Site, Stage, TraceId};

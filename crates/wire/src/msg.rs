@@ -209,6 +209,30 @@ impl WireMsg {
         }
     }
 
+    /// Stable short name of this message kind, for trace exporters and
+    /// reports (`'static` so probes can record it without allocating).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            WireMsg::WriteReq { .. } => "write_req",
+            WireMsg::WriteAck => "write_ack",
+            WireMsg::ReadReq { .. } => "read_req",
+            WireMsg::ReadResp { .. } => "read_resp",
+            WireMsg::AtomicReq { .. } => "atomic_req",
+            WireMsg::AtomicResp { .. } => "atomic_resp",
+            WireMsg::CopyReq { .. } => "copy_req",
+            WireMsg::CopyData { .. } => "copy_data",
+            WireMsg::UpdateToOwner { .. } => "update_to_owner",
+            WireMsg::ReflectedWrite { .. } => "reflected_write",
+            WireMsg::MulticastWrite { .. } => "multicast_write",
+            WireMsg::PageFetchReq { .. } => "page_fetch_req",
+            WireMsg::PageData { .. } => "page_data",
+            WireMsg::InvalidateReq { .. } => "invalidate_req",
+            WireMsg::InvalidateAck { .. } => "invalidate_ack",
+            WireMsg::DmaData { .. } => "dma_data",
+            WireMsg::OsCtl { .. } => "os_ctl",
+        }
+    }
+
     /// True for messages that elicit no reply of their own and are instead
     /// covered by the outstanding-operation counters (write-class traffic).
     pub fn is_posted(&self) -> bool {
@@ -243,6 +267,12 @@ impl Packet {
     /// Total bytes on the wire: header plus payload.
     pub fn size_bytes(&self) -> u32 {
         HEADER_BYTES + self.msg.payload_bytes()
+    }
+
+    /// This packet's lifecycle trace id, derived from the `(src,
+    /// inject_seq)` pair that already uniquely names every injected packet.
+    pub fn trace_id(&self) -> crate::trace::TraceId {
+        crate::trace::TraceId::packet(self.src, self.inject_seq)
     }
 }
 

@@ -1,14 +1,16 @@
 //! `simbench` — the engine performance harness.
 //!
-//! Drives three representative workloads through the simulator and writes
+//! Drives four representative workloads through the simulator and writes
 //! `BENCH_engine.json` with events/sec, wall time and peak queue depth for
 //! each, establishing the repository's perf trajectory:
 //!
 //! 1. `ping_pong` — a two-component event-engine microbench (pure
 //!    scheduler hot path, queue depth ~1).
-//! 2. `stencil_16` — a 16-node Jacobi stencil over eager-update boundary
+//! 2. `ping_pong_hooked` — the same microbench with a delivery hook
+//!    installed, tracking the per-event cost of observability.
+//! 3. `stencil_16` — a 16-node Jacobi stencil over eager-update boundary
 //!    pages via `tg-workloads` (full cluster stack, deep queues).
-//! 3. `proto_sweep` — a coherence-interleaving sweep of the owner
+//! 4. `proto_sweep` — a coherence-interleaving sweep of the owner
 //!    protocol via `tg-proto` (adversarial RNG-driven delivery).
 //!
 //! Deliberately dependency-free (plain `std::time::Instant`, hand-rolled
@@ -90,6 +92,18 @@ impl Component<u64> for Relay {
 /// Two relays bouncing one event back and forth: the pure scheduler hot
 /// path — pop, deliver, push — with no payload work.
 fn ping_pong() -> (u64, u64) {
+    ping_pong_inner(false)
+}
+
+/// The same microbench with a delivery hook installed (the tracing
+/// fast path): quantifies the per-event cost of observability when a
+/// probe is actually attached. Compare against `ping_pong` for the
+/// hook-off overhead (which should be ~zero: one untaken branch).
+fn ping_pong_hooked() -> (u64, u64) {
+    ping_pong_inner(true)
+}
+
+fn ping_pong_inner(hooked: bool) -> (u64, u64) {
     const ROUNDS: u64 = 1_000_000;
     let mut eng: Engine<u64> = Engine::new();
     let a = eng.add(Relay {
@@ -102,8 +116,16 @@ fn ping_pong() -> (u64, u64) {
     });
     eng.get_mut::<Relay>(a).unwrap().peer = Some(b);
     eng.schedule(SimTime::ZERO, a, 0);
+    let hits = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    if hooked {
+        let h = hits.clone();
+        eng.set_delivery_hook(Box::new(move |_at, _seq, _dst| h.set(h.get() + 1)));
+    }
     eng.run();
     let s = eng.stats();
+    if hooked {
+        assert_eq!(hits.get(), s.events_delivered, "hook missed deliveries");
+    }
     (s.events_delivered, s.max_queue_len as u64)
 }
 
@@ -193,6 +215,7 @@ fn json_escape_free(name: &str) -> &str {
 fn main() {
     let measurements = [
         measure("ping_pong", 5, ping_pong),
+        measure("ping_pong_hooked", 5, ping_pong_hooked),
         measure("stencil_16", 5, stencil_16),
         measure("proto_sweep", 3, proto_sweep),
     ];

@@ -1,0 +1,293 @@
+//! `simtrace` — packet-lifecycle tracing harness and Chrome-trace exporter.
+//!
+//! Runs a small cluster workload with the observability probe installed,
+//! then writes a Chrome trace-event JSON file (loadable in Perfetto or
+//! `chrome://tracing`) and prints the per-stage latency breakdown the
+//! paper's §3.2 cost analysis is built from.
+//!
+//! ```text
+//! simtrace [pingpong|stencil] [--nodes N] [--out FILE] [--metrics]
+//!          [--interval-us U] [--check] [--quiet]
+//! ```
+//!
+//! * `pingpong` (default) — every node stores into, fences on, reads from
+//!   and atomically increments a page homed on its ring neighbor.
+//! * `stencil` — an N-node Jacobi stencil over eager-update boundary
+//!   pages (the simbench workload at trace-friendly scale).
+//! * `--metrics` — sample congestion metrics while running and print the
+//!   registry.
+//! * `--check` — verify the export: the JSON is well-formed, timestamps
+//!   are monotonically non-decreasing per track, and per-stage breakdowns
+//!   sum exactly to the end-to-end latencies in `NodeStats`. Exits
+//!   non-zero on any violation.
+//!
+//! Dependency-free by design (hand-rolled JSON both ways) so it runs in
+//! offline/vendored environments.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use telegraphos::observe::{
+    breakdown_report, chrome_events, chrome_trace_json, json_is_wellformed, ChromeEvent,
+};
+use telegraphos::{Action, Cluster, ClusterBuilder, Script, TraceCollector};
+use tg_sim::{MetricsRegistry, SimTime};
+use tg_wire::trace::OpKind;
+use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
+
+struct Options {
+    workload: String,
+    nodes: u16,
+    out: String,
+    metrics: bool,
+    interval_us: u64,
+    check: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workload: "pingpong".to_string(),
+        nodes: 4,
+        out: "trace.json".to_string(),
+        metrics: false,
+        interval_us: 1,
+        check: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "pingpong" | "stencil" => opts.workload = arg,
+            "--nodes" => {
+                let v = args.next().ok_or("--nodes needs a value")?;
+                opts.nodes = v.parse().map_err(|_| format!("bad --nodes {v}"))?;
+            }
+            "--out" => opts.out = args.next().ok_or("--out needs a value")?,
+            "--interval-us" => {
+                let v = args.next().ok_or("--interval-us needs a value")?;
+                opts.interval_us = v.parse().map_err(|_| format!("bad --interval-us {v}"))?;
+            }
+            "--metrics" => opts.metrics = true,
+            "--check" => opts.check = true,
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if opts.nodes < 2 {
+        return Err("need at least 2 nodes".to_string());
+    }
+    Ok(opts)
+}
+
+/// Every node writes to / fences on / reads from / atomically increments a
+/// page homed on its ring neighbor: remote writes, blocking reads and
+/// atomic launches on every node, crossing the full fabric.
+fn build_pingpong(nodes: u16) -> Cluster {
+    let mut cluster = ClusterBuilder::new(nodes).build();
+    let pages: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+    for n in 0..nodes {
+        let peer = &pages[((n + 1) % nodes) as usize];
+        let mut actions = Vec::new();
+        for round in 0..4u64 {
+            actions.push(Action::Write(peer.va(0), round + 1));
+            actions.push(Action::Fence);
+            actions.push(Action::Read(peer.va(0)));
+            actions.push(Action::FetchAdd(peer.va(8), 1));
+            actions.push(Action::Compute(SimTime::from_ns(200)));
+        }
+        cluster.set_process(n, Script::new(actions));
+    }
+    cluster
+}
+
+/// The simbench Jacobi stencil at trace-friendly scale, with the result
+/// checked against the sequential reference.
+fn build_stencil(nodes: u16) -> (Cluster, Vec<u64>, Vec<telegraphos::SharedPage>) {
+    const STRIP: usize = 8;
+    const ITERS: u32 = 4;
+    let (left_bc, right_bc) = (900u64, 100u64);
+    let total = STRIP * nodes as usize;
+    let initial: Vec<u64> = (0..total).map(|i| (i as u64 * 53) % 777).collect();
+
+    let mut cluster = ClusterBuilder::new(nodes).build();
+    let boundary: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+    for n in 0..nodes {
+        let mut consumers = Vec::new();
+        if n > 0 {
+            consumers.push(n - 1);
+        }
+        if n + 1 < nodes {
+            consumers.push(n + 1);
+        }
+        cluster.make_eager(&boundary[n as usize], &consumers);
+    }
+    let results: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+    let coord = cluster.alloc_shared(0);
+    for n in 0..nodes {
+        let i = n as usize;
+        let strip = initial[i * STRIP..(i + 1) * STRIP].to_vec();
+        let shared = JacobiShared {
+            my_boundary: boundary[i],
+            left_boundary: (n > 0).then(|| boundary[i - 1]),
+            right_boundary: (n + 1 < nodes).then(|| boundary[i + 1]),
+            result: results[i],
+            barrier_counter: coord.va(0),
+            barrier_sense: coord.va(8),
+        };
+        cluster.set_process(
+            n,
+            JacobiWorker::new(shared, u64::from(nodes), ITERS, strip, left_bc, right_bc),
+        );
+    }
+    let want = jacobi_reference(&initial, ITERS, left_bc, right_bc);
+    (cluster, want, results)
+}
+
+/// Verifies the export invariants; returns a list of violations.
+fn check_export(
+    cluster: &Cluster,
+    collector: &TraceCollector,
+    events: &[ChromeEvent],
+    json: &str,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !json_is_wellformed(json) {
+        problems.push("exported Chrome trace is not well-formed JSON".to_string());
+    }
+    // Monotonically non-decreasing timestamps per (pid, tid) track.
+    let mut last: HashMap<(u32, u32), f64> = HashMap::new();
+    for ev in events {
+        let t = last.entry((ev.pid, ev.tid)).or_insert(0.0);
+        if ev.ts_us < *t {
+            problems.push(format!(
+                "ts went backwards on track ({}, {}): {} < {}",
+                ev.pid, ev.tid, ev.ts_us, t
+            ));
+        }
+        *t = ev.ts_us;
+    }
+    // Per-stage breakdowns telescope to the op's end-to-end window.
+    for b in collector.breakdowns() {
+        let total = b.total();
+        let window = b.op.end.saturating_sub(b.op.start);
+        if total != window {
+            problems.push(format!(
+                "breakdown for {} on node{} sums to {} but the op took {}",
+                b.op.kind,
+                b.op.node.raw(),
+                total,
+                window
+            ));
+        }
+    }
+    // Probe-observed latencies reconcile with the NodeStats summaries the
+    // experiments read (within float rounding: summaries store microsecond
+    // floats).
+    let mut observed: HashMap<(u16, &'static str), (u64, f64)> = HashMap::new();
+    for op in collector.op_events() {
+        let e = observed
+            .entry((op.node.raw(), op.kind.label()))
+            .or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += op.end.saturating_sub(op.start).as_us_f64();
+    }
+    for i in 0..cluster.node_count() {
+        let st = cluster.node(i).stats();
+        let classes = [
+            (OpKind::RemoteRead.label(), &st.remote_reads),
+            (OpKind::RemoteWrite.label(), &st.remote_writes),
+            (OpKind::Atomic.label(), &st.atomics),
+        ];
+        for (label, summary) in classes {
+            let (count, sum_us) = observed.get(&(i, label)).copied().unwrap_or((0, 0.0));
+            if count != summary.count() {
+                problems.push(format!(
+                    "node{i} {label}: probe saw {count} ops, NodeStats {}",
+                    summary.count()
+                ));
+                continue;
+            }
+            let want = summary.mean() * summary.count() as f64;
+            if (sum_us - want).abs() > 1e-6 * (1.0 + want.abs()) {
+                problems.push(format!(
+                    "node{i} {label}: probe total {sum_us:.6}us, NodeStats {want:.6}us"
+                ));
+            }
+        }
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simtrace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (mut cluster, stencil_check) = match opts.workload.as_str() {
+        "pingpong" => (build_pingpong(opts.nodes), None),
+        _ => {
+            let (c, want, results) = build_stencil(opts.nodes);
+            (c, Some((want, results)))
+        }
+    };
+    let collector = cluster.enable_tracing();
+
+    let mut metrics = MetricsRegistry::new();
+    if opts.metrics {
+        cluster.run_sampled(SimTime::from_us(opts.interval_us), &mut metrics);
+    } else {
+        cluster.run();
+    }
+    if !cluster.all_halted() {
+        eprintln!("simtrace: workload deadlocked");
+        return ExitCode::FAILURE;
+    }
+    if let Some((want, results)) = stencil_check {
+        let strip = want.len() / results.len();
+        let mut got = Vec::with_capacity(want.len());
+        for page in &results {
+            for w in 0..strip {
+                got.push(cluster.read_shared(page, w as u64));
+            }
+        }
+        assert_eq!(got, want, "stencil diverged from reference");
+    }
+
+    let ops = collector.op_events();
+    let packets = collector.packet_events();
+    let events = chrome_events(&ops, &packets);
+    let json = chrome_trace_json(&events);
+    std::fs::write(&opts.out, &json).expect("write trace file");
+
+    if !opts.quiet {
+        println!(
+            "{}: {} ops, {} packet events, {} trace events -> {}",
+            opts.workload,
+            ops.len(),
+            packets.len(),
+            events.len(),
+            opts.out
+        );
+        print!("{}", breakdown_report(&collector.breakdowns()));
+        if opts.metrics {
+            print!("{metrics}");
+        }
+    }
+
+    if opts.check {
+        let problems = check_export(&cluster, &collector, &events, &json);
+        if !problems.is_empty() {
+            for p in &problems {
+                eprintln!("simtrace check: {p}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("check: ok (json well-formed, tracks monotonic, breakdowns reconcile)");
+    }
+    ExitCode::SUCCESS
+}
