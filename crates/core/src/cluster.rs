@@ -2,9 +2,12 @@
 
 use tg_hib::{HibConfig, PageMode};
 use tg_mem::{PAddr, PageFlags, VAddr};
-use tg_net::{build_network, Topology};
-use tg_sim::{CompId, Engine, MetricsRegistry, RunLimit, SimTime};
-use tg_wire::trace::SharedProbe;
+use tg_net::{
+    build_network_with, CreditLedger, FaultInjector, FaultPlan, FaultStats, LinkId, NetConfig,
+    RelParams, StalledLink, Topology,
+};
+use tg_sim::{CompId, Engine, MetricsRegistry, ProgressMeter, RunLimit, SimTime, WatchdogOutcome};
+use tg_wire::trace::{SharedProbe, Site};
 use tg_wire::{GOffset, NodeId, PageNum, TimingConfig, PAGE_BYTES};
 
 use crate::event::ClusterEvent;
@@ -80,6 +83,8 @@ pub struct ClusterBuilder {
     hib: HibConfig,
     policy: ReplicatePolicy,
     private_pages: u64,
+    reliability: Option<RelParams>,
+    faults: Option<FaultPlan>,
 }
 
 impl ClusterBuilder {
@@ -98,6 +103,8 @@ impl ClusterBuilder {
             hib: HibConfig::telegraphos_i(),
             policy: ReplicatePolicy::Never,
             private_pages: 64,
+            reliability: None,
+            faults: None,
         }
     }
 
@@ -125,6 +132,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enrolls every fabric link in the link-level reliability protocol
+    /// (per-link sequence numbers + checksums, ACK/NACK, a retransmit
+    /// buffer with timeout and backoff, and the credit-resync handshake).
+    /// Without this — and without [`ClusterBuilder::with_faults`] — links
+    /// behave as the lossless hardware of the paper.
+    pub fn reliable_links(mut self, params: RelParams) -> Self {
+        self.reliability = Some(params);
+        self
+    }
+
+    /// Installs a seeded fault plan: frames and credits are dropped,
+    /// corrupted, blacked out or wedged per the plan, deterministically
+    /// from its seed. Implies [`ClusterBuilder::reliable_links`] with
+    /// default parameters unless explicitly configured.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -149,14 +175,25 @@ impl ClusterBuilder {
             let node = Node::new(id, self.timing.clone(), self.hib.clone(), os);
             node_ids.push(engine.add(node));
         }
-        let handles =
-            build_network(&mut engine, &topo, &self.timing, &node_ids).expect("connected fabric");
+        let reliability = self
+            .reliability
+            .or_else(|| self.faults.as_ref().map(|_| RelParams::default()));
+        let injector = self.faults.map(FaultInjector::new);
+        let config = NetConfig {
+            reliability,
+            injector: injector.clone(),
+        };
+        let handles = build_network_with(&mut engine, &topo, &self.timing, &node_ids, &config)
+            .expect("connected fabric");
         for (idx, wiring) in handles.endpoints.into_iter().enumerate() {
             let node = engine
                 .get_mut::<Node>(node_ids[idx])
                 .expect("node component");
             node.hib_mut()
                 .wire(wiring.tx, wiring.rx_upstream, wiring.rx_capacity);
+            if let Some(inj) = injector.as_ref() {
+                node.hib_mut().set_injector(inj.clone());
+            }
             // Map the private heap.
             for p in 0..self.private_pages {
                 node.mmu_mut().table_mut().map(
@@ -175,6 +212,7 @@ impl ClusterBuilder {
             next_index: 0,
             max_seg_page: self.hib.segment_pages.saturating_sub(OS_FRAME_POOL),
             timing: self.timing,
+            injector,
         }
     }
 }
@@ -225,6 +263,87 @@ pub enum ComponentDetail {
     },
 }
 
+/// Queue and link state of one workstation when the watchdog tripped.
+#[derive(Clone, Debug)]
+pub struct StalledNode {
+    /// The workstation.
+    pub node: NodeId,
+    /// Packets awaiting transmission at its HIB.
+    pub tx_queue: usize,
+    /// Packets sitting in its receive FIFO.
+    pub rx_fifo: usize,
+    /// Frames launched but not link-acknowledged on its output link.
+    pub unacked: usize,
+    /// Credits in hand at its transmit port.
+    pub credits: u32,
+    /// Whether its output link has been declared dead.
+    pub dead: bool,
+}
+
+impl std::fmt::Display for StalledNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node{}: {} queued, {} in rx FIFO, {} unacked, {} credits{}",
+            self.node.raw(),
+            self.tx_queue,
+            self.rx_fifo,
+            self.unacked,
+            self.credits,
+            if self.dead { ", link DEAD" } else { "" }
+        )
+    }
+}
+
+/// A structured no-progress diagnosis, assembled by
+/// [`Cluster::run_watchdog`] when a full watchdog window elapses with
+/// events still firing but nothing committing: instead of spinning (or
+/// panicking) the run stops and names the links and nodes holding the
+/// fabric.
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// Simulated time when the stall was declared.
+    pub at: SimTime,
+    /// Progress (committed packets + completed CPU operations) when the
+    /// meter stopped advancing.
+    pub progress: u64,
+    /// Links held up: dead, carrying unacknowledged frames, or
+    /// credit-starved with traffic pending.
+    pub links: Vec<StalledLink>,
+    /// Workstations with work still queued.
+    pub nodes: Vec<StalledNode>,
+}
+
+impl DeadlockReport {
+    /// The stalled links that have been declared dead.
+    pub fn dead_links(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| l.dead)
+            .map(|l| l.link)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "no progress for a full watchdog window (declared at {}, {} units committed):",
+            self.at, self.progress
+        )?;
+        for l in &self.links {
+            writeln!(f, "  link {l}")?;
+        }
+        for n in &self.nodes {
+            writeln!(f, "  {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockReport {}
+
 /// A running simulated cluster.
 ///
 /// See [`ClusterBuilder`] for construction; the methods here are the
@@ -240,6 +359,7 @@ pub struct Cluster {
     next_index: u64,
     max_seg_page: u32,
     timing: TimingConfig,
+    injector: Option<FaultInjector>,
 }
 
 impl Cluster {
@@ -479,6 +599,187 @@ impl Cluster {
         self.engine.run_events(n)
     }
 
+    /// Runs under a no-progress watchdog: committed packets and completed
+    /// CPU operations count as progress; a window of `window` simulated
+    /// time in which events still fire but nothing commits (e.g. a dead
+    /// link retransmitting into the void) stops the run with a
+    /// [`DeadlockReport`] naming the stalled links and nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn run_watchdog(&mut self, window: SimTime) -> Result<WatchdogOutcome, DeadlockReport> {
+        let meter = ProgressMeter::new();
+        for i in 0..self.n {
+            self.node_mut(i).set_progress_meter(meter.clone());
+        }
+        match self.engine.run_watchdog(&meter, window) {
+            WatchdogOutcome::Stalled { at, progress } => Err(self.deadlock_report(at, progress)),
+            WatchdogOutcome::Drained if !self.all_halted() => {
+                // Quiescent but incomplete: a dead link strands its
+                // frames and stops its timers, so the queue drains with
+                // processes still blocked. That is a deadlock, not a
+                // completion.
+                let report = self.deadlock_report(self.now(), meter.count());
+                if report.links.is_empty() && report.nodes.is_empty() {
+                    Ok(WatchdogOutcome::Drained)
+                } else {
+                    Err(report)
+                }
+            }
+            outcome => Ok(outcome),
+        }
+    }
+
+    fn deadlock_report(&self, at: SimTime, progress: u64) -> DeadlockReport {
+        let mut links = Vec::new();
+        for &id in &self.switches {
+            let sw = self
+                .engine
+                .get::<tg_net::Switch>(id)
+                .expect("switch component");
+            links.extend(sw.stalled_links());
+        }
+        let mut nodes = Vec::new();
+        for i in 0..self.n {
+            let node = self.node(i);
+            let hib = node.hib();
+            let (tx_queue, rx_fifo) = (node.tx_queue_depth(), node.rx_fifo_depth());
+            let (unacked, dead) = (hib.unacked(), hib.link_dead());
+            if dead || unacked > 0 || (tx_queue > 0 && hib.tx_credits() == 0) {
+                links.push(StalledLink {
+                    link: hib.tx_link().unwrap_or_else(|| {
+                        LinkId::new(Site::Node(node.id()), Site::Node(node.id()))
+                    }),
+                    dead,
+                    stranded: unacked,
+                    credits: hib.tx_credits(),
+                    retransmits: hib.retransmits(),
+                });
+            }
+            if tx_queue > 0 || rx_fifo > 0 || unacked > 0 || dead {
+                nodes.push(StalledNode {
+                    node: node.id(),
+                    tx_queue,
+                    rx_fifo,
+                    unacked,
+                    credits: hib.tx_credits(),
+                    dead,
+                });
+            }
+        }
+        DeadlockReport {
+            at,
+            progress,
+            links,
+            nodes,
+        }
+    }
+
+    /// Conservation invariants, checked from component state (meant for
+    /// quiescence — after [`Cluster::run`] drains). Two books must
+    /// balance:
+    ///
+    /// * **credits** — per link, credits in hand + unacknowledged frames
+    ///   must equal the allowance once FIFOs are empty (a shortfall is a
+    ///   leaked credit, an excess a duplicate); while FIFOs still hold
+    ///   frames only the excess side is checkable;
+    /// * **packets** — frames injected by HIBs must equal frames committed
+    ///   plus frames still stranded in retransmit buffers or queues.
+    ///
+    /// Returns one human-readable line per violation, naming the culprit
+    /// link or totals; empty means all books balance.
+    pub fn conservation_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut ledgers: Vec<CreditLedger> = Vec::new();
+        let mut queued: u64 = 0;
+        for &id in &self.switches {
+            let sw = self
+                .engine
+                .get::<tg_net::Switch>(id)
+                .expect("switch component");
+            ledgers.extend(sw.credit_ledgers());
+            queued += sw.fifo_depth_total() as u64;
+        }
+        let (mut injected, mut committed) = (0u64, 0u64);
+        for i in 0..self.n {
+            let node = self.node(i);
+            ledgers.extend(node.hib().credit_ledger());
+            queued += node.rx_fifo_depth() as u64;
+            let st = node.hib_stats();
+            injected += st.pkts_tx;
+            committed += st.committed;
+        }
+        let drained = queued == 0;
+        let mut unacked: u64 = 0;
+        for l in &ledgers {
+            unacked += l.unacked as u64;
+            let overcommit = u64::from(l.credits) + l.unacked as u64 > u64::from(l.allowance);
+            if overcommit || (drained && !l.balanced()) {
+                violations.push(format!("credit leak on {l}"));
+            }
+        }
+        if injected != committed + unacked + queued {
+            violations.push(format!(
+                "packet leak: {injected} injected != {committed} committed \
+                 + {unacked} unacked + {queued} queued"
+            ));
+        }
+        violations
+    }
+
+    /// Cumulative fault-injection tallies (drops, corruptions, outage
+    /// losses, lost credits), when a fault plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Frames retransmitted across the whole fabric (switch output ports
+    /// and HIB transmit ports).
+    pub fn fabric_retransmits(&self) -> u64 {
+        let sw: u64 = self
+            .switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(tg_net::Switch::retransmits)
+            .sum();
+        sw + (0..self.n)
+            .map(|i| self.node(i).hib().retransmits())
+            .sum::<u64>()
+    }
+
+    /// Completed credit-resync handshakes across the whole fabric.
+    pub fn fabric_resyncs(&self) -> u64 {
+        let sw: u64 = self
+            .switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(tg_net::Switch::resyncs)
+            .sum();
+        sw + (0..self.n)
+            .map(|i| self.node(i).hib().resyncs())
+            .sum::<u64>()
+    }
+
+    /// Structured link errors recorded anywhere in the fabric, with the
+    /// name of the component that observed each.
+    pub fn link_errors(&self) -> Vec<(String, tg_net::LinkError)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for &e in self.node(i).hib().link_errors() {
+                out.push((format!("node{i}"), e));
+            }
+        }
+        for (k, &id) in self.switches.iter().enumerate() {
+            if let Some(sw) = self.engine.get::<tg_net::Switch>(id) {
+                for &e in sw.link_errors() {
+                    out.push((format!("switch{k}"), e));
+                }
+            }
+        }
+        out
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
@@ -670,6 +971,21 @@ impl Cluster {
                 let c = metrics.counter(&format!("node{i}.{name}"));
                 metrics.inc(c, count);
             }
+        }
+        // Reliability-layer counters (all zero on a lossless fabric).
+        let mut rel = vec![
+            ("fabric.retransmits", self.fabric_retransmits()),
+            ("fabric.credit_resyncs", self.fabric_resyncs()),
+            ("fabric.link_errors", self.link_errors().len() as u64),
+        ];
+        if let Some(fs) = self.fault_stats() {
+            rel.push(("fabric.frames_dropped", fs.drops + fs.outage_drops));
+            rel.push(("fabric.frames_corrupted", fs.corrupts));
+            rel.push(("fabric.credits_lost", fs.credits_lost));
+        }
+        for (name, count) in rel {
+            let c = metrics.counter(name);
+            metrics.inc(c, count);
         }
         limit
     }

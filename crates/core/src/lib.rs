@@ -58,8 +58,8 @@ pub mod sync;
 pub mod vsm;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, ComponentDetail, ComponentReport, SharedPage, PAGED_VA_BASE,
-    PRIVATE_VA_BASE, SHARED_VA_BASE,
+    Cluster, ClusterBuilder, ComponentDetail, ComponentReport, DeadlockReport, SharedPage,
+    StalledNode, PAGED_VA_BASE, PRIVATE_VA_BASE, SHARED_VA_BASE,
 };
 pub use event::ClusterEvent;
 pub use node::Node;
@@ -68,3 +68,8 @@ pub use os::{Os, OsEffect, ReplicatePolicy};
 pub use pager::{Backing, RemotePager};
 pub use process::{Action, Process, Resume, Script};
 pub use stats::NodeStats;
+
+// Fault-injection and reliability vocabulary, re-exported so experiments
+// and binaries need only this crate.
+pub use tg_net::{FaultPlan, FaultStats, LinkError, LinkId, RelParams, StalledLink};
+pub use tg_sim::WatchdogOutcome;

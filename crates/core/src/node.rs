@@ -136,6 +136,8 @@ pub struct Node {
     /// Operation-lifecycle probe; `None` (the default) costs one branch
     /// per completed operation.
     probe: Option<SharedProbe>,
+    /// Watchdog progress meter, ticked on every completed CPU operation.
+    meter: Option<tg_sim::ProgressMeter>,
 }
 
 impl std::fmt::Debug for Node {
@@ -213,6 +215,7 @@ impl Node {
             outbox: Vec::new(),
             now: SimTime::ZERO,
             probe: None,
+            meter: None,
         }
     }
 
@@ -259,6 +262,19 @@ impl Node {
     /// The node's HIB (cluster-builder driver operations).
     pub fn hib_mut(&mut self) -> &mut Hib {
         &mut self.hib
+    }
+
+    /// The node's HIB (link-state inspection).
+    pub fn hib(&self) -> &Hib {
+        &self.hib
+    }
+
+    /// Installs a watchdog progress meter on this node and its HIB: the
+    /// CPU ticks it on every completed operation, the HIB on every
+    /// committed packet.
+    pub fn set_progress_meter(&mut self, meter: tg_sim::ProgressMeter) {
+        self.hib.set_progress_meter(meter.clone());
+        self.meter = Some(meter);
     }
 
     /// HIB statistics.
@@ -405,6 +421,9 @@ impl Node {
         if !matches!(saved.r, Resume::Start) {
             let (class, start) = (self.threads[i].cur_class, self.threads[i].cur_start);
             self.stats.record(class, now - start);
+            if let Some(meter) = self.meter.as_ref() {
+                meter.tick();
+            }
             if let Some(probe) = self.probe.as_ref() {
                 if let Some(kind) = class.op_kind() {
                     probe.op(OpEvent {
@@ -813,6 +832,11 @@ impl Node {
             }
             HibInterrupt::Protection => {
                 self.stats.protection_faults += 1;
+            }
+            HibInterrupt::LinkFault { .. } => {
+                // The OS records the degradation; recovery (or the
+                // watchdog's deadlock report) is the cluster's business.
+                self.stats.link_failures += 1;
             }
         }
     }

@@ -37,6 +37,9 @@ pub struct NodeStats {
     pub invalidations: u64,
     /// Protection violations observed.
     pub protection_faults: u64,
+    /// Link-layer faults surfaced to the OS (duplicate credits, FIFO
+    /// overflows, dead links).
+    pub link_failures: u64,
     /// When the process halted (none if still running).
     pub halted_at: Option<SimTime>,
 }

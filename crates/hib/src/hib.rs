@@ -3,7 +3,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use tg_mem::{Decoded, PAddr};
-use tg_net::{NetEvent, RxFifo, TxPort};
+use tg_net::{
+    FaultInjector, FrameFate, LinkError, LinkRx, NetEvent, RxFifo, RxVerdict, TimerAction, TxPort,
+};
 use tg_proto::PendingCam;
 use tg_sim::{CompId, SimTime};
 use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
@@ -53,6 +55,10 @@ pub struct HibStats {
     pub alarms: u64,
     /// Deepest TX-queue occupancy observed.
     pub tx_high_water: usize,
+    /// Received packets fully processed (committed) by the rx pipeline.
+    pub committed: u64,
+    /// Link-layer faults surfaced as [`HibInterrupt::LinkFault`].
+    pub link_faults: u64,
 }
 
 /// Why a store is parked at the HIB waiting to retry.
@@ -138,6 +144,17 @@ pub struct Hib {
     /// Trace id of the most recently injected packet, for the host to
     /// attribute to the CPU operation that caused it.
     last_injected: Option<TraceId>,
+    /// Receiver half of the link-level reliability protocol on the input
+    /// link, when the transmit port is enrolled.
+    rx_link: Option<LinkRx>,
+    /// Fault injector consulted at frame launch and credit return.
+    injector: Option<FaultInjector>,
+    /// Structured link errors observed (also surfaced as interrupts).
+    link_errors: Vec<LinkError>,
+    /// An RxUnwedge tick is already scheduled.
+    unwedge_scheduled: bool,
+    /// Watchdog progress meter, ticked on every packet commit.
+    meter: Option<tg_sim::ProgressMeter>,
 }
 
 impl Hib {
@@ -172,6 +189,11 @@ impl Hib {
             probe: None,
             rx_handling: None,
             last_injected: None,
+            rx_link: None,
+            injector: None,
+            link_errors: Vec::new(),
+            unwedge_scheduled: false,
+            meter: None,
         }
     }
 
@@ -224,11 +246,80 @@ impl Hib {
         }
     }
 
-    /// Wires the board to the fabric (from `tg-net`'s builder output).
+    /// Wires the board to the fabric (from `tg-net`'s builder output). A
+    /// reliability-enrolled transmit port implies the receiver half of the
+    /// protocol on the input link.
     pub fn wire(&mut self, tx: TxPort, rx_upstream: (CompId, u32), rx_capacity: u32) {
+        if tx.is_reliable() {
+            self.rx_link = Some(LinkRx::new());
+        }
         self.tx = Some(tx);
         self.rx_upstream = Some(rx_upstream);
         self.rx_fifo = RxFifo::new(rx_capacity);
+    }
+
+    /// Installs the fault injector consulted when this board launches
+    /// frames or returns credits (and for the rx-wedge fault).
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Installs a watchdog progress meter, ticked on every committed
+    /// packet — the fabric-side signal that work is still flowing.
+    pub fn set_progress_meter(&mut self, meter: tg_sim::ProgressMeter) {
+        self.meter = Some(meter);
+    }
+
+    /// The directed link this board's transmit port feeds, once wired.
+    pub fn tx_link(&self) -> Option<tg_net::LinkId> {
+        self.tx.as_ref().and_then(TxPort::link)
+    }
+
+    /// Credit bookkeeping of the output link, for quiescence-time
+    /// conservation checks. `None` until the board is wired.
+    pub fn credit_ledger(&self) -> Option<tg_net::CreditLedger> {
+        let tx = self.tx.as_ref()?;
+        Some(tg_net::CreditLedger {
+            link: tx.link()?,
+            credits: tx.credits(),
+            unacked: tx.unacked(),
+            allowance: tx.allowance(),
+        })
+    }
+
+    /// Structured link errors observed so far.
+    pub fn link_errors(&self) -> &[LinkError] {
+        &self.link_errors
+    }
+
+    /// Frames retransmitted on this board's output link.
+    pub fn retransmits(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::retransmits)
+    }
+
+    /// Completed credit-resync handshakes on this board's output link.
+    pub fn resyncs(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::resyncs)
+    }
+
+    /// True once this board's output link was declared dead.
+    pub fn link_dead(&self) -> bool {
+        self.tx.as_ref().is_some_and(TxPort::is_dead)
+    }
+
+    /// Frames launched but not yet link-acknowledged on the output link.
+    pub fn unacked(&self) -> usize {
+        self.tx.as_ref().map_or(0, TxPort::unacked)
+    }
+
+    /// Credits currently in hand at the transmit port.
+    pub fn tx_credits(&self) -> u32 {
+        self.tx.as_ref().map_or(0, TxPort::credits)
+    }
+
+    /// The transmit port's initial credit allowance.
+    pub fn tx_allowance(&self) -> u32 {
+        self.tx.as_ref().map_or(0, TxPort::allowance)
     }
 
     /// This board's node id.
@@ -716,14 +807,59 @@ impl Hib {
     pub fn on_net(&mut self, ev: NetEvent, host: &mut dyn HibHost) {
         match ev {
             NetEvent::Arrive { packet, .. } => {
-                self.emit(host.now(), &packet, Stage::RxEnqueue, None);
-                self.rx_fifo.push(packet);
-                self.pump_rx(host);
+                let verdict = self.rx_link.as_mut().map(|rx| rx.accept(&packet));
+                match verdict {
+                    None | Some(RxVerdict::Accept { .. }) => {
+                        if let Some(RxVerdict::Accept { ack }) = verdict {
+                            if let Some((up, port)) = self.rx_upstream {
+                                host.schedule_net(
+                                    self.timing.link_prop,
+                                    up,
+                                    NetEvent::Ack { port, seq: ack },
+                                );
+                            }
+                        }
+                        self.emit(host.now(), &packet, Stage::RxEnqueue, None);
+                        if let Err(err) = self.rx_fifo.push(packet) {
+                            self.record_link_error(err, host);
+                        }
+                        self.pump_rx(host);
+                    }
+                    Some(RxVerdict::DupAck { ack }) => {
+                        self.emit(host.now(), &packet, Stage::Dropped, None);
+                        if let Some((up, port)) = self.rx_upstream {
+                            host.schedule_net(
+                                self.timing.link_prop,
+                                up,
+                                NetEvent::Ack { port, seq: ack },
+                            );
+                        }
+                    }
+                    Some(RxVerdict::NackCorrupt { expected })
+                    | Some(RxVerdict::NackGap { expected }) => {
+                        self.emit(host.now(), &packet, Stage::Dropped, None);
+                        if let Some((up, port)) = self.rx_upstream {
+                            host.schedule_net(
+                                self.timing.link_prop,
+                                up,
+                                NetEvent::Nack {
+                                    port,
+                                    seq: expected,
+                                },
+                            );
+                        }
+                    }
+                    Some(RxVerdict::Discard) => {
+                        self.emit(host.now(), &packet, Stage::Dropped, None);
+                    }
+                }
             }
             NetEvent::Credit { .. } => {
                 let now = host.now();
                 if let Some(tx) = self.tx.as_mut() {
-                    tx.on_credit_at(now);
+                    if let Err(err) = tx.on_credit_at(now) {
+                        self.record_link_error(err, host);
+                    }
                 }
                 self.pump_tx(host);
             }
@@ -731,6 +867,50 @@ impl Hib {
                 // Switch-style pump events are not used by the HIB; its
                 // own TX release travels as HibTick::TxFree.
                 self.on_tick(HibTick::TxFree, host);
+            }
+            NetEvent::Ack { seq, .. } => {
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_ack(seq, host.now());
+                }
+                self.pump_tx(host);
+            }
+            NetEvent::Nack { seq, .. } => {
+                let action = self.tx.as_mut().map(|tx| tx.on_nack(seq, host.now()));
+                if let Some(TimerAction::Dead(err)) = action {
+                    self.record_link_error(err, host);
+                }
+                self.pump_tx(host);
+            }
+            NetEvent::RetxTimer { gen, .. } => {
+                // Delivered when another component (tests) drives the HIB
+                // with raw net events; the cluster uses HibTick::RetxTimer.
+                self.on_tick(HibTick::RetxTimer { gen }, host);
+            }
+            NetEvent::CreditSyncReq { token, .. } => {
+                let drained = self.rx_link.as_ref().map(LinkRx::drained).unwrap_or(0);
+                if let Some((up, port)) = self.rx_upstream {
+                    host.schedule_net(
+                        self.timing.link_prop,
+                        up,
+                        NetEvent::CreditSyncAck {
+                            port,
+                            token,
+                            drained,
+                        },
+                    );
+                }
+            }
+            NetEvent::CreditSyncAck { token, drained, .. } => {
+                let now = host.now();
+                let applied = self
+                    .tx
+                    .as_mut()
+                    .map(|tx| tx.on_sync_ack(token, drained, now))
+                    .unwrap_or(false);
+                if applied {
+                    self.emit_resync(now, token);
+                }
+                self.pump_tx(host);
             }
         }
     }
@@ -750,12 +930,95 @@ impl Hib {
             HibTick::RxDone => {
                 let packet = self.rx_current.take().expect("rx pipeline was busy");
                 self.handle_rx(packet, host);
-                // Return the credit for the consumed packet.
-                if let Some((up, port)) = self.rx_upstream {
-                    host.schedule_net(self.timing.link_prop, up, NetEvent::Credit { port });
+                if let Some(rx) = self.rx_link.as_mut() {
+                    rx.on_drain();
                 }
+                // Return the credit for the consumed packet.
+                self.return_rx_credit(host);
                 self.pump_rx(host);
                 self.check_fence(host);
+            }
+            HibTick::RetxTimer { gen } => {
+                let action = self
+                    .tx
+                    .as_mut()
+                    .map(|tx| tx.on_timer(gen, host.now()))
+                    .unwrap_or(TimerAction::Stale);
+                match action {
+                    TimerAction::Retransmit => self.pump_tx(host),
+                    TimerAction::Resync { token } => {
+                        let target = self
+                            .tx
+                            .as_ref()
+                            .map(|tx| (tx.neighbor(), tx.neighbor_port()));
+                        if let Some((nbr, nbr_port)) = target {
+                            self.emit_resync(host.now(), token);
+                            host.schedule_net(
+                                self.timing.link_prop,
+                                nbr,
+                                NetEvent::CreditSyncReq {
+                                    port: nbr_port,
+                                    token,
+                                },
+                            );
+                        }
+                    }
+                    TimerAction::Dead(err) => self.record_link_error(err, host),
+                    TimerAction::Stale | TimerAction::Idle => {}
+                }
+                self.arm_timer(host);
+            }
+            HibTick::RxUnwedge => {
+                self.unwedge_scheduled = false;
+                self.pump_rx(host);
+                self.check_fence(host);
+            }
+        }
+    }
+
+    fn record_link_error(&mut self, err: LinkError, host: &mut dyn HibHost) {
+        self.stats.link_faults += 1;
+        self.link_errors.push(err);
+        host.interrupt(
+            self.timing.interrupt_latency,
+            HibInterrupt::LinkFault { error: err },
+        );
+    }
+
+    /// Returns the credit for a consumed arrival, unless the injector
+    /// loses it on the way back upstream.
+    fn return_rx_credit(&mut self, host: &mut dyn HibHost) {
+        let Some((up, port)) = self.rx_upstream else {
+            return;
+        };
+        let link = self.tx.as_ref().and_then(TxPort::link);
+        if let (Some(inj), Some(link)) = (self.injector.as_ref(), link) {
+            if inj.credit_lost(link, host.now()) {
+                return;
+            }
+        }
+        host.schedule_net(self.timing.link_prop, up, NetEvent::Credit { port });
+    }
+
+    fn emit_resync(&self, now: SimTime, token: u64) {
+        if let Some(probe) = &self.probe {
+            probe.packet(PacketEvent {
+                at: now,
+                trace: TraceId::packet(self.node, token),
+                parent: None,
+                site: Site::Node(self.node),
+                stage: Stage::CreditResync,
+                kind: "credit-resync",
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Arms the link-recovery timer when one is needed and none is armed.
+    fn arm_timer(&mut self, host: &mut dyn HibHost) {
+        if let Some(tx) = self.tx.as_mut() {
+            if let Some((delay, gen)) = tx.poll_timer(host.now()) {
+                host.schedule_tick(delay, HibTick::RetxTimer { gen });
             }
         }
     }
@@ -763,6 +1026,17 @@ impl Hib {
     fn pump_rx(&mut self, host: &mut dyn HibHost) {
         if self.rx_current.is_some() {
             return;
+        }
+        // A fault-injected wedge freezes the receive pipeline: frames sit
+        // in the FIFO undrained and no credits flow back until release.
+        if let Some(inj) = self.injector.as_ref() {
+            if let Some(until) = inj.wedged_until(self.node, host.now()) {
+                if !self.unwedge_scheduled {
+                    self.unwedge_scheduled = true;
+                    host.schedule_tick(until - host.now(), HibTick::RxUnwedge);
+                }
+                return;
+            }
         }
         let Some(packet) = self.rx_fifo.pop() else {
             return;
@@ -793,6 +1067,10 @@ impl Hib {
 
     fn handle_rx(&mut self, packet: Packet, host: &mut dyn HibHost) {
         self.emit(host.now(), &packet, Stage::Commit, None);
+        self.stats.committed += 1;
+        if let Some(meter) = self.meter.as_ref() {
+            meter.tick();
+        }
         self.rx_handling = Some(packet.trace_id());
         self.dispatch_rx(packet, host);
         self.rx_handling = None;
@@ -1056,12 +1334,7 @@ impl Hib {
         debug_assert_ne!(dst, self.node, "packet to self");
         let seq = self.inject_seq;
         self.inject_seq += 1;
-        let packet = Packet {
-            src: self.node,
-            dst,
-            msg,
-            inject_seq: seq,
-        };
+        let packet = Packet::new(self.node, dst, msg, seq);
         if self.probe.is_some() {
             // Injections made while a received packet is being processed
             // are responses; chain them to their request.
@@ -1077,29 +1350,74 @@ impl Hib {
         if self.tx_busy {
             return;
         }
-        let Some(tx) = self.tx.as_mut() else {
+        let Some(tx) = self.tx.as_ref() else {
             return;
         };
-        if !tx.ready() {
+        // Go-back-N recovery outranks fresh traffic and needs no credit:
+        // the original launch already reserved the receiver's FIFO slot.
+        if tx.has_retx_pending() {
+            let packet = self
+                .tx
+                .as_mut()
+                .and_then(TxPort::take_retx)
+                .expect("retx pending");
+            self.emit(host.now(), &packet, Stage::Retransmit, None);
+            self.dispatch_frame(packet, false, host);
+            self.arm_timer(host);
+            return;
+        }
+        if !tx.can_send_new() {
             if !self.tx_queue.is_empty() {
-                tx.note_blocked(host.now());
+                self.tx.as_mut().expect("tx wired").note_blocked(host.now());
             }
+            self.arm_timer(host);
             return;
         }
         if self.tx_queue.is_empty() {
             return;
         }
-        let packet = self.tx_queue.pop_front().expect("nonempty queue");
+        let mut packet = self.tx_queue.pop_front().expect("nonempty queue");
         self.stats.pkts_tx += 1;
         self.stats.bytes_tx += u64::from(packet.size_bytes());
-        let times = tx.launch(&packet, &self.timing);
+        if self.tx.as_ref().expect("tx wired").is_reliable() {
+            packet = self
+                .tx
+                .as_mut()
+                .expect("tx wired")
+                .frame(packet, host.now());
+        }
         if self.probe.is_some() {
             self.emit(host.now(), &packet, Stage::TxLaunch, None);
         }
-        let tx = self.tx.as_mut().expect("tx wired");
-        let (nbr, nbr_port) = (tx.neighbor(), tx.neighbor_port());
+        self.dispatch_frame(packet, true, host);
+        self.arm_timer(host);
+    }
+
+    /// Occupies the wire with `packet` (a fresh launch consumes a credit;
+    /// a retransmission reuses its reservation), consults the fault
+    /// injector, and schedules the arrival unless the frame was lost.
+    fn dispatch_frame(&mut self, mut packet: Packet, fresh: bool, host: &mut dyn HibHost) {
+        let now = host.now();
+        let (times, nbr, nbr_port, link) = {
+            let tx = self.tx.as_mut().expect("tx wired");
+            let times = if fresh {
+                tx.launch(&packet, &self.timing)
+            } else {
+                tx.relaunch(&packet, &self.timing)
+            };
+            (times, tx.neighbor(), tx.neighbor_port(), tx.link())
+        };
         let proc = self.timing.hib_proc;
         self.tx_busy = true;
+        host.schedule_tick(proc + times.free, HibTick::TxFree);
+        let fate = match (self.injector.as_ref(), link) {
+            (Some(inj), Some(link)) => inj.frame_fate(link, now, &mut packet),
+            _ => FrameFate::Deliver,
+        };
+        if fate == FrameFate::Drop {
+            self.emit(now, &packet, Stage::Dropped, None);
+            return;
+        }
         host.schedule_net(
             proc + times.arrival,
             nbr,
@@ -1108,7 +1426,6 @@ impl Hib {
                 packet,
             },
         );
-        host.schedule_tick(proc + times.free, HibTick::TxFree);
     }
 
     fn retry_stalled(&mut self, host: &mut dyn HibHost) {

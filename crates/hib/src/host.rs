@@ -45,6 +45,16 @@ pub enum HibTick {
     TxFree,
     /// The receive pipeline finished processing the current packet.
     RxDone,
+    /// The link-level retransmission/resync timer fired (see
+    /// [`TxPort::poll_timer`](tg_net::TxPort::poll_timer)); `gen` guards
+    /// against stale timers.
+    RetxTimer {
+        /// Timer generation at scheduling time.
+        gen: u64,
+    },
+    /// A fault-injected receive-pipeline wedge released; resume draining
+    /// the rx FIFO.
+    RxUnwedge,
 }
 
 /// CPU-visible completions delivered through [`HibHost::cpu_complete`].
@@ -112,6 +122,14 @@ pub enum HibInterrupt {
     },
     /// A protection violation detected at the HIB (bad context key).
     Protection,
+    /// The link layer degraded: a neighbor-originated protocol violation
+    /// was detected or the retransmit budget was exhausted (the link is
+    /// then dead). The OS sees the structured error instead of the
+    /// simulation panicking.
+    LinkFault {
+        /// What went wrong on the link.
+        error: tg_net::LinkError,
+    },
 }
 
 /// Which of the two per-page access counters is meant (§2.2.6: "one that

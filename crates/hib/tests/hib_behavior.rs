@@ -467,16 +467,16 @@ fn pending_counter_filters_older_updates() {
         board.on_net(
             NetEvent::Arrive {
                 port: 0,
-                packet: tg_wire::Packet {
-                    src: NodeId::new(1),
-                    dst: NodeId::new(0),
-                    msg: WireMsg::ReflectedWrite {
+                packet: tg_wire::Packet::new(
+                    NodeId::new(1),
+                    NodeId::new(0),
+                    WireMsg::ReflectedWrite {
                         addr: GOffset::new(8),
                         val: 777,
                         writer: NodeId::new(2),
                     },
-                    inject_seq: 0,
-                },
+                    0,
+                ),
             },
             host,
         );

@@ -1,0 +1,416 @@
+//! Seeded, deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* — per-hop frame drop and
+//! corruption probabilities, link outage windows, credit-loss probability,
+//! and a one-shot HIB rx-FIFO wedge — and a [`FaultInjector`] executes the
+//! plan with a [`SimRng`] stream, so a fixed seed replays the exact same
+//! fault sequence bit-for-bit. Every link hop consults the injector at
+//! launch time; the link-level reliability protocol (checksums, per-link
+//! sequence numbers, ACK/NACK retransmission, credit resync) masks what
+//! the injector breaks.
+//!
+//! The injector deliberately never touches link-layer *control* traffic
+//! (ACK/NACK/resync replies): those model the hardware's dedicated
+//! control-symbol channel, which real Telegraphos-class links protect far
+//! more heavily than data frames. Data frames and flow-control credits are
+//! fair game.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use tg_sim::{SimRng, SimTime};
+use tg_wire::trace::Site;
+use tg_wire::{NodeId, Packet};
+
+/// One directed link hop, named by its endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId {
+    /// Transmitting end.
+    pub from: Site,
+    /// Receiving end.
+    pub to: Site,
+}
+
+impl LinkId {
+    /// Directed link from `from` to `to`.
+    pub fn new(from: Site, to: Site) -> Self {
+        LinkId { from, to }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// A scheduled window during which a directed link delivers nothing:
+/// data frames and credits launched in `[from, until)` are lost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Outage {
+    /// The affected directed link.
+    pub link: LinkId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `SimTime::MAX` makes the outage permanent.
+    pub until: SimTime,
+}
+
+/// A window during which one HIB's receive pipeline wedges: arrived frames
+/// sit in the rx FIFO undrained (and no credits flow back) until the wedge
+/// releases.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Wedge {
+    /// The wedged workstation.
+    pub node: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// What can go wrong, and with what probability. Build with the chained
+/// setters; an all-zero plan injects nothing.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed of the injector's RNG stream.
+    pub seed: u64,
+    /// Per-hop probability that a data frame is dropped in flight.
+    pub drop_p: f64,
+    /// Per-hop probability that a data frame arrives corrupted.
+    pub corrupt_p: f64,
+    /// Per-return probability that a flow-control credit is lost.
+    pub credit_loss_p: f64,
+    /// Scheduled link outage windows.
+    pub outages: Vec<Outage>,
+    /// Optional one-shot HIB rx-FIFO wedge.
+    pub wedge: Option<Wedge>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing, with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            corrupt_p: 0.0,
+            credit_loss_p: 0.0,
+            outages: Vec::new(),
+            wedge: None,
+        }
+    }
+
+    /// Sets the per-hop frame drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the per-hop frame corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_p = p;
+        self
+    }
+
+    /// Sets the per-return credit loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn credit_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.credit_loss_p = p;
+        self
+    }
+
+    /// Adds an outage window `[from, until)` on the directed link.
+    pub fn outage(mut self, link: LinkId, from: SimTime, until: SimTime) -> Self {
+        self.outages.push(Outage { link, from, until });
+        self
+    }
+
+    /// Adds a permanent outage starting at `from` on the directed link.
+    pub fn permanent_outage(self, link: LinkId, from: SimTime) -> Self {
+        self.outage(link, from, SimTime::MAX)
+    }
+
+    /// Schedules the one-shot HIB rx-FIFO wedge on `node` over
+    /// `[from, until)`.
+    pub fn wedge(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.wedge = Some(Wedge { node, from, until });
+        self
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_zero(&self) -> bool {
+        self.drop_p == 0.0
+            && self.corrupt_p == 0.0
+            && self.credit_loss_p == 0.0
+            && self.outages.is_empty()
+            && self.wedge.is_none()
+    }
+}
+
+/// The fate the injector assigns to one launched data frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameFate {
+    /// Delivered intact.
+    Deliver,
+    /// Lost in flight: the arrival event is never scheduled.
+    Drop,
+    /// Delivered with a flipped checksum; the receiving link layer will
+    /// discard it and NACK.
+    Corrupt,
+}
+
+/// Running totals of what the injector has actually done.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultStats {
+    /// Data frames dropped by probability.
+    pub drops: u64,
+    /// Data frames corrupted.
+    pub corrupts: u64,
+    /// Data frames lost to an outage window.
+    pub outage_drops: u64,
+    /// Flow-control credits lost (probability or outage).
+    pub credits_lost: u64,
+}
+
+impl FaultStats {
+    /// Total data frames that never arrived intact.
+    pub fn frames_lost(&self) -> u64 {
+        self.drops + self.corrupts + self.outage_drops
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    plan: FaultPlan,
+    rng: SimRng,
+    stats: FaultStats,
+}
+
+/// The shared executor of a [`FaultPlan`]. Cloning shares the state (the
+/// simulation is single-threaded); every link hop in the fabric holds a
+/// clone and consults it in the engine's deterministic delivery order, so
+/// the RNG stream — and therefore the fault sequence — is identical on
+/// every run with the same seed.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    state: Rc<RefCell<InjectorState>>,
+}
+
+impl FaultInjector {
+    /// Creates an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::new(plan.seed);
+        FaultInjector {
+            state: Rc::new(RefCell::new(InjectorState {
+                plan,
+                rng,
+                stats: FaultStats::default(),
+            })),
+        }
+    }
+
+    /// True if an outage window covers `now` on the directed link.
+    pub fn outage_active(&self, link: LinkId, now: SimTime) -> bool {
+        let st = self.state.borrow();
+        st.plan
+            .outages
+            .iter()
+            .any(|o| o.link == link && o.from <= now && now < o.until)
+    }
+
+    /// Decides the fate of a data frame launched on `link` at `now`,
+    /// corrupting `packet` in place when the fate is
+    /// [`FrameFate::Corrupt`]. One injector-RNG consultation per hop.
+    pub fn frame_fate(&self, link: LinkId, now: SimTime, packet: &mut Packet) -> FrameFate {
+        let mut st = self.state.borrow_mut();
+        if st
+            .plan
+            .outages
+            .iter()
+            .any(|o| o.link == link && o.from <= now && now < o.until)
+        {
+            st.stats.outage_drops += 1;
+            return FrameFate::Drop;
+        }
+        let drop_p = st.plan.drop_p;
+        if drop_p > 0.0 && st.rng.chance(drop_p) {
+            st.stats.drops += 1;
+            return FrameFate::Drop;
+        }
+        let corrupt_p = st.plan.corrupt_p;
+        if corrupt_p > 0.0 && st.rng.chance(corrupt_p) {
+            st.stats.corrupts += 1;
+            // Flip a bit of the wire checksum: detectable, recoverable.
+            packet.checksum ^= 0x8000_0001;
+            return FrameFate::Corrupt;
+        }
+        FrameFate::Deliver
+    }
+
+    /// Decides whether a flow-control credit returned on `link` at `now`
+    /// is lost.
+    pub fn credit_lost(&self, link: LinkId, now: SimTime) -> bool {
+        let mut st = self.state.borrow_mut();
+        if st
+            .plan
+            .outages
+            .iter()
+            .any(|o| o.link == link && o.from <= now && now < o.until)
+        {
+            st.stats.credits_lost += 1;
+            return true;
+        }
+        let p = st.plan.credit_loss_p;
+        if p > 0.0 && st.rng.chance(p) {
+            st.stats.credits_lost += 1;
+            return true;
+        }
+        false
+    }
+
+    /// If `node`'s rx pipeline is wedged at `now`, returns when the wedge
+    /// releases.
+    pub fn wedged_until(&self, node: NodeId, now: SimTime) -> Option<SimTime> {
+        let st = self.state.borrow();
+        st.plan
+            .wedge
+            .filter(|w| w.node == node && w.from <= now && now < w.until)
+            .map(|w| w.until)
+    }
+
+    /// Running fault totals.
+    pub fn stats(&self) -> FaultStats {
+        self.state.borrow().stats
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> FaultPlan {
+        self.state.borrow().plan.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_wire::WireMsg;
+
+    fn pkt() -> Packet {
+        let mut p = Packet::new(NodeId::new(0), NodeId::new(1), WireMsg::WriteAck, 0);
+        p.link_seq = 1;
+        p.seal();
+        p
+    }
+
+    fn link() -> LinkId {
+        LinkId::new(Site::Node(NodeId::new(0)), Site::Switch(0))
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::new(1));
+        let mut p = pkt();
+        for _ in 0..1000 {
+            assert_eq!(
+                inj.frame_fate(link(), SimTime::from_ns(5), &mut p),
+                FrameFate::Deliver
+            );
+            assert!(!inj.credit_lost(link(), SimTime::from_ns(5)));
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+        assert!(inj.plan().is_zero());
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let fates = |seed| {
+            let inj = FaultInjector::new(FaultPlan::new(seed).drop(0.3).corrupt(0.2));
+            (0..200)
+                .map(|i| {
+                    let mut p = pkt();
+                    inj.frame_fate(link(), SimTime::from_ns(i), &mut p)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(42), fates(42));
+        assert_ne!(fates(42), fates(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn corruption_breaks_the_checksum() {
+        let inj = FaultInjector::new(FaultPlan::new(7).corrupt(1.0));
+        let mut p = pkt();
+        assert!(p.checksum_ok());
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::ZERO, &mut p),
+            FrameFate::Corrupt
+        );
+        assert!(!p.checksum_ok());
+        assert_eq!(inj.stats().corrupts, 1);
+    }
+
+    #[test]
+    fn outage_window_drops_everything_inside_it() {
+        let inj = FaultInjector::new(FaultPlan::new(7).outage(
+            link(),
+            SimTime::from_ns(100),
+            SimTime::from_ns(200),
+        ));
+        let mut p = pkt();
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::from_ns(99), &mut p),
+            FrameFate::Deliver
+        );
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::from_ns(100), &mut p),
+            FrameFate::Drop
+        );
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::from_ns(199), &mut p),
+            FrameFate::Drop
+        );
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::from_ns(200), &mut p),
+            FrameFate::Deliver
+        );
+        // The other direction is unaffected.
+        let back = LinkId::new(link().to, link().from);
+        assert_eq!(
+            inj.frame_fate(back, SimTime::from_ns(150), &mut p),
+            FrameFate::Deliver
+        );
+        assert!(inj.credit_lost(link(), SimTime::from_ns(150)));
+        assert_eq!(inj.stats().outage_drops, 2);
+    }
+
+    #[test]
+    fn wedge_reports_release_time() {
+        let n = NodeId::new(3);
+        let inj = FaultInjector::new(FaultPlan::new(1).wedge(
+            n,
+            SimTime::from_us(1),
+            SimTime::from_us(2),
+        ));
+        assert_eq!(inj.wedged_until(n, SimTime::from_ns(900)), None);
+        assert_eq!(
+            inj.wedged_until(n, SimTime::from_us(1)),
+            Some(SimTime::from_us(2))
+        );
+        assert_eq!(inj.wedged_until(NodeId::new(4), SimTime::from_us(1)), None);
+        assert_eq!(inj.wedged_until(n, SimTime::from_us(2)), None);
+    }
+}

@@ -54,6 +54,8 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod fault;
+mod link;
 mod port;
 mod route;
 mod switch;
@@ -61,13 +63,16 @@ pub mod testing;
 mod topology;
 
 pub use event::{NetEvent, NetMessage};
-pub use port::{RxFifo, TxPort, TxTimes};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, FrameFate, LinkId, Outage, Wedge};
+pub use link::{CreditLedger, LinkError, LinkRx, RelParams, RxVerdict, StalledLink};
+pub use port::{RxFifo, TimerAction, TxPort, TxTimes};
 pub use route::{RouteError, Routes};
 pub use switch::{Switch, SwitchStats};
 pub use topology::{Topology, TopologyError, Vertex};
 
 use tg_sim::{CompId, Engine};
-use tg_wire::TimingConfig;
+use tg_wire::trace::Site;
+use tg_wire::{NodeId, TimingConfig};
 
 /// What the network builder hands back for each endpoint: the endpoint's
 /// transmit port (with credits toward its switch) and the receive wiring it
@@ -95,6 +100,25 @@ pub struct NetworkHandles {
     pub switches: Vec<CompId>,
 }
 
+/// Optional fabric behaviors threaded through [`build_network_with`]:
+/// link-level reliability and fault injection.
+#[derive(Clone, Debug, Default)]
+pub struct NetConfig {
+    /// When `Some`, every link in the fabric (switch ports *and* endpoint
+    /// transmit ports) runs the link-level reliability protocol.
+    pub reliability: Option<RelParams>,
+    /// When `Some`, every frame launch and credit return consults this
+    /// injector.
+    pub injector: Option<FaultInjector>,
+}
+
+fn site_of(v: Vertex) -> Site {
+    match v {
+        Vertex::Switch(s) => Site::Switch(s),
+        Vertex::Node(n) => Site::Node(NodeId::new(n)),
+    }
+}
+
 /// Instantiates switches for `topology` inside `engine` and wires them to
 /// the given endpoint components (one per topology endpoint, in order).
 ///
@@ -114,6 +138,27 @@ pub fn build_network<M: NetMessage>(
     timing: &TimingConfig,
     endpoints: &[CompId],
 ) -> Result<NetworkHandles, RouteError> {
+    build_network_with(engine, topology, timing, endpoints, &NetConfig::default())
+}
+
+/// [`build_network`] with explicit fabric options: reliability protocol
+/// parameters and a fault injector. Every transmit port is labeled with its
+/// directed [`LinkId`] so the injector and diagnostics can name links.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if the topology is disconnected.
+///
+/// # Panics
+///
+/// Panics if `endpoints.len()` differs from the topology's endpoint count.
+pub fn build_network_with<M: NetMessage>(
+    engine: &mut Engine<M>,
+    topology: &Topology,
+    timing: &TimingConfig,
+    endpoints: &[CompId],
+    config: &NetConfig,
+) -> Result<NetworkHandles, RouteError> {
     assert_eq!(
         endpoints.len(),
         topology.endpoint_count(),
@@ -132,6 +177,13 @@ pub fn build_network<M: NetMessage>(
             timing.clone(),
         );
         sw.set_fifo_capacity(topology.fifo_capacity(v));
+        sw.set_site(s as u16);
+        if let Some(params) = config.reliability {
+            sw.set_reliability(params);
+        }
+        if let Some(injector) = &config.injector {
+            sw.set_injector(injector.clone());
+        }
         switch_ids.push(engine.add(sw));
     }
     let comp_of = |v: Vertex| -> CompId {
@@ -145,7 +197,8 @@ pub fn build_network<M: NetMessage>(
     for (s, &switch_id) in switch_ids.iter().enumerate() {
         let v = Vertex::Switch(s as u16);
         for (port, &(nbr, nbr_port)) in topology.ports_of(v).iter().enumerate() {
-            let tx = TxPort::new(comp_of(nbr), nbr_port, topology.fifo_capacity(nbr));
+            let mut tx = TxPort::new(comp_of(nbr), nbr_port, topology.fifo_capacity(nbr));
+            tx.set_link(LinkId::new(site_of(v), site_of(nbr)));
             engine
                 .get_mut::<Switch>(switch_id)
                 .expect("switch component")
@@ -160,8 +213,13 @@ pub fn build_network<M: NetMessage>(
         let ports = topology.ports_of(v);
         assert_eq!(ports.len(), 1, "endpoints have exactly one network port");
         let (nbr, nbr_port) = ports[0];
+        let mut tx = TxPort::new(comp_of(nbr), nbr_port, topology.fifo_capacity(nbr));
+        tx.set_link(LinkId::new(site_of(v), site_of(nbr)));
+        if let Some(params) = config.reliability {
+            tx.enable_reliability(params);
+        }
         wirings.push(EndpointWiring {
-            tx: TxPort::new(comp_of(nbr), nbr_port, topology.fifo_capacity(nbr)),
+            tx,
             rx_capacity: topology.fifo_capacity(v),
             rx_upstream: (comp_of(nbr), nbr_port),
         });

@@ -1,0 +1,358 @@
+//! Link-level reliability: receive-side verification state and the shared
+//! protocol vocabulary.
+//!
+//! Telegraphos-class fabrics earn their "lossless, in-order" contract with
+//! link-level error detection and retransmission (APEnet+ puts CRC +
+//! retransmit directly on its torus links). This module models that layer:
+//! every frame carries a per-link sequence number and a checksum
+//! ([`Packet::seal`]); the receiving end of each link runs a [`LinkRx`]
+//! that accepts exactly the next in-order intact frame and answers
+//! everything else with a cumulative ACK or a go-back-N NACK. The
+//! transmit-side state machine (retransmit buffer, timers, backoff, credit
+//! resync) lives in [`TxPort`](crate::TxPort).
+//!
+//! [`Packet::seal`]: tg_wire::Packet::seal
+
+use std::fmt;
+
+use tg_sim::SimTime;
+use tg_wire::Packet;
+
+use crate::fault::LinkId;
+
+/// A neighbor-originated protocol violation, reported instead of panicking:
+/// a misbehaving (or fault-injected) peer must degrade the link, not wedge
+/// the whole cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkError {
+    /// A credit was returned beyond the initial allowance.
+    DuplicateCredit {
+        /// The allowance that would have been exceeded.
+        allowance: u32,
+    },
+    /// A frame arrived at a full input FIFO (credit protocol violated).
+    FifoOverflow {
+        /// The FIFO capacity that was exceeded.
+        capacity: u32,
+    },
+    /// The retransmit budget for a frame was exhausted; the link is dead.
+    RetryExhausted {
+        /// Retries attempted before giving up.
+        retries: u32,
+        /// Frames stranded in the retransmit buffer.
+        stranded: usize,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateCredit { allowance } => {
+                write!(
+                    f,
+                    "credit return exceeds the initial allowance of {allowance}"
+                )
+            }
+            LinkError::FifoOverflow { capacity } => {
+                write!(f, "input FIFO overflow: capacity {capacity} exceeded")
+            }
+            LinkError::RetryExhausted { retries, stranded } => {
+                write!(
+                    f,
+                    "link dead: retransmit budget exhausted after {retries} retries \
+                     ({stranded} frames stranded)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Tuning of the link-level reliability protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RelParams {
+    /// Base retransmission timeout for the oldest unacknowledged frame.
+    /// Must comfortably exceed the link round-trip (serialization +
+    /// propagation + ACK return), or every frame retransmits spuriously.
+    pub retx_timeout: SimTime,
+    /// Per-frame retransmission budget; exhausting it declares the link
+    /// dead ([`LinkError::RetryExhausted`]).
+    pub max_retries: u32,
+    /// Cap on the exponential backoff multiplier applied to
+    /// `retx_timeout` across consecutive timeouts of the same frame.
+    pub backoff_cap: u32,
+    /// How long a port may sit credit-starved with traffic pending (and an
+    /// empty retransmit buffer) before probing its neighbor with a
+    /// credit-resync handshake.
+    pub resync_timeout: SimTime,
+}
+
+impl Default for RelParams {
+    fn default() -> Self {
+        RelParams {
+            retx_timeout: SimTime::from_us(10),
+            max_retries: 16,
+            backoff_cap: 8,
+            resync_timeout: SimTime::from_us(40),
+        }
+    }
+}
+
+/// What the receiving link layer decided about one arrived frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RxVerdict {
+    /// In-order, intact: deliver to the input FIFO and send the cumulative
+    /// ACK for `ack`.
+    Accept {
+        /// Sequence number to acknowledge (the frame's own).
+        ack: u64,
+    },
+    /// A duplicate of an already-accepted frame (a spurious retransmit):
+    /// discard and re-send the cumulative ACK for `ack` so the sender's
+    /// buffer drains.
+    DupAck {
+        /// Highest accepted sequence number.
+        ack: u64,
+    },
+    /// Corrupt frame: discard and NACK asking for retransmission from
+    /// `expected`.
+    NackCorrupt {
+        /// The sequence number expected next.
+        expected: u64,
+    },
+    /// Sequence gap (an earlier frame was lost in flight): discard and
+    /// NACK asking for go-back-N retransmission from `expected`.
+    NackGap {
+        /// The sequence number expected next.
+        expected: u64,
+    },
+    /// Sequence gap already NACKed: discard silently (suppresses NACK
+    /// storms while a burst of in-flight frames drains).
+    Discard,
+}
+
+/// Receive-side link-layer state for one input port: in-order sequence
+/// verification, checksum checking, NACK suppression, and the drain
+/// counter the credit-resync handshake reports.
+#[derive(Clone, Debug)]
+pub struct LinkRx {
+    /// Next in-order sequence number (frames are stamped from 1).
+    expected: u64,
+    /// The gap we most recently NACKed; suppresses repeat NACKs for the
+    /// same expected frame while in-flight traffic drains.
+    nacked_for: Option<u64>,
+    /// Total frames drained from the input FIFO on this link (monotone;
+    /// reported by the credit-resync handshake).
+    drained: u64,
+    /// Frames discarded as corrupt.
+    corrupt: u64,
+    /// Frames discarded as duplicates.
+    dups: u64,
+    /// Frames discarded for a sequence gap.
+    gaps: u64,
+}
+
+impl LinkRx {
+    /// Fresh state: expecting sequence 1.
+    pub fn new() -> Self {
+        LinkRx {
+            expected: 1,
+            nacked_for: None,
+            drained: 0,
+            corrupt: 0,
+            dups: 0,
+            gaps: 0,
+        }
+    }
+
+    /// Judges one arrived frame.
+    pub fn accept(&mut self, packet: &Packet) -> RxVerdict {
+        if !packet.checksum_ok() {
+            self.corrupt += 1;
+            // A corrupt frame's sequence number is untrustworthy; always
+            // ask for retransmission from the expected frame.
+            self.nacked_for = Some(self.expected);
+            return RxVerdict::NackCorrupt {
+                expected: self.expected,
+            };
+        }
+        if packet.link_seq == self.expected {
+            self.expected += 1;
+            self.nacked_for = None;
+            RxVerdict::Accept {
+                ack: packet.link_seq,
+            }
+        } else if packet.link_seq < self.expected {
+            self.dups += 1;
+            RxVerdict::DupAck {
+                ack: self.expected - 1,
+            }
+        } else {
+            self.gaps += 1;
+            if self.nacked_for == Some(self.expected) {
+                RxVerdict::Discard
+            } else {
+                self.nacked_for = Some(self.expected);
+                RxVerdict::NackGap {
+                    expected: self.expected,
+                }
+            }
+        }
+    }
+
+    /// Records one frame drained from the input FIFO (its credit is being
+    /// returned upstream).
+    pub fn on_drain(&mut self) {
+        self.drained += 1;
+    }
+
+    /// Total frames drained on this link.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Frames discarded as corrupt so far.
+    pub fn corrupt_discards(&self) -> u64 {
+        self.corrupt
+    }
+
+    /// Frames discarded as duplicates or gaps so far.
+    pub fn seq_discards(&self) -> u64 {
+        self.dups + self.gaps
+    }
+}
+
+impl Default for LinkRx {
+    fn default() -> Self {
+        LinkRx::new()
+    }
+}
+
+/// Credit bookkeeping of one transmit port, for quiescence-time
+/// conservation checks: once all FIFOs have drained, every credit is
+/// either in hand or riding an unacknowledged frame, so
+/// `credits + unacked == allowance` must hold. A shortfall means a credit
+/// leaked (lost in flight and never resynced); an excess means a duplicate
+/// credit was minted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CreditLedger {
+    /// The directed link this transmit port feeds.
+    pub link: LinkId,
+    /// Credits currently in hand.
+    pub credits: u32,
+    /// Frames awaiting acknowledgement (each holds one credit).
+    pub unacked: usize,
+    /// The initial credit allowance.
+    pub allowance: u32,
+}
+
+impl CreditLedger {
+    /// True when every credit is accounted for.
+    pub fn balanced(&self) -> bool {
+        u64::from(self.credits) + self.unacked as u64 == u64::from(self.allowance)
+    }
+}
+
+impl fmt::Display for CreditLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} in hand + {} unacked != allowance {}",
+            self.link, self.credits, self.unacked, self.allowance
+        )
+    }
+}
+
+/// A structured no-progress diagnosis: which link or queue is holding the
+/// fabric, assembled by the cluster when the engine watchdog trips.
+#[derive(Clone, Debug)]
+pub struct StalledLink {
+    /// The stalled directed link.
+    pub link: LinkId,
+    /// Whether the link has been declared dead (retry budget exhausted).
+    pub dead: bool,
+    /// Frames stranded in the retransmit buffer.
+    pub stranded: usize,
+    /// Credits in hand at the transmit port.
+    pub credits: u32,
+    /// Retransmissions attempted on this link.
+    pub retransmits: u64,
+}
+
+impl fmt::Display for StalledLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}, {} stranded, {} credits, {} retransmits",
+            self.link,
+            if self.dead { "DEAD" } else { "stalled" },
+            self.stranded,
+            self.credits,
+            self.retransmits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_wire::{NodeId, WireMsg};
+
+    fn frame(seq: u64) -> Packet {
+        let mut p = Packet::new(NodeId::new(0), NodeId::new(1), WireMsg::WriteAck, seq);
+        p.link_seq = seq;
+        p.seal();
+        p
+    }
+
+    #[test]
+    fn in_order_frames_are_accepted_and_acked() {
+        let mut rx = LinkRx::new();
+        for seq in 1..=5 {
+            assert_eq!(rx.accept(&frame(seq)), RxVerdict::Accept { ack: seq });
+        }
+        assert_eq!(rx.seq_discards(), 0);
+    }
+
+    #[test]
+    fn gap_nacks_once_then_discards_silently() {
+        let mut rx = LinkRx::new();
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        // Frame 2 was lost; 3, 4, 5 arrive.
+        assert_eq!(rx.accept(&frame(3)), RxVerdict::NackGap { expected: 2 });
+        assert_eq!(rx.accept(&frame(4)), RxVerdict::Discard);
+        assert_eq!(rx.accept(&frame(5)), RxVerdict::Discard);
+        // The go-back-N retransmission arrives in order.
+        assert_eq!(rx.accept(&frame(2)), RxVerdict::Accept { ack: 2 });
+        assert_eq!(rx.accept(&frame(3)), RxVerdict::Accept { ack: 3 });
+    }
+
+    #[test]
+    fn duplicates_are_reacked_cumulatively() {
+        let mut rx = LinkRx::new();
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        assert_eq!(rx.accept(&frame(2)), RxVerdict::Accept { ack: 2 });
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::DupAck { ack: 2 });
+        assert_eq!(rx.seq_discards(), 1);
+    }
+
+    #[test]
+    fn corrupt_frames_are_nacked() {
+        let mut rx = LinkRx::new();
+        let mut bad = frame(1);
+        bad.checksum ^= 0x10;
+        assert_eq!(rx.accept(&bad), RxVerdict::NackCorrupt { expected: 1 });
+        assert_eq!(rx.corrupt_discards(), 1);
+        // The clean retransmission is accepted.
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+    }
+
+    #[test]
+    fn drain_counter_is_monotone() {
+        let mut rx = LinkRx::new();
+        rx.on_drain();
+        rx.on_drain();
+        assert_eq!(rx.drained(), 2);
+    }
+}

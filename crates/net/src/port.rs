@@ -2,12 +2,20 @@
 //!
 //! Both the switches in this crate and the Host Interface Board in `tg-hib`
 //! drive one link end; the flow-control bookkeeping is identical, so it
-//! lives here.
+//! lives here. With [`TxPort::enable_reliability`] the transmit port also
+//! runs the sender half of the link-level reliability protocol: frames are
+//! stamped with per-link sequence numbers, buffered until cumulatively
+//! acknowledged, retransmitted go-back-N on NACK or timeout with bounded
+//! exponential backoff, and the port can resynchronize its credit count
+//! with the receiver when credits were lost in flight.
 
 use std::collections::VecDeque;
 
 use tg_sim::{CompId, SimTime};
 use tg_wire::{Packet, TimingConfig};
+
+use crate::fault::LinkId;
+use crate::link::{LinkError, RelParams};
 
 /// Delays produced by launching a packet on a [`TxPort`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,6 +26,73 @@ pub struct TxTimes {
     /// When this output port becomes free again (serialization done),
     /// relative to launch.
     pub free: SimTime,
+}
+
+/// What the owner of a reliable [`TxPort`] must do after a timer or NACK
+/// event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TimerAction {
+    /// Stale or superseded event; nothing to do.
+    Stale,
+    /// Timer fired with nothing pending; nothing to do.
+    Idle,
+    /// Go-back-N retransmission requested: pump the port, draining
+    /// [`TxPort::take_retx`] as the wire frees up.
+    Retransmit,
+    /// Credit-starved with an empty retransmit buffer: send a
+    /// `CreditSyncReq` carrying this token to the neighbor.
+    Resync {
+        /// Handshake token the reply must echo.
+        token: u64,
+    },
+    /// The retransmit budget is exhausted; the link is now dead.
+    Dead(LinkError),
+}
+
+/// Which condition armed the pending recovery timer (a retransmit window
+/// and a credit-resync probe have very different timeouts, so a timer
+/// armed for one must not act for the other).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ArmKind {
+    Retx,
+    Resync,
+}
+
+/// Sender half of the link-level reliability protocol (see
+/// [`crate::link`]). Boxed inside [`TxPort`] so the unreliable fast path
+/// stays untouched.
+#[derive(Clone, Debug)]
+struct RelTx {
+    params: RelParams,
+    /// Link sequence number the next fresh frame is stamped with.
+    next_seq: u64,
+    /// Lowest unacknowledged sequence number (`base - 1` frames have been
+    /// delivered and acknowledged).
+    base: u64,
+    /// Unacknowledged frames, in sequence order, kept for retransmission.
+    buf: VecDeque<Packet>,
+    /// Index into `buf` of the next frame to (re)send; `cursor ==
+    /// buf.len()` means all buffered frames are on the wire.
+    cursor: usize,
+    /// Consecutive recovery attempts for the current base frame.
+    attempts: u32,
+    /// Current backoff multiplier on `params.retx_timeout`.
+    backoff: u32,
+    /// Generation counter distinguishing live timers from stale ones.
+    timer_gen: u64,
+    timer_armed: bool,
+    armed_kind: ArmKind,
+    /// Absolute due time of the armed recovery timer. Acknowledgement
+    /// progress *slides* this forward instead of cancelling and re-arming
+    /// the timer event (one pending event per recovery window, not one
+    /// per ack): an early-firing timer sees `now < deadline` and is
+    /// simply re-armed for the remainder.
+    deadline: SimTime,
+    dead: bool,
+    retransmits: u64,
+    resync_token: u64,
+    resync_outstanding: Option<u64>,
+    resyncs: u64,
 }
 
 /// One credited transmit port: the sending end of a unidirectional link.
@@ -43,6 +118,9 @@ pub struct TxPort {
     /// Accumulated simulated time spent with traffic pending but zero
     /// credits in hand (back-pressure from the downstream FIFO).
     credit_stall: SimTime,
+    /// The directed link this port drives, for fault lookup and reporting.
+    link: Option<LinkId>,
+    rel: Option<Box<RelTx>>,
 }
 
 impl TxPort {
@@ -57,6 +135,8 @@ impl TxPort {
             busy: false,
             stall_since: None,
             credit_stall: SimTime::ZERO,
+            link: None,
+            rel: None,
         }
     }
 
@@ -75,9 +155,130 @@ impl TxPort {
         self.credits
     }
 
+    /// The initial credit allowance.
+    pub fn allowance(&self) -> u32 {
+        self.allowance
+    }
+
+    /// Labels the directed link this port drives (for fault-plan lookup and
+    /// diagnostics).
+    pub fn set_link(&mut self, link: LinkId) {
+        self.link = Some(link);
+    }
+
+    /// The directed link this port drives, if labeled.
+    pub fn link(&self) -> Option<LinkId> {
+        self.link
+    }
+
+    /// Turns on the sender half of the link-level reliability protocol.
+    pub fn enable_reliability(&mut self, params: RelParams) {
+        self.rel = Some(Box::new(RelTx {
+            params,
+            next_seq: 1,
+            base: 1,
+            buf: VecDeque::new(),
+            cursor: 0,
+            attempts: 0,
+            backoff: 1,
+            timer_gen: 0,
+            timer_armed: false,
+            armed_kind: ArmKind::Retx,
+            deadline: SimTime::ZERO,
+            dead: false,
+            retransmits: 0,
+            resync_token: 0,
+            resync_outstanding: None,
+            resyncs: 0,
+        }));
+    }
+
+    /// True when the reliability protocol is active on this port.
+    pub fn is_reliable(&self) -> bool {
+        self.rel.is_some()
+    }
+
     /// True when a packet may be launched now.
     pub fn ready(&self) -> bool {
         !self.busy && self.credits > 0
+    }
+
+    /// True when the wire is idle (retransmissions need only this, not a
+    /// credit).
+    pub fn wire_free(&self) -> bool {
+        !self.busy
+    }
+
+    /// True while a credit-stall window is open (traffic pending, zero
+    /// credits in hand).
+    pub fn is_credit_stalled(&self) -> bool {
+        self.stall_since.is_some()
+    }
+
+    /// True when a *fresh* frame may be launched now: the port is
+    /// [`ready`](TxPort::ready) and (if reliable) not dead, with no
+    /// retransmission in progress — go-back-N recovery outranks new
+    /// traffic.
+    pub fn can_send_new(&self) -> bool {
+        self.ready()
+            && match &self.rel {
+                None => true,
+                Some(r) => !r.dead && r.cursor == r.buf.len(),
+            }
+    }
+
+    /// Stamps the next link sequence number on `packet`, seals its
+    /// checksum, and retains a copy for retransmission. Call immediately
+    /// before [`launch`](TxPort::launch) when reliability is on. The
+    /// first frame into an empty buffer starts a fresh recovery deadline
+    /// from `now` (a timer event still pending from an earlier window
+    /// must not time this frame out early).
+    ///
+    /// # Panics
+    ///
+    /// Panics if reliability is not enabled or a retransmission is in
+    /// progress (callers gate on [`can_send_new`](TxPort::can_send_new)).
+    pub fn frame(&mut self, mut packet: Packet, now: SimTime) -> Packet {
+        let rel = self.rel.as_mut().expect("frame() requires reliability");
+        assert!(
+            !rel.dead && rel.cursor == rel.buf.len(),
+            "frame() while retransmitting or dead"
+        );
+        packet.link_seq = rel.next_seq;
+        rel.next_seq += 1;
+        packet.seal();
+        if rel.buf.is_empty() {
+            rel.deadline = now + rel.params.retx_timeout;
+            // A pending slow resync probe must not stand in for this
+            // frame's (much shorter) retransmit window: invalidate it and
+            // let the pump re-arm a retransmit timer.
+            if rel.timer_armed && rel.armed_kind == ArmKind::Resync {
+                rel.timer_gen += 1;
+                rel.timer_armed = false;
+            }
+        }
+        rel.buf.push_back(packet.clone());
+        rel.cursor = rel.buf.len();
+        packet
+    }
+
+    /// True when buffered frames await (re)transmission.
+    pub fn has_retx_pending(&self) -> bool {
+        self.rel
+            .as_ref()
+            .is_some_and(|r| !r.dead && r.cursor < r.buf.len())
+    }
+
+    /// Takes the next frame to retransmit, advancing the resend cursor.
+    pub fn take_retx(&mut self) -> Option<Packet> {
+        let rel = self.rel.as_mut()?;
+        if rel.dead || rel.cursor >= rel.buf.len() {
+            return None;
+        }
+        let p = rel.buf[rel.cursor].clone();
+        rel.cursor += 1;
+        rel.retransmits += 1;
+        Some(p)
     }
 
     /// Consumes a credit and occupies the wire for `packet`.
@@ -97,33 +298,58 @@ impl TxPort {
         }
     }
 
-    /// Records a returned credit.
+    /// Occupies the wire for a retransmitted frame *without* consuming a
+    /// credit: the original launch already reserved the receiver's FIFO
+    /// slot, and that reservation survives the loss of the copy in flight.
     ///
     /// # Panics
     ///
-    /// Panics if credits would exceed the initial allowance: a duplicated
-    /// credit should fail here, at the source, rather than as a distant
-    /// "input FIFO overflow" panic downstream.
-    pub fn on_credit(&mut self) {
-        assert!(
-            self.credits < self.allowance,
-            "credit return exceeds the initial allowance of {}",
-            self.allowance
-        );
+    /// Panics if the wire is busy.
+    pub fn relaunch(&mut self, packet: &Packet, timing: &TimingConfig) -> TxTimes {
+        assert!(!self.busy, "relaunch on a busy wire");
+        self.busy = true;
+        let ser = timing.serialize(packet.size_bytes());
+        TxTimes {
+            arrival: ser + timing.link_prop,
+            free: ser,
+        }
+    }
+
+    /// Records a returned credit.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::DuplicateCredit`] if credits would exceed the initial
+    /// allowance: a duplicated credit is a neighbor-originated protocol
+    /// violation and must degrade the link, not wedge the cluster.
+    pub fn on_credit(&mut self) -> Result<(), LinkError> {
+        if self.credits >= self.allowance {
+            return Err(LinkError::DuplicateCredit {
+                allowance: self.allowance,
+            });
+        }
         self.credits += 1;
+        Ok(())
     }
 
     /// Records a returned credit at simulated time `now`, closing any open
     /// credit-stall window (see [`TxPort::note_blocked`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics like [`TxPort::on_credit`] on a duplicated credit.
-    pub fn on_credit_at(&mut self, now: SimTime) {
+    /// Like [`TxPort::on_credit`] on a duplicated credit (the stall window
+    /// stays open: no usable credit arrived).
+    pub fn on_credit_at(&mut self, now: SimTime) -> Result<(), LinkError> {
+        if self.credits >= self.allowance {
+            return Err(LinkError::DuplicateCredit {
+                allowance: self.allowance,
+            });
+        }
         if let Some(since) = self.stall_since.take() {
             self.credit_stall += now.saturating_sub(since);
         }
-        self.on_credit();
+        self.credits += 1;
+        Ok(())
     }
 
     /// Notes that the owner had traffic for this port at `now` but could
@@ -145,6 +371,210 @@ impl TxPort {
     /// Marks serialization finished (the scheduled `free` delay elapsed).
     pub fn on_free(&mut self) {
         self.busy = false;
+    }
+
+    /// Applies a cumulative acknowledgement through `seq` at simulated
+    /// time `now`, dropping acknowledged frames from the retransmit
+    /// buffer. Progress resets the retry counter and backoff and slides
+    /// the recovery deadline forward — the timer pending for the previous
+    /// oldest frame must not fire against a newer one that has not had
+    /// its full timeout yet. The armed timer event is *kept* (it re-arms
+    /// itself for the remainder when it fires early), so a steady ack
+    /// stream costs no timer churn.
+    pub fn on_ack(&mut self, seq: u64, now: SimTime) {
+        let Some(rel) = self.rel.as_mut() else {
+            return;
+        };
+        let mut progressed = false;
+        while rel.base <= seq && rel.buf.pop_front().is_some() {
+            rel.base += 1;
+            rel.cursor = rel.cursor.saturating_sub(1);
+            progressed = true;
+        }
+        if progressed {
+            rel.attempts = 0;
+            rel.backoff = 1;
+            if rel.buf.is_empty() {
+                // Nothing left in flight: the next frame starts a fresh
+                // full timeout from its own launch.
+                rel.deadline = SimTime::ZERO;
+            } else {
+                rel.deadline = now + rel.params.retx_timeout;
+            }
+        }
+    }
+
+    /// Applies a NACK asking for go-back-N retransmission from `expected`.
+    /// Frames below `expected` are cumulatively acknowledged first.
+    pub fn on_nack(&mut self, expected: u64, now: SimTime) -> TimerAction {
+        self.on_ack(expected.saturating_sub(1), now);
+        let Some(rel) = self.rel.as_mut() else {
+            return TimerAction::Idle;
+        };
+        if rel.dead || rel.buf.is_empty() || expected < rel.base {
+            return TimerAction::Stale;
+        }
+        if rel.cursor < rel.buf.len() {
+            // Already resending; the in-progress sweep (or the timer)
+            // covers this request.
+            return TimerAction::Stale;
+        }
+        rel.attempts += 1;
+        if rel.attempts > rel.params.max_retries {
+            rel.dead = true;
+            return TimerAction::Dead(LinkError::RetryExhausted {
+                retries: rel.attempts - 1,
+                stranded: rel.buf.len(),
+            });
+        }
+        rel.cursor = 0;
+        TimerAction::Retransmit
+    }
+
+    /// Arms the recovery timer if one is needed and none is armed: returns
+    /// the delay to self-schedule a `RetxTimer` event and the generation to
+    /// carry in it. A timer is needed while unacknowledged frames exist
+    /// (retransmit timeout, scaled by the current backoff) or while any
+    /// credits of the allowance are missing (credit-resync probe: a credit
+    /// lost in flight would otherwise shrink this link's capacity forever
+    /// when traffic is too light to ever fully starve the port — the probe
+    /// simply finds all credits home and goes back to sleep in the common
+    /// case). When the recovery deadline was slid forward by ack progress
+    /// (see [`on_ack`](TxPort::on_ack)), the timer re-arms for the
+    /// remainder rather than a full fresh timeout.
+    pub fn poll_timer(&mut self, now: SimTime) -> Option<(SimTime, u64)> {
+        let credits = self.credits;
+        let allowance = self.allowance;
+        let rel = self.rel.as_mut()?;
+        if rel.dead || rel.timer_armed {
+            return None;
+        }
+        let (full, kind) = if !rel.buf.is_empty() {
+            (
+                rel.params.retx_timeout * u64::from(rel.backoff),
+                ArmKind::Retx,
+            )
+        } else if credits < allowance && rel.resync_outstanding.is_none() {
+            (rel.params.resync_timeout, ArmKind::Resync)
+        } else {
+            return None;
+        };
+        rel.armed_kind = kind;
+        let delay = if rel.deadline > now {
+            rel.deadline.saturating_sub(now)
+        } else {
+            full
+        };
+        rel.deadline = now + delay;
+        rel.timer_armed = true;
+        rel.timer_gen += 1;
+        Some((delay, rel.timer_gen))
+    }
+
+    /// Handles a fired recovery timer of generation `gen` at simulated
+    /// time `now`. A timer that fires before the (slid) deadline is
+    /// reported `Stale`; the caller's pump re-arms it for the remainder.
+    pub fn on_timer(&mut self, gen: u64, now: SimTime) -> TimerAction {
+        let credits = self.credits;
+        let allowance = self.allowance;
+        let Some(rel) = self.rel.as_mut() else {
+            return TimerAction::Stale;
+        };
+        if gen != rel.timer_gen || !rel.timer_armed {
+            return TimerAction::Stale;
+        }
+        rel.timer_armed = false;
+        if rel.dead {
+            return TimerAction::Stale;
+        }
+        if now < rel.deadline {
+            return TimerAction::Stale;
+        }
+        if !rel.buf.is_empty() {
+            rel.attempts += 1;
+            if rel.attempts > rel.params.max_retries {
+                rel.dead = true;
+                return TimerAction::Dead(LinkError::RetryExhausted {
+                    retries: rel.attempts - 1,
+                    stranded: rel.buf.len(),
+                });
+            }
+            rel.backoff = (rel.backoff * 2).min(rel.params.backoff_cap);
+            rel.cursor = 0;
+            TimerAction::Retransmit
+        } else if rel.armed_kind == ArmKind::Resync
+            && credits < allowance
+            && rel.resync_outstanding.is_none()
+        {
+            rel.resync_token += 1;
+            rel.resync_outstanding = Some(rel.resync_token);
+            TimerAction::Resync {
+                token: rel.resync_token,
+            }
+        } else {
+            // A retransmit-armed timer with nothing left to resend: any
+            // missing credits get a *fresh* probe timer from the caller's
+            // pump, with the full (slower) resync timeout.
+            TimerAction::Idle
+        }
+    }
+
+    /// Applies a credit-resync reply: the receiver has drained `drained`
+    /// frames total on this link. Every credit of the allowance is in one
+    /// of three places — in hand, riding an unacknowledged frame (the
+    /// retransmit buffer), or reserved by an acknowledged frame still in
+    /// the receiver's FIFO (`acked - drained`) — so the in-hand count is
+    /// set absolutely from the other two. Frames may have been launched
+    /// after the probe went out (a stray credit arrived meanwhile); they
+    /// sit in the buffer and are accounted by its length. Returns whether
+    /// the reply matched the outstanding token.
+    pub fn on_sync_ack(&mut self, token: u64, drained: u64, now: SimTime) -> bool {
+        let allowance = self.allowance;
+        let Some(rel) = self.rel.as_mut() else {
+            return false;
+        };
+        if rel.resync_outstanding != Some(token) {
+            return false;
+        }
+        rel.resync_outstanding = None;
+        rel.resyncs += 1;
+        let acked = rel.base - 1;
+        let outstanding = acked.saturating_sub(drained) + rel.buf.len() as u64;
+        let new_credits =
+            u32::try_from(u64::from(allowance).saturating_sub(outstanding)).unwrap_or(allowance);
+        if new_credits > self.credits {
+            if let Some(since) = self.stall_since.take() {
+                self.credit_stall += now.saturating_sub(since);
+            }
+        }
+        self.credits = new_credits;
+        true
+    }
+
+    /// Frames launched but not yet cumulatively acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.rel.as_ref().map_or(0, |r| r.buf.len())
+    }
+
+    /// True once the retransmit budget was exhausted and the link declared
+    /// dead.
+    pub fn is_dead(&self) -> bool {
+        self.rel.as_ref().is_some_and(|r| r.dead)
+    }
+
+    /// Total frames retransmitted on this port.
+    pub fn retransmits(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.retransmits)
+    }
+
+    /// Completed credit-resync handshakes on this port.
+    pub fn resyncs(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.resyncs)
+    }
+
+    /// Frames delivered (cumulatively acknowledged) on this port.
+    pub fn delivered(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.base - 1)
     }
 }
 
@@ -174,17 +604,20 @@ impl RxFifo {
 
     /// Accepts an arriving packet.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on overflow — the upstream credit discipline makes overflow a
-    /// protocol bug, not an operational condition.
-    pub fn push(&mut self, packet: Packet) {
-        assert!(
-            (self.queue.len() as u32) < self.capacity,
-            "input FIFO overflow: credit protocol violated"
-        );
+    /// [`LinkError::FifoOverflow`] on overflow — the upstream credit
+    /// discipline makes overflow a neighbor-originated protocol violation;
+    /// the packet is dropped and the violation reported to the owner.
+    pub fn push(&mut self, packet: Packet) -> Result<(), LinkError> {
+        if self.queue.len() as u32 >= self.capacity {
+            return Err(LinkError::FifoOverflow {
+                capacity: self.capacity,
+            });
+        }
         self.queue.push_back(packet);
         self.high_water = self.high_water.max(self.queue.len() as u32);
+        Ok(())
     }
 
     /// The packet at the head, if any.
@@ -239,12 +672,7 @@ mod tests {
     }
 
     fn pkt() -> Packet {
-        Packet {
-            src: NodeId::new(0),
-            dst: NodeId::new(1),
-            msg: WireMsg::WriteAck,
-            inject_seq: 0,
-        }
+        Packet::new(NodeId::new(0), NodeId::new(1), WireMsg::WriteAck, 0)
     }
 
     #[test]
@@ -257,15 +685,22 @@ mod tests {
         assert!(!tx.ready());
         tx.on_free();
         assert!(!tx.ready(), "still out of credits");
-        tx.on_credit();
+        tx.on_credit().unwrap();
         assert!(tx.ready());
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the initial allowance")]
-    fn txport_rejects_duplicated_credit() {
+    fn txport_reports_duplicated_credit() {
         let mut tx = TxPort::new(dummy_comp_id(), 0, 2);
-        tx.on_credit();
+        assert_eq!(
+            tx.on_credit(),
+            Err(LinkError::DuplicateCredit { allowance: 2 })
+        );
+        assert_eq!(tx.credits(), 2, "duplicate credit is not banked");
+        assert_eq!(
+            tx.on_credit_at(SimTime::from_ns(10)),
+            Err(LinkError::DuplicateCredit { allowance: 2 })
+        );
     }
 
     #[test]
@@ -306,15 +741,167 @@ mod tests {
         tx.note_blocked(SimTime::from_ns(100));
         tx.note_blocked(SimTime::from_ns(180)); // keeps the original start
         assert_eq!(tx.credit_stall(), SimTime::ZERO, "window still open");
-        tx.on_credit_at(SimTime::from_ns(250));
+        tx.on_credit_at(SimTime::from_ns(250)).unwrap();
         assert_eq!(tx.credit_stall(), SimTime::from_ns(150));
         // With a credit in hand, note_blocked is a no-op.
         tx.note_blocked(SimTime::from_ns(300));
         tx.on_free();
         let _ = tx.launch(&pkt(), &timing);
         tx.on_free();
-        tx.on_credit_at(SimTime::from_ns(400));
+        tx.on_credit_at(SimTime::from_ns(400)).unwrap();
         assert_eq!(tx.credit_stall(), SimTime::from_ns(150), "no phantom stall");
+    }
+
+    #[test]
+    fn reliable_txport_frames_acks_and_drains() {
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 4);
+        tx.enable_reliability(RelParams::default());
+        assert!(tx.can_send_new());
+        let a = tx.frame(pkt(), SimTime::ZERO);
+        assert_eq!(a.link_seq, 1);
+        assert!(a.checksum_ok());
+        let b = tx.frame(pkt(), SimTime::ZERO);
+        assert_eq!(b.link_seq, 2);
+        assert_eq!(tx.unacked(), 2);
+        tx.on_ack(1, SimTime::from_ns(100));
+        assert_eq!(tx.unacked(), 1);
+        assert_eq!(tx.delivered(), 1);
+        tx.on_ack(2, SimTime::from_ns(200));
+        assert_eq!(tx.unacked(), 0);
+        assert!(!tx.has_retx_pending());
+    }
+
+    #[test]
+    fn reliable_txport_goes_back_n_on_nack() {
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 8);
+        tx.enable_reliability(RelParams::default());
+        for _ in 0..3 {
+            let _ = tx.frame(pkt(), SimTime::ZERO);
+        }
+        // Receiver saw a gap at 2: frames 2 and 3 must be resent.
+        assert_eq!(tx.on_nack(2, SimTime::ZERO), TimerAction::Retransmit);
+        assert_eq!(tx.delivered(), 1, "NACK acks everything below it");
+        assert!(tx.has_retx_pending());
+        assert!(!tx.can_send_new(), "recovery outranks fresh traffic");
+        assert_eq!(tx.take_retx().unwrap().link_seq, 2);
+        assert_eq!(tx.take_retx().unwrap().link_seq, 3);
+        assert!(tx.take_retx().is_none());
+        assert_eq!(tx.retransmits(), 2);
+        // A second NACK while already caught up retriggers the sweep.
+        assert_eq!(tx.on_nack(2, SimTime::ZERO), TimerAction::Retransmit);
+        assert_eq!(tx.take_retx().unwrap().link_seq, 2);
+    }
+
+    #[test]
+    fn reliable_txport_timer_backoff_and_death() {
+        let params = RelParams {
+            max_retries: 2,
+            ..RelParams::default()
+        };
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 4);
+        tx.enable_reliability(params);
+        let _ = tx.frame(pkt(), SimTime::ZERO);
+        let t0 = SimTime::ZERO;
+        let (d1, g1) = tx.poll_timer(t0).expect("unacked frame arms the timer");
+        assert_eq!(d1, params.retx_timeout);
+        assert!(tx.poll_timer(t0).is_none(), "timer already armed");
+        let t1 = t0 + d1;
+        assert_eq!(tx.on_timer(g1, t1), TimerAction::Retransmit);
+        let (d2, g2) = tx.poll_timer(t1).unwrap();
+        assert_eq!(d2, params.retx_timeout * 2, "exponential backoff");
+        let t2 = t1 + d2;
+        assert_eq!(tx.on_timer(g1, t2), TimerAction::Stale, "old generation");
+        assert_eq!(tx.on_timer(g2, t2), TimerAction::Retransmit);
+        let (d3, g3) = tx.poll_timer(t2).unwrap();
+        match tx.on_timer(g3, t2 + d3) {
+            TimerAction::Dead(LinkError::RetryExhausted { retries, stranded }) => {
+                assert_eq!(retries, 2);
+                assert_eq!(stranded, 1);
+            }
+            other => panic!("expected dead link, got {other:?}"),
+        }
+        assert!(tx.is_dead());
+        assert!(
+            tx.poll_timer(SimTime::from_us(99)).is_none(),
+            "dead ports arm no timers"
+        );
+    }
+
+    #[test]
+    fn ack_progress_slides_the_deadline_without_rearming() {
+        let params = RelParams::default();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 4);
+        tx.enable_reliability(params);
+        let _ = tx.frame(pkt(), SimTime::ZERO);
+        let _ = tx.frame(pkt(), SimTime::ZERO);
+        let (d1, g1) = tx.poll_timer(SimTime::ZERO).expect("armed");
+        assert_eq!(d1, params.retx_timeout);
+        // Frame 1 acked halfway through the window: the pending timer
+        // stays armed (no churn), but its deadline slides to cover frame 2
+        // with a full timeout from the ack.
+        let t_ack = params.retx_timeout / 2;
+        tx.on_ack(1, t_ack);
+        assert!(tx.poll_timer(t_ack).is_none(), "timer still armed");
+        // The original event fires early and must NOT retransmit.
+        let t_fire = SimTime::ZERO + d1;
+        assert_eq!(tx.on_timer(g1, t_fire), TimerAction::Stale);
+        assert_eq!(tx.retransmits(), 0);
+        // Re-arming picks up exactly the remainder of the slid deadline.
+        let (d2, g2) = tx.poll_timer(t_fire).expect("re-armed for remainder");
+        assert_eq!(t_fire + d2, t_ack + params.retx_timeout);
+        // Left alone until the true deadline, it finally retransmits.
+        assert_eq!(tx.on_timer(g2, t_fire + d2), TimerAction::Retransmit);
+    }
+
+    #[test]
+    fn reliable_txport_resyncs_credits() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 2);
+        tx.enable_reliability(RelParams::default());
+        // Launch two frames; both acked, but both credits get lost.
+        for _ in 0..2 {
+            let p = tx.frame(pkt(), SimTime::ZERO);
+            let _ = tx.launch(&p, &timing);
+            tx.on_free();
+        }
+        tx.on_ack(2, SimTime::from_ns(400));
+        assert_eq!(tx.credits(), 0);
+        tx.note_blocked(SimTime::from_ns(500));
+        let armed_at = SimTime::from_ns(500);
+        let (delay, gen) = tx
+            .poll_timer(armed_at)
+            .expect("credit starvation arms resync");
+        assert_eq!(delay, RelParams::default().resync_timeout);
+        let token = match tx.on_timer(gen, armed_at + delay) {
+            TimerAction::Resync { token } => token,
+            other => panic!("expected resync, got {other:?}"),
+        };
+        // The receiver reports both frames drained: full allowance back.
+        assert!(tx.on_sync_ack(token, 2, SimTime::from_us(50)));
+        assert_eq!(tx.credits(), 2);
+        assert!(tx.credit_stall() > SimTime::ZERO, "stall window closed");
+        assert!(
+            !tx.on_sync_ack(token, 2, SimTime::from_us(51)),
+            "stale token"
+        );
+        // If only one frame had drained, the other still holds its slot.
+        let mut tx2 = TxPort::new(dummy_comp_id(), 0, 2);
+        tx2.enable_reliability(RelParams::default());
+        for _ in 0..2 {
+            let p = tx2.frame(pkt(), SimTime::ZERO);
+            let _ = tx2.launch(&p, &timing);
+            tx2.on_free();
+        }
+        tx2.on_ack(2, SimTime::from_ns(400));
+        tx2.note_blocked(SimTime::from_ns(500));
+        let armed2 = SimTime::from_ns(500);
+        let (d_resync, gen2) = tx2.poll_timer(armed2).unwrap();
+        let token2 = match tx2.on_timer(gen2, armed2 + d_resync) {
+            TimerAction::Resync { token } => token,
+            other => panic!("expected resync, got {other:?}"),
+        };
+        assert!(tx2.on_sync_ack(token2, 1, SimTime::from_us(50)));
+        assert_eq!(tx2.credits(), 1);
     }
 
     #[test]
@@ -327,7 +914,8 @@ mod tests {
                     val: i,
                 },
                 ..pkt()
-            });
+            })
+            .unwrap();
         }
         assert_eq!(fifo.len(), 3);
         assert_eq!(fifo.high_water(), 3);
@@ -340,10 +928,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflow")]
-    fn rxfifo_overflow_is_a_bug() {
+    fn rxfifo_overflow_is_reported_not_fatal() {
         let mut fifo = RxFifo::new(1);
-        fifo.push(pkt());
-        fifo.push(pkt());
+        fifo.push(pkt()).unwrap();
+        assert_eq!(
+            fifo.push(pkt()),
+            Err(LinkError::FifoOverflow { capacity: 1 })
+        );
+        assert_eq!(fifo.len(), 1, "offending packet dropped");
     }
 }

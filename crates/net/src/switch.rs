@@ -1,11 +1,13 @@
 //! The cut-through switch component.
 
-use tg_sim::{Component, Ctx, SimTime};
-use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage};
-use tg_wire::{Packet, TimingConfig};
+use tg_sim::{CompId, Component, Ctx, SimTime};
+use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
+use tg_wire::{NodeId, Packet, TimingConfig};
 
 use crate::event::{NetEvent, NetMessage};
-use crate::port::{RxFifo, TxPort};
+use crate::fault::{FaultInjector, FrameFate, LinkId};
+use crate::link::{CreditLedger, LinkError, LinkRx, RelParams, RxVerdict, StalledLink};
+use crate::port::{RxFifo, TimerAction, TxPort};
 
 /// Traffic counters for one switch.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -25,6 +27,14 @@ pub struct SwitchStats {
 /// Forwarding a packet costs the configured cut-through latency plus
 /// serialization on the output link; a credit is returned to the upstream
 /// sender the moment the packet leaves the input FIFO.
+///
+/// With [`Switch::set_reliability`] the switch additionally runs the
+/// link-level reliability protocol on every port: arriving frames are
+/// checksum- and sequence-verified by a per-input [`LinkRx`], acknowledged
+/// or NACKed, and each output's [`TxPort`] buffers frames for go-back-N
+/// retransmission. A [`FaultInjector`] installed with
+/// [`Switch::set_injector`] then decides the fate of every launched frame
+/// and returned credit.
 #[derive(Debug)]
 pub struct Switch {
     name: String,
@@ -44,6 +54,14 @@ pub struct Switch {
     probe: Option<SharedProbe>,
     /// This switch's fabric index, reported as the probe [`Site`].
     site: Site,
+    /// Per-input receive-side link-layer state; `None` entries mean the
+    /// reliability protocol is off on that port.
+    rx_links: Vec<Option<LinkRx>>,
+    reliability: Option<RelParams>,
+    injector: Option<FaultInjector>,
+    /// Neighbor-originated protocol violations and dead-link declarations
+    /// observed so far.
+    errors: Vec<LinkError>,
 }
 
 impl Switch {
@@ -62,6 +80,10 @@ impl Switch {
             stats: SwitchStats::default(),
             probe: None,
             site: Site::Switch(0),
+            rx_links: Vec::new(),
+            reliability: None,
+            injector: None,
+            errors: Vec::new(),
         }
     }
 
@@ -70,6 +92,25 @@ impl Switch {
     pub fn set_probe(&mut self, probe: SharedProbe, index: u16) {
         self.probe = Some(probe);
         self.site = Site::Switch(index);
+    }
+
+    /// Sets this switch's fabric index (the [`Site`] used in probe events
+    /// and link diagnostics) without installing a probe.
+    pub fn set_site(&mut self, index: u16) {
+        self.site = Site::Switch(index);
+    }
+
+    /// Turns on the link-level reliability protocol for every port. Must be
+    /// called before [`Switch::attach_port`].
+    pub fn set_reliability(&mut self, params: RelParams) {
+        assert!(self.fifos.is_empty(), "set reliability before wiring ports");
+        self.reliability = Some(params);
+    }
+
+    /// Installs the fault injector consulted at every frame launch and
+    /// credit return.
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     fn emit(&self, at: SimTime, packet: &Packet, stage: Stage) {
@@ -86,6 +127,26 @@ impl Switch {
         }
     }
 
+    /// Marks a credit-resync probe launch in the packet trace. Probes carry
+    /// no [`Packet`], so the event is keyed by the switch index and the
+    /// handshake token instead of an inject sequence.
+    fn emit_resync(&self, at: SimTime, token: u64) {
+        if let Some(probe) = &self.probe {
+            let Site::Switch(idx) = self.site else {
+                return;
+            };
+            probe.packet(PacketEvent {
+                at,
+                trace: TraceId::packet(NodeId::new(idx), token),
+                parent: None,
+                site: self.site,
+                stage: Stage::CreditResync,
+                kind: "credit-resync",
+                bytes: 0,
+            });
+        }
+    }
+
     /// Overrides the per-port input FIFO capacity (must match the credits
     /// granted to upstream senders; the network builder keeps these in
     /// sync).
@@ -94,12 +155,18 @@ impl Switch {
         self.fifo_capacity = cap;
     }
 
-    /// Wires output port `port` (and implicitly its input FIFO).
+    /// Wires output port `port` (and implicitly its input FIFO). If
+    /// reliability is on, the transmit port is enrolled in the protocol.
     ///
     /// # Panics
     ///
     /// Panics if the port index is out of range or already attached.
-    pub fn attach_port(&mut self, port: u32, tx: TxPort) {
+    pub fn attach_port(&mut self, port: u32, mut tx: TxPort) {
+        if let Some(params) = self.reliability {
+            if !tx.is_reliable() {
+                tx.enable_reliability(params);
+            }
+        }
         let slot = self
             .out
             .get_mut(port as usize)
@@ -110,6 +177,7 @@ impl Switch {
             let cap = self.fifo_capacity;
             self.fifos.push(RxFifo::new(cap));
             self.rr_next.push(0);
+            self.rx_links.push(self.reliability.map(|_| LinkRx::new()));
         }
     }
 
@@ -138,6 +206,87 @@ impl Switch {
             .fold(SimTime::ZERO, |acc, t| acc + t)
     }
 
+    /// Total frames retransmitted across all output ports.
+    pub fn retransmits(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::retransmits).sum()
+    }
+
+    /// Completed credit-resync handshakes across all output ports.
+    pub fn resyncs(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::resyncs).sum()
+    }
+
+    /// Frames discarded by the receive link layer (corrupt + out of
+    /// sequence), across all input ports.
+    pub fn rx_discards(&self) -> u64 {
+        self.rx_links
+            .iter()
+            .flatten()
+            .map(|rx| rx.corrupt_discards() + rx.seq_discards())
+            .sum()
+    }
+
+    /// Neighbor-originated protocol violations and dead-link declarations
+    /// recorded so far.
+    pub fn link_errors(&self) -> &[LinkError] {
+        &self.errors
+    }
+
+    /// Links held up right now: dead, carrying unacknowledged frames, or
+    /// credit-starved with traffic pending. The watchdog's deadlock report
+    /// is assembled from these.
+    pub fn stalled_links(&self) -> Vec<StalledLink> {
+        self.out
+            .iter()
+            .flatten()
+            .filter(|tx| tx.is_dead() || tx.unacked() > 0 || tx.is_credit_stalled())
+            .map(|tx| StalledLink {
+                link: tx
+                    .link()
+                    .unwrap_or_else(|| LinkId::new(self.site, self.site)),
+                dead: tx.is_dead(),
+                stranded: tx.unacked(),
+                credits: tx.credits(),
+                retransmits: tx.retransmits(),
+            })
+            .collect()
+    }
+
+    /// Credit bookkeeping of every attached output port, for the cluster's
+    /// quiescence-time conservation check.
+    pub fn credit_ledgers(&self) -> Vec<CreditLedger> {
+        self.out
+            .iter()
+            .flatten()
+            .map(|tx| CreditLedger {
+                link: tx
+                    .link()
+                    .unwrap_or_else(|| LinkId::new(self.site, self.site)),
+                credits: tx.credits(),
+                unacked: tx.unacked(),
+                allowance: tx.allowance(),
+            })
+            .collect()
+    }
+
+    /// Conservation check at quiescence: for every attached output port,
+    /// credits in hand + unacknowledged frames must equal the allowance
+    /// minus whatever still sits in the *neighbor's* FIFO. Since a switch
+    /// cannot see its neighbor's FIFO, this local check reports ports whose
+    /// credits + unacked exceed the allowance (an over-credit leak) —
+    /// cluster-level checks add the FIFO term.
+    pub fn credit_overcommit(&self) -> Vec<LinkId> {
+        self.out
+            .iter()
+            .flatten()
+            .filter(|tx| u64::from(tx.credits()) + tx.unacked() as u64 > u64::from(tx.allowance()))
+            .map(|tx| {
+                tx.link()
+                    .unwrap_or_else(|| LinkId::new(self.site, self.site))
+            })
+            .collect()
+    }
+
     fn route(&self, packet: &Packet) -> u32 {
         let port = self.table[packet.dst.index()];
         assert_ne!(port, u32::MAX, "no route for {}", packet.dst);
@@ -160,21 +309,137 @@ impl Switch {
         None
     }
 
+    /// `(component, port)` of whoever feeds input port `in_port`: the same
+    /// neighbor our own output `in_port` points at, because links come in
+    /// bidirectional pairs.
+    fn upstream_of(&self, in_port: usize) -> (CompId, u32) {
+        let p = self.out[in_port].as_ref().expect("paired port attached");
+        (p.neighbor(), p.neighbor_port())
+    }
+
+    /// Returns a credit for a frame drained from input `in_port`, unless
+    /// the injector loses it in flight.
+    fn return_credit<M: NetMessage>(&mut self, in_port: usize, ctx: &mut Ctx<'_, M>) {
+        let (up, up_port, link) = {
+            let p = self.out[in_port].as_ref().expect("paired port attached");
+            (p.neighbor(), p.neighbor_port(), p.link())
+        };
+        if let (Some(inj), Some(link)) = (self.injector.as_ref(), link) {
+            if inj.credit_lost(link, ctx.now()) {
+                return;
+            }
+        }
+        ctx.send(
+            up,
+            self.timing.link_prop,
+            M::from_net(NetEvent::Credit { port: up_port }),
+        );
+    }
+
+    /// Occupies output `out_port` with `packet` (a fresh launch consumes a
+    /// credit; a retransmission reuses its original reservation), consults
+    /// the fault injector, and schedules the arrival unless the frame was
+    /// lost.
+    fn dispatch<M: NetMessage>(
+        &mut self,
+        out_port: usize,
+        mut packet: Packet,
+        fresh: bool,
+        ctx: &mut Ctx<'_, M>,
+    ) {
+        let lat = self.timing.switch_latency;
+        let now = ctx.now();
+        let (times, nbr, nbr_port, link) = {
+            let tx = self.out[out_port]
+                .as_mut()
+                .expect("dispatch on attached port");
+            let times = if fresh {
+                tx.launch(&packet, &self.timing)
+            } else {
+                tx.relaunch(&packet, &self.timing)
+            };
+            (times, tx.neighbor(), tx.neighbor_port(), tx.link())
+        };
+        ctx.send_self(
+            lat + times.free,
+            M::from_net(NetEvent::PumpOut {
+                port: out_port as u32,
+            }),
+        );
+        let fate = match (self.injector.as_ref(), link) {
+            (Some(inj), Some(link)) => inj.frame_fate(link, now, &mut packet),
+            _ => FrameFate::Deliver,
+        };
+        if fate == FrameFate::Drop {
+            self.emit(now, &packet, Stage::Dropped);
+            return;
+        }
+        ctx.send(
+            nbr,
+            lat + times.arrival,
+            M::from_net(NetEvent::Arrive {
+                port: nbr_port,
+                packet,
+            }),
+        );
+    }
+
+    /// Arms the recovery timer on `out_port` if the port needs one and none
+    /// is pending.
+    fn arm_timer<M: NetMessage>(&mut self, out_port: usize, ctx: &mut Ctx<'_, M>) {
+        if let Some(tx) = self.out.get_mut(out_port).and_then(Option::as_mut) {
+            if let Some((delay, gen)) = tx.poll_timer(ctx.now()) {
+                ctx.send_self(
+                    delay,
+                    M::from_net(NetEvent::RetxTimer {
+                        port: out_port as u32,
+                        gen,
+                    }),
+                );
+            }
+        }
+    }
+
     /// Forwards as many FIFO heads as ports allow: each free output port
-    /// arbitrates round-robin over the inputs requesting it.
+    /// arbitrates round-robin over the inputs requesting it. Go-back-N
+    /// retransmissions outrank fresh traffic on their output.
     fn pump<M: NetMessage>(&mut self, ctx: &mut Ctx<'_, M>) {
         let nports = self.fifos.len();
         loop {
             let mut progressed = false;
             for out_port in 0..nports {
-                let ready = self.out[out_port]
+                // Recovery first: a retransmission reuses the receiver slot
+                // its original launch reserved, so it needs no credit —
+                // only a free wire — and fresh traffic must wait behind it
+                // to preserve go-back-N order.
+                let retx_pending = self.out[out_port]
                     .as_ref()
-                    .map(TxPort::ready)
+                    .map(TxPort::has_retx_pending)
+                    .unwrap_or(false);
+                if retx_pending {
+                    let wire_free = self.out[out_port]
+                        .as_ref()
+                        .map(TxPort::wire_free)
+                        .unwrap_or(false);
+                    if wire_free {
+                        let packet = self.out[out_port]
+                            .as_mut()
+                            .and_then(TxPort::take_retx)
+                            .expect("retx pending on a free wire");
+                        self.emit(ctx.now(), &packet, Stage::Retransmit);
+                        self.dispatch(out_port, packet, false, ctx);
+                        progressed = true;
+                    }
+                    continue;
+                }
+                let can_send = self.out[out_port]
+                    .as_ref()
+                    .map(TxPort::can_send_new)
                     .unwrap_or(false);
                 let Some(in_port) = self.pick_input(out_port) else {
                     continue;
                 };
-                if !ready {
+                if !can_send {
                     self.stats.blocked += 1;
                     // Start the credit-stall clock when it is specifically
                     // credits (not a busy wire) holding this output back.
@@ -183,46 +448,34 @@ impl Switch {
                     }
                     continue;
                 }
-                let packet = self.fifos[in_port].pop().expect("head checked");
+                let mut packet = self.fifos[in_port].pop().expect("head checked");
                 self.emit(ctx.now(), &packet, Stage::SwitchTx);
-                // Return a credit to whoever feeds this input port: the
-                // same neighbor our own output port `in_port` points at,
-                // because links come in bidirectional pairs.
-                let upstream = {
-                    let p = self.out[in_port].as_ref().expect("paired port attached");
-                    (p.neighbor(), p.neighbor_port())
-                };
-                ctx.send(
-                    upstream.0,
-                    self.timing.link_prop,
-                    M::from_net(NetEvent::Credit { port: upstream.1 }),
-                );
+                if let Some(rx) = self.rx_links.get_mut(in_port).and_then(Option::as_mut) {
+                    rx.on_drain();
+                }
+                self.return_credit(in_port, ctx);
                 self.stats.packets += 1;
                 self.stats.bytes += u64::from(packet.size_bytes());
-                let tx = self.out[out_port].as_mut().expect("checked ready");
-                let times = tx.launch(&packet, &self.timing);
-                let lat = self.timing.switch_latency;
-                let (nbr, nbr_port) = (tx.neighbor(), tx.neighbor_port());
-                ctx.send(
-                    nbr,
-                    lat + times.arrival,
-                    M::from_net(NetEvent::Arrive {
-                        port: nbr_port,
-                        packet,
-                    }),
-                );
-                ctx.send_self(
-                    lat + times.free,
-                    M::from_net(NetEvent::PumpOut {
-                        port: out_port as u32,
-                    }),
-                );
+                let reliable = self.out[out_port]
+                    .as_ref()
+                    .map(TxPort::is_reliable)
+                    .unwrap_or(false);
+                if reliable {
+                    packet = self.out[out_port]
+                        .as_mut()
+                        .expect("checked reliable")
+                        .frame(packet, ctx.now());
+                }
+                self.dispatch(out_port, packet, true, ctx);
                 self.rr_next[out_port] = (in_port + 1) % nports;
                 progressed = true;
             }
             if !progressed {
                 break;
             }
+        }
+        for out_port in 0..self.out.len() {
+            self.arm_timer(out_port, ctx);
         }
     }
 }
@@ -235,15 +488,69 @@ impl<M: NetMessage> Component<M> for Switch {
         };
         match ev {
             NetEvent::Arrive { port, packet } => {
-                self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
-                self.fifos[port as usize].push(packet);
-                self.pump(ctx);
+                let in_port = port as usize;
+                let verdict = self
+                    .rx_links
+                    .get_mut(in_port)
+                    .and_then(Option::as_mut)
+                    .map(|rx| rx.accept(&packet));
+                match verdict {
+                    None | Some(RxVerdict::Accept { .. }) => {
+                        if let Some(RxVerdict::Accept { ack }) = verdict {
+                            let (up, up_port) = self.upstream_of(in_port);
+                            ctx.send(
+                                up,
+                                self.timing.link_prop,
+                                M::from_net(NetEvent::Ack {
+                                    port: up_port,
+                                    seq: ack,
+                                }),
+                            );
+                        }
+                        self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
+                        if let Err(err) = self.fifos[in_port].push(packet) {
+                            self.errors.push(err);
+                        }
+                        self.pump(ctx);
+                    }
+                    Some(RxVerdict::DupAck { ack }) => {
+                        self.emit(ctx.now(), &packet, Stage::Dropped);
+                        let (up, up_port) = self.upstream_of(in_port);
+                        ctx.send(
+                            up,
+                            self.timing.link_prop,
+                            M::from_net(NetEvent::Ack {
+                                port: up_port,
+                                seq: ack,
+                            }),
+                        );
+                    }
+                    Some(RxVerdict::NackCorrupt { expected })
+                    | Some(RxVerdict::NackGap { expected }) => {
+                        self.emit(ctx.now(), &packet, Stage::Dropped);
+                        let (up, up_port) = self.upstream_of(in_port);
+                        ctx.send(
+                            up,
+                            self.timing.link_prop,
+                            M::from_net(NetEvent::Nack {
+                                port: up_port,
+                                seq: expected,
+                            }),
+                        );
+                    }
+                    Some(RxVerdict::Discard) => {
+                        self.emit(ctx.now(), &packet, Stage::Dropped);
+                    }
+                }
             }
             NetEvent::Credit { port } => {
-                self.out[port as usize]
+                let result = self.out[port as usize]
                     .as_mut()
                     .expect("credited port attached")
                     .on_credit_at(ctx.now());
+                if let Err(err) = result {
+                    self.errors.push(err);
+                }
                 self.pump(ctx);
             }
             NetEvent::PumpOut { port } => {
@@ -251,6 +558,80 @@ impl<M: NetMessage> Component<M> for Switch {
                     .as_mut()
                     .expect("pumped port attached")
                     .on_free();
+                self.pump(ctx);
+            }
+            NetEvent::Ack { port, seq } => {
+                if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
+                    tx.on_ack(seq, ctx.now());
+                }
+                self.pump(ctx);
+            }
+            NetEvent::Nack { port, seq } => {
+                let action = self
+                    .out
+                    .get_mut(port as usize)
+                    .and_then(Option::as_mut)
+                    .map(|tx| tx.on_nack(seq, ctx.now()));
+                if let Some(TimerAction::Dead(err)) = action {
+                    self.errors.push(err);
+                }
+                self.pump(ctx);
+            }
+            NetEvent::RetxTimer { port, gen } => {
+                let action = self
+                    .out
+                    .get_mut(port as usize)
+                    .and_then(Option::as_mut)
+                    .map(|tx| tx.on_timer(gen, ctx.now()))
+                    .unwrap_or(TimerAction::Stale);
+                match action {
+                    TimerAction::Retransmit => self.pump(ctx),
+                    TimerAction::Resync { token } => {
+                        let (nbr, nbr_port) = {
+                            let tx = self.out[port as usize].as_ref().expect("timed port");
+                            (tx.neighbor(), tx.neighbor_port())
+                        };
+                        self.emit_resync(ctx.now(), token);
+                        ctx.send(
+                            nbr,
+                            self.timing.link_prop,
+                            M::from_net(NetEvent::CreditSyncReq {
+                                port: nbr_port,
+                                token,
+                            }),
+                        );
+                    }
+                    TimerAction::Dead(err) => self.errors.push(err),
+                    TimerAction::Stale | TimerAction::Idle => {}
+                }
+                self.arm_timer(port as usize, ctx);
+            }
+            NetEvent::CreditSyncReq { port, token } => {
+                let drained = self
+                    .rx_links
+                    .get(port as usize)
+                    .and_then(Option::as_ref)
+                    .map(LinkRx::drained)
+                    .unwrap_or(0);
+                let (up, up_port) = self.upstream_of(port as usize);
+                ctx.send(
+                    up,
+                    self.timing.link_prop,
+                    M::from_net(NetEvent::CreditSyncAck {
+                        port: up_port,
+                        token,
+                        drained,
+                    }),
+                );
+            }
+            NetEvent::CreditSyncAck {
+                port,
+                token,
+                drained,
+            } => {
+                if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
+                    tx.on_sync_ack(token, drained, ctx.now());
+                }
                 self.pump(ctx);
             }
         }
@@ -272,6 +653,8 @@ mod tests {
         let s = Switch::new("s".into(), 2, vec![0, 1], TimingConfig::telegraphos_i());
         assert_eq!(s.stats(), SwitchStats::default());
         assert_eq!(s.max_fifo_high_water(), 0);
+        assert!(s.link_errors().is_empty());
+        assert!(s.stalled_links().is_empty());
     }
 
     #[test]

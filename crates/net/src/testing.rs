@@ -4,7 +4,12 @@
 //! scripted list of packets into the fabric (respecting credit flow
 //! control) and records everything it receives, with timestamps. The
 //! crate's integration and property tests — and the network micro-benches —
-//! are built from them.
+//! are built from them. When its transmit port was enrolled in the
+//! link-level reliability protocol (see
+//! [`build_network_with`](crate::build_network_with)), the endpoint also
+//! runs the receiver half on its input link and the sender half on its
+//! output link, so fault-injection tests can exercise the whole recovery
+//! path end to end.
 
 use std::collections::VecDeque;
 
@@ -12,7 +17,9 @@ use tg_sim::{Component, Ctx, SimTime};
 use tg_wire::{NodeId, Packet, TimingConfig, WireMsg};
 
 use crate::event::{NetEvent, NetMessage};
-use crate::port::TxPort;
+use crate::fault::{FaultInjector, FrameFate};
+use crate::link::{LinkError, LinkRx, RxVerdict};
+use crate::port::{TimerAction, TxPort};
 
 /// A packet receipt recorded by a [`SourceSink`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -22,6 +29,10 @@ pub struct Receipt {
     /// The packet.
     pub packet: Packet,
 }
+
+/// The delivery stream a fault-equivalence test compares across runs: the
+/// ordered receipts of one endpoint.
+pub type DeliveryRecord = Receipt;
 
 /// A scriptable endpoint: injects queued packets as fast as flow control
 /// allows and sinks arrivals (consuming each after a fixed delay, then
@@ -40,6 +51,11 @@ pub struct SourceSink {
     /// When each injected packet left the endpoint (issue completion).
     pub injected_at: Vec<SimTime>,
     rx_upstream: Option<(tg_sim::CompId, u32)>,
+    /// Receiver half of the link-level protocol on the input link, when
+    /// reliability is on.
+    rx_link: Option<LinkRx>,
+    injector: Option<FaultInjector>,
+    errors: Vec<LinkError>,
 }
 
 impl SourceSink {
@@ -56,13 +72,27 @@ impl SourceSink {
             received: Vec::new(),
             injected_at: Vec::new(),
             rx_upstream: None,
+            rx_link: None,
+            injector: None,
+            errors: Vec::new(),
         }
     }
 
     /// Wires the endpoint after [`build_network`](crate::build_network).
+    /// A reliability-enrolled transmit port implies the receiver half on
+    /// the input link.
     pub fn wire(&mut self, tx: TxPort, rx_upstream: (tg_sim::CompId, u32)) {
+        if tx.is_reliable() {
+            self.rx_link = Some(LinkRx::new());
+        }
         self.tx = Some(tx);
         self.rx_upstream = Some(rx_upstream);
+    }
+
+    /// Installs the fault injector consulted when this endpoint launches
+    /// frames and returns credits.
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     /// Sets how long the sink takes to consume each arrival before
@@ -75,12 +105,8 @@ impl SourceSink {
     pub fn enqueue(&mut self, dst: NodeId, msg: WireMsg) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push_back(Packet {
-            src: self.node,
-            dst,
-            msg,
-            inject_seq: seq,
-        });
+        self.pending
+            .push_back(Packet::new(self.node, dst, msg, seq));
     }
 
     /// Packets still waiting to be injected.
@@ -88,27 +114,109 @@ impl SourceSink {
         self.pending.len()
     }
 
-    fn pump(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
-        let Some(tx) = self.tx.as_mut() else {
-            return;
-        };
-        while tx.ready() {
-            let Some(packet) = self.pending.pop_front() else {
-                break;
+    /// Link errors observed by this endpoint (duplicate credits, dead
+    /// link declarations).
+    pub fn link_errors(&self) -> &[LinkError] {
+        &self.errors
+    }
+
+    /// Frames retransmitted by this endpoint.
+    pub fn retransmits(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::retransmits)
+    }
+
+    /// Completed credit-resync handshakes on this endpoint's output link.
+    pub fn resyncs(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::resyncs)
+    }
+
+    /// True once this endpoint's output link was declared dead.
+    pub fn link_dead(&self) -> bool {
+        self.tx.as_ref().is_some_and(TxPort::is_dead)
+    }
+
+    /// Launches `packet` (fresh or retransmission), consulting the fault
+    /// injector for its fate.
+    fn dispatch(&mut self, mut packet: Packet, fresh: bool, ctx: &mut Ctx<'_, NetEvent>) {
+        let now = ctx.now();
+        let (times, nbr, nbr_port, link) = {
+            let tx = self.tx.as_mut().expect("wired endpoint");
+            let times = if fresh {
+                tx.launch(&packet, &self.timing)
+            } else {
+                tx.relaunch(&packet, &self.timing)
             };
-            let times = tx.launch(&packet, &self.timing);
-            ctx.send(
-                tx.neighbor(),
-                times.arrival,
-                NetEvent::Arrive {
-                    port: tx.neighbor_port(),
-                    packet,
-                },
-            );
-            // Reuse PumpOut as "my single tx port is free".
-            ctx.send_self(times.free, NetEvent::PumpOut { port: 0 });
-            self.injected_at.push(ctx.now() + times.free);
+            (times, tx.neighbor(), tx.neighbor_port(), tx.link())
+        };
+        ctx.send_self(times.free, NetEvent::PumpOut { port: 0 });
+        if fresh {
+            self.injected_at.push(now + times.free);
         }
+        let fate = match (self.injector.as_ref(), link) {
+            (Some(inj), Some(link)) => inj.frame_fate(link, now, &mut packet),
+            _ => FrameFate::Deliver,
+        };
+        if fate == FrameFate::Drop {
+            return;
+        }
+        ctx.send(
+            nbr,
+            times.arrival,
+            NetEvent::Arrive {
+                port: nbr_port,
+                packet,
+            },
+        );
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
+        loop {
+            let Some(tx) = self.tx.as_mut() else {
+                return;
+            };
+            if tx.has_retx_pending() {
+                if !tx.wire_free() {
+                    break;
+                }
+                let packet = tx.take_retx().expect("retx pending on a free wire");
+                self.dispatch(packet, false, ctx);
+                continue;
+            }
+            if self.pending.is_empty() {
+                break;
+            }
+            if !tx.can_send_new() {
+                tx.note_blocked(ctx.now());
+                break;
+            }
+            let mut packet = self.pending.pop_front().expect("checked non-empty");
+            if tx.is_reliable() {
+                packet = tx.frame(packet, ctx.now());
+            }
+            self.dispatch(packet, true, ctx);
+        }
+        if let Some(tx) = self.tx.as_mut() {
+            if let Some((delay, gen)) = tx.poll_timer(ctx.now()) {
+                ctx.send_self(delay, NetEvent::RetxTimer { port: 0, gen });
+            }
+        }
+    }
+
+    /// Returns the credit for a consumed arrival, unless the injector
+    /// loses it on the way back up.
+    fn return_credit(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
+        let (up, port) = self.rx_upstream.expect("wired endpoint");
+        let link = self.tx.as_ref().and_then(TxPort::link);
+        if let (Some(inj), Some(link)) = (self.injector.as_ref(), link) {
+            if inj.credit_lost(link, ctx.now()) {
+                return;
+            }
+        }
+        ctx.send(
+            up,
+            self.consume_delay + self.timing.link_prop,
+            NetEvent::from_net(NetEvent::Credit { port }),
+        );
     }
 }
 
@@ -116,26 +224,119 @@ impl Component<NetEvent> for SourceSink {
     fn on_event(&mut self, ev: NetEvent, ctx: &mut Ctx<'_, NetEvent>) {
         match ev {
             NetEvent::Arrive { packet, .. } => {
-                self.received.push(Receipt {
-                    at: ctx.now(),
-                    packet,
-                });
-                let (up, port) = self.rx_upstream.expect("wired endpoint");
-                ctx.send(
-                    up,
-                    self.consume_delay + self.timing.link_prop,
-                    NetEvent::from_net(NetEvent::Credit { port }),
-                );
+                let verdict = self.rx_link.as_mut().map(|rx| rx.accept(&packet));
+                match verdict {
+                    None | Some(RxVerdict::Accept { .. }) => {
+                        if let Some(RxVerdict::Accept { ack }) = verdict {
+                            let (up, port) = self.rx_upstream.expect("wired endpoint");
+                            ctx.send(up, self.timing.link_prop, NetEvent::Ack { port, seq: ack });
+                            // The sink consumes immediately for protocol
+                            // purposes; the drain counter feeds resync.
+                            self.rx_link.as_mut().expect("checked").on_drain();
+                        }
+                        self.received.push(Receipt {
+                            at: ctx.now(),
+                            packet,
+                        });
+                        self.return_credit(ctx);
+                    }
+                    Some(RxVerdict::DupAck { ack }) => {
+                        let (up, port) = self.rx_upstream.expect("wired endpoint");
+                        ctx.send(up, self.timing.link_prop, NetEvent::Ack { port, seq: ack });
+                    }
+                    Some(RxVerdict::NackCorrupt { expected })
+                    | Some(RxVerdict::NackGap { expected }) => {
+                        let (up, port) = self.rx_upstream.expect("wired endpoint");
+                        ctx.send(
+                            up,
+                            self.timing.link_prop,
+                            NetEvent::Nack {
+                                port,
+                                seq: expected,
+                            },
+                        );
+                    }
+                    Some(RxVerdict::Discard) => {}
+                }
             }
             NetEvent::Credit { .. } => {
                 if let Some(tx) = self.tx.as_mut() {
-                    tx.on_credit();
+                    if let Err(err) = tx.on_credit_at(ctx.now()) {
+                        self.errors.push(err);
+                    }
                 }
                 self.pump(ctx);
             }
             NetEvent::PumpOut { .. } => {
                 if let Some(tx) = self.tx.as_mut() {
                     tx.on_free();
+                }
+                self.pump(ctx);
+            }
+            NetEvent::Ack { seq, .. } => {
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_ack(seq, ctx.now());
+                }
+                self.pump(ctx);
+            }
+            NetEvent::Nack { seq, .. } => {
+                if let Some(TimerAction::Dead(err)) =
+                    self.tx.as_mut().map(|tx| tx.on_nack(seq, ctx.now()))
+                {
+                    self.errors.push(err);
+                }
+                self.pump(ctx);
+            }
+            NetEvent::RetxTimer { gen, .. } => {
+                let action = self
+                    .tx
+                    .as_mut()
+                    .map(|tx| tx.on_timer(gen, ctx.now()))
+                    .unwrap_or(TimerAction::Stale);
+                match action {
+                    TimerAction::Retransmit => self.pump(ctx),
+                    TimerAction::Resync { token } => {
+                        let (nbr, nbr_port) = {
+                            let tx = self.tx.as_ref().expect("wired endpoint");
+                            (tx.neighbor(), tx.neighbor_port())
+                        };
+                        ctx.send(
+                            nbr,
+                            self.timing.link_prop,
+                            NetEvent::CreditSyncReq {
+                                port: nbr_port,
+                                token,
+                            },
+                        );
+                    }
+                    TimerAction::Dead(err) => self.errors.push(err),
+                    TimerAction::Stale | TimerAction::Idle => {}
+                }
+                if let Some(tx) = self.tx.as_mut() {
+                    if let Some((delay, gen)) = tx.poll_timer(ctx.now()) {
+                        ctx.send_self(delay, NetEvent::RetxTimer { port: 0, gen });
+                    }
+                }
+            }
+            NetEvent::CreditSyncReq { token, .. } => {
+                let drained = self.rx_link.as_ref().map(LinkRx::drained).unwrap_or(0);
+                let (up, port) = self.rx_upstream.expect("wired endpoint");
+                // The reply travels with the same latency as credit
+                // returns, so it can never overtake a credit already in
+                // flight (which the drain count includes).
+                ctx.send(
+                    up,
+                    self.consume_delay + self.timing.link_prop,
+                    NetEvent::CreditSyncAck {
+                        port,
+                        token,
+                        drained,
+                    },
+                );
+            }
+            NetEvent::CreditSyncAck { token, drained, .. } => {
+                if let Some(tx) = self.tx.as_mut() {
+                    tx.on_sync_ack(token, drained, ctx.now());
                 }
                 self.pump(ctx);
             }

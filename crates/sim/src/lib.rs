@@ -46,7 +46,8 @@ mod stats;
 mod time;
 
 pub use engine::{
-    CompId, Component, ComponentStats, Ctx, DeliveryHook, Engine, EngineStats, RunLimit, TraceEntry,
+    CompId, Component, ComponentStats, Ctx, DeliveryHook, Engine, EngineStats, ProgressMeter,
+    RunLimit, TraceEntry, WatchdogOutcome,
 };
 pub use metrics::{CounterId, GaugeId, MetricsRegistry, Sample, SeriesId};
 pub use rng::SimRng;

@@ -1,6 +1,7 @@
 //! The wire protocol spoken between Host Interface Boards.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::addr::GOffset;
 use crate::ids::NodeId;
@@ -38,7 +39,7 @@ impl fmt::Display for AtomicOp {
 /// operations (§2.2.3), the owner-serialized update-coherence traffic
 /// (§2.3), the VSM-baseline page traffic (§2.1) and the DMA stream used by
 /// the OS-trap message-passing baseline (§1).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum WireMsg {
     /// Remote write: store `val` at `addr` in the destination's segment.
     WriteReq {
@@ -261,9 +262,30 @@ pub struct Packet {
     /// Per-source injection sequence number (diagnostic; assigned by the
     /// injecting HIB, checked by in-order tests).
     pub inject_seq: u64,
+    /// Link-layer sequence number, restamped by the transmitting port on
+    /// every hop when link-level reliability is enabled (0 otherwise).
+    pub link_seq: u64,
+    /// Frame checksum as put on the wire by [`Packet::seal`]; receivers
+    /// recompute and compare (see [`Packet::checksum_ok`]). A value of 0
+    /// with an unsealed packet means "no checksum" (unreliable links).
+    pub checksum: u32,
 }
 
 impl Packet {
+    /// Creates a packet with link-layer fields cleared; the transmitting
+    /// port stamps `link_seq` and seals the checksum when reliability is
+    /// enabled.
+    pub fn new(src: NodeId, dst: NodeId, msg: WireMsg, inject_seq: u64) -> Self {
+        Packet {
+            src,
+            dst,
+            msg,
+            inject_seq,
+            link_seq: 0,
+            checksum: 0,
+        }
+    }
+
     /// Total bytes on the wire: header plus payload.
     pub fn size_bytes(&self) -> u32 {
         HEADER_BYTES + self.msg.payload_bytes()
@@ -273,6 +295,64 @@ impl Packet {
     /// inject_seq)` pair that already uniquely names every injected packet.
     pub fn trace_id(&self) -> crate::trace::TraceId {
         crate::trace::TraceId::packet(self.src, self.inject_seq)
+    }
+
+    /// The frame checksum over header and payload (everything except the
+    /// checksum field itself). Deterministic within a build — exactly what
+    /// a simulated CRC needs. FNV-1a rather than the std SipHash: every
+    /// reliable hop seals or verifies each frame, so this sits on the
+    /// fabric's hot path, and a simulated CRC needs bit-flip sensitivity,
+    /// not collision resistance.
+    pub fn compute_checksum(&self) -> u32 {
+        let mut h = Fnv1a::default();
+        self.src.hash(&mut h);
+        self.dst.hash(&mut h);
+        self.inject_seq.hash(&mut h);
+        self.link_seq.hash(&mut h);
+        self.msg.hash(&mut h);
+        let v = h.finish();
+        // Fold to 32 bits, avoiding 0 so "sealed" is distinguishable.
+        (((v >> 32) as u32) ^ (v as u32)) | 1
+    }
+
+    /// Stamps the wire checksum (after `link_seq` is final).
+    pub fn seal(&mut self) {
+        self.checksum = self.compute_checksum();
+    }
+
+    /// Verifies the wire checksum. Only meaningful for sealed frames.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+}
+
+/// A minimal FNV-1a [`Hasher`] for the frame checksum: one multiply and
+/// xor per byte, no per-hash key setup.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // The dominant input (ids, sequence numbers, payload words): fold
+        // whole words instead of byte-at-a-time.
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -295,12 +375,7 @@ mod tests {
     use super::*;
 
     fn packet(msg: WireMsg) -> Packet {
-        Packet {
-            src: NodeId::new(0),
-            dst: NodeId::new(1),
-            msg,
-            inject_seq: 0,
-        }
+        Packet::new(NodeId::new(0), NodeId::new(1), msg, 0)
     }
 
     #[test]
@@ -354,6 +429,40 @@ mod tests {
         }
         .is_posted());
         assert!(!WireMsg::WriteAck.is_posted());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut p = packet(WireMsg::WriteReq {
+            addr: GOffset::new(8),
+            val: 42,
+        });
+        p.link_seq = 7;
+        p.seal();
+        assert!(p.checksum_ok());
+        // Payload corruption is caught.
+        let mut bad = p.clone();
+        bad.msg = WireMsg::WriteReq {
+            addr: GOffset::new(8),
+            val: 43,
+        };
+        assert!(!bad.checksum_ok());
+        // Checksum-field corruption is caught.
+        let mut flipped = p.clone();
+        flipped.checksum ^= 0x4;
+        assert!(!flipped.checksum_ok());
+        // Link-sequence corruption is caught.
+        let mut reseq = p.clone();
+        reseq.link_seq = 8;
+        assert!(!reseq.checksum_ok());
+        // Sealing is deterministic.
+        let mut again = packet(WireMsg::WriteReq {
+            addr: GOffset::new(8),
+            val: 42,
+        });
+        again.link_seq = 7;
+        again.seal();
+        assert_eq!(again.checksum, p.checksum);
     }
 
     #[test]

@@ -98,6 +98,16 @@ pub enum Stage {
     /// The destination HIB finished the packet: memory committed, protocol
     /// action applied, or completion consumed (acks/responses).
     Commit,
+    /// The frame was lost or discarded on a link hop: dropped in flight by
+    /// an injected fault, or discarded by the receiving link layer on a
+    /// checksum/sequence violation. Link-level retransmission recovers it.
+    Dropped,
+    /// The transmitting port re-sent the frame from its retransmit buffer
+    /// (timeout or NACK driven).
+    Retransmit,
+    /// The transmitting port completed a credit-resync handshake with its
+    /// neighbor after losing credits.
+    CreditResync,
 }
 
 impl Stage {
@@ -111,6 +121,9 @@ impl Stage {
             Stage::RxEnqueue => "rx-enqueue",
             Stage::RxStart => "rx-start",
             Stage::Commit => "commit",
+            Stage::Dropped => "dropped",
+            Stage::Retransmit => "retransmit",
+            Stage::CreditResync => "credit-resync",
         }
     }
 }

@@ -83,12 +83,7 @@ fn packet_size_is_header_plus_payload() {
         ];
         for msg in msgs {
             let payload = msg.payload_bytes();
-            let p = Packet {
-                src: NodeId::new(0),
-                dst: NodeId::new(1),
-                msg,
-                inject_seq: 0,
-            };
+            let p = Packet::new(NodeId::new(0), NodeId::new(1), msg, 0);
             assert_eq!(p.size_bytes(), HEADER_BYTES + payload);
             assert!(payload >= 2, "every message carries something");
         }

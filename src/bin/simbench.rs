@@ -8,9 +8,16 @@
 //!    scheduler hot path, queue depth ~1).
 //! 2. `ping_pong_hooked` — the same microbench with a delivery hook
 //!    installed, tracking the per-event cost of observability.
-//! 3. `stencil_16` — a 16-node Jacobi stencil over eager-update boundary
+//! 3. `ping_pong_net` — a bidirectional two-endpoint stream through a
+//!    star fabric (switch routing + credit flow control, no link-level
+//!    reliability).
+//! 4. `ping_pong_reliable` — the same fabric stream with the link-level
+//!    reliability protocol on (framing, checksums, per-link sequence
+//!    numbers, acks). Compare events/sec against `ping_pong_net` for the
+//!    per-event cost of the reliability layer, which must stay small.
+//! 5. `stencil_16` — a 16-node Jacobi stencil over eager-update boundary
 //!    pages via `tg-workloads` (full cluster stack, deep queues).
-//! 4. `proto_sweep` — a coherence-interleaving sweep of the owner
+//! 6. `proto_sweep` — a coherence-interleaving sweep of the owner
 //!    protocol via `tg-proto` (adversarial RNG-driven delivery).
 //!
 //! Deliberately dependency-free (plain `std::time::Instant`, hand-rolled
@@ -20,8 +27,11 @@
 use std::time::Instant;
 
 use telegraphos::ClusterBuilder;
+use tg_net::testing::{kick, SourceSink};
+use tg_net::{build_network_with, NetConfig, RelParams, Topology};
 use tg_proto::{owner::OwnerSerialized, Scenario};
 use tg_sim::{Component, Ctx, Engine, SimTime};
+use tg_wire::{GOffset, NodeId, TimingConfig, WireMsg};
 use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
 
 /// One measured workload.
@@ -129,6 +139,69 @@ fn ping_pong_inner(hooked: bool) -> (u64, u64) {
     (s.events_delivered, s.max_queue_len as u64)
 }
 
+// ---------------------------------------------------- fabric ping-pong
+
+/// A bidirectional stream between two endpoints through a star fabric:
+/// switch routing, FIFO queues and credit flow control in the loop, but
+/// no link-level reliability.
+fn ping_pong_net() -> (u64, u64) {
+    ping_pong_net_inner(false)
+}
+
+/// The same fabric stream with the link-level reliability protocol on
+/// every hop: framing, checksums, per-link sequence numbers and acks.
+/// The events/sec gap against `ping_pong_net` is the per-event cost of
+/// the reliability layer on a lossless fabric.
+fn ping_pong_reliable() -> (u64, u64) {
+    ping_pong_net_inner(true)
+}
+
+fn ping_pong_net_inner(reliable: bool) -> (u64, u64) {
+    const MSGS: u64 = 30_000;
+    let timing = TimingConfig::telegraphos_i();
+    let topo = Topology::star(2);
+    let config = NetConfig {
+        reliability: reliable.then(RelParams::default),
+        injector: None,
+    };
+    let mut engine = Engine::new();
+    let ids: Vec<tg_sim::CompId> = (0..2)
+        .map(|i| engine.add(SourceSink::new(NodeId::new(i), timing.clone())))
+        .collect();
+    let handles =
+        build_network_with(&mut engine, &topo, &timing, &ids, &config).expect("connected");
+    for (id, w) in ids.iter().zip(handles.endpoints) {
+        engine
+            .get_mut::<SourceSink>(*id)
+            .unwrap()
+            .wire(w.tx, w.rx_upstream);
+    }
+    for i in 0..MSGS {
+        let msg = WireMsg::WriteReq {
+            addr: GOffset::new(i * 8),
+            val: i,
+        };
+        engine
+            .get_mut::<SourceSink>(ids[0])
+            .unwrap()
+            .enqueue(NodeId::new(1), msg.clone());
+        engine
+            .get_mut::<SourceSink>(ids[1])
+            .unwrap()
+            .enqueue(NodeId::new(0), msg);
+    }
+    kick(&mut engine, ids[0]);
+    kick(&mut engine, ids[1]);
+    engine.run();
+    for &id in &ids {
+        let ss = engine.get::<SourceSink>(id).unwrap();
+        assert_eq!(ss.received.len(), MSGS as usize, "stream wedged");
+        assert_eq!(ss.retransmits(), 0, "lossless run retransmitted");
+    }
+    let s = engine.stats();
+    (s.events_delivered, s.max_queue_len as u64)
+}
+
 // ------------------------------------------------------------- stencil_16
 
 /// A 16-node distributed Jacobi stencil (the tests/stencil.rs setup at
@@ -216,6 +289,8 @@ fn main() {
     let measurements = [
         measure("ping_pong", 5, ping_pong),
         measure("ping_pong_hooked", 5, ping_pong_hooked),
+        measure("ping_pong_net", 5, ping_pong_net),
+        measure("ping_pong_reliable", 5, ping_pong_reliable),
         measure("stencil_16", 5, stencil_16),
         measure("proto_sweep", 3, proto_sweep),
     ];

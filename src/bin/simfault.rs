@@ -1,0 +1,227 @@
+//! `simfault` — seeded fault campaigns against the reliable fabric.
+//!
+//! Runs a fixed cluster workload under a matrix of fault scenarios
+//! (frame drops, corruption, a link outage window, credit loss) × seeds,
+//! each with
+//! link-level reliability enabled, and checks that every faulted run is
+//! *fully masked*: same final memory contents and operation counts as
+//! the fault-free reference, no dead links, and the quiescence-time
+//! conservation invariants intact. Prints a recovery report (recovery
+//! latency, retransmissions, resyncs per run) plus a recovery-latency
+//! vs drop-rate sweep, and exits nonzero if any run diverges — the CI
+//! fault-matrix smoke test.
+//!
+//! Usage: `simfault [--seeds N]` (default 3 seeds per scenario).
+
+use std::process::ExitCode;
+
+use telegraphos::{
+    Action, Cluster, ClusterBuilder, FaultPlan, LinkId, RelParams, Script, SharedPage,
+};
+use tg_sim::SimTime;
+use tg_wire::trace::Site;
+use tg_wire::NodeId;
+
+const NODES: u16 = 3;
+const WRITES: u64 = 60;
+
+/// The workload every run executes: two writer nodes stream writes into a
+/// shared page on the third, fence, then read a sample back.
+fn script(page: &SharedPage, base: u64) -> Script {
+    let mut acts: Vec<Action> = (0..WRITES)
+        .map(|i| Action::Write(page.va((base + i % 16) * 8), i + 1))
+        .collect();
+    acts.push(Action::Fence);
+    acts.push(Action::Read(page.va(base * 8)));
+    Script::new(acts)
+}
+
+fn build(plan: Option<FaultPlan>) -> (Cluster, SharedPage) {
+    let mut b = ClusterBuilder::new(NODES).reliable_links(RelParams::default());
+    if let Some(p) = plan {
+        b = b.with_faults(p);
+    }
+    let mut cluster = b.build();
+    let page = cluster.alloc_shared(2);
+    cluster.set_process(0, script(&page, 0));
+    cluster.set_process(1, script(&page, 16));
+    (cluster, page)
+}
+
+/// Everything a campaign compares between a faulted run and the
+/// fault-free reference.
+#[derive(PartialEq, Eq, Debug)]
+struct Outcome {
+    memory: Vec<u64>,
+    writes: (u64, u64),
+    reads: (u64, u64),
+    fences: (u64, u64),
+}
+
+struct RunReport {
+    outcome: Outcome,
+    finished_at: SimTime,
+    halted: bool,
+    retransmits: u64,
+    resyncs: u64,
+    frames_lost: u64,
+    corrupted: u64,
+    credits_lost: u64,
+    violations: Vec<String>,
+    dead_links: bool,
+}
+
+fn run(plan: Option<FaultPlan>) -> RunReport {
+    let (mut cluster, page) = build(plan);
+    cluster.run();
+    let memory: Vec<u64> = (0..32).map(|w| cluster.read_shared(&page, w)).collect();
+    let st0 = cluster.node(0).stats();
+    let st1 = cluster.node(1).stats();
+    let fs = cluster.fault_stats();
+    RunReport {
+        outcome: Outcome {
+            memory,
+            writes: (st0.remote_writes.count(), st1.remote_writes.count()),
+            reads: (st0.remote_reads.count(), st1.remote_reads.count()),
+            fences: (st0.fences.count(), st1.fences.count()),
+        },
+        finished_at: cluster.now(),
+        halted: cluster.all_halted(),
+        retransmits: cluster.fabric_retransmits(),
+        resyncs: cluster.fabric_resyncs(),
+        frames_lost: fs.as_ref().map_or(0, |s| s.drops + s.outage_drops),
+        corrupted: fs.as_ref().map_or(0, |s| s.corrupts),
+        credits_lost: fs.as_ref().map_or(0, |s| s.credits_lost),
+        violations: cluster.conservation_violations(),
+        dead_links: !cluster.link_errors().is_empty(),
+    }
+}
+
+fn victim_uplink() -> LinkId {
+    LinkId::new(Site::Node(NodeId::new(0)), Site::Switch(0))
+}
+
+fn scenario_plan(name: &str, seed: u64) -> FaultPlan {
+    match name {
+        "drop" => FaultPlan::new(seed).drop(0.20),
+        "corrupt" => FaultPlan::new(seed).corrupt(0.15),
+        "outage" => FaultPlan::new(seed).drop(0.05).outage(
+            victim_uplink(),
+            SimTime::from_us(5),
+            SimTime::from_us(40),
+        ),
+        "creditloss" => FaultPlan::new(seed).credit_loss(0.5),
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut n_seeds: u64 = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                n_seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds takes a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reference = run(None);
+    assert!(reference.halted, "fault-free reference did not halt");
+    assert!(
+        reference.violations.is_empty(),
+        "fault-free reference broke conservation: {:?}",
+        reference.violations
+    );
+    println!(
+        "reference: completed at {} ({} retransmits)",
+        reference.finished_at, reference.retransmits
+    );
+    println!();
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>6} {:>6} {:>6} {:>12} {:>10}  status",
+        "scenario", "seed", "lost", "corrupt", "closs", "retx", "resync", "finished", "recovery"
+    );
+
+    let mut failures = 0u32;
+    for scenario in ["drop", "corrupt", "outage", "creditloss"] {
+        for s in 0..n_seeds {
+            let seed = 0xFA_0001 + 0x1000 * s;
+            let r = run(Some(scenario_plan(scenario, seed)));
+            let masked = r.halted
+                && r.outcome == reference.outcome
+                && r.violations.is_empty()
+                && !r.dead_links;
+            let recovery = r.finished_at.saturating_sub(reference.finished_at);
+            println!(
+                "{:<10} {:>6x} {:>8} {:>8} {:>6} {:>6} {:>6} {:>12} {:>10}  {}",
+                scenario,
+                seed,
+                r.frames_lost,
+                r.corrupted,
+                r.credits_lost,
+                r.retransmits,
+                r.resyncs,
+                r.finished_at.to_string(),
+                recovery.to_string(),
+                if masked { "ok" } else { "FAIL" }
+            );
+            if !masked {
+                failures += 1;
+                if !r.halted {
+                    eprintln!("  {scenario}/{seed:x}: cluster wedged");
+                }
+                if r.outcome != reference.outcome {
+                    eprintln!("  {scenario}/{seed:x}: outcome diverged from reference");
+                }
+                for v in &r.violations {
+                    eprintln!("  {scenario}/{seed:x}: {v}");
+                }
+                if r.dead_links {
+                    eprintln!("  {scenario}/{seed:x}: link declared dead");
+                }
+            }
+        }
+    }
+
+    println!();
+    println!("recovery latency vs drop rate (seed 0xFA2001):");
+    println!(
+        "{:>7} {:>8} {:>8} {:>12} {:>10}",
+        "drop%", "lost", "retx", "finished", "recovery"
+    );
+    for pct in [5u64, 10, 20, 30, 40] {
+        let plan = FaultPlan::new(0xFA2001).drop(pct as f64 / 100.0);
+        let r = run(Some(plan));
+        let masked = r.halted && r.outcome == reference.outcome && r.violations.is_empty();
+        let recovery = r.finished_at.saturating_sub(reference.finished_at);
+        println!(
+            "{:>7} {:>8} {:>8} {:>12} {:>10}{}",
+            pct,
+            r.frames_lost,
+            r.retransmits,
+            r.finished_at.to_string(),
+            recovery.to_string(),
+            if masked { "" } else { "  FAIL" }
+        );
+        if !masked {
+            failures += 1;
+        }
+    }
+
+    println!();
+    if failures > 0 {
+        eprintln!("simfault: {failures} run(s) diverged");
+        ExitCode::FAILURE
+    } else {
+        println!("simfault: all faulted runs fully masked");
+        ExitCode::SUCCESS
+    }
+}

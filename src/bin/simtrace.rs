@@ -8,6 +8,7 @@
 //! ```text
 //! simtrace [pingpong|stencil] [--nodes N] [--out FILE] [--metrics]
 //!          [--interval-us U] [--check] [--quiet]
+//!          [--reliable] [--drop P] [--corrupt P] [--fault-seed S]
 //! ```
 //!
 //! * `pingpong` (default) — every node stores into, fences on, reads from
@@ -16,10 +17,18 @@
 //!   pages (the simbench workload at trace-friendly scale).
 //! * `--metrics` — sample congestion metrics while running and print the
 //!   registry.
+//! * `--reliable` — run the link-level reliability protocol (checksum +
+//!   seq + ack/retransmit); `--drop P` / `--corrupt P` additionally
+//!   inject seeded frame faults (implies `--reliable`, since a lossy
+//!   fabric without recovery wedges the workload), so the trace shows
+//!   `dropped`, `retransmit` and `credit-resync` lifecycle points.
 //! * `--check` — verify the export: the JSON is well-formed, timestamps
-//!   are monotonically non-decreasing per track, and per-stage breakdowns
-//!   sum exactly to the end-to-end latencies in `NodeStats`. Exits
-//!   non-zero on any violation.
+//!   are monotonically non-decreasing per track, per-stage breakdowns
+//!   sum exactly to the end-to-end latencies in `NodeStats`, and the
+//!   fault-recovery trace reconciles with the fabric counters (traced
+//!   retransmits == `fabric_retransmits()`, every injector-dropped frame
+//!   traced, no drops traced on a lossless run, conservation intact).
+//!   Exits non-zero on any violation.
 //!
 //! Dependency-free by design (hand-rolled JSON both ways) so it runs in
 //! offline/vendored environments.
@@ -30,9 +39,9 @@ use std::process::ExitCode;
 use telegraphos::observe::{
     breakdown_report, chrome_events, chrome_trace_json, json_is_wellformed, ChromeEvent,
 };
-use telegraphos::{Action, Cluster, ClusterBuilder, Script, TraceCollector};
+use telegraphos::{Action, Cluster, ClusterBuilder, FaultPlan, RelParams, Script, TraceCollector};
 use tg_sim::{MetricsRegistry, SimTime};
-use tg_wire::trace::OpKind;
+use tg_wire::trace::{OpKind, Stage};
 use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
 
 struct Options {
@@ -43,6 +52,10 @@ struct Options {
     interval_us: u64,
     check: bool,
     quiet: bool,
+    reliable: bool,
+    drop: f64,
+    corrupt: f64,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -54,6 +67,10 @@ fn parse_args() -> Result<Options, String> {
         interval_us: 1,
         check: false,
         quiet: false,
+        reliable: false,
+        drop: 0.0,
+        corrupt: 0.0,
+        fault_seed: 0xFA_0001,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,20 +88,57 @@ fn parse_args() -> Result<Options, String> {
             "--metrics" => opts.metrics = true,
             "--check" => opts.check = true,
             "--quiet" => opts.quiet = true,
+            "--reliable" => opts.reliable = true,
+            "--drop" => {
+                let v = args.next().ok_or("--drop needs a value")?;
+                opts.drop = v.parse().map_err(|_| format!("bad --drop {v}"))?;
+            }
+            "--corrupt" => {
+                let v = args.next().ok_or("--corrupt needs a value")?;
+                opts.corrupt = v.parse().map_err(|_| format!("bad --corrupt {v}"))?;
+            }
+            "--fault-seed" => {
+                let v = args.next().ok_or("--fault-seed needs a value")?;
+                opts.fault_seed = v.parse().map_err(|_| format!("bad --fault-seed {v}"))?;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
     if opts.nodes < 2 {
         return Err("need at least 2 nodes".to_string());
     }
+    if !(0.0..=1.0).contains(&opts.drop) || !(0.0..=1.0).contains(&opts.corrupt) {
+        return Err("fault probabilities must be within [0, 1]".to_string());
+    }
+    // Injected faults without link-level recovery would wedge the workload.
+    if opts.drop > 0.0 || opts.corrupt > 0.0 {
+        opts.reliable = true;
+    }
     Ok(opts)
+}
+
+/// A cluster builder reflecting the reliability / fault options.
+fn builder(opts: &Options) -> ClusterBuilder {
+    let mut b = ClusterBuilder::new(opts.nodes);
+    if opts.reliable {
+        b = b.reliable_links(RelParams::default());
+    }
+    if opts.drop > 0.0 || opts.corrupt > 0.0 {
+        b = b.with_faults(
+            FaultPlan::new(opts.fault_seed)
+                .drop(opts.drop)
+                .corrupt(opts.corrupt),
+        );
+    }
+    b
 }
 
 /// Every node writes to / fences on / reads from / atomically increments a
 /// page homed on its ring neighbor: remote writes, blocking reads and
 /// atomic launches on every node, crossing the full fabric.
-fn build_pingpong(nodes: u16) -> Cluster {
-    let mut cluster = ClusterBuilder::new(nodes).build();
+fn build_pingpong(opts: &Options) -> Cluster {
+    let nodes = opts.nodes;
+    let mut cluster = builder(opts).build();
     let pages: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
     for n in 0..nodes {
         let peer = &pages[((n + 1) % nodes) as usize];
@@ -103,14 +157,15 @@ fn build_pingpong(nodes: u16) -> Cluster {
 
 /// The simbench Jacobi stencil at trace-friendly scale, with the result
 /// checked against the sequential reference.
-fn build_stencil(nodes: u16) -> (Cluster, Vec<u64>, Vec<telegraphos::SharedPage>) {
+fn build_stencil(opts: &Options) -> (Cluster, Vec<u64>, Vec<telegraphos::SharedPage>) {
     const STRIP: usize = 8;
     const ITERS: u32 = 4;
+    let nodes = opts.nodes;
     let (left_bc, right_bc) = (900u64, 100u64);
     let total = STRIP * nodes as usize;
     let initial: Vec<u64> = (0..total).map(|i| (i as u64 * 53) % 777).collect();
 
-    let mut cluster = ClusterBuilder::new(nodes).build();
+    let mut cluster = builder(opts).build();
     let boundary: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
     for n in 0..nodes {
         let mut consumers = Vec::new();
@@ -216,6 +271,38 @@ fn check_export(
             }
         }
     }
+    // Fault-recovery trace reconciles with the fabric counters: the probe
+    // sees exactly the retransmissions the ports count, every frame the
+    // injector killed shows up as a dropped lifecycle point, and a
+    // lossless run traces no drops at all. Either way, a drained fabric
+    // must still conserve credits and packets.
+    let packets = collector.packet_events();
+    let stage_count = |stage: Stage| packets.iter().filter(|e| e.stage == stage).count() as u64;
+    let retx = stage_count(Stage::Retransmit);
+    if retx != cluster.fabric_retransmits() {
+        problems.push(format!(
+            "trace saw {retx} retransmits, ports count {}",
+            cluster.fabric_retransmits()
+        ));
+    }
+    let dropped = stage_count(Stage::Dropped);
+    match cluster.fault_stats() {
+        Some(fs) => {
+            let injected = fs.drops + fs.outage_drops;
+            if dropped < injected {
+                problems.push(format!(
+                    "injector killed {injected} frames but only {dropped} traced as dropped"
+                ));
+            }
+        }
+        None if dropped != 0 => {
+            problems.push(format!(
+                "{dropped} frames traced as dropped on a lossless run"
+            ));
+        }
+        None => {}
+    }
+    problems.extend(cluster.conservation_violations());
     problems
 }
 
@@ -229,9 +316,9 @@ fn main() -> ExitCode {
     };
 
     let (mut cluster, stencil_check) = match opts.workload.as_str() {
-        "pingpong" => (build_pingpong(opts.nodes), None),
+        "pingpong" => (build_pingpong(&opts), None),
         _ => {
-            let (c, want, results) = build_stencil(opts.nodes);
+            let (c, want, results) = build_stencil(&opts);
             (c, Some((want, results)))
         }
     };
@@ -274,6 +361,16 @@ fn main() -> ExitCode {
             opts.out
         );
         print!("{}", breakdown_report(&collector.breakdowns()));
+        if opts.reliable {
+            let fs = cluster.fault_stats();
+            println!(
+                "recovery: {} retransmits, {} resyncs, {} frames lost, {} corrupted",
+                cluster.fabric_retransmits(),
+                cluster.fabric_resyncs(),
+                fs.as_ref().map_or(0, |s| s.drops + s.outage_drops),
+                fs.as_ref().map_or(0, |s| s.corrupts),
+            );
+        }
         if opts.metrics {
             print!("{metrics}");
         }
@@ -287,7 +384,10 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
-        println!("check: ok (json well-formed, tracks monotonic, breakdowns reconcile)");
+        println!(
+            "check: ok (json well-formed, tracks monotonic, breakdowns and \
+             fault-recovery counters reconcile)"
+        );
     }
     ExitCode::SUCCESS
 }
