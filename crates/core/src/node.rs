@@ -1055,7 +1055,7 @@ impl Node {
                                 WireMsg::PageData {
                                     tag,
                                     index,
-                                    vals,
+                                    vals: vals.into(),
                                     last,
                                 },
                                 shim,
@@ -1130,7 +1130,7 @@ impl Node {
                                 WireMsg::PageData {
                                     tag,
                                     index,
-                                    vals,
+                                    vals: vals.into(),
                                     last,
                                 },
                                 shim,

@@ -57,7 +57,7 @@ pub enum OsEffect {
         /// Word index within the page.
         index: u32,
         /// The words.
-        vals: Vec<u64>,
+        vals: tg_wire::Payload,
     },
     /// Map `vpage` to a local frame (replication completed).
     MapLocal {
@@ -191,7 +191,7 @@ impl Os {
         &mut self,
         tag: u32,
         index: u32,
-        vals: Vec<u64>,
+        vals: tg_wire::Payload,
         last: bool,
     ) -> Vec<OsEffect> {
         let Some(&pending) = self.repl_pending.get(&tag) else {
@@ -296,9 +296,9 @@ mod tests {
         // Duplicate alarms are suppressed while (and after) fetching.
         assert!(!os.wants_replication(NodeId::new(1), PageNum::new(3)));
 
-        let fx = os.replication_data(tag, 0, vec![1, 2], false);
+        let fx = os.replication_data(tag, 0, vec![1, 2].into(), false);
         assert_eq!(fx.len(), 1);
-        let fx = os.replication_data(tag, 2, vec![3], true);
+        let fx = os.replication_data(tag, 2, vec![3].into(), true);
         assert!(fx
             .iter()
             .any(|e| matches!(e, OsEffect::MapLocal { writable: true, .. })));

@@ -98,7 +98,7 @@ pub enum VsmEffect {
         /// Word index within the page.
         index: u32,
         /// The words.
-        vals: Vec<u64>,
+        vals: tg_wire::Payload,
     },
     /// The stalled fault on `vpage` is resolved; retry the access.
     ResumeFault {
@@ -327,7 +327,13 @@ impl VsmNode {
         }
     }
 
-    fn on_page_data(&mut self, tag: u32, index: u32, vals: Vec<u64>, last: bool) -> Vec<VsmEffect> {
+    fn on_page_data(
+        &mut self,
+        tag: u32,
+        index: u32,
+        vals: tg_wire::Payload,
+        last: bool,
+    ) -> Vec<VsmEffect> {
         let gpage = u64::from(tag & !VSM_TAG_BASE);
         let vpage = self.by_gpage[&gpage];
         let frame = self.pages[&vpage].meta.frame;
@@ -524,7 +530,7 @@ mod tests {
                     let msg = WireMsg::PageData {
                         tag: VSM_TAG_BASE | gpage as u32,
                         index: 0,
-                        vals: vec![0; 4],
+                        vals: vec![0; 4].into(),
                         last: true,
                     };
                     let out = nodes[dst.index()].on_msg(NodeId::new(at as u16), &msg);
@@ -627,13 +633,13 @@ mod tests {
         assert!(VsmNode::is_vsm_msg(&WireMsg::PageData {
             tag: VSM_TAG_BASE | 7,
             index: 0,
-            vals: vec![],
+            vals: vec![].into(),
             last: true
         }));
         assert!(!VsmNode::is_vsm_msg(&WireMsg::PageData {
             tag: 7,
             index: 0,
-            vals: vec![],
+            vals: vec![].into(),
             last: true
         }));
         assert!(!VsmNode::is_vsm_msg(&WireMsg::WriteAck));

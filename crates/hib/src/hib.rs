@@ -9,7 +9,7 @@ use tg_net::{
 use tg_proto::PendingCam;
 use tg_sim::{CompId, SimTime};
 use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
-use tg_wire::{AtomicOp, GOffset, NodeId, Packet, PageNum, TimingConfig, WireMsg};
+use tg_wire::{AtomicOp, GOffset, NodeId, Packet, PageNum, PayloadPool, TimingConfig, WireMsg};
 
 use crate::config::{HibConfig, LaunchMode, LocalWritePolicy};
 use crate::host::{
@@ -135,6 +135,10 @@ pub struct Hib {
     // Special-operation launch.
     special: Option<SpecialMode>,
     contexts: Vec<Context>,
+    /// Freelist for outgoing `CopyData`/`PageData` burst buffers; consumed
+    /// incoming bursts are recycled here too, so a node in a symmetric
+    /// copy exchange stops allocating once warm.
+    pool: PayloadPool,
     stats: HibStats,
     // Observability (all `None`/no-op unless a probe is installed).
     probe: Option<SharedProbe>,
@@ -185,6 +189,7 @@ impl Hib {
             stalled_store: None,
             special: None,
             contexts,
+            pool: PayloadPool::new(),
             stats: HibStats::default(),
             probe: None,
             rx_handling: None,
@@ -1127,6 +1132,7 @@ impl Hib {
                 };
                 let base = copy.dst.add(u64::from(index) * 8);
                 host.segment().write_block(base, &vals);
+                self.pool.recycle(vals);
                 if last {
                     self.copies_in_flight.remove(&tag);
                 }
@@ -1286,9 +1292,10 @@ impl Hib {
         let mut index = 0u32;
         while index < words {
             let n = burst.min(words - index);
-            let vals = host
-                .segment()
-                .read_block(from.add(u64::from(index) * 8), u64::from(n));
+            let mut buf = self.pool.take();
+            host.segment()
+                .read_block_into(from.add(u64::from(index) * 8), u64::from(n), &mut buf);
+            let vals = self.pool.seal(buf);
             let last = index + n >= words;
             let msg = if as_page {
                 WireMsg::PageData {

@@ -59,9 +59,15 @@ impl PhysMem {
 
     /// Reads `words` consecutive words starting at `off`.
     pub fn read_block(&self, off: GOffset, words: u64) -> Vec<u64> {
-        (0..words)
-            .map(|i| self.read(off.add(i * WORD_BYTES)))
-            .collect()
+        let mut out = Vec::new();
+        self.read_block_into(off, words, &mut out);
+        out
+    }
+
+    /// Reads `words` consecutive words starting at `off`, appending to
+    /// `out` — lets callers reuse burst buffers instead of allocating.
+    pub fn read_block_into(&self, off: GOffset, words: u64, out: &mut Vec<u64>) {
+        out.extend((0..words).map(|i| self.read(off.add(i * WORD_BYTES))));
     }
 
     /// Writes consecutive words starting at `off`.

@@ -722,7 +722,7 @@ mod tests {
             msg: WireMsg::CopyData {
                 tag: 0,
                 index: 0,
-                vals: vec![0; 64],
+                vals: vec![0; 64].into(),
                 last: true,
             },
             ..pkt()

@@ -49,6 +49,18 @@ pub struct Switch {
     /// starve high-numbered inputs under saturation.
     rr_next: Vec<usize>,
     fifo_capacity: u32,
+    /// The pending-work set: output ports whose state changed since the
+    /// last pump (new routed arrival, freed wire, returned credit, ack,
+    /// armed retransmission). `pump` examines only these, so quiescent
+    /// ports cost nothing; every event handler marks the ports it touches.
+    pending: Vec<bool>,
+    /// Count of set bits in `pending`, for the O(1) quiescent fast path.
+    pending_count: usize,
+    /// Ports examined during the current pump call; only these can need a
+    /// recovery timer (re)armed, since `TxPort::poll_timer` is a pure
+    /// function of port state and these are the only ports whose state
+    /// changed since the last pump armed everything it touched.
+    touched: Vec<bool>,
     stats: SwitchStats,
     /// Observability sink; `None` (the default) costs one branch per hook.
     probe: Option<SharedProbe>,
@@ -77,6 +89,9 @@ impl Switch {
             timing,
             rr_next: Vec::new(),
             fifo_capacity: 8,
+            pending: Vec::new(),
+            pending_count: 0,
+            touched: Vec::new(),
             stats: SwitchStats::default(),
             probe: None,
             site: Site::Switch(0),
@@ -177,7 +192,19 @@ impl Switch {
             let cap = self.fifo_capacity;
             self.fifos.push(RxFifo::new(cap));
             self.rr_next.push(0);
+            self.pending.push(false);
+            self.touched.push(false);
             self.rx_links.push(self.reliability.map(|_| LinkRx::new()));
+        }
+    }
+
+    /// Adds `port` to the pending-work set examined by the next pump.
+    fn mark_pending(&mut self, port: usize) {
+        if let Some(p) = self.pending.get_mut(port) {
+            if !*p {
+                *p = true;
+                self.pending_count += 1;
+            }
         }
     }
 
@@ -400,14 +427,34 @@ impl Switch {
         }
     }
 
-    /// Forwards as many FIFO heads as ports allow: each free output port
+    /// Forwards as many FIFO heads as ports allow: each marked output port
     /// arbitrates round-robin over the inputs requesting it. Go-back-N
     /// retransmissions outrank fresh traffic on their output.
+    ///
+    /// Only ports in the pending-work set are examined (quiescent ports
+    /// cost nothing — the common case exits on `pending_count == 0`). The
+    /// pass structure mirrors the old full-rescan loop exactly: a grant
+    /// that exposes a new FIFO head re-marks that head's output, and a
+    /// mark at a higher index than the current scan position is processed
+    /// within the same pass — so the grant order (and therefore every
+    /// scheduled event) is identical to the rescan's. An output leaves the
+    /// set when it grants (wire now busy until `PumpOut`), blocks on
+    /// credit (woken by `Credit`), or has no requesting input (woken by
+    /// `Arrive`); each wake-up event re-marks it.
     fn pump<M: NetMessage>(&mut self, ctx: &mut Ctx<'_, M>) {
+        if self.pending_count == 0 {
+            return;
+        }
         let nports = self.fifos.len();
         loop {
             let mut progressed = false;
             for out_port in 0..nports {
+                if !self.pending[out_port] {
+                    continue;
+                }
+                self.pending[out_port] = false;
+                self.pending_count -= 1;
+                self.touched[out_port] = true;
                 // Recovery first: a retransmission reuses the receiver slot
                 // its original launch reserved, so it needs no credit —
                 // only a free wire — and fresh traffic must wait behind it
@@ -429,6 +476,17 @@ impl Switch {
                         self.emit(ctx.now(), &packet, Stage::Retransmit);
                         self.dispatch(out_port, packet, false, ctx);
                         progressed = true;
+                    } else if self.pick_input(out_port).is_some() {
+                        // Fresh traffic is waiting behind the in-flight
+                        // recovery frame: that deferral is a block, and if
+                        // it is credits holding the port (the dropped
+                        // frame's credit never came back), the stall clock
+                        // must run — recovery is exactly when the
+                        // credit-stall series matters.
+                        self.stats.blocked += 1;
+                        if let Some(tx) = self.out[out_port].as_mut() {
+                            tx.note_blocked(ctx.now());
+                        }
                     }
                     continue;
                 }
@@ -467,7 +525,16 @@ impl Switch {
                         .frame(packet, ctx.now());
                 }
                 self.dispatch(out_port, packet, true, ctx);
+                // One grant per pass per output (the wire is busy until
+                // PumpOut), so advancing past the granted input here is
+                // exactly one round-robin step.
                 self.rr_next[out_port] = (in_port + 1) % nports;
+                // The pop may have exposed a new head behind this one;
+                // its output is work the rescan loop would have found.
+                if let Some(next) = self.fifos[in_port].head() {
+                    let next_out = self.route(next) as usize;
+                    self.mark_pending(next_out);
+                }
                 progressed = true;
             }
             if !progressed {
@@ -475,7 +542,10 @@ impl Switch {
             }
         }
         for out_port in 0..self.out.len() {
-            self.arm_timer(out_port, ctx);
+            if self.touched[out_port] {
+                self.touched[out_port] = false;
+                self.arm_timer(out_port, ctx);
+            }
         }
     }
 }
@@ -508,9 +578,14 @@ impl<M: NetMessage> Component<M> for Switch {
                             );
                         }
                         self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
+                        // If the arrival became a FIFO head it is new work
+                        // for its routed output; if it queued behind others
+                        // the mark is a cheap no-op grant check.
+                        let out = self.route(&packet) as usize;
                         if let Err(err) = self.fifos[in_port].push(packet) {
                             self.errors.push(err);
                         }
+                        self.mark_pending(out);
                         self.pump(ctx);
                     }
                     Some(RxVerdict::DupAck { ack }) => {
@@ -551,6 +626,7 @@ impl<M: NetMessage> Component<M> for Switch {
                 if let Err(err) = result {
                     self.errors.push(err);
                 }
+                self.mark_pending(port as usize);
                 self.pump(ctx);
             }
             NetEvent::PumpOut { port } => {
@@ -558,11 +634,13 @@ impl<M: NetMessage> Component<M> for Switch {
                     .as_mut()
                     .expect("pumped port attached")
                     .on_free();
+                self.mark_pending(port as usize);
                 self.pump(ctx);
             }
             NetEvent::Ack { port, seq } => {
                 if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
                     tx.on_ack(seq, ctx.now());
+                    self.mark_pending(port as usize);
                 }
                 self.pump(ctx);
             }
@@ -575,6 +653,9 @@ impl<M: NetMessage> Component<M> for Switch {
                 if let Some(TimerAction::Dead(err)) = action {
                     self.errors.push(err);
                 }
+                if action.is_some() {
+                    self.mark_pending(port as usize);
+                }
                 self.pump(ctx);
             }
             NetEvent::RetxTimer { port, gen } => {
@@ -585,7 +666,10 @@ impl<M: NetMessage> Component<M> for Switch {
                     .map(|tx| tx.on_timer(gen, ctx.now()))
                     .unwrap_or(TimerAction::Stale);
                 match action {
-                    TimerAction::Retransmit => self.pump(ctx),
+                    TimerAction::Retransmit => {
+                        self.mark_pending(port as usize);
+                        self.pump(ctx);
+                    }
                     TimerAction::Resync { token } => {
                         let (nbr, nbr_port) = {
                             let tx = self.out[port as usize].as_ref().expect("timed port");
@@ -631,6 +715,7 @@ impl<M: NetMessage> Component<M> for Switch {
             } => {
                 if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
                     tx.on_sync_ack(token, drained, ctx.now());
+                    self.mark_pending(port as usize);
                 }
                 self.pump(ctx);
             }

@@ -22,7 +22,7 @@ fn build_with(
     topo: &Topology,
     timing: &TimingConfig,
     config: &NetConfig,
-) -> (Engine<tg_net::NetEvent>, Vec<CompId>) {
+) -> (Engine<tg_net::NetEvent>, Vec<CompId>, Vec<CompId>) {
     let mut engine = Engine::new();
     let n = topo.endpoint_count();
     let ids: Vec<CompId> = (0..n)
@@ -36,7 +36,7 @@ fn build_with(
             ss.set_injector(inj.clone());
         }
     }
-    (engine, ids)
+    (engine, ids, handles.switches)
 }
 
 fn write(addr: u64, val: u64) -> WireMsg {
@@ -118,7 +118,7 @@ fn recoverable_faults_are_fully_masked() {
             reliability: Some(RelParams::default()),
             injector: None,
         };
-        let (mut engine, ids) = build_with(&topo, &timing, &reliable);
+        let (mut engine, ids, _) = build_with(&topo, &timing, &reliable);
         let expected = load_workload(&mut engine, &ids, case_seed, n_sends);
         assert_eq!(engine.run_events(4_000_000), RunLimit::Drained);
         let reference = observe(&engine, &ids);
@@ -136,7 +136,7 @@ fn recoverable_faults_are_fully_masked() {
             reliability: Some(RelParams::default()),
             injector: Some(FaultInjector::new(plan)),
         };
-        let (mut engine, ids) = build_with(&topo, &timing, &faulty);
+        let (mut engine, ids, _) = build_with(&topo, &timing, &faulty);
         let expected = load_workload(&mut engine, &ids, case_seed, n_sends);
         assert_eq!(
             engine.run_events(8_000_000),
@@ -186,7 +186,7 @@ fn identical_seeds_replay_identical_delivery_streams() {
             reliability: Some(RelParams::default()),
             injector: Some(FaultInjector::new(plan)),
         };
-        let (mut engine, ids) = build_with(&topo, &timing, &config);
+        let (mut engine, ids, _) = build_with(&topo, &timing, &config);
         load_workload(&mut engine, &ids, 0xB17F_0B17, 150);
         assert_eq!(engine.run_events(8_000_000), RunLimit::Drained);
         ids.iter()
@@ -214,7 +214,7 @@ fn lost_credits_are_resynced() {
         reliability: Some(RelParams::default()),
         injector: Some(FaultInjector::new(plan)),
     };
-    let (mut engine, ids) = build_with(&topo, &timing, &config);
+    let (mut engine, ids, _) = build_with(&topo, &timing, &config);
     for i in 0..40u64 {
         engine
             .get_mut::<SourceSink>(ids[0])
@@ -261,7 +261,7 @@ fn permanent_outage_degrades_into_a_dead_link() {
         reliability: Some(RelParams::default()),
         injector: Some(FaultInjector::new(plan)),
     };
-    let (mut engine, ids) = build_with(&topo, &timing, &config);
+    let (mut engine, ids, _) = build_with(&topo, &timing, &config);
     for i in 0..5u64 {
         engine
             .get_mut::<SourceSink>(ids[0])
@@ -289,5 +289,85 @@ fn permanent_outage_degrades_into_a_dead_link() {
             .received
             .is_empty(),
         "nothing can cross a dead link"
+    );
+}
+
+/// Regression for the credit-stall undercount in `Switch::pump`: while a
+/// dropped frame's retransmission waits for a busy wire, fresh traffic
+/// queued behind it is a deferral — `stats.blocked` must count it and the
+/// TxPort stall clock must run, because fault recovery is exactly when the
+/// credit-stall series matters. The old loop `continue`d past this case
+/// and recorded nothing.
+#[test]
+fn drop_recovery_records_switch_stall_time() {
+    let timing = TimingConfig::telegraphos_i();
+    let topo = Topology::star(2);
+    let load = |engine: &mut Engine<tg_net::NetEvent>, ids: &[CompId]| {
+        for i in 0..60u64 {
+            engine
+                .get_mut::<SourceSink>(ids[0])
+                .unwrap()
+                .enqueue(NodeId::new(1), write(i * 8, i + 1));
+        }
+        for &id in ids {
+            kick(engine, id);
+        }
+    };
+
+    // Control: the same stream over a fault-free reliable fabric.
+    let clean = NetConfig {
+        reliability: Some(RelParams::default()),
+        injector: None,
+    };
+    let (mut engine, ids, switches) = build_with(&topo, &timing, &clean);
+    load(&mut engine, &ids);
+    assert_eq!(engine.run_events(2_000_000), RunLimit::Drained);
+    let sw = engine.get::<tg_net::Switch>(switches[0]).unwrap();
+    let (clean_blocked, clean_stall) = (sw.stats().blocked, sw.credit_stall());
+
+    // Faulted: an outage on the switch → node 1 downlink drops every frame
+    // inside the window, forcing retransmissions while the backlog keeps
+    // the output requested.
+    let victim = LinkId::new(Site::Switch(0), Site::Node(NodeId::new(1)));
+    let plan = FaultPlan::new(0xB10C_0C45).drop(0.10).outage(
+        victim,
+        SimTime::from_us(2),
+        SimTime::from_us(40),
+    );
+    let faulty = NetConfig {
+        reliability: Some(RelParams::default()),
+        injector: Some(FaultInjector::new(plan)),
+    };
+    let (mut engine, ids, switches) = build_with(&topo, &timing, &faulty);
+    load(&mut engine, &ids);
+    assert_eq!(
+        engine.run_events(4_000_000),
+        RunLimit::Drained,
+        "recovery wedged"
+    );
+    let got: Vec<u64> = engine
+        .get::<SourceSink>(ids[1])
+        .unwrap()
+        .received
+        .iter()
+        .filter_map(|r| match r.packet.msg {
+            WireMsg::WriteReq { val, .. } => Some(val),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(got, (1..=60).collect::<Vec<u64>>(), "drops leaked through");
+
+    let sw = engine.get::<tg_net::Switch>(switches[0]).unwrap();
+    assert!(
+        sw.stats().blocked > clean_blocked,
+        "recovery deferrals were not counted as blocks ({} vs clean {})",
+        sw.stats().blocked,
+        clean_blocked
+    );
+    assert!(
+        sw.credit_stall() > clean_stall,
+        "the stall clock never ran during recovery ({:?} vs clean {:?})",
+        sw.credit_stall(),
+        clean_stall
     );
 }

@@ -75,10 +75,20 @@ impl<M> AbstractNet<M> {
         if self.in_flight == 0 {
             return None;
         }
-        let nonempty: Vec<usize> = (0..self.channels.len())
-            .filter(|&i| !self.channels[i].is_empty())
-            .collect();
-        let pick = nonempty[rng.range(nonempty.len() as u64) as usize];
+        // Count-then-select rather than collecting the non-empty indices:
+        // draws the same single random number over the same count, so the
+        // RNG stream and the chosen channel are identical to the old
+        // collecting version — but with no per-delivery allocation.
+        let nonempty = self.channels.iter().filter(|c| !c.is_empty()).count();
+        let k = rng.range(nonempty as u64) as usize;
+        let pick = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .nth(k)
+            .map(|(i, _)| i)
+            .expect("k < nonempty count");
         let msg = self.channels[pick].pop_front().expect("nonempty channel");
         self.in_flight -= 1;
         self.delivered += 1;

@@ -84,18 +84,20 @@ impl OwnerSerialized {
             .map(|_| PendingCam::new(config.cam_entries))
             .collect();
         let mut serialization: Vec<u64> = Vec::new();
+        // Reused across iterations; this loop is the proto_sweep hot path
+        // and must not allocate per step.
+        let mut issuers: Vec<usize> = Vec::with_capacity(n);
 
         loop {
             // A node can issue its next write if it has one and (for
             // non-owners) the CAM can take another pending entry.
-            let issuers: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    !scripts[i].is_empty()
-                        && (i == owner
-                            || cams[i].is_pending(WORD)
-                            || cams[i].len() < cams[i].capacity())
-                })
-                .collect();
+            issuers.clear();
+            issuers.extend((0..n).filter(|&i| {
+                !scripts[i].is_empty()
+                    && (i == owner
+                        || cams[i].is_pending(WORD)
+                        || cams[i].len() < cams[i].capacity())
+            }));
             let can_deliver = !net.is_quiescent();
             if issuers.is_empty() && !can_deliver {
                 break;

@@ -1,0 +1,432 @@
+//! A bucketed calendar queue for the dense short-horizon event mix.
+//!
+//! The engine's workloads schedule almost every event within a few hundred
+//! nanoseconds of `now` (link serialization, switch latency, credit
+//! returns), so the pending set lives in a narrow sliding window of time.
+//! A calendar queue [Brown 1988] exploits that: events hash by delivery
+//! "day" (`at >> width_shift`) into a power-of-two array of buckets, making
+//! `push` an append and `pop` a short scan near the cursor — no per-level
+//! sift moves of the (large) event payload like a heap needs.
+//!
+//! Exactness: the engine's delivery contract is strict `(at, seq)` order.
+//! The queue compares full packed keys (see [`Entry`]) when selecting a
+//! minimum, so pop order is byte-identical to the indexed heap's — the
+//! shared model-check property test in `queue.rs` pins this against both
+//! implementations.
+//!
+//! The cached front entry makes `peek` O(1) (the run loop peeks before
+//! every batch to honor deadlines), and `pop_batch` drains a whole
+//! same-instant tie in one bucket scan.
+//!
+//! Pathology and fallback: a calendar queue degenerates when the bucket
+//! geometry stops matching the event distribution (e.g. a dense cluster
+//! plus a handful of far-future timers landing in one bucket). Width and
+//! bucket count adapt on resize, and the queue keeps a scan-cost estimate;
+//! when the average scan stays bad across two consecutive windows *after*
+//! a resize had its chance, [`CalendarQueue::should_degrade`] reports true
+//! and the engine's [`EventQueue`](crate::queue::EventQueue) migrates the
+//! contents to the indexed heap (see DESIGN.md §7).
+
+use crate::heap::Entry;
+
+/// Minimum / maximum bucket-array sizes (powers of two).
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 1 << 14;
+/// Bucket-width bounds: 2^6 ps = 64 ps keeps same-nanosecond ties in one
+/// bucket; 2^40 ps ≈ 1.1 s covers any timer horizon in the repository.
+const MIN_WIDTH_SHIFT: u32 = 6;
+const MAX_WIDTH_SHIFT: u32 = 40;
+/// Default bucket width before the first resize: 2^13 ps ≈ 8 ns, the
+/// order of the calibrated link hop.
+const DEFAULT_WIDTH_SHIFT: u32 = 13;
+
+/// Scan-cost window for the degrade detector: after this many pops the
+/// average entries-scanned-per-pop is evaluated.
+const DEGRADE_WINDOW: u64 = 4096;
+/// Average scanned entries per pop above which a window counts as bad.
+const DEGRADE_SCAN_LIMIT: u64 = 24;
+/// Average scanned entries per pop above which a window, while not bad
+/// enough to count toward degrading, still triggers a corrective resize —
+/// the geometry is re-derived from the live contents (span / len), which
+/// fixes e.g. a small far-horizon timer mix that the default width spreads
+/// across several wraps of the bucket array.
+const TUNE_SCAN_LIMIT: u64 = 4;
+/// Consecutive bad windows before the queue asks to be replaced by the
+/// heap (the first bad window triggers a corrective resize instead).
+const DEGRADE_BAD_WINDOWS: u32 = 2;
+
+/// A bucketed calendar queue with exact `(at, seq)` pop order.
+#[derive(Clone, Debug)]
+pub(crate) struct CalendarQueue<T> {
+    /// Power-of-two bucket array; bucket `day & mask` holds entries of
+    /// that delivery day (`at >> width_shift`), possibly several "years"
+    /// (wraps of the array) apart.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// `buckets.len() - 1`.
+    mask: u64,
+    /// log₂ of the bucket width in picoseconds.
+    width_shift: u32,
+    /// Cached minimum entry: `peek` is O(1) and a pop hands it out
+    /// without re-scanning.
+    front: Option<Entry<T>>,
+    /// Total entries, including the cached front.
+    len: usize,
+    /// The day the minimum search resumes from (the day of the last
+    /// popped or currently cached minimum).
+    cur_day: u64,
+    /// Degrade detector: entries + buckets visited, pops served, and how
+    /// many consecutive windows looked pathological.
+    scanned: u64,
+    pops: u64,
+    bad_windows: u32,
+    degrade: bool,
+}
+
+impl<T> CalendarQueue<T> {
+    pub(crate) fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: (MIN_BUCKETS - 1) as u64,
+            width_shift: DEFAULT_WIDTH_SHIFT,
+            front: None,
+            len: 0,
+            cur_day: 0,
+            scanned: 0,
+            pops: 0,
+            bad_windows: 0,
+            degrade: false,
+        }
+    }
+
+    /// Pending entries (events, not buckets).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The minimum entry, if any — O(1) via the cached front.
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<&Entry<T>> {
+        self.front.as_ref()
+    }
+
+    /// True once the scan-cost detector has decided the distribution
+    /// defeats the bucket geometry; the owner should migrate to the heap.
+    pub(crate) fn should_degrade(&self) -> bool {
+        self.degrade
+    }
+
+    /// Drains every entry (front first, then buckets in arbitrary order)
+    /// for migration to another queue implementation.
+    pub(crate) fn drain_all(&mut self, out: &mut Vec<Entry<T>>) {
+        out.extend(self.front.take());
+        for b in &mut self.buckets {
+            out.append(b);
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, entry: Entry<T>) {
+        self.len += 1;
+        let day = entry.at_ps() >> self.width_shift;
+        match &mut self.front {
+            None => {
+                // The cursor must not sit past the cached minimum.
+                self.front = Some(entry);
+                self.cur_day = day;
+                return;
+            }
+            Some(f) if entry.key < f.key => {
+                let old = std::mem::replace(f, entry);
+                self.cur_day = day;
+                self.insert(old);
+            }
+            _ => self.buckets[(day & self.mask) as usize].push(entry),
+        }
+        if self.len > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            let target = (self.len.next_power_of_two()).clamp(MIN_BUCKETS, MAX_BUCKETS);
+            self.resize(target);
+        }
+    }
+
+    /// Removes and returns the minimum entry.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<Entry<T>> {
+        let out = self.front.take()?;
+        self.len -= 1;
+        if self.len == 0 {
+            // The cursor is stale now, but the next operation can only be
+            // a push, which resets it.
+            return Some(out);
+        }
+        self.cur_day = out.at_ps() >> self.width_shift;
+        self.refill_front();
+        self.note_pop(1);
+        Some(out)
+    }
+
+    /// Pops the minimum entry plus *every* other entry sharing its
+    /// delivery instant; the minimum is returned and the rest are appended
+    /// to `extras` in ascending seq order. A singleton batch (the common
+    /// case) touches no `Vec` at all.
+    ///
+    /// Same-instant entries share a day and therefore live in exactly one
+    /// bucket (plus the cached front), so the whole tie is extracted in a
+    /// single scan instead of one min-search per event.
+    #[inline]
+    pub(crate) fn pop_batch(&mut self, extras: &mut Vec<Entry<T>>) -> Option<Entry<T>> {
+        let f = self.front.take()?;
+        self.len -= 1;
+        if self.len == 0 {
+            // Singleton-queue fast path (ping-pong style workloads):
+            // nothing to scan, nothing to refill; the stale cursor is
+            // reset by the next push.
+            return Some(f);
+        }
+        let at = f.at_ps();
+        self.cur_day = at >> self.width_shift;
+        let bucket = &mut self.buckets[(self.cur_day & self.mask) as usize];
+        let start = extras.len();
+        let mut i = 0;
+        while i < bucket.len() {
+            if bucket[i].at_ps() == at {
+                extras.push(bucket.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let n = extras.len() - start;
+        self.len -= n;
+        // swap_remove scrambles relative order; seq order is the contract.
+        extras[start..].sort_unstable_by_key(|e| e.key);
+        self.refill_front();
+        self.note_pop(1 + n as u64);
+        Some(f)
+    }
+
+    #[inline]
+    fn insert(&mut self, entry: Entry<T>) {
+        let day = entry.at_ps() >> self.width_shift;
+        self.buckets[(day & self.mask) as usize].push(entry);
+    }
+
+    /// Finds, removes and caches the minimum bucket entry. All entries
+    /// have `day >= cur_day` (the engine never schedules into the past of
+    /// the last pop), so scanning days ascending from the cursor finds the
+    /// minimum day within one wrap of the array; ties within that day are
+    /// resolved by full-key comparison. An empty wrap falls back to a
+    /// direct whole-queue min search that also resyncs the cursor (the
+    /// far-future-timer case).
+    fn refill_front(&mut self) {
+        if self.len == 0 {
+            self.maybe_shrink();
+            return;
+        }
+        let nb = self.buckets.len();
+        let mut visited = 0u64;
+        for day in self.cur_day..self.cur_day + nb as u64 {
+            let bucket = &mut self.buckets[(day & self.mask) as usize];
+            visited += 1;
+            if !bucket.is_empty() {
+                visited += bucket.len() as u64;
+                let shift = self.width_shift;
+                let mut best: Option<(usize, u128)> = None;
+                for (j, e) in bucket.iter().enumerate() {
+                    if e.at_ps() >> shift == day && best.is_none_or(|(_, k)| e.key < k) {
+                        best = Some((j, e.key));
+                    }
+                }
+                if let Some((j, _)) = best {
+                    self.front = Some(bucket.swap_remove(j));
+                    self.cur_day = day;
+                    self.scanned += visited;
+                    self.maybe_shrink();
+                    return;
+                }
+            }
+        }
+        self.scanned += visited;
+        self.direct_min();
+        self.maybe_shrink();
+    }
+
+    /// O(n) min search over every bucket; used when a full wrap of the
+    /// calendar is empty for the coming year. Resyncs the cursor to the
+    /// found minimum so subsequent pops are local again.
+    fn direct_min(&mut self) {
+        debug_assert!(self.len > 0, "direct_min on an empty queue");
+        let mut best: Option<(usize, usize, u128)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            self.scanned += bucket.len() as u64;
+            for (j, e) in bucket.iter().enumerate() {
+                if best.is_none_or(|(_, _, k)| e.key < k) {
+                    best = Some((b, j, e.key));
+                }
+            }
+        }
+        let (b, j, _) = best.expect("len > 0 but no entry found");
+        let e = self.buckets[b].swap_remove(j);
+        self.cur_day = e.at_ps() >> self.width_shift;
+        self.front = Some(e);
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.buckets.len() > MIN_BUCKETS && self.len * 4 < self.buckets.len() {
+            let target = (self.len * 2)
+                .next_power_of_two()
+                .clamp(MIN_BUCKETS, MAX_BUCKETS);
+            self.resize(target);
+        }
+    }
+
+    /// Rebuilds the bucket array at `target` buckets, re-estimating the
+    /// bucket width from the current contents: width ≈ span / len rounded
+    /// to a power of two, so an average bucket-day holds about one entry.
+    /// Deterministic — a pure function of the queue contents.
+    fn resize(&mut self, target: usize) {
+        let mut scratch: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            scratch.append(b);
+        }
+        let (mut min_at, mut max_at) = match &self.front {
+            Some(f) => (f.at_ps(), f.at_ps()),
+            None => (u64::MAX, 0),
+        };
+        for e in &scratch {
+            min_at = min_at.min(e.at_ps());
+            max_at = max_at.max(e.at_ps());
+        }
+        let total = (scratch.len() + usize::from(self.front.is_some())).max(1);
+        let span = max_at.saturating_sub(min_at);
+        let per = (span / total as u64).max(1);
+        self.width_shift = (64 - per.leading_zeros()).clamp(MIN_WIDTH_SHIFT, MAX_WIDTH_SHIFT);
+        if self.buckets.len() != target {
+            self.buckets = (0..target).map(|_| Vec::new()).collect();
+            self.mask = (target - 1) as u64;
+        }
+        self.cur_day = match &self.front {
+            Some(f) => f.at_ps() >> self.width_shift,
+            None => min_at >> self.width_shift,
+        };
+        for e in scratch {
+            self.insert(e);
+        }
+    }
+
+    /// Advances the degrade detector by one pop serving `n` entries.
+    #[inline]
+    fn note_pop(&mut self, n: u64) {
+        self.pops += n.max(1);
+        if self.pops >= DEGRADE_WINDOW {
+            let avg = self.scanned / self.pops;
+            if avg > DEGRADE_SCAN_LIMIT {
+                self.bad_windows += 1;
+                if self.bad_windows >= DEGRADE_BAD_WINDOWS {
+                    self.degrade = true;
+                } else {
+                    // First bad window: give adaptation one chance before
+                    // giving up on the geometry.
+                    let target = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+                    self.resize(target);
+                }
+            } else {
+                self.bad_windows = 0;
+                if avg > TUNE_SCAN_LIMIT {
+                    // Mildly mismatched geometry: re-derive width/bucket
+                    // count from the live contents. Deterministic (a pure
+                    // function of contents and pop count) and invisible to
+                    // pop order, so traces are unaffected.
+                    let target = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+                    self.resize(target);
+                }
+            }
+            self.scanned = 0;
+            self.pops = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn front_slot_keeps_peek_current() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(Entry::new(SimTime::from_ns(50), 0, 50));
+        assert_eq!(q.peek().unwrap().item, 50);
+        // A smaller key displaces the cached front.
+        q.push(Entry::new(SimTime::from_ns(10), 1, 10));
+        assert_eq!(q.peek().unwrap().item, 10);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().item, 10);
+        assert_eq!(q.pop().unwrap().item, 50);
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn pop_batch_collects_whole_tie_in_seq_order() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        // Shuffled seqs at one instant, plus strays before and after.
+        for seq in [4u64, 1, 3, 0, 2] {
+            q.push(Entry::new(SimTime::from_ns(7), 10 + seq, seq));
+        }
+        q.push(Entry::new(SimTime::from_ns(9), 20, 99));
+        let mut extras = Vec::new();
+        let first = q.pop_batch(&mut extras).unwrap();
+        assert_eq!(first.item, 0);
+        let items: Vec<u64> = extras.iter().map(|e| e.item).collect();
+        assert_eq!(items, vec![1, 2, 3, 4]);
+        assert_eq!(q.len(), 1);
+        extras.clear();
+        let last = q.pop_batch(&mut extras).unwrap();
+        assert_eq!(last.item, 99);
+        assert!(extras.is_empty(), "singleton batch touches no vec");
+        assert!(q.pop_batch(&mut extras).is_none());
+    }
+
+    #[test]
+    fn far_future_jump_resyncs_cursor() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(Entry::new(SimTime::from_ns(1), 0, 1));
+        // Several "years" past the whole calendar at default geometry.
+        q.push(Entry::new(SimTime::from_ms(500), 1, 2));
+        assert_eq!(q.pop().unwrap().item, 1);
+        assert_eq!(q.pop().unwrap().item, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn grow_and_shrink_preserve_order() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        // Enough entries to force growth past MIN_BUCKETS * 2.
+        let mut keys: Vec<(u64, u64)> = Vec::new();
+        let mut rng = crate::SimRng::new(99);
+        for seq in 0..500u64 {
+            let at = rng.range(1_000_000);
+            q.push(Entry::new(SimTime::from_ps(at), seq, seq));
+            keys.push((at, seq));
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS, "growth expected");
+        keys.sort_unstable();
+        // Drain half (shrink kicks in), interleave some pushes.
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.at().as_ps(), e.seq()));
+        }
+        assert_eq!(popped, keys);
+    }
+
+    #[test]
+    fn len_counts_events_not_buckets() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        for seq in 0..100u64 {
+            // All at one instant: one bucket, a hundred events.
+            q.push(Entry::new(SimTime::from_ns(5), seq, 0));
+        }
+        assert_eq!(q.len(), 100);
+    }
+}

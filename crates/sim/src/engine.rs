@@ -5,7 +5,8 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
 
-use crate::heap::{Entry, EventHeap};
+use crate::heap::Entry;
+use crate::queue::{EventQueue, Popped, QueueKind};
 use crate::time::SimTime;
 
 /// Identifier of a component registered with an [`Engine`].
@@ -144,7 +145,11 @@ pub struct EngineStats {
     pub events_delivered: u64,
     /// Total events scheduled since construction.
     pub events_scheduled: u64,
-    /// High-water mark of the pending-event queue.
+    /// High-water mark of *pending events* — entries in the queue plus
+    /// any same-instant batch popped but not yet delivered. Counting
+    /// events (never queue-internal structures such as calendar buckets)
+    /// keeps the datapoint comparable across queue implementations and
+    /// across `BENCH_engine.json` history.
     pub max_queue_len: usize,
     /// Wall-clock nanoseconds spent inside `run`/`run_until`/`run_events`
     /// since construction (individual `step` calls are not timed).
@@ -209,13 +214,20 @@ pub struct Engine<M> {
     /// Component names captured once at registration, so the trace path
     /// never makes a virtual `name()` call (or re-allocates) per event.
     names: Vec<Box<str>>,
-    queue: EventHeap<Scheduled<M>>,
+    queue: EventQueue<Scheduled<M>>,
     now: SimTime,
     seq: u64,
     halt: bool,
     stats: EngineStats,
     comp_stats: Vec<ComponentStats>,
     outbox: Vec<(SimTime, CompId, M)>,
+    /// Scratch for batched same-instant delivery in `run_until`; kept on
+    /// the engine so its capacity is reused across batches.
+    batch: Vec<Entry<Scheduled<M>>>,
+    /// Same-instant events popped as a batch but not yet delivered; they
+    /// are still "pending" for queue-depth accounting even though they
+    /// have left the queue.
+    in_batch: usize,
     #[allow(clippy::type_complexity)]
     trace: Option<(usize, VecDeque<TraceEntry>, Box<dyn Fn(&M) -> String>)>,
     hook: Option<DeliveryHook>,
@@ -239,21 +251,39 @@ impl<M: 'static> Default for Engine<M> {
 }
 
 impl<M: 'static> Engine<M> {
-    /// Creates an empty engine at time zero.
+    /// Creates an empty engine at time zero, using the default calendar
+    /// event queue (see [`QueueKind`]).
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::Calendar)
+    }
+
+    /// Creates an empty engine with an explicit pending-event queue
+    /// implementation. Both kinds deliver in identical `(at, seq)` order;
+    /// they differ only in cost model. `Calendar` additionally degrades
+    /// itself to the heap if the event-time distribution defeats its
+    /// bucket geometry.
+    pub fn with_queue(kind: QueueKind) -> Self {
         Engine {
             components: Vec::new(),
             names: Vec::new(),
-            queue: EventHeap::new(),
+            queue: EventQueue::new(kind),
             now: SimTime::ZERO,
             seq: 0,
             halt: false,
             stats: EngineStats::default(),
             comp_stats: Vec::new(),
             outbox: Vec::new(),
+            batch: Vec::new(),
+            in_batch: 0,
             trace: None,
             hook: None,
         }
+    }
+
+    /// The pending-event queue implementation currently in use (reflects
+    /// a calendar-to-heap degrade).
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Enables event tracing, keeping the most recent `capacity` delivered
@@ -378,13 +408,19 @@ impl<M: 'static> Engine<M> {
         self.push(at, dst, msg);
     }
 
+    #[inline]
     fn push(&mut self, at: SimTime, dst: CompId, msg: M) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Entry::new(at, seq, Scheduled { dst, msg }));
         self.stats.events_scheduled += 1;
         self.comp_stats[dst.index()].scheduled += 1;
-        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        // `in_batch` counts same-instant events popped but not yet
+        // delivered: still pending, just not in the queue structure.
+        self.stats.max_queue_len = self
+            .stats
+            .max_queue_len
+            .max(self.queue.len() + self.in_batch);
     }
 
     /// Delivers the single earliest pending event. Returns `false` if the
@@ -394,10 +430,17 @@ impl<M: 'static> Engine<M> {
             return false;
         };
         let at = entry.at();
-        let seq = entry.seq();
-        let Scheduled { dst, msg } = entry.item;
         assert!(at >= self.now, "event queue went backwards");
         self.now = at;
+        self.deliver(at, entry.seq(), entry.item);
+        true
+    }
+
+    /// Delivers one already-popped event: counters, hook, trace, the
+    /// component's handler, and the outbox drain.
+    #[inline(always)]
+    fn deliver(&mut self, at: SimTime, seq: u64, sched: Scheduled<M>) {
+        let Scheduled { dst, msg } = sched;
         self.stats.events_delivered += 1;
         self.comp_stats[dst.index()].delivered += 1;
         if let Some(hook) = self.hook.as_mut() {
@@ -438,7 +481,6 @@ impl<M: 'static> Engine<M> {
             self.push(at, dst, msg);
         }
         self.outbox = outbox;
-        true
     }
 
     /// Runs until the queue drains or a component halts the engine.
@@ -448,23 +490,60 @@ impl<M: 'static> Engine<M> {
 
     /// Runs until `deadline` (inclusive of events *at* the deadline), the
     /// queue drains, or a component halts the engine.
+    ///
+    /// Same-instant events are popped as one batch (one queue min-search
+    /// for the whole tie instead of one per event) and delivered in their
+    /// `(at, seq)` order; events scheduled during the batch carry strictly
+    /// higher sequence numbers, so batching cannot reorder anything. A
+    /// halt mid-batch pushes the undelivered remainder back with keys
+    /// unchanged, so a later run resumes in the identical order.
     pub fn run_until(&mut self, deadline: SimTime) -> RunLimit {
         self.halt = false;
         let t0 = Instant::now();
+        let mut batch = std::mem::take(&mut self.batch);
         let limit = loop {
-            match self.queue.peek() {
-                None => break RunLimit::Drained,
-                Some(ev) if ev.at() > deadline => {
-                    self.now = deadline.min(ev.at());
+            let first = match self.queue.pop_ready(deadline, &mut batch) {
+                Popped::Drained => break RunLimit::Drained,
+                Popped::Deadline(next) => {
+                    self.now = deadline.min(next);
                     break RunLimit::Deadline;
                 }
-                Some(_) => {}
+                Popped::Ready(first) => first,
+            };
+            let at = first.at();
+            assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
+            if batch.is_empty() {
+                // Singleton batch: the hot path, no vec traffic at all.
+                self.deliver(at, first.seq(), first.item);
+                if self.halt {
+                    break RunLimit::Halted;
+                }
+                continue;
             }
-            self.step();
-            if self.halt {
+            self.in_batch = batch.len();
+            self.deliver(at, first.seq(), first.item);
+            let mut drain = batch.drain(..);
+            let mut halted = self.halt;
+            if !halted {
+                for entry in drain.by_ref() {
+                    self.in_batch -= 1;
+                    self.deliver(at, entry.seq(), entry.item);
+                    if self.halt {
+                        halted = true;
+                        break;
+                    }
+                }
+            }
+            if halted {
+                for rest in drain {
+                    self.queue.push(rest);
+                }
+                self.in_batch = 0;
                 break RunLimit::Halted;
             }
         };
+        self.batch = batch;
         self.stats.wall_nanos += t0.elapsed().as_nanos() as u64;
         limit
     }

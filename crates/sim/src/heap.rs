@@ -16,9 +16,15 @@
 use crate::time::SimTime;
 
 /// A queue entry: the packed `(at, seq)` key plus an opaque payload.
+///
+/// Shared by both queue implementations ([`EventHeap`] here and
+/// [`CalendarQueue`](crate::calendar::CalendarQueue)), so migrating entries
+/// between them preserves keys exactly.
 #[derive(Clone, Debug)]
 pub(crate) struct Entry<T> {
-    key: u128,
+    /// Packed `(at, seq)`: delivery instant in the high 64 bits, schedule
+    /// sequence in the low 64, so one wide compare orders entries.
+    pub(crate) key: u128,
     /// The payload (the engine stores destination + message here).
     pub(crate) item: T,
 }
@@ -26,6 +32,7 @@ pub(crate) struct Entry<T> {
 impl<T> Entry<T> {
     /// Packs `(at, seq)` so that `u128` order equals lexicographic
     /// `(at, seq)` order.
+    #[inline]
     pub(crate) fn new(at: SimTime, seq: u64, item: T) -> Self {
         Entry {
             key: (u128::from(at.as_ps()) << 64) | u128::from(seq),
@@ -42,6 +49,12 @@ impl<T> Entry<T> {
     pub(crate) fn seq(&self) -> u64 {
         self.key as u64
     }
+
+    /// The delivery instant as raw picoseconds (the calendar queue's
+    /// bucket hash works on this).
+    pub(crate) fn at_ps(&self) -> u64 {
+        (self.key >> 64) as u64
+    }
 }
 
 const ARITY: usize = 4;
@@ -57,22 +70,26 @@ impl<T> EventHeap<T> {
         EventHeap { items: Vec::new() }
     }
 
+    #[inline]
     pub(crate) fn len(&self) -> usize {
         self.items.len()
     }
 
     /// The minimum entry, if any.
+    #[inline]
     pub(crate) fn peek(&self) -> Option<&Entry<T>> {
         self.items.first()
     }
 
     /// Inserts an entry in O(log₄ n).
+    #[inline]
     pub(crate) fn push(&mut self, entry: Entry<T>) {
         self.items.push(entry);
         self.sift_up(self.items.len() - 1);
     }
 
     /// Removes and returns the minimum entry in O(4·log₄ n).
+    #[inline]
     pub(crate) fn pop(&mut self) -> Option<Entry<T>> {
         let len = self.items.len();
         match len {
@@ -162,33 +179,12 @@ mod tests {
     }
 
     /// Model check against a sorted reference over an adversarial mix of
-    /// duplicate instants and interleaved push/pop.
+    /// duplicate instants and interleaved push/pop. The harness lives in
+    /// `queue::model` and runs against the calendar queue too, pinning
+    /// both implementations to the identical pop order.
     #[test]
     fn matches_reference_ordering() {
-        let mut rng = crate::SimRng::new(42);
-        let mut h = EventHeap::new();
-        let mut reference: Vec<(u64, u64)> = Vec::new();
-        let mut seq = 0u64;
-        let check_pop = |h: &mut EventHeap<()>, reference: &mut Vec<(u64, u64)>| {
-            let e = h.pop().unwrap();
-            let min = *reference.iter().min().unwrap();
-            // The heap must pop exactly the reference minimum.
-            assert_eq!((e.at().as_ps(), e.key as u64), min);
-            reference.retain(|&x| x != min);
-        };
-        for _ in 0..2000 {
-            if rng.chance(0.6) || h.len() == 0 {
-                let at = rng.range(50); // plenty of ties
-                h.push(Entry::new(SimTime::from_ps(at), seq, ()));
-                reference.push((at, seq));
-                seq += 1;
-            } else {
-                check_pop(&mut h, &mut reference);
-            }
-        }
-        while h.len() > 0 {
-            check_pop(&mut h, &mut reference);
-        }
-        assert!(reference.is_empty());
+        let mut h: EventHeap<()> = EventHeap::new();
+        crate::queue::model::check_against_reference(&mut h, 42, 50);
     }
 }

@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod engine;
 mod heap;
 mod metrics;
+mod queue;
 mod rng;
 mod stats;
 mod time;
@@ -50,6 +52,7 @@ pub use engine::{
     RunLimit, TraceEntry, WatchdogOutcome,
 };
 pub use metrics::{CounterId, GaugeId, MetricsRegistry, Sample, SeriesId};
+pub use queue::QueueKind;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::SimTime;

@@ -1,0 +1,368 @@
+//! The engine's pending-event queue: calendar queue with a heap fallback.
+//!
+//! [`EventQueue`] dispatches between the two implementations with identical
+//! pop-order semantics (strict `(at, seq)`):
+//!
+//! * [`CalendarQueue`] — the default; O(1) amortized push/pop for the dense
+//!   short-horizon distributions every workload in this repository
+//!   produces.
+//! * [`EventHeap`] — the indexed 4-ary heap, with guaranteed O(log n)
+//!   bounds regardless of the time distribution.
+//!
+//! The calendar queue monitors its own scan cost; if the event-time
+//! distribution defeats its bucket geometry even after adaptive resizing
+//! (see `calendar.rs`), the queue migrates its contents into the heap once
+//! and stays there. Keys are preserved exactly across the migration, so
+//! delivery order is unaffected — only the constant factor changes.
+
+use crate::calendar::CalendarQueue;
+use crate::heap::{Entry, EventHeap};
+use crate::time::SimTime;
+
+/// Result of [`EventQueue::pop_ready`]: the run loop's peek, deadline
+/// check, pop and same-instant batch collection fused into one call so the
+/// hot path pays a single dispatch per delivered event.
+pub(crate) enum Popped<T> {
+    /// The queue is empty.
+    Drained,
+    /// The next event (at the carried instant) lies past the deadline;
+    /// nothing was popped.
+    Deadline(SimTime),
+    /// The minimum entry; same-instant ties were appended to `extras`.
+    Ready(Entry<T>),
+}
+
+/// Which pending-event queue implementation an engine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Bucketed calendar queue with automatic degrade to the heap.
+    Calendar,
+    /// Indexed 4-ary min-heap.
+    Heap,
+}
+
+/// The engine-facing queue: same contract as either implementation, plus
+/// the one-way degrade path from calendar to heap.
+#[derive(Clone, Debug)]
+pub(crate) enum EventQueue<T> {
+    Calendar(CalendarQueue<T>),
+    Heap(EventHeap<T>),
+}
+
+impl<T> EventQueue<T> {
+    pub(crate) fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Calendar => EventQueue::Calendar(CalendarQueue::new()),
+            QueueKind::Heap => EventQueue::Heap(EventHeap::new()),
+        }
+    }
+
+    /// The implementation currently in use (reflects a degrade).
+    #[inline]
+    pub(crate) fn kind(&self) -> QueueKind {
+        match self {
+            EventQueue::Calendar(_) => QueueKind::Calendar,
+            EventQueue::Heap(_) => QueueKind::Heap,
+        }
+    }
+
+    /// Pending events (not buckets).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, entry: Entry<T>) {
+        match self {
+            EventQueue::Calendar(q) => q.push(entry),
+            EventQueue::Heap(q) => q.push(entry),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<Entry<T>> {
+        let out = match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        };
+        self.maybe_degrade();
+        out
+    }
+
+    /// Pops the minimum entry (returned) plus every other entry sharing
+    /// its instant (appended to `extras` in `(at, seq)` order).
+    #[cfg(test)]
+    pub(crate) fn pop_batch(&mut self, extras: &mut Vec<Entry<T>>) -> Option<Entry<T>> {
+        match self.pop_ready(SimTime::MAX, extras) {
+            Popped::Ready(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The run loop's whole per-event queue interaction in one dispatch:
+    /// peek, deadline check, pop, and same-instant batch collection
+    /// (extras appended in `(at, seq)` order). Nothing is popped on
+    /// [`Popped::Drained`] / [`Popped::Deadline`].
+    #[inline]
+    pub(crate) fn pop_ready(&mut self, deadline: SimTime, extras: &mut Vec<Entry<T>>) -> Popped<T> {
+        let (out, degrade) = match self {
+            EventQueue::Calendar(q) => {
+                match q.peek() {
+                    None => return Popped::Drained,
+                    Some(e) if e.at() > deadline => return Popped::Deadline(e.at()),
+                    Some(_) => {}
+                }
+                let first = q.pop_batch(extras).expect("peeked some");
+                (Popped::Ready(first), q.should_degrade())
+            }
+            EventQueue::Heap(q) => {
+                match q.peek() {
+                    None => return Popped::Drained,
+                    Some(e) if e.at() > deadline => return Popped::Deadline(e.at()),
+                    Some(_) => {}
+                }
+                let first = q.pop().expect("peeked some");
+                let at = first.at_ps();
+                while q.peek().is_some_and(|e| e.at_ps() == at) {
+                    extras.push(q.pop().expect("peeked some"));
+                }
+                (Popped::Ready(first), false)
+            }
+        };
+        if degrade {
+            self.maybe_degrade();
+        }
+        out
+    }
+
+    /// One-way migration: when the calendar queue reports a pathological
+    /// distribution, move every entry into a heap. Keys are unchanged, so
+    /// the pop order is identical — only the cost model switches.
+    fn maybe_degrade(&mut self) {
+        let EventQueue::Calendar(q) = self else {
+            return;
+        };
+        if !q.should_degrade() {
+            return;
+        }
+        let mut entries = Vec::with_capacity(q.len());
+        q.drain_all(&mut entries);
+        let mut heap = EventHeap::new();
+        for e in entries {
+            heap.push(e);
+        }
+        *self = EventQueue::Heap(heap);
+    }
+}
+
+/// Shared model-check harness: drives an implementation through an
+/// adversarial interleaved push/pop schedule and asserts every pop matches
+/// the reference minimum. `heap.rs` and the tests below run it against
+/// every implementation, so pop order is pinned byte-identical across them.
+#[cfg(test)]
+pub(crate) mod model {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::SimRng;
+
+    /// The queue surface under test.
+    pub(crate) trait ModelQueue {
+        fn push(&mut self, at_ps: u64, seq: u64);
+        fn pop(&mut self) -> Option<(u64, u64)>;
+        fn len(&self) -> usize;
+    }
+
+    impl ModelQueue for EventHeap<()> {
+        fn push(&mut self, at_ps: u64, seq: u64) {
+            EventHeap::push(self, Entry::new(SimTime::from_ps(at_ps), seq, ()));
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            EventHeap::pop(self).map(|e| (e.at_ps(), e.seq()))
+        }
+        fn len(&self) -> usize {
+            EventHeap::len(self)
+        }
+    }
+
+    impl ModelQueue for CalendarQueue<()> {
+        fn push(&mut self, at_ps: u64, seq: u64) {
+            CalendarQueue::push(self, Entry::new(SimTime::from_ps(at_ps), seq, ()));
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            CalendarQueue::pop(self).map(|e| (e.at_ps(), e.seq()))
+        }
+        fn len(&self) -> usize {
+            CalendarQueue::len(self)
+        }
+    }
+
+    impl ModelQueue for EventQueue<()> {
+        fn push(&mut self, at_ps: u64, seq: u64) {
+            EventQueue::push(self, Entry::new(SimTime::from_ps(at_ps), seq, ()));
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            EventQueue::pop(self).map(|e| (e.at_ps(), e.seq()))
+        }
+        fn len(&self) -> usize {
+            EventQueue::len(self)
+        }
+    }
+
+    /// 2000 interleaved ops; `spread` controls the instant distribution
+    /// (small = dense duplicate instants, large = bucket-rollover and
+    /// resize territory). The engine contract is enforced: pushes never
+    /// go behind the last popped instant.
+    pub(crate) fn check_against_reference(q: &mut dyn ModelQueue, seed: u64, spread: u64) {
+        let mut rng = SimRng::new(seed);
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let check_pop = |q: &mut dyn ModelQueue, reference: &mut Vec<(u64, u64)>| {
+            let got = q.pop().unwrap();
+            let min = *reference.iter().min().unwrap();
+            // The queue must pop exactly the reference minimum.
+            assert_eq!(got, min);
+            reference.retain(|&x| x != min);
+            min.0
+        };
+        for _ in 0..2000 {
+            if rng.chance(0.6) || q.len() == 0 {
+                let at = now + rng.range(spread.max(1));
+                q.push(at, seq);
+                reference.push((at, seq));
+                seq += 1;
+            } else {
+                now = check_pop(q, &mut reference);
+            }
+        }
+        while q.len() > 0 {
+            check_pop(q, &mut reference);
+        }
+        assert!(reference.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::model::check_against_reference;
+    use super::*;
+    use crate::time::SimTime;
+
+    /// The distributions the property test sweeps: dense duplicate
+    /// instants (50 ps window), sub-bucket ties, bucket-rollover strides
+    /// (multiples of the default 8 ns width and the whole-calendar span),
+    /// and wide spreads that force grow/shrink resizes.
+    const SPREADS: [u64; 6] = [1, 50, 8_192, 131_072, 1 << 21, 1 << 40];
+
+    #[test]
+    fn calendar_matches_reference_across_distributions() {
+        for (i, &spread) in SPREADS.iter().enumerate() {
+            let mut q: CalendarQueue<()> = CalendarQueue::new();
+            check_against_reference(&mut q, 42 + i as u64, spread);
+        }
+    }
+
+    #[test]
+    fn event_queue_matches_reference_across_distributions() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            for (i, &spread) in SPREADS.iter().enumerate() {
+                let mut q: EventQueue<()> = EventQueue::new(kind);
+                check_against_reference(&mut q, 7 + i as u64, spread);
+            }
+        }
+    }
+
+    /// Both implementations must produce byte-identical pop sequences for
+    /// the same push schedule — the engine's determinism pin.
+    #[test]
+    fn calendar_and_heap_pop_identically() {
+        for &spread in &SPREADS {
+            let mut cal: EventQueue<()> = EventQueue::new(QueueKind::Calendar);
+            let mut heap: EventQueue<()> = EventQueue::new(QueueKind::Heap);
+            let mut rng = crate::SimRng::new(1234);
+            let mut seq = 0u64;
+            for _ in 0..3000 {
+                if rng.chance(0.55) || cal.len() == 0 {
+                    let at = SimTime::from_ps(rng.range(spread.max(1)));
+                    cal.push(Entry::new(at, seq, ()));
+                    heap.push(Entry::new(at, seq, ()));
+                    seq += 1;
+                } else {
+                    let a = cal.pop().map(|e| (e.at_ps(), e.seq()));
+                    let b = heap.pop().map(|e| (e.at_ps(), e.seq()));
+                    assert_eq!(a, b);
+                }
+            }
+            loop {
+                let a = cal.pop().map(|e| (e.at_ps(), e.seq()));
+                let b = heap.pop().map(|e| (e.at_ps(), e.seq()));
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_pop_matches_across_implementations() {
+        let mut cal: EventQueue<u64> = EventQueue::new(QueueKind::Calendar);
+        let mut heap: EventQueue<u64> = EventQueue::new(QueueKind::Heap);
+        let mut rng = crate::SimRng::new(5);
+        for seq in 0..400u64 {
+            let at = SimTime::from_ps(rng.range(40)); // dense ties
+            cal.push(Entry::new(at, seq, seq));
+            heap.push(Entry::new(at, seq, seq));
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        loop {
+            a.clear();
+            b.clear();
+            let fa = cal.pop_batch(&mut a);
+            let fb = heap.pop_batch(&mut b);
+            let key = |e: &Entry<u64>| (e.at_ps(), e.seq());
+            assert_eq!(fa.as_ref().map(key), fb.as_ref().map(key));
+            let ka: Vec<_> = a.iter().map(key).collect();
+            let kb: Vec<_> = b.iter().map(key).collect();
+            assert_eq!(ka, kb);
+            let Some(first) = fa else {
+                assert!(a.is_empty());
+                break;
+            };
+            // Batches are whole ties: every member shares the instant, and
+            // the returned minimum leads the seq order.
+            assert!(a.iter().all(|e| e.at_ps() == first.at_ps()));
+            assert!(a.iter().all(|e| e.seq() > first.seq()));
+            assert!(a.windows(2).all(|w| w[0].seq() < w[1].seq()));
+        }
+    }
+
+    /// A pathological distribution — instants uniform over nearly the
+    /// whole u64 range, so even the widest bucket geometry leaves huge
+    /// empty-day gaps between events — must flip the calendar variant to
+    /// the heap after two bad scan-cost windows, with pops staying
+    /// correct across the migration.
+    #[test]
+    fn degrade_migrates_to_heap_preserving_order() {
+        let mut q: EventQueue<()> = EventQueue::new(QueueKind::Calendar);
+        let mut rng = crate::SimRng::new(9);
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        for seq in 0..10_000u64 {
+            let at = rng.range(u64::MAX >> 20) * 1_048_576;
+            q.push(Entry::new(SimTime::from_ps(at), seq, ()));
+            reference.push((at, seq));
+        }
+        assert_eq!(q.kind(), QueueKind::Calendar);
+        reference.sort_unstable();
+        for want in reference {
+            let got = q.pop().map(|e| (e.at_ps(), e.seq())).unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.kind(), QueueKind::Heap, "detector never fired");
+    }
+}

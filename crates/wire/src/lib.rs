@@ -15,11 +15,13 @@
 mod addr;
 mod ids;
 mod msg;
+mod payload;
 mod timing;
 pub mod trace;
 
 pub use addr::{GOffset, PageNum, PAGE_BYTES, PAGE_SHIFT, PAGE_WORDS, WORD_BYTES};
 pub use ids::NodeId;
 pub use msg::{AtomicOp, Packet, WireMsg, HEADER_BYTES};
+pub use payload::{Payload, PayloadPool};
 pub use timing::TimingConfig;
 pub use trace::{OpEvent, OpKind, PacketEvent, Probe, SharedProbe, Site, Stage, TraceId};

@@ -101,7 +101,7 @@ pub enum WireMsg {
         /// Word index of the first value in this burst.
         index: u32,
         /// The copied words.
-        vals: Vec<u64>,
+        vals: crate::Payload,
         /// True on the final burst.
         last: bool,
     },
@@ -146,7 +146,7 @@ pub enum WireMsg {
         /// Word index of the first value in this burst.
         index: u32,
         /// Page words.
-        vals: Vec<u64>,
+        vals: crate::Payload,
         /// True on the final burst.
         last: bool,
     },
@@ -392,13 +392,13 @@ mod tests {
         let small = WireMsg::CopyData {
             tag: 0,
             index: 0,
-            vals: vec![0; 1],
+            vals: vec![0; 1].into(),
             last: false,
         };
         let big = WireMsg::CopyData {
             tag: 0,
             index: 0,
-            vals: vec![0; 8],
+            vals: vec![0; 8].into(),
             last: true,
         };
         assert_eq!(big.payload_bytes() - small.payload_bytes(), 7 * 8);

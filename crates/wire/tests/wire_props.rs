@@ -72,7 +72,7 @@ fn packet_size_is_header_plus_payload() {
             WireMsg::CopyData {
                 tag: 3,
                 index: 0,
-                vals: vec![val; words],
+                vals: vec![val; words].into(),
                 last: true,
             },
             WireMsg::OsCtl {
@@ -99,13 +99,13 @@ fn bulk_payloads_scale_with_content() {
         let small = WireMsg::PageData {
             tag: 0,
             index: 0,
-            vals: vec![0; words],
+            vals: vec![0; words].into(),
             last: false,
         };
         let big = WireMsg::PageData {
             tag: 0,
             index: 0,
-            vals: vec![0; words + extra],
+            vals: vec![0; words + extra].into(),
             last: false,
         };
         assert_eq!(

@@ -41,7 +41,9 @@ struct Measurement {
     events: u64,
     /// Best wall time over the repetitions, seconds.
     wall_seconds: f64,
-    /// Deepest pending-event queue observed.
+    /// Deepest pending-event count observed (events, not queue buckets;
+    /// includes same-instant batches in flight — see
+    /// `EngineStats::max_queue_len`).
     peak_queue_depth: u64,
 }
 
