@@ -7,7 +7,8 @@ use tg_net::{
     RelParams, StalledLink, Topology,
 };
 use tg_sim::{CompId, Engine, MetricsRegistry, ProgressMeter, RunLimit, SimTime, WatchdogOutcome};
-use tg_wire::trace::{SharedProbe, Site};
+use tg_wire::metric;
+use tg_wire::trace::{OpKind, SharedProbe, Site};
 use tg_wire::{GOffset, NodeId, PageNum, TimingConfig, PAGE_BYTES};
 
 use crate::event::ClusterEvent;
@@ -261,6 +262,39 @@ pub enum ComponentDetail {
         /// summed across ports.
         credit_stall: SimTime,
     },
+}
+
+/// Statistics for one **directed** link hop, joined from both ends: the
+/// transmit half from the port driving the link, the receive half from
+/// the input FIFO at its far end. Assembled by
+/// [`Cluster::link_snapshots`]; the canonical metric names for these
+/// fields are `link.<from>-<to>.<metric>` (see [`tg_wire::metric`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkSnapshot {
+    /// The directed link.
+    pub link: LinkId,
+    /// Frames launched on the link (fresh + retransmitted).
+    pub tx_packets: u64,
+    /// Wire bytes launched on the link.
+    pub tx_bytes: u64,
+    /// Credits in hand at the transmitting port.
+    pub credits: u32,
+    /// Initial credit allowance.
+    pub allowance: u32,
+    /// Cumulative credit-stall time at the transmitting port.
+    pub credit_stall: SimTime,
+    /// Frames retransmitted on the link.
+    pub retransmits: u64,
+    /// Completed credit-resync handshakes on the link.
+    pub resyncs: u64,
+    /// Credit-resync probes issued on the link.
+    pub resync_probes: u64,
+    /// Packets sitting in the receiving end's input FIFO right now.
+    pub rx_fifo_depth: u32,
+    /// Deepest occupancy that FIFO ever reached.
+    pub rx_fifo_high_water: u32,
+    /// Frames the receiving end's link layer rejected.
+    pub rx_discards: u64,
 }
 
 /// Queue and link state of one workstation when the watchdog tripped.
@@ -761,6 +795,103 @@ impl Cluster {
             .sum::<u64>()
     }
 
+    /// Credit-resync probes issued across the whole fabric. Every traced
+    /// `CreditResync` event marks either a probe launch or a completed
+    /// handshake, so traced events reconcile as probes + resyncs.
+    pub fn fabric_resync_probes(&self) -> u64 {
+        let sw: u64 = self
+            .switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(tg_net::Switch::resync_probes)
+            .sum();
+        sw + (0..self.n)
+            .map(|i| self.node(i).hib().resync_probes())
+            .sum::<u64>()
+    }
+
+    /// Frames rejected by receive link layers across the whole fabric
+    /// (checksum or sequence violations, duplicates). Together with the
+    /// injector's drop tallies these account for every traced `Dropped`
+    /// event on a fabric without FIFO-overflow errors.
+    pub fn fabric_rx_discards(&self) -> u64 {
+        let sw: u64 = self
+            .switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(tg_net::Switch::rx_discards)
+            .sum();
+        sw + (0..self.n)
+            .map(|i| self.node(i).hib().rx_discards())
+            .sum::<u64>()
+    }
+
+    /// Per-directed-link statistics joined from both ends of every hop.
+    ///
+    /// Each fabric element reports one [`tg_net::PortSnapshot`] per port:
+    /// the transmit half of the link it drives plus the receive half of
+    /// the reverse hop. This method folds those into one
+    /// [`LinkSnapshot`] per directed link, in a deterministic order
+    /// (switch ports in fabric order, then node uplinks).
+    pub fn link_snapshots(&self) -> Vec<LinkSnapshot> {
+        let mut ports = Vec::new();
+        for &id in &self.switches {
+            let sw = self
+                .engine
+                .get::<tg_net::Switch>(id)
+                .expect("switch component");
+            ports.extend(sw.port_snapshots());
+        }
+        for i in 0..self.n {
+            ports.extend(self.node(i).hib().port_snapshot());
+        }
+        let mut order: Vec<LinkId> = Vec::with_capacity(ports.len());
+        let mut index: std::collections::HashMap<LinkId, usize> =
+            std::collections::HashMap::with_capacity(ports.len());
+        let mut slot =
+            |link: LinkId, order: &mut Vec<LinkId>, out: &mut Vec<LinkSnapshot>| -> usize {
+                *index.entry(link).or_insert_with(|| {
+                    order.push(link);
+                    out.push(LinkSnapshot {
+                        link,
+                        tx_packets: 0,
+                        tx_bytes: 0,
+                        credits: 0,
+                        allowance: 0,
+                        credit_stall: SimTime::ZERO,
+                        retransmits: 0,
+                        resyncs: 0,
+                        resync_probes: 0,
+                        rx_fifo_depth: 0,
+                        rx_fifo_high_water: 0,
+                        rx_discards: 0,
+                    });
+                    out.len() - 1
+                })
+            };
+        let mut out: Vec<LinkSnapshot> = Vec::with_capacity(ports.len());
+        for p in &ports {
+            let i = slot(p.link, &mut order, &mut out);
+            let s = &mut out[i];
+            s.tx_packets = p.tx_packets;
+            s.tx_bytes = p.tx_bytes;
+            s.credits = p.credits;
+            s.allowance = p.allowance;
+            s.credit_stall = p.credit_stall;
+            s.retransmits = p.retransmits;
+            s.resyncs = p.resyncs;
+            s.resync_probes = p.resync_probes;
+            // The receive half of this element belongs to the reverse hop.
+            let rev = LinkId::new(p.link.to, p.link.from);
+            let j = slot(rev, &mut order, &mut out);
+            let r = &mut out[j];
+            r.rx_fifo_depth = p.rx_fifo_depth;
+            r.rx_fifo_high_water = p.rx_fifo_high_water;
+            r.rx_discards = p.rx_discards;
+        }
+        out
+    }
+
     /// Structured link errors recorded anywhere in the fabric, with the
     /// name of the component that observed each.
     pub fn link_errors(&self) -> Vec<(String, tg_net::LinkError)> {
@@ -870,27 +1001,51 @@ impl Cluster {
     /// * `fabric.credit_stall_us` — cumulative credit-stall time summed
     ///   over nodes and switches;
     /// * `node{i}.rx_fifo_depth` / `switch{k}.fifo_depth` — queue depths
-    ///   at the sampling instant.
+    ///   at the sampling instant;
+    /// * `link.<a>-<b>.utilization` / `.fifo_depth` / `.stall_us` — the
+    ///   same congestion signals per **directed** link hop, under the
+    ///   canonical names of [`tg_wire::metric`] (the congestion
+    ///   observatory `simreport` renders).
     ///
     /// On completion the registry's gauges hold the final high-water marks
-    /// (`node{i}.rx_fifo_high_water`, `switch{k}.fifo_high_water`) and its
-    /// counters the per-node operation mix (`node{i}.remote_writes`, ...;
-    /// totals as of this run — call once per registry).
+    /// (`node{i}.rx_fifo_high_water`, `switch{k}.fifo_high_water`,
+    /// `link.<a>-<b>.fifo_high_water` and `.stall_us`) and its counters
+    /// the per-node operation mix (`node{i}.remote_writes`, ...) plus
+    /// per-link traffic and reliability totals (`link.<a>-<b>.tx_packets`
+    /// / `.tx_bytes` / `.retransmits` / `.resyncs` / `.resync_probes` /
+    /// `.rx_discards`; totals as of this run — call once per registry).
     ///
     /// # Panics
     ///
     /// Panics if `interval` is zero.
     pub fn run_sampled(&mut self, interval: SimTime, metrics: &mut MetricsRegistry) -> RunLimit {
         assert!(!interval.is_zero(), "sampling interval must be positive");
-        let bytes_series = metrics.series("fabric.bytes_total");
-        let util_series = metrics.series("fabric.link_utilization");
-        let stall_series = metrics.series("fabric.credit_stall_us");
+        let bytes_series = metrics.series(&metric::fabric_metric("bytes_total"));
+        let util_series = metrics.series(&metric::fabric_metric("link_utilization"));
+        let stall_series = metrics.series(&metric::fabric_metric("credit_stall_us"));
         let node_depth: Vec<_> = (0..self.n)
-            .map(|i| metrics.series(&format!("node{i}.rx_fifo_depth")))
+            .map(|i| {
+                metrics.series(&metric::site_metric(
+                    Site::Node(NodeId::new(i)),
+                    "rx_fifo_depth",
+                ))
+            })
             .collect();
         let switch_depth: Vec<_> = (0..self.switches.len())
-            .map(|k| metrics.series(&format!("switch{k}.fifo_depth")))
+            .map(|k| metrics.series(&metric::site_metric(Site::Switch(k as u16), "fifo_depth")))
             .collect();
+        let links = self.link_snapshots();
+        let link_series: Vec<_> = links
+            .iter()
+            .map(|l| {
+                (
+                    metrics.series(&metric::link_metric(l.link.from, l.link.to, "utilization")),
+                    metrics.series(&metric::link_metric(l.link.from, l.link.to, "fifo_depth")),
+                    metrics.series(&metric::link_metric(l.link.from, l.link.to, "stall_us")),
+                )
+            })
+            .collect();
+        let mut prev_link_bytes: Vec<u64> = links.iter().map(|l| l.tx_bytes).collect();
         let mut prev_bytes = self.fabric_bytes();
         let limit = loop {
             let target = self.now() + interval;
@@ -933,6 +1088,19 @@ impl Cluster {
                 }
             }
             metrics.record(stall_series, at, stall.as_us_f64());
+            for (i, l) in self.link_snapshots().iter().enumerate() {
+                let (util_s, depth_s, stall_s) = link_series[i];
+                let delta =
+                    (l.tx_bytes.saturating_sub(prev_link_bytes[i])).min(u64::from(u32::MAX)) as u32;
+                prev_link_bytes[i] = l.tx_bytes;
+                metrics.record(
+                    util_s,
+                    at,
+                    self.timing.serialize(delta).as_us_f64() / interval.as_us_f64(),
+                );
+                metrics.record(depth_s, at, f64::from(l.rx_fifo_depth));
+                metrics.record(stall_s, at, l.credit_stall.as_us_f64());
+            }
             match limit {
                 RunLimit::Deadline => {}
                 other => break other,
@@ -957,25 +1125,49 @@ impl Cluster {
         }
         for i in 0..self.n {
             let st = self.node(i).stats();
+            let site = Site::Node(NodeId::new(i));
             let mix = [
-                ("remote_reads", st.remote_reads.count()),
-                ("remote_writes", st.remote_writes.count()),
-                ("local_reads", st.local_reads.count()),
-                ("local_writes", st.local_writes.count()),
-                ("atomics", st.atomics.count()),
-                ("copies", st.copies.count()),
-                ("sends", st.sends.count()),
-                ("recvs", st.recvs.count()),
+                (OpKind::RemoteRead, st.remote_reads.count()),
+                (OpKind::RemoteWrite, st.remote_writes.count()),
+                (OpKind::LocalRead, st.local_reads.count()),
+                (OpKind::LocalWrite, st.local_writes.count()),
+                (OpKind::Atomic, st.atomics.count()),
+                (OpKind::Copy, st.copies.count()),
+                (OpKind::Send, st.sends.count()),
+                (OpKind::Recv, st.recvs.count()),
             ];
-            for (name, count) in mix {
-                let c = metrics.counter(&format!("node{i}.{name}"));
+            for (kind, count) in mix {
+                let c = metrics.counter(&metric::op_counter(site, kind));
                 metrics.inc(c, count);
             }
+        }
+        // Per-link traffic and reliability totals under the canonical
+        // `link.<a>-<b>.<metric>` names.
+        for l in self.link_snapshots() {
+            let name = |leaf: &str| metric::link_metric(l.link.from, l.link.to, leaf);
+            let totals = [
+                ("tx_packets", l.tx_packets),
+                ("tx_bytes", l.tx_bytes),
+                ("retransmits", l.retransmits),
+                ("resyncs", l.resyncs),
+                ("resync_probes", l.resync_probes),
+                ("rx_discards", l.rx_discards),
+            ];
+            for (leaf, count) in totals {
+                let c = metrics.counter(&name(leaf));
+                metrics.inc(c, count);
+            }
+            // (Final credit-stall totals live in the `.stall_us` series'
+            // last sample; registering a same-named gauge would collide.)
+            let g = metrics.gauge(&name("fifo_high_water"));
+            metrics.set_gauge(g, f64::from(l.rx_fifo_high_water));
         }
         // Reliability-layer counters (all zero on a lossless fabric).
         let mut rel = vec![
             ("fabric.retransmits", self.fabric_retransmits()),
             ("fabric.credit_resyncs", self.fabric_resyncs()),
+            ("fabric.credit_resync_probes", self.fabric_resync_probes()),
+            ("fabric.rx_discards", self.fabric_rx_discards()),
             ("fabric.link_errors", self.link_errors().len() as u64),
         ];
         if let Some(fs) = self.fault_stats() {

@@ -58,8 +58,8 @@ pub mod sync;
 pub mod vsm;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, ComponentDetail, ComponentReport, DeadlockReport, SharedPage,
-    StalledNode, PAGED_VA_BASE, PRIVATE_VA_BASE, SHARED_VA_BASE,
+    Cluster, ClusterBuilder, ComponentDetail, ComponentReport, DeadlockReport, LinkSnapshot,
+    SharedPage, StalledNode, PAGED_VA_BASE, PRIVATE_VA_BASE, SHARED_VA_BASE,
 };
 pub use event::ClusterEvent;
 pub use node::Node;

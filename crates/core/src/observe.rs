@@ -11,7 +11,11 @@
 //!   stage by stage, telescoping exactly to the end-to-end latency the
 //!   node's [`NodeStats`](crate::NodeStats) summaries record;
 //! * [`chrome_events`] / [`chrome_trace_json`] — a Chrome trace-event
-//!   (Perfetto-loadable) export of the whole run;
+//!   (Perfetto-loadable) export of the whole run, with
+//!   [`counter_track_events`] adding the congestion observatory's metric
+//!   time series as counter tracks;
+//! * [`op_chains`] — the merged request→response event chains the
+//!   breakdowns are built from, for analyzers needing site/stage context;
 //! * [`breakdown_report`] — a human-readable aggregate table.
 
 use std::cell::RefCell;
@@ -19,7 +23,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
-use tg_sim::SimTime;
+use tg_sim::{MetricsRegistry, SimTime};
 use tg_wire::trace::{OpEvent, PacketEvent, Probe, SharedProbe, Site, TraceId};
 
 /// Interior buffers shared between the collector handle and the probe
@@ -128,16 +132,44 @@ impl OpBreakdown {
     }
 }
 
-/// Computes per-stage breakdowns for every operation that injected a
-/// traceable packet.
+/// One event on an operation's critical path: the merged, clamped view
+/// that [`op_breakdowns`] builds its segments from, with the raw
+/// [`PacketEvent`] retained so analyzers can attribute segments to sites,
+/// stages and links.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainedEvent {
+    /// The underlying packet-lifecycle observation.
+    pub event: PacketEvent,
+    /// Observation time clamped into the op's `[start, end]` window — the
+    /// instant the corresponding segment ends at.
+    pub at: SimTime,
+    /// True when the event belongs to a response packet chained to the
+    /// op's request (its segment labels carry the `resp-` prefix).
+    pub response: bool,
+}
+
+/// The merged request → response event chain of one traced operation, in
+/// the exact order [`op_breakdowns`] consumes: stable-sorted by clamped
+/// time, so segment `i` of the breakdown spans `events[i-1].at ..
+/// events[i].at`.
+#[derive(Clone, Debug)]
+pub struct OpChain {
+    /// The operation.
+    pub op: OpEvent,
+    /// Its critical-path events, clamped and time-ordered.
+    pub events: Vec<ChainedEvent>,
+}
+
+/// Computes the merged critical-path event chain of every operation that
+/// injected a traceable packet.
 ///
 /// For each op the packet events of its request (same [`TraceId`]) and of
-/// any response chained to it (`parent` equal to the request id) are merged
-/// in time order, clamped to the op's `[start, end]` window, and turned
-/// into telescoping segments: `cpu-issue` (issue to first packet event),
-/// one segment per lifecycle point reached, and `cpu-complete` (last
-/// packet event to CPU-observed completion).
-pub fn op_breakdowns(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<OpBreakdown> {
+/// any response chained to it (`parent` equal to the request id) are
+/// merged in time order and clamped to the op's `[start, end]` window.
+/// [`op_breakdowns`] turns these chains into telescoping segments;
+/// analyzers that need site/stage context (e.g. per-link attribution)
+/// consume the chains directly.
+pub fn op_chains(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<OpChain> {
     // Index packet events by the op they belong to (request id).
     let mut by_req: HashMap<TraceId, Vec<&PacketEvent>> = HashMap::new();
     for ev in packets {
@@ -174,43 +206,67 @@ pub fn op_breakdowns(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<OpBreakdow
         // Emission order is delivery order; a stable sort on the clamped
         // time preserves causal order for same-instant events.
         events.sort_by_key(|e| e.at.max(op.start).min(op.end));
-        let mut segments = Vec::with_capacity(events.len() + 2);
-        let mut prev = op.start;
-        for ev in &events {
-            let at = ev.at.max(op.start).min(op.end);
-            let label = if ev.trace == req {
-                ev.stage.label().to_string()
-            } else {
-                format!("resp-{}", ev.stage.label())
-            };
-            segments.push(Segment {
-                label,
-                dur: at.saturating_sub(prev),
-            });
-            prev = at;
-        }
-        segments.insert(
-            0,
-            Segment {
-                label: "cpu-issue".to_string(),
-                dur: SimTime::ZERO,
-            },
-        );
-        // Merge the leading zero-length placeholder with the first real
-        // segment: time from issue to the first packet event is the CPU
-        // issue cost.
-        if segments.len() > 1 {
-            let first = segments.remove(1);
-            segments[0].dur = first.dur;
-            segments[0].label = format!("cpu-issue\u{2192}{}", first.label);
-        }
-        segments.push(Segment {
-            label: "cpu-complete".to_string(),
-            dur: op.end.saturating_sub(prev),
-        });
-        out.push(OpBreakdown { op: *op, segments });
+        let events = events
+            .into_iter()
+            .map(|ev| ChainedEvent {
+                event: *ev,
+                at: ev.at.max(op.start).min(op.end),
+                response: ev.trace != req,
+            })
+            .collect();
+        out.push(OpChain { op: *op, events });
     }
     out
+}
+
+/// Computes per-stage breakdowns for every operation that injected a
+/// traceable packet.
+///
+/// The [`op_chains`] events become telescoping segments: `cpu-issue`
+/// (issue to first packet event), one segment per lifecycle point
+/// reached (`resp-`-prefixed for response packets), and `cpu-complete`
+/// (last packet event to CPU-observed completion).
+pub fn op_breakdowns(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<OpBreakdown> {
+    op_chains(ops, packets)
+        .into_iter()
+        .map(|chain| {
+            let op = chain.op;
+            let mut segments = Vec::with_capacity(chain.events.len() + 2);
+            let mut prev = op.start;
+            for ev in &chain.events {
+                let label = if ev.response {
+                    format!("resp-{}", ev.event.stage.label())
+                } else {
+                    ev.event.stage.label().to_string()
+                };
+                segments.push(Segment {
+                    label,
+                    dur: ev.at.saturating_sub(prev),
+                });
+                prev = ev.at;
+            }
+            segments.insert(
+                0,
+                Segment {
+                    label: "cpu-issue".to_string(),
+                    dur: SimTime::ZERO,
+                },
+            );
+            // Merge the leading zero-length placeholder with the first real
+            // segment: time from issue to the first packet event is the CPU
+            // issue cost.
+            if segments.len() > 1 {
+                let first = segments.remove(1);
+                segments[0].dur = first.dur;
+                segments[0].label = format!("cpu-issue\u{2192}{}", first.label);
+            }
+            segments.push(Segment {
+                label: "cpu-complete".to_string(),
+                dur: op.end.saturating_sub(prev),
+            });
+            OpBreakdown { op, segments }
+        })
+        .collect()
 }
 
 /// One Chrome trace-event, pre-serialization — exposed so checkers can
@@ -219,9 +275,9 @@ pub fn op_breakdowns(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<OpBreakdow
 pub struct ChromeEvent {
     /// Event name shown on the track.
     pub name: String,
-    /// Category (`"op"`, `"packet"`, or `"__metadata"`).
+    /// Category (`"op"`, `"packet"`, `"metric"`, or `"__metadata"`).
     pub cat: &'static str,
-    /// Phase: `'X'` complete, `'i'` instant, `'M'` metadata.
+    /// Phase: `'X'` complete, `'i'` instant, `'C'` counter, `'M'` metadata.
     pub ph: char,
     /// Timestamp in microseconds.
     pub ts_us: f64,
@@ -233,6 +289,9 @@ pub struct ChromeEvent {
     pub tid: u32,
     /// Extra `args` key/value pairs (both rendered as JSON strings).
     pub args: Vec<(String, String)>,
+    /// Numeric `args` entries, rendered as bare JSON numbers — counter
+    /// (`'C'`) tracks need numeric values to plot.
+    pub num_args: Vec<(String, f64)>,
 }
 
 /// Track-group id for a probe site.
@@ -274,6 +333,7 @@ pub fn chrome_events(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<ChromeEven
             pid,
             tid: 0,
             args,
+            num_args: Vec::new(),
         });
     }
 
@@ -310,6 +370,7 @@ pub fn chrome_events(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<ChromeEven
                     pid,
                     tid: 1,
                     args: args(ev),
+                    num_args: Vec::new(),
                 }),
                 Some(p) => events.push(ChromeEvent {
                     name: format!("{}\u{2192}{}", p.stage.label(), ev.stage.label()),
@@ -320,6 +381,7 @@ pub fn chrome_events(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<ChromeEven
                     pid,
                     tid: 1,
                     args: args(ev),
+                    num_args: Vec::new(),
                 }),
             }
             prev = Some(ev);
@@ -341,6 +403,7 @@ pub fn chrome_events(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<ChromeEven
             pid,
             tid: 0,
             args: vec![("name".to_string(), name)],
+            num_args: Vec::new(),
         });
         for (tid, tname) in [(0, "cpu-ops"), (1, "packets")] {
             meta.push(ChromeEvent {
@@ -352,11 +415,67 @@ pub fn chrome_events(ops: &[OpEvent], packets: &[PacketEvent]) -> Vec<ChromeEven
                 pid,
                 tid,
                 args: vec![("name".to_string(), tname.to_string())],
+                num_args: Vec::new(),
             });
         }
     }
     meta.extend(events);
     meta
+}
+
+/// Track-group id for the metrics pseudo-process hosting counter tracks —
+/// distinct from node pids (raw index) and switch pids (`1000 +`).
+pub const METRICS_PID: u32 = 2000;
+
+/// Renders every time series in a [`MetricsRegistry`] as Perfetto counter
+/// tracks: one `'C'` event per sample, all under the `"metrics"`
+/// pseudo-process ([`METRICS_PID`]), named by the series' canonical
+/// metric name (`link.<a>-<b>.utilization`, `fabric.credit_stall_us`, …).
+/// Events are sorted by timestamp so every track stays monotonic when the
+/// list is appended to a [`chrome_events`] export.
+pub fn counter_track_events(metrics: &MetricsRegistry) -> Vec<ChromeEvent> {
+    let mut events = vec![ChromeEvent {
+        name: "process_name".to_string(),
+        cat: "__metadata",
+        ph: 'M',
+        ts_us: 0.0,
+        dur_us: 0.0,
+        pid: METRICS_PID,
+        tid: 0,
+        args: vec![("name".to_string(), "metrics".to_string())],
+        num_args: Vec::new(),
+    }];
+    let mut samples = Vec::new();
+    for (name, series) in metrics.all_series() {
+        for s in series {
+            samples.push(ChromeEvent {
+                name: name.to_string(),
+                cat: "metric",
+                ph: 'C',
+                ts_us: s.at.as_us_f64(),
+                dur_us: 0.0,
+                pid: METRICS_PID,
+                tid: 0,
+                args: Vec::new(),
+                num_args: vec![("value".to_string(), s.value)],
+            });
+        }
+    }
+    // Stable sort: equal instants keep registration order; within one
+    // series the samples were already time-ordered.
+    samples.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    events.extend(samples);
+    events
+}
+
+/// Renders a finite `f64` as a JSON number (`NaN`/`±inf` have no JSON
+/// spelling and degrade to `0`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
 }
 
 /// Minimal JSON string escaping for controlled label/arg content.
@@ -399,13 +518,22 @@ pub fn chrome_trace_json(events: &[ChromeEvent]) -> String {
         if ev.ph == 'i' {
             s.push_str(",\"s\":\"t\"");
         }
-        if !ev.args.is_empty() {
+        if !ev.args.is_empty() || !ev.num_args.is_empty() {
             s.push_str(",\"args\":{");
-            for (j, (k, v)) in ev.args.iter().enumerate() {
+            let mut j = 0;
+            for (k, v) in &ev.args {
                 if j > 0 {
                     s.push(',');
                 }
                 let _ = write!(s, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+                j += 1;
+            }
+            for (k, v) in &ev.num_args {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{}", json_escape(k), fmt_f64(*v));
+                j += 1;
             }
             s.push('}');
         }

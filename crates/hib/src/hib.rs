@@ -307,6 +307,40 @@ impl Hib {
         self.tx.as_ref().map_or(0, TxPort::resyncs)
     }
 
+    /// Credit-resync probes issued on this board's output link.
+    pub fn resync_probes(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::resync_probes)
+    }
+
+    /// Frames the receive link layer rejected on this board's input link
+    /// (checksum or sequence violations, duplicates).
+    pub fn rx_discards(&self) -> u64 {
+        self.rx_link
+            .as_ref()
+            .map_or(0, |rx| rx.corrupt_discards() + rx.seq_discards())
+    }
+
+    /// Per-port statistics for this board's link pair: the transmit side
+    /// of its uplink plus the receive side of the reverse hop. `None`
+    /// until the board is wired.
+    pub fn port_snapshot(&self) -> Option<tg_net::PortSnapshot> {
+        let tx = self.tx.as_ref()?;
+        Some(tg_net::PortSnapshot {
+            link: tx.link()?,
+            tx_packets: tx.tx_packets(),
+            tx_bytes: tx.tx_bytes(),
+            credits: tx.credits(),
+            allowance: tx.allowance(),
+            credit_stall: tx.credit_stall(),
+            retransmits: tx.retransmits(),
+            resyncs: tx.resyncs(),
+            resync_probes: tx.resync_probes(),
+            rx_fifo_depth: self.rx_fifo.len() as u32,
+            rx_fifo_high_water: self.rx_fifo.high_water(),
+            rx_discards: self.rx_discards(),
+        })
+    }
+
     /// True once this board's output link was declared dead.
     pub fn link_dead(&self) -> bool {
         self.tx.as_ref().is_some_and(TxPort::is_dead)
@@ -1375,7 +1409,16 @@ impl Hib {
         }
         if !tx.can_send_new() {
             if !self.tx_queue.is_empty() {
-                self.tx.as_mut().expect("tx wired").note_blocked(host.now());
+                let opened = self.tx.as_mut().expect("tx wired").note_blocked(host.now());
+                if opened {
+                    // One CreditStall event per stall window, stamped on
+                    // the packet at the head of the queue: attribution
+                    // classifies its queue time that follows as
+                    // credit-stall rather than arbitration.
+                    if let Some(head) = self.tx_queue.front() {
+                        self.emit(host.now(), head, Stage::CreditStall, None);
+                    }
+                }
             }
             self.arm_timer(host);
             return;

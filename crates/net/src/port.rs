@@ -93,6 +93,7 @@ struct RelTx {
     resync_token: u64,
     resync_outstanding: Option<u64>,
     resyncs: u64,
+    resync_probes: u64,
 }
 
 /// One credited transmit port: the sending end of a unidirectional link.
@@ -120,6 +121,11 @@ pub struct TxPort {
     credit_stall: SimTime,
     /// The directed link this port drives, for fault lookup and reporting.
     link: Option<LinkId>,
+    /// Frames launched on this port (fresh launches; retransmissions are
+    /// counted separately by the reliability layer).
+    tx_packets: u64,
+    /// Wire bytes of those frames.
+    tx_bytes: u64,
     rel: Option<Box<RelTx>>,
 }
 
@@ -136,6 +142,8 @@ impl TxPort {
             stall_since: None,
             credit_stall: SimTime::ZERO,
             link: None,
+            tx_packets: 0,
+            tx_bytes: 0,
             rel: None,
         }
     }
@@ -190,6 +198,7 @@ impl TxPort {
             resync_token: 0,
             resync_outstanding: None,
             resyncs: 0,
+            resync_probes: 0,
         }));
     }
 
@@ -291,6 +300,8 @@ impl TxPort {
         assert!(self.ready(), "launch on a busy or credit-less port");
         self.credits -= 1;
         self.busy = true;
+        self.tx_packets += 1;
+        self.tx_bytes += u64::from(packet.size_bytes());
         let ser = timing.serialize(packet.size_bytes());
         TxTimes {
             arrival: ser + timing.link_prop,
@@ -308,6 +319,8 @@ impl TxPort {
     pub fn relaunch(&mut self, packet: &Packet, timing: &TimingConfig) -> TxTimes {
         assert!(!self.busy, "relaunch on a busy wire");
         self.busy = true;
+        self.tx_packets += 1;
+        self.tx_bytes += u64::from(packet.size_bytes());
         let ser = timing.serialize(packet.size_bytes());
         TxTimes {
             arrival: ser + timing.link_prop,
@@ -355,11 +368,16 @@ impl TxPort {
     /// Notes that the owner had traffic for this port at `now` but could
     /// not launch because no credit was in hand. Opens the stall window
     /// that [`TxPort::on_credit_at`] closes; repeated calls while already
-    /// stalled keep the original window start.
-    pub fn note_blocked(&mut self, now: SimTime) {
+    /// stalled keep the original window start. Returns `true` exactly when
+    /// a *new* window opened (so the caller can emit one
+    /// [`Stage::CreditStall`](tg_wire::Stage::CreditStall) trace event
+    /// per window, not per pump).
+    pub fn note_blocked(&mut self, now: SimTime) -> bool {
         if self.credits == 0 && self.stall_since.is_none() {
             self.stall_since = Some(now);
+            return true;
         }
+        false
     }
 
     /// Total simulated time this port spent blocked on credits (closed
@@ -508,6 +526,7 @@ impl TxPort {
         {
             rel.resync_token += 1;
             rel.resync_outstanding = Some(rel.resync_token);
+            rel.resync_probes += 1;
             TimerAction::Resync {
                 token: rel.resync_token,
             }
@@ -572,10 +591,64 @@ impl TxPort {
         self.rel.as_ref().map_or(0, |r| r.resyncs)
     }
 
+    /// Credit-resync probes issued on this port (each probe either
+    /// completes a handshake — counted by [`resyncs`](TxPort::resyncs) —
+    /// or is still outstanding / was answered by a stale token).
+    pub fn resync_probes(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.resync_probes)
+    }
+
+    /// Frames launched on this port (fresh launches + retransmissions).
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
+    /// Wire bytes launched on this port.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
     /// Frames delivered (cumulatively acknowledged) on this port.
     pub fn delivered(&self) -> u64 {
         self.rel.as_ref().map_or(0, |r| r.base - 1)
     }
+}
+
+/// Point-in-time statistics for one port pair at a fabric element: the
+/// transmit side of the directed link this element drives (`link`), plus
+/// the receive side of the *reverse* hop (the paired input FIFO this
+/// element drains). Owners ([`Switch`](crate::Switch), the HIB) build
+/// these; `Cluster::link_snapshots` joins the two halves per directed
+/// link under the canonical `link.<a>-<b>.<metric>` names (see
+/// [`tg_wire::metric`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PortSnapshot {
+    /// The directed link this element transmits on (self → neighbor).
+    pub link: LinkId,
+    /// Frames launched on `link` (fresh + retransmitted).
+    pub tx_packets: u64,
+    /// Wire bytes launched on `link`.
+    pub tx_bytes: u64,
+    /// Credits currently in hand for `link`.
+    pub credits: u32,
+    /// Initial credit allowance of `link`.
+    pub allowance: u32,
+    /// Cumulative credit-stall time on `link` (closed windows).
+    pub credit_stall: SimTime,
+    /// Frames retransmitted on `link`.
+    pub retransmits: u64,
+    /// Completed credit-resync handshakes on `link`.
+    pub resyncs: u64,
+    /// Credit-resync probes issued on `link`.
+    pub resync_probes: u64,
+    /// Current depth of the input FIFO fed by the reverse hop
+    /// (neighbor → self), in packets.
+    pub rx_fifo_depth: u32,
+    /// Deepest occupancy that FIFO ever reached.
+    pub rx_fifo_high_water: u32,
+    /// Frames the reverse hop's link layer rejected here (checksum or
+    /// sequence violations, duplicates).
+    pub rx_discards: u64,
 }
 
 /// A bounded input FIFO whose occupancy is mirrored by the credits held at

@@ -7,7 +7,7 @@ use tg_wire::{NodeId, Packet, TimingConfig};
 use crate::event::{NetEvent, NetMessage};
 use crate::fault::{FaultInjector, FrameFate, LinkId};
 use crate::link::{CreditLedger, LinkError, LinkRx, RelParams, RxVerdict, StalledLink};
-use crate::port::{RxFifo, TimerAction, TxPort};
+use crate::port::{PortSnapshot, RxFifo, TimerAction, TxPort};
 
 /// Traffic counters for one switch.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -253,6 +253,43 @@ impl Switch {
             .sum()
     }
 
+    /// Credit-resync probes issued across all output ports.
+    pub fn resync_probes(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::resync_probes).sum()
+    }
+
+    /// Per-port statistics: one snapshot per attached output port, pairing
+    /// that port's transmit side (the directed link it drives) with the
+    /// input FIFO fed by the reverse hop (links come in bidirectional
+    /// pairs, so output `i` and input `i` share a neighbor).
+    pub fn port_snapshots(&self) -> Vec<PortSnapshot> {
+        self.out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, tx)| tx.as_ref().map(|tx| (i, tx)))
+            .map(|(i, tx)| PortSnapshot {
+                link: tx
+                    .link()
+                    .unwrap_or_else(|| LinkId::new(self.site, self.site)),
+                tx_packets: tx.tx_packets(),
+                tx_bytes: tx.tx_bytes(),
+                credits: tx.credits(),
+                allowance: tx.allowance(),
+                credit_stall: tx.credit_stall(),
+                retransmits: tx.retransmits(),
+                resyncs: tx.resyncs(),
+                resync_probes: tx.resync_probes(),
+                rx_fifo_depth: self.fifos.get(i).map_or(0, |f| f.len() as u32),
+                rx_fifo_high_water: self.fifos.get(i).map_or(0, RxFifo::high_water),
+                rx_discards: self
+                    .rx_links
+                    .get(i)
+                    .and_then(Option::as_ref)
+                    .map_or(0, |rx| rx.corrupt_discards() + rx.seq_discards()),
+            })
+            .collect()
+    }
+
     /// Neighbor-originated protocol violations and dead-link declarations
     /// recorded so far.
     pub fn link_errors(&self) -> &[LinkError] {
@@ -476,7 +513,7 @@ impl Switch {
                         self.emit(ctx.now(), &packet, Stage::Retransmit);
                         self.dispatch(out_port, packet, false, ctx);
                         progressed = true;
-                    } else if self.pick_input(out_port).is_some() {
+                    } else if let Some(in_port) = self.pick_input(out_port) {
                         // Fresh traffic is waiting behind the in-flight
                         // recovery frame: that deferral is a block, and if
                         // it is credits holding the port (the dropped
@@ -484,8 +521,13 @@ impl Switch {
                         // must run — recovery is exactly when the
                         // credit-stall series matters.
                         self.stats.blocked += 1;
-                        if let Some(tx) = self.out[out_port].as_mut() {
-                            tx.note_blocked(ctx.now());
+                        let opened = self.out[out_port]
+                            .as_mut()
+                            .is_some_and(|tx| tx.note_blocked(ctx.now()));
+                        if opened {
+                            if let Some(head) = self.fifos[in_port].head() {
+                                self.emit(ctx.now(), head, Stage::CreditStall);
+                            }
                         }
                     }
                     continue;
@@ -501,8 +543,13 @@ impl Switch {
                     self.stats.blocked += 1;
                     // Start the credit-stall clock when it is specifically
                     // credits (not a busy wire) holding this output back.
-                    if let Some(tx) = self.out[out_port].as_mut() {
-                        tx.note_blocked(ctx.now());
+                    let opened = self.out[out_port]
+                        .as_mut()
+                        .is_some_and(|tx| tx.note_blocked(ctx.now()));
+                    if opened {
+                        if let Some(head) = self.fifos[in_port].head() {
+                            self.emit(ctx.now(), head, Stage::CreditStall);
+                        }
                     }
                     continue;
                 }
@@ -713,8 +760,18 @@ impl<M: NetMessage> Component<M> for Switch {
                 token,
                 drained,
             } => {
-                if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
-                    tx.on_sync_ack(token, drained, ctx.now());
+                let applied = self
+                    .out
+                    .get_mut(port as usize)
+                    .and_then(Option::as_mut)
+                    .map(|tx| tx.on_sync_ack(token, drained, ctx.now()));
+                if let Some(applied) = applied {
+                    if applied {
+                        // Mirror the HIB: a completed handshake is traced
+                        // too, so collectors can reconcile traced resync
+                        // events against probe + completion counters.
+                        self.emit_resync(ctx.now(), token);
+                    }
                     self.mark_pending(port as usize);
                 }
                 self.pump(ctx);

@@ -14,6 +14,7 @@
 
 mod addr;
 mod ids;
+pub mod metric;
 mod msg;
 mod payload;
 mod timing;

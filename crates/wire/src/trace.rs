@@ -108,6 +108,11 @@ pub enum Stage {
     /// The transmitting port completed a credit-resync handshake with its
     /// neighbor after losing credits.
     CreditResync,
+    /// The packet is at the head of a transmit queue but the port has no
+    /// credits: a stall window opened. Emitted once per window (the window
+    /// closes when a credit arrives), so attribution can classify the
+    /// queue time that follows as credit-stall rather than arbitration.
+    CreditStall,
 }
 
 impl Stage {
@@ -124,6 +129,7 @@ impl Stage {
             Stage::Dropped => "dropped",
             Stage::Retransmit => "retransmit",
             Stage::CreditResync => "credit-resync",
+            Stage::CreditStall => "credit-stall",
         }
     }
 }

@@ -17,8 +17,19 @@
 //!    per-event cost of the reliability layer, which must stay small.
 //! 5. `stencil_16` — a 16-node Jacobi stencil over eager-update boundary
 //!    pages via `tg-workloads` (full cluster stack, deep queues).
-//! 6. `proto_sweep` — a coherence-interleaving sweep of the owner
+//! 6. `stencil_16_traced` — the same stencil with packet tracing and
+//!    metric sampling enabled: the analysis-ON cost. The plain
+//!    `stencil_16` number is the analysis-OFF datapoint — the attribution
+//!    machinery is probe-gated, so its hot-path cost with analysis off
+//!    must stay ~0 (compare against the previous baseline).
+//! 7. `proto_sweep` — a coherence-interleaving sweep of the owner
 //!    protocol via `tg-proto` (adversarial RNG-driven delivery).
+//!
+//! Besides `BENCH_engine.json`, a `tg-report-v1` `report_bench.json` is
+//! written for the CI perf gate: deterministic structural counts
+//! (`events`, `peak_queue_depth`) under `metrics` (gate tolerance 0) and
+//! machine-dependent wall-clock numbers under `throughput` (gated
+//! loosely or skipped).
 //!
 //! Deliberately dependency-free (plain `std::time::Instant`, hand-rolled
 //! JSON) so it runs in offline/vendored environments. Each workload is run
@@ -26,13 +37,13 @@
 
 use std::time::Instant;
 
-use telegraphos::ClusterBuilder;
+use telegraphos_suite::harness::{self, HarnessOptions};
+use tg_analyze::{Json, SCHEMA};
 use tg_net::testing::{kick, SourceSink};
 use tg_net::{build_network_with, NetConfig, RelParams, Topology};
 use tg_proto::{owner::OwnerSerialized, Scenario};
-use tg_sim::{Component, Ctx, Engine, SimTime};
+use tg_sim::{Component, Ctx, Engine, MetricsRegistry, SimTime};
 use tg_wire::{GOffset, NodeId, TimingConfig, WireMsg};
-use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
 
 /// One measured workload.
 struct Measurement {
@@ -210,55 +221,39 @@ fn ping_pong_net_inner(reliable: bool) -> (u64, u64) {
 /// benchmark scale): full cluster stack with fences, barriers and
 /// eager-update multicast traffic.
 fn stencil_16() -> (u64, u64) {
-    const NODES: u16 = 16;
-    const STRIP: usize = 8;
-    const ITERS: u32 = 12;
-    let (left_bc, right_bc) = (900u64, 100u64);
-    let total = STRIP * NODES as usize;
-    let initial: Vec<u64> = (0..total).map(|i| (i as u64 * 53) % 777).collect();
+    stencil_16_inner(false)
+}
 
-    let mut cluster = ClusterBuilder::new(NODES).build();
-    let boundary: Vec<_> = (0..NODES).map(|n| cluster.alloc_shared(n)).collect();
-    for n in 0..NODES {
-        let mut consumers = Vec::new();
-        if n > 0 {
-            consumers.push(n - 1);
-        }
-        if n + 1 < NODES {
-            consumers.push(n + 1);
-        }
-        cluster.make_eager(&boundary[n as usize], &consumers);
+/// The same stencil with the full analysis pipeline attached: packet
+/// tracing probes installed cluster-wide and the congestion sampler
+/// running at 1 µs. The gap against `stencil_16` is the analysis-ON
+/// cost; `stencil_16` itself, unchanged across this feature, is the
+/// proof that analysis-off stays free.
+fn stencil_16_traced() -> (u64, u64) {
+    stencil_16_inner(true)
+}
+
+fn stencil_16_inner(traced: bool) -> (u64, u64) {
+    let opts = HarnessOptions {
+        nodes: 16,
+        ..HarnessOptions::default()
+    };
+    let (mut cluster, check) = harness::build_stencil(&opts, 8, 12);
+    let collector = traced.then(|| cluster.enable_tracing());
+    if traced {
+        let mut metrics = MetricsRegistry::new();
+        cluster.run_sampled(SimTime::from_us(1), &mut metrics);
+        assert!(!metrics.is_empty(), "sampler recorded nothing");
+    } else {
+        cluster.run();
     }
-    let results: Vec<_> = (0..NODES).map(|n| cluster.alloc_shared(n)).collect();
-    let coord = cluster.alloc_shared(0);
-    for n in 0..NODES {
-        let i = n as usize;
-        let strip = initial[i * STRIP..(i + 1) * STRIP].to_vec();
-        let shared = JacobiShared {
-            my_boundary: boundary[i],
-            left_boundary: (n > 0).then(|| boundary[i - 1]),
-            right_boundary: (n + 1 < NODES).then(|| boundary[i + 1]),
-            result: results[i],
-            barrier_counter: coord.va(0),
-            barrier_sense: coord.va(8),
-        };
-        cluster.set_process(
-            n,
-            JacobiWorker::new(shared, u64::from(NODES), ITERS, strip, left_bc, right_bc),
-        );
-    }
-    cluster.run();
     assert!(cluster.all_halted(), "stencil deadlocked");
+    if let Some(c) = &collector {
+        assert!(!c.packet_events().is_empty(), "probes saw no packets");
+    }
     // Sanity: the distributed answer matches the sequential reference, so
     // the benchmark cannot silently measure a broken run.
-    let want = jacobi_reference(&initial, ITERS, left_bc, right_bc);
-    let mut got = Vec::with_capacity(total);
-    for page in &results {
-        for w in 0..STRIP {
-            got.push(cluster.read_shared(page, w as u64));
-        }
-    }
-    assert_eq!(got, want, "stencil diverged from reference");
+    harness::verify_stencil(&cluster, &check).expect("stencil verification");
     let s = cluster.engine_stats();
     (s.events_delivered, s.max_queue_len as u64)
 }
@@ -294,13 +289,14 @@ fn main() {
         measure("ping_pong_net", 5, ping_pong_net),
         measure("ping_pong_reliable", 5, ping_pong_reliable),
         measure("stencil_16", 5, stencil_16),
+        measure("stencil_16_traced", 3, stencil_16_traced),
         measure("proto_sweep", 3, proto_sweep),
     ];
 
     let mut json = String::from("{\n  \"bench\": \"engine\",\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         println!(
-            "{:<12} {:>9} events  {:>9.4}s  {:>12.0} events/s  peak queue {}",
+            "{:<18} {:>9} events  {:>9.4}s  {:>12.0} events/s  peak queue {}",
             m.name,
             m.events,
             m.wall_seconds,
@@ -320,5 +316,50 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    println!("wrote BENCH_engine.json");
+
+    // The analysis-cost datapoint: tracing + sampling ON vs OFF on the
+    // same stencil. The OFF number's stability across commits (gated in
+    // CI) is the "analysis-off hot-path cost stays ~0" guarantee.
+    let off = measurements.iter().find(|m| m.name == "stencil_16");
+    let on = measurements.iter().find(|m| m.name == "stencil_16_traced");
+    if let (Some(off), Some(on)) = (off, on) {
+        if on.events_per_sec() > 0.0 {
+            println!(
+                "analysis cost: stencil_16 traced/off wall ratio {:.2}x \
+                 ({:.0} vs {:.0} events/s)",
+                off.events_per_sec() / on.events_per_sec(),
+                on.events_per_sec(),
+                off.events_per_sec()
+            );
+        }
+    }
+
+    // tg-report-v1 companion for the CI gate: deterministic structural
+    // counts under `metrics`, machine-dependent timings under
+    // `throughput`.
+    let mut report = Json::obj();
+    report.set("schema", Json::Str(SCHEMA.to_string()));
+    report.set("name", Json::Str("bench".to_string()));
+    let mut deterministic = Json::obj();
+    let mut throughput = Json::obj();
+    for m in &measurements {
+        deterministic.set(&format!("{}.events", m.name), Json::Num(m.events as f64));
+        deterministic.set(
+            &format!("{}.peak_queue_depth", m.name),
+            Json::Num(m.peak_queue_depth as f64),
+        );
+        throughput.set(
+            &format!("{}.events_per_sec", m.name),
+            Json::Num(m.events_per_sec()),
+        );
+        throughput.set(
+            &format!("{}.wall_seconds", m.name),
+            Json::Num(m.wall_seconds),
+        );
+    }
+    report.set("metrics", deterministic);
+    report.set("throughput", throughput);
+    std::fs::write("report_bench.json", report.to_string_pretty())
+        .expect("write report_bench.json");
+    println!("wrote BENCH_engine.json and report_bench.json");
 }

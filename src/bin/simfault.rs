@@ -11,13 +11,19 @@
 //! vs drop-rate sweep, and exits nonzero if any run diverges — the CI
 //! fault-matrix smoke test.
 //!
-//! Usage: `simfault [--seeds N]` (default 3 seeds per scenario).
+//! Usage: `simfault [--seeds N] [--report FILE]` (default 3 seeds per
+//! scenario). `--report` writes a `tg-report-v1` JSON document with the
+//! per-run recovery metrics (retransmits, resyncs, frames lost, recovery
+//! latency) so the CI perf gate can diff fault-recovery behaviour against
+//! a committed baseline — the whole campaign is seeded, so the report is
+//! deterministic.
 
 use std::process::ExitCode;
 
 use telegraphos::{
     Action, Cluster, ClusterBuilder, FaultPlan, LinkId, RelParams, Script, SharedPage,
 };
+use tg_analyze::{Json, SCHEMA};
 use tg_sim::SimTime;
 use tg_wire::trace::Site;
 use tg_wire::NodeId;
@@ -117,6 +123,7 @@ fn scenario_plan(name: &str, seed: u64) -> FaultPlan {
 
 fn main() -> ExitCode {
     let mut n_seeds: u64 = 3;
+    let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -125,6 +132,9 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seeds takes a number");
+            }
+            "--report" => {
+                report_path = Some(args.next().expect("--report takes a file path"));
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -151,6 +161,11 @@ fn main() -> ExitCode {
     );
 
     let mut failures = 0u32;
+    let mut metrics = Json::obj();
+    metrics.set(
+        "reference.finished_us",
+        Json::Num(reference.finished_at.as_us_f64()),
+    );
     for scenario in ["drop", "corrupt", "outage", "creditloss"] {
         for s in 0..n_seeds {
             let seed = 0xFA_0001 + 0x1000 * s;
@@ -160,6 +175,15 @@ fn main() -> ExitCode {
                 && r.violations.is_empty()
                 && !r.dead_links;
             let recovery = r.finished_at.saturating_sub(reference.finished_at);
+            for (leaf, v) in [
+                ("frames_lost", r.frames_lost as f64),
+                ("retransmits", r.retransmits as f64),
+                ("resyncs", r.resyncs as f64),
+                ("recovery_us", recovery.as_us_f64()),
+                ("masked", if masked { 1.0 } else { 0.0 }),
+            ] {
+                metrics.set(&format!("{scenario}.seed{s}.{leaf}"), Json::Num(v));
+            }
             println!(
                 "{:<10} {:>6x} {:>8} {:>8} {:>6} {:>6} {:>6} {:>12} {:>10}  {}",
                 scenario,
@@ -202,6 +226,13 @@ fn main() -> ExitCode {
         let r = run(Some(plan));
         let masked = r.halted && r.outcome == reference.outcome && r.violations.is_empty();
         let recovery = r.finished_at.saturating_sub(reference.finished_at);
+        for (leaf, v) in [
+            ("frames_lost", r.frames_lost as f64),
+            ("retransmits", r.retransmits as f64),
+            ("recovery_us", recovery.as_us_f64()),
+        ] {
+            metrics.set(&format!("sweep.drop{pct}.{leaf}"), Json::Num(v));
+        }
         println!(
             "{:>7} {:>8} {:>8} {:>12} {:>10}{}",
             pct,
@@ -214,6 +245,18 @@ fn main() -> ExitCode {
         if !masked {
             failures += 1;
         }
+    }
+
+    if let Some(path) = report_path {
+        let mut report = Json::obj();
+        report.set("schema", Json::Str(SCHEMA.to_string()));
+        report.set("name", Json::Str("simfault".to_string()));
+        report.set("nodes", Json::Num(f64::from(NODES)));
+        report.set("seeds", Json::Num(n_seeds as f64));
+        report.set("metrics", metrics);
+        std::fs::write(&path, report.to_string_pretty()).expect("write report");
+        println!();
+        println!("wrote {path}");
     }
 
     println!();

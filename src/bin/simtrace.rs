@@ -26,9 +26,11 @@
 //!   are monotonically non-decreasing per track, per-stage breakdowns
 //!   sum exactly to the end-to-end latencies in `NodeStats`, and the
 //!   fault-recovery trace reconciles with the fabric counters (traced
-//!   retransmits == `fabric_retransmits()`, every injector-dropped frame
-//!   traced, no drops traced on a lossless run, conservation intact).
-//!   Exits non-zero on any violation.
+//!   retransmits == `fabric_retransmits()`, traced drops == injector
+//!   drops + outage drops + link-layer discards, traced credit-resync
+//!   events == resync probes issued + resyncs applied, no drops traced
+//!   on a lossless run, conservation intact). Exits non-zero on any
+//!   violation.
 //!
 //! Dependency-free by design (hand-rolled JSON both ways) so it runs in
 //! offline/vendored environments.
@@ -39,10 +41,10 @@ use std::process::ExitCode;
 use telegraphos::observe::{
     breakdown_report, chrome_events, chrome_trace_json, json_is_wellformed, ChromeEvent,
 };
-use telegraphos::{Action, Cluster, ClusterBuilder, FaultPlan, RelParams, Script, TraceCollector};
+use telegraphos::{Cluster, TraceCollector};
+use telegraphos_suite::harness::{self, HarnessOptions, StencilCheck};
 use tg_sim::{MetricsRegistry, SimTime};
 use tg_wire::trace::{OpKind, Stage};
-use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
 
 struct Options {
     workload: String,
@@ -117,86 +119,16 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// A cluster builder reflecting the reliability / fault options.
-fn builder(opts: &Options) -> ClusterBuilder {
-    let mut b = ClusterBuilder::new(opts.nodes);
-    if opts.reliable {
-        b = b.reliable_links(RelParams::default());
-    }
-    if opts.drop > 0.0 || opts.corrupt > 0.0 {
-        b = b.with_faults(
-            FaultPlan::new(opts.fault_seed)
-                .drop(opts.drop)
-                .corrupt(opts.corrupt),
-        );
-    }
-    b
-}
-
-/// Every node writes to / fences on / reads from / atomically increments a
-/// page homed on its ring neighbor: remote writes, blocking reads and
-/// atomic launches on every node, crossing the full fabric.
-fn build_pingpong(opts: &Options) -> Cluster {
-    let nodes = opts.nodes;
-    let mut cluster = builder(opts).build();
-    let pages: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
-    for n in 0..nodes {
-        let peer = &pages[((n + 1) % nodes) as usize];
-        let mut actions = Vec::new();
-        for round in 0..4u64 {
-            actions.push(Action::Write(peer.va(0), round + 1));
-            actions.push(Action::Fence);
-            actions.push(Action::Read(peer.va(0)));
-            actions.push(Action::FetchAdd(peer.va(8), 1));
-            actions.push(Action::Compute(SimTime::from_ns(200)));
+impl Options {
+    fn harness(&self) -> HarnessOptions {
+        HarnessOptions {
+            nodes: self.nodes,
+            reliable: self.reliable,
+            drop: self.drop,
+            corrupt: self.corrupt,
+            fault_seed: self.fault_seed,
         }
-        cluster.set_process(n, Script::new(actions));
     }
-    cluster
-}
-
-/// The simbench Jacobi stencil at trace-friendly scale, with the result
-/// checked against the sequential reference.
-fn build_stencil(opts: &Options) -> (Cluster, Vec<u64>, Vec<telegraphos::SharedPage>) {
-    const STRIP: usize = 8;
-    const ITERS: u32 = 4;
-    let nodes = opts.nodes;
-    let (left_bc, right_bc) = (900u64, 100u64);
-    let total = STRIP * nodes as usize;
-    let initial: Vec<u64> = (0..total).map(|i| (i as u64 * 53) % 777).collect();
-
-    let mut cluster = builder(opts).build();
-    let boundary: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
-    for n in 0..nodes {
-        let mut consumers = Vec::new();
-        if n > 0 {
-            consumers.push(n - 1);
-        }
-        if n + 1 < nodes {
-            consumers.push(n + 1);
-        }
-        cluster.make_eager(&boundary[n as usize], &consumers);
-    }
-    let results: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
-    let coord = cluster.alloc_shared(0);
-    for n in 0..nodes {
-        let i = n as usize;
-        let strip = initial[i * STRIP..(i + 1) * STRIP].to_vec();
-        let shared = JacobiShared {
-            my_boundary: boundary[i],
-            left_boundary: (n > 0).then(|| boundary[i - 1]),
-            right_boundary: (n + 1 < nodes).then(|| boundary[i + 1]),
-            result: results[i],
-            barrier_counter: coord.va(0),
-            barrier_sense: coord.va(8),
-        };
-        cluster.set_process(
-            n,
-            JacobiWorker::new(shared, u64::from(nodes), ITERS, strip, left_bc, right_bc),
-        );
-    }
-    let want = jacobi_reference(&initial, ITERS, left_bc, right_bc);
-    (cluster, want, results)
 }
 
 /// Verifies the export invariants; returns a list of violations.
@@ -285,22 +217,46 @@ fn check_export(
             cluster.fabric_retransmits()
         ));
     }
+    // Credit-resync events reconcile exactly: every probe issued and every
+    // applied resync is traced once (outage recovery included — resyncs
+    // triggered by an outage window land in the same counters).
+    let resync_events = stage_count(Stage::CreditResync);
+    let resync_counters = cluster.fabric_resync_probes() + cluster.fabric_resyncs();
+    if resync_events != resync_counters {
+        problems.push(format!(
+            "trace saw {resync_events} credit-resync events, ports count \
+             {} probes + {} applied = {resync_counters}",
+            cluster.fabric_resync_probes(),
+            cluster.fabric_resyncs()
+        ));
+    }
+    // Dropped events reconcile exactly against the port counters: every
+    // injector kill (random drops + outage windows) and every link-layer
+    // discard (corrupt frames, sequence gaps, duplicates) is traced once.
+    // Receive-FIFO overflows are recorded as link errors without a
+    // lifecycle point, so exactness is only claimed on overflow-free runs.
     let dropped = stage_count(Stage::Dropped);
-    match cluster.fault_stats() {
-        Some(fs) => {
-            let injected = fs.drops + fs.outage_drops;
-            if dropped < injected {
-                problems.push(format!(
-                    "injector killed {injected} frames but only {dropped} traced as dropped"
-                ));
-            }
-        }
-        None if dropped != 0 => {
+    let injected = cluster
+        .fault_stats()
+        .map_or(0, |fs| fs.drops + fs.outage_drops);
+    let discards = cluster.fabric_rx_discards();
+    if cluster.link_errors().is_empty() {
+        if dropped != injected + discards {
             problems.push(format!(
-                "{dropped} frames traced as dropped on a lossless run"
+                "trace saw {dropped} dropped frames, counters say \
+                 {injected} injected + {discards} link-layer discards"
             ));
         }
-        None => {}
+    } else if dropped < injected {
+        problems.push(format!(
+            "injector killed {injected} frames but only {dropped} traced as dropped"
+        ));
+    }
+    if cluster.fault_stats().is_none() && dropped != discards {
+        problems.push(format!(
+            "{dropped} frames traced as dropped on a lossless run \
+             ({discards} link-layer discards)"
+        ));
     }
     problems.extend(cluster.conservation_violations());
     problems
@@ -315,11 +271,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let (mut cluster, stencil_check) = match opts.workload.as_str() {
-        "pingpong" => (build_pingpong(&opts), None),
+    let (mut cluster, stencil_check): (Cluster, Option<StencilCheck>) = match opts.workload.as_str()
+    {
+        "pingpong" => (harness::build_pingpong(&opts.harness()), None),
         _ => {
-            let (c, want, results) = build_stencil(&opts);
-            (c, Some((want, results)))
+            let (c, check) = harness::build_stencil(&opts.harness(), 8, 4);
+            (c, Some(check))
         }
     };
     let collector = cluster.enable_tracing();
@@ -334,15 +291,11 @@ fn main() -> ExitCode {
         eprintln!("simtrace: workload deadlocked");
         return ExitCode::FAILURE;
     }
-    if let Some((want, results)) = stencil_check {
-        let strip = want.len() / results.len();
-        let mut got = Vec::with_capacity(want.len());
-        for page in &results {
-            for w in 0..strip {
-                got.push(cluster.read_shared(page, w as u64));
-            }
+    if let Some(check) = &stencil_check {
+        if let Err(e) = harness::verify_stencil(&cluster, check) {
+            eprintln!("simtrace: {e}");
+            return ExitCode::FAILURE;
         }
-        assert_eq!(got, want, "stencil diverged from reference");
     }
 
     let ops = collector.op_events();

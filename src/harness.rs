@@ -1,0 +1,157 @@
+//! Shared workload harness for the suite binaries.
+//!
+//! `simtrace`, `simreport` and `simbench` all drive the same two
+//! canonical workloads — the all-pairs ring ping-pong and the N-node
+//! Jacobi stencil over eager-update boundary pages — so the builders
+//! live here once. Keeping one construction path is what makes the CI
+//! perf-gate baselines meaningful: every binary's "stencil_16" is
+//! byte-for-byte the same cluster.
+
+use telegraphos::{Action, Cluster, ClusterBuilder, FaultPlan, RelParams, Script, SharedPage};
+use tg_sim::SimTime;
+use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
+
+/// Reliability / fault-injection knobs shared by every harness workload.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    /// Cluster size (≥ 2).
+    pub nodes: u16,
+    /// Run the link-level reliability protocol.
+    pub reliable: bool,
+    /// Seeded frame-drop probability (implies `reliable` at the CLI).
+    pub drop: f64,
+    /// Seeded frame-corruption probability (implies `reliable`).
+    pub corrupt: f64,
+    /// Fault-injector seed.
+    pub fault_seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            nodes: 4,
+            reliable: false,
+            drop: 0.0,
+            corrupt: 0.0,
+            fault_seed: 0xFA_0001,
+        }
+    }
+}
+
+/// A cluster builder reflecting the reliability / fault options.
+pub fn builder(opts: &HarnessOptions) -> ClusterBuilder {
+    let mut b = ClusterBuilder::new(opts.nodes);
+    if opts.reliable {
+        b = b.reliable_links(RelParams::default());
+    }
+    if opts.drop > 0.0 || opts.corrupt > 0.0 {
+        b = b.with_faults(
+            FaultPlan::new(opts.fault_seed)
+                .drop(opts.drop)
+                .corrupt(opts.corrupt),
+        );
+    }
+    b
+}
+
+/// Every node writes to / fences on / reads from / atomically increments
+/// a page homed on its ring neighbor: remote writes, blocking reads and
+/// atomic launches on every node, crossing the full fabric.
+pub fn build_pingpong(opts: &HarnessOptions) -> Cluster {
+    let nodes = opts.nodes;
+    let mut cluster = builder(opts).build();
+    let pages: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+    for n in 0..nodes {
+        let peer = &pages[((n + 1) % nodes) as usize];
+        let mut actions = Vec::new();
+        for round in 0..4u64 {
+            actions.push(Action::Write(peer.va(0), round + 1));
+            actions.push(Action::Fence);
+            actions.push(Action::Read(peer.va(0)));
+            actions.push(Action::FetchAdd(peer.va(8), 1));
+            actions.push(Action::Compute(SimTime::from_ns(200)));
+        }
+        cluster.set_process(n, Script::new(actions));
+    }
+    cluster
+}
+
+/// What [`build_stencil`] leaves behind for result verification.
+#[derive(Debug)]
+pub struct StencilCheck {
+    /// The sequential Jacobi reference result.
+    pub want: Vec<u64>,
+    /// The per-node result pages to read back.
+    pub results: Vec<SharedPage>,
+}
+
+/// The N-node Jacobi stencil over eager-update boundary pages, `strip`
+/// interior cells per node, `iters` sweeps, with the sequential
+/// reference computed for verification. `simbench`'s `stencil_16` is
+/// `nodes = 16, strip = 8, iters = 12`; `simtrace`'s trace-friendly
+/// variant is `iters = 4`.
+pub fn build_stencil(opts: &HarnessOptions, strip: usize, iters: u32) -> (Cluster, StencilCheck) {
+    let nodes = opts.nodes;
+    let (left_bc, right_bc) = (900u64, 100u64);
+    let total = strip * nodes as usize;
+    let initial: Vec<u64> = (0..total).map(|i| (i as u64 * 53) % 777).collect();
+
+    let mut cluster = builder(opts).build();
+    let boundary: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+    for n in 0..nodes {
+        let mut consumers = Vec::new();
+        if n > 0 {
+            consumers.push(n - 1);
+        }
+        if n + 1 < nodes {
+            consumers.push(n + 1);
+        }
+        cluster.make_eager(&boundary[n as usize], &consumers);
+    }
+    let results: Vec<_> = (0..nodes).map(|n| cluster.alloc_shared(n)).collect();
+    let coord = cluster.alloc_shared(0);
+    for n in 0..nodes {
+        let i = n as usize;
+        let strip_cells = initial[i * strip..(i + 1) * strip].to_vec();
+        let shared = JacobiShared {
+            my_boundary: boundary[i],
+            left_boundary: (n > 0).then(|| boundary[i - 1]),
+            right_boundary: (n + 1 < nodes).then(|| boundary[i + 1]),
+            result: results[i],
+            barrier_counter: coord.va(0),
+            barrier_sense: coord.va(8),
+        };
+        cluster.set_process(
+            n,
+            JacobiWorker::new(
+                shared,
+                u64::from(nodes),
+                iters,
+                strip_cells,
+                left_bc,
+                right_bc,
+            ),
+        );
+    }
+    let want = jacobi_reference(&initial, iters, left_bc, right_bc);
+    (cluster, StencilCheck { want, results })
+}
+
+/// Reads the stencil result back and compares it to the sequential
+/// reference, returning a description of the first divergence.
+pub fn verify_stencil(cluster: &Cluster, check: &StencilCheck) -> Result<(), String> {
+    let strip = check.want.len() / check.results.len();
+    let mut got = Vec::with_capacity(check.want.len());
+    for page in &check.results {
+        for w in 0..strip {
+            got.push(cluster.read_shared(page, w as u64));
+        }
+    }
+    if got != check.want {
+        return Err(format!(
+            "stencil diverged from reference: got {:?}, want {:?}",
+            got, check.want
+        ));
+    }
+    Ok(())
+}

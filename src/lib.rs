@@ -5,7 +5,10 @@
 //! (`examples/`); the actual functionality lives in the member crates and is
 //! re-exported here for convenience.
 
+pub mod harness;
+
 pub use telegraphos as core;
+pub use tg_analyze as analyze;
 pub use tg_hib as hib;
 pub use tg_hw as hw;
 pub use tg_mem as mem;
