@@ -285,6 +285,9 @@ pub struct LinkSnapshot {
     pub credit_stall: SimTime,
     /// Frames retransmitted on the link.
     pub retransmits: u64,
+    /// Wire bytes retransmitted on the link (header + payload of every
+    /// retransmission — the wire-efficiency cost of recovery).
+    pub retx_bytes: u64,
     /// Completed credit-resync handshakes on the link.
     pub resyncs: u64,
     /// Credit-resync probes issued on the link.
@@ -689,6 +692,8 @@ impl Cluster {
                     stranded: unacked,
                     credits: hib.tx_credits(),
                     retransmits: hib.retransmits(),
+                    attempts: hib.consecutive_attempts(),
+                    starved: hib.ack_starved(),
                 });
             }
             if tx_queue > 0 || rx_fifo > 0 || unacked > 0 || dead {
@@ -759,6 +764,24 @@ impl Cluster {
                  + {unacked} unacked + {queued} queued"
             ));
         }
+        // SACK reorder windows must be empty at quiescence: a parked frame
+        // with no pending retransmission means a gap that will never fill.
+        let mut parked: usize = 0;
+        for &id in &self.switches {
+            let sw = self
+                .engine
+                .get::<tg_net::Switch>(id)
+                .expect("switch component");
+            parked += sw.reorder_depth_total();
+        }
+        for i in 0..self.n {
+            parked += self.node(i).hib().reorder_depth();
+        }
+        if parked > 0 {
+            violations.push(format!(
+                "reorder leak: {parked} frames still parked in SACK windows"
+            ));
+        }
         violations
     }
 
@@ -826,6 +849,37 @@ impl Cluster {
             .sum::<u64>()
     }
 
+    /// Wire bytes retransmitted across the whole fabric — the
+    /// wire-efficiency cost of loss recovery (go-back-N resends every
+    /// in-flight successor of a lost frame; SACK only the missing ones).
+    pub fn fabric_retx_bytes(&self) -> u64 {
+        let sw: u64 = self
+            .switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(tg_net::Switch::retx_bytes)
+            .sum();
+        sw + (0..self.n)
+            .map(|i| self.node(i).hib().retx_bytes())
+            .sum::<u64>()
+    }
+
+    /// Control frames discarded for a failed checksum across the whole
+    /// fabric. Corrupted control frames always arrive (corruption flips
+    /// bits, it does not drop), so this total reconciles exactly against
+    /// the injector's `ctrl_corrupts` tally.
+    pub fn fabric_ctrl_discards(&self) -> u64 {
+        let sw: u64 = self
+            .switches
+            .iter()
+            .filter_map(|&s| self.engine.get::<tg_net::Switch>(s))
+            .map(tg_net::Switch::ctrl_discards)
+            .sum();
+        sw + (0..self.n)
+            .map(|i| self.node(i).hib().ctrl_discards())
+            .sum::<u64>()
+    }
+
     /// Per-directed-link statistics joined from both ends of every hop.
     ///
     /// Each fabric element reports one [`tg_net::PortSnapshot`] per port:
@@ -860,6 +914,7 @@ impl Cluster {
                         allowance: 0,
                         credit_stall: SimTime::ZERO,
                         retransmits: 0,
+                        retx_bytes: 0,
                         resyncs: 0,
                         resync_probes: 0,
                         rx_fifo_depth: 0,
@@ -879,6 +934,7 @@ impl Cluster {
             s.allowance = p.allowance;
             s.credit_stall = p.credit_stall;
             s.retransmits = p.retransmits;
+            s.retx_bytes = p.retx_bytes;
             s.resyncs = p.resyncs;
             s.resync_probes = p.resync_probes;
             // The receive half of this element belongs to the reverse hop.
@@ -1149,6 +1205,7 @@ impl Cluster {
                 ("tx_packets", l.tx_packets),
                 ("tx_bytes", l.tx_bytes),
                 ("retransmits", l.retransmits),
+                ("retx_bytes", l.retx_bytes),
                 ("resyncs", l.resyncs),
                 ("resync_probes", l.resync_probes),
                 ("rx_discards", l.rx_discards),
@@ -1165,15 +1222,19 @@ impl Cluster {
         // Reliability-layer counters (all zero on a lossless fabric).
         let mut rel = vec![
             ("fabric.retransmits", self.fabric_retransmits()),
+            ("fabric.retx_bytes", self.fabric_retx_bytes()),
             ("fabric.credit_resyncs", self.fabric_resyncs()),
             ("fabric.credit_resync_probes", self.fabric_resync_probes()),
             ("fabric.rx_discards", self.fabric_rx_discards()),
+            ("fabric.ctrl_discards", self.fabric_ctrl_discards()),
             ("fabric.link_errors", self.link_errors().len() as u64),
         ];
         if let Some(fs) = self.fault_stats() {
             rel.push(("fabric.frames_dropped", fs.drops + fs.outage_drops));
             rel.push(("fabric.frames_corrupted", fs.corrupts));
             rel.push(("fabric.credits_lost", fs.credits_lost));
+            rel.push(("fabric.ctrl_dropped", fs.ctrl_drops));
+            rel.push(("fabric.ctrl_corrupted", fs.ctrl_corrupts));
         }
         for (name, count) in rel {
             let c = metrics.counter(name);

@@ -71,5 +71,5 @@ pub use stats::NodeStats;
 
 // Fault-injection and reliability vocabulary, re-exported so experiments
 // and binaries need only this crate.
-pub use tg_net::{FaultPlan, FaultStats, LinkError, LinkId, RelParams, StalledLink};
+pub use tg_net::{FaultPlan, FaultStats, LinkError, LinkId, RelParams, RetxMode, StalledLink};
 pub use tg_sim::WatchdogOutcome;

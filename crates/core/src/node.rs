@@ -838,6 +838,12 @@ impl Node {
                 // watchdog's deadlock report) is the cluster's business.
                 self.stats.link_failures += 1;
             }
+            HibInterrupt::LinkStarved { .. } => {
+                // The ack-starvation watchdog warns before the link dies;
+                // the OS just records the episode (the deadlock report
+                // names starved links if the fabric wedges for real).
+                self.stats.link_starvations += 1;
+            }
         }
     }
 

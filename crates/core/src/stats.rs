@@ -40,6 +40,10 @@ pub struct NodeStats {
     /// Link-layer faults surfaced to the OS (duplicate credits, FIFO
     /// overflows, dead links).
     pub link_failures: u64,
+    /// Ack-starvation warnings surfaced to the OS: the control plane on
+    /// the board's uplink went quiet while retransmissions kept burning
+    /// budget.
+    pub link_starvations: u64,
     /// When the process halted (none if still running).
     pub halted_at: Option<SimTime>,
 }

@@ -140,14 +140,18 @@ fn watchdog_is_silent_on_a_healthy_run() {
 /// A credit leaked on the wire is caught by the traffic-quiescent
 /// conservation check, naming the starved link instead of silently
 /// shrinking the fabric's capacity. (Left to itself the periodic resync
-/// probe would eventually reclaim the credit — the huge timeout here
-/// keeps that recovery far in the future, and the bounded run inspects
-/// the ledgers while the leak is live.)
+/// probe would eventually reclaim the credit — the huge timeouts here
+/// keep that recovery far in the future: the probe interval is derived
+/// from the adaptive RTO, so the RTO clamps must be pinned high along
+/// with the resync ceiling. The bounded run then inspects the ledgers
+/// while the leak is live.)
 #[test]
 fn conservation_check_catches_a_leaked_credit() {
     // Lose every credit return; one write is enough to strand one credit.
     let params = RelParams {
         resync_timeout: SimTime::from_us(1_000_000),
+        rto_min: SimTime::from_us(1_000_000),
+        rto_max: SimTime::from_us(1_000_000),
         ..RelParams::default()
     };
     let plan = FaultPlan::new(0xC4ED17).credit_loss(1.0);

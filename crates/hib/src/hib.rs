@@ -9,7 +9,10 @@ use tg_net::{
 use tg_proto::PendingCam;
 use tg_sim::{CompId, SimTime};
 use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
-use tg_wire::{AtomicOp, GOffset, NodeId, Packet, PageNum, PayloadPool, TimingConfig, WireMsg};
+use tg_wire::{
+    AtomicOp, CtrlFrame, CtrlMsg, GOffset, NodeId, Packet, PageNum, PayloadPool, TimingConfig,
+    WireMsg,
+};
 
 use crate::config::{HibConfig, LaunchMode, LocalWritePolicy};
 use crate::host::{
@@ -59,6 +62,8 @@ pub struct HibStats {
     pub committed: u64,
     /// Link-layer faults surfaced as [`HibInterrupt::LinkFault`].
     pub link_faults: u64,
+    /// Ack-starvation episodes surfaced as [`HibInterrupt::LinkStarved`].
+    pub starvation_alarms: u64,
 }
 
 /// Why a store is parked at the HIB waiting to retry.
@@ -159,6 +164,11 @@ pub struct Hib {
     unwedge_scheduled: bool,
     /// Watchdog progress meter, ticked on every packet commit.
     meter: Option<tg_sim::ProgressMeter>,
+    /// Control frames discarded for a failed checksum on the input link.
+    ctrl_discards: u64,
+    /// The current ack-starvation episode has already raised its
+    /// interrupt; cleared when ack progress resumes.
+    starvation_alarmed: bool,
 }
 
 impl Hib {
@@ -199,6 +209,8 @@ impl Hib {
             link_errors: Vec::new(),
             unwedge_scheduled: false,
             meter: None,
+            ctrl_discards: 0,
+            starvation_alarmed: false,
         }
     }
 
@@ -255,8 +267,8 @@ impl Hib {
     /// reliability-enrolled transmit port implies the receiver half of the
     /// protocol on the input link.
     pub fn wire(&mut self, tx: TxPort, rx_upstream: (CompId, u32), rx_capacity: u32) {
-        if tx.is_reliable() {
-            self.rx_link = Some(LinkRx::new());
+        if let Some(params) = tx.rel_params() {
+            self.rx_link = Some(LinkRx::for_params(&params));
         }
         self.tx = Some(tx);
         self.rx_upstream = Some(rx_upstream);
@@ -312,6 +324,34 @@ impl Hib {
         self.tx.as_ref().map_or(0, TxPort::resync_probes)
     }
 
+    /// Wire bytes retransmitted on this board's output link.
+    pub fn retx_bytes(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::retx_bytes)
+    }
+
+    /// Control frames this board discarded for a failed checksum.
+    pub fn ctrl_discards(&self) -> u64 {
+        self.ctrl_discards
+    }
+
+    /// Frames parked in this board's SACK reorder window (must be zero
+    /// at quiescence).
+    pub fn reorder_depth(&self) -> usize {
+        self.rx_link.as_ref().map_or(0, LinkRx::reorder_depth)
+    }
+
+    /// Consecutive unanswered (re)transmissions of the oldest
+    /// unacknowledged frame on the output link.
+    pub fn consecutive_attempts(&self) -> u32 {
+        self.tx.as_ref().map_or(0, TxPort::consecutive_attempts)
+    }
+
+    /// True while the ack-starvation watchdog considers the output link
+    /// starved.
+    pub fn ack_starved(&self) -> bool {
+        self.tx.as_ref().is_some_and(TxPort::ack_starved)
+    }
+
     /// Frames the receive link layer rejected on this board's input link
     /// (checksum or sequence violations, duplicates).
     pub fn rx_discards(&self) -> u64 {
@@ -333,6 +373,7 @@ impl Hib {
             allowance: tx.allowance(),
             credit_stall: tx.credit_stall(),
             retransmits: tx.retransmits(),
+            retx_bytes: tx.retx_bytes(),
             resyncs: tx.resyncs(),
             resync_probes: tx.resync_probes(),
             rx_fifo_depth: self.rx_fifo.len() as u32,
@@ -848,45 +889,86 @@ impl Hib {
             NetEvent::Arrive { packet, .. } => {
                 let verdict = self.rx_link.as_mut().map(|rx| rx.accept(&packet));
                 match verdict {
-                    None | Some(RxVerdict::Accept { .. }) => {
-                        if let Some(RxVerdict::Accept { ack }) = verdict {
-                            if let Some((up, port)) = self.rx_upstream {
-                                host.schedule_net(
-                                    self.timing.link_prop,
-                                    up,
-                                    NetEvent::Ack { port, seq: ack },
-                                );
-                            }
-                        }
+                    None => {
                         self.emit(host.now(), &packet, Stage::RxEnqueue, None);
                         if let Err(err) = self.rx_fifo.push(packet) {
                             self.record_link_error(err, host);
                         }
                         self.pump_rx(host);
                     }
-                    Some(RxVerdict::DupAck { ack }) => {
-                        self.emit(host.now(), &packet, Stage::Dropped, None);
-                        if let Some((up, port)) = self.rx_upstream {
-                            host.schedule_net(
+                    Some(RxVerdict::Accept { ack }) => {
+                        let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(
+                            CtrlMsg::Ack { seq: ack, sack },
+                            self.timing.link_prop,
+                            host,
+                        );
+                        self.emit(host.now(), &packet, Stage::RxEnqueue, None);
+                        if let Err(err) = self.rx_fifo.push(packet) {
+                            self.record_link_error(err, host);
+                        }
+                        // The arrival may have closed a reorder-window
+                        // gap: enqueue the released successors in order.
+                        // Credit accounting bounds FIFO + window occupancy
+                        // by the allowance, so the burst cannot overflow.
+                        let released = self
+                            .rx_link
+                            .as_mut()
+                            .map(LinkRx::take_ready)
+                            .unwrap_or_default();
+                        for p in released {
+                            self.emit(host.now(), &p, Stage::RxEnqueue, None);
+                            if let Err(err) = self.rx_fifo.push(p) {
+                                self.record_link_error(err, host);
+                            }
+                        }
+                        self.pump_rx(host);
+                    }
+                    Some(RxVerdict::Held { ack, nack, dup }) => {
+                        if dup {
+                            // Spurious retransmit of an already-parked
+                            // frame: drop the copy (the missing base
+                            // frame's ack will carry the bitmap).
+                            self.emit(host.now(), &packet, Stage::Dropped, None);
+                        } else if nack {
+                            let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                            self.send_ctrl(
+                                CtrlMsg::Nack {
+                                    expected: ack + 1,
+                                    sack,
+                                },
                                 self.timing.link_prop,
-                                up,
-                                NetEvent::Ack { port, seq: ack },
+                                host,
+                            );
+                        } else {
+                            // Refresh the sender's view of the window with
+                            // a duplicate cumulative ack + grown bitmap.
+                            let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                            self.send_ctrl(
+                                CtrlMsg::Ack { seq: ack, sack },
+                                self.timing.link_prop,
+                                host,
                             );
                         }
+                    }
+                    Some(RxVerdict::DupAck { ack }) => {
+                        self.emit(host.now(), &packet, Stage::Dropped, None);
+                        let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(
+                            CtrlMsg::Ack { seq: ack, sack },
+                            self.timing.link_prop,
+                            host,
+                        );
                     }
                     Some(RxVerdict::NackCorrupt { expected })
                     | Some(RxVerdict::NackGap { expected }) => {
                         self.emit(host.now(), &packet, Stage::Dropped, None);
-                        if let Some((up, port)) = self.rx_upstream {
-                            host.schedule_net(
-                                self.timing.link_prop,
-                                up,
-                                NetEvent::Nack {
-                                    port,
-                                    seq: expected,
-                                },
-                            );
-                        }
+                        let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(
+                            CtrlMsg::Nack { expected, sack },
+                            self.timing.link_prop,
+                            host,
+                        );
                     }
                     Some(RxVerdict::Discard) => {
                         self.emit(host.now(), &packet, Stage::Dropped, None);
@@ -907,49 +989,59 @@ impl Hib {
                 // own TX release travels as HibTick::TxFree.
                 self.on_tick(HibTick::TxFree, host);
             }
-            NetEvent::Ack { seq, .. } => {
-                if let Some(tx) = self.tx.as_mut() {
-                    tx.on_ack(seq, host.now());
+            NetEvent::Ctrl { frame, .. } => {
+                if !frame.checksum_ok() {
+                    self.ctrl_discards += 1;
+                    return;
                 }
-                self.pump_tx(host);
-            }
-            NetEvent::Nack { seq, .. } => {
-                let action = self.tx.as_mut().map(|tx| tx.on_nack(seq, host.now()));
-                if let Some(TimerAction::Dead(err)) = action {
-                    self.record_link_error(err, host);
+                match frame.msg {
+                    CtrlMsg::Ack { seq, sack } => {
+                        if let Some(tx) = self.tx.as_mut() {
+                            tx.on_ack(seq, sack, host.now());
+                        }
+                        self.check_starvation(host);
+                        self.pump_tx(host);
+                    }
+                    CtrlMsg::Nack { expected, sack } => {
+                        let action = self
+                            .tx
+                            .as_mut()
+                            .map(|tx| tx.on_nack(expected, sack, host.now()));
+                        if let Some(TimerAction::Dead(err)) = action {
+                            self.record_link_error(err, host);
+                        }
+                        self.check_starvation(host);
+                        self.pump_tx(host);
+                    }
+                    CtrlMsg::SyncReq { token } => {
+                        // Resync replies are idempotent: the drain counter
+                        // is monotone, so answering a retried (or
+                        // duplicated) probe never double-credits.
+                        let drained = self.rx_link.as_ref().map(LinkRx::drained).unwrap_or(0);
+                        self.send_ctrl(
+                            CtrlMsg::SyncAck { token, drained },
+                            self.timing.link_prop,
+                            host,
+                        );
+                    }
+                    CtrlMsg::SyncAck { token, drained } => {
+                        let now = host.now();
+                        let applied = self
+                            .tx
+                            .as_mut()
+                            .map(|tx| tx.on_sync_ack(token, drained, now))
+                            .unwrap_or(false);
+                        if applied {
+                            self.emit_resync(now, token);
+                        }
+                        self.pump_tx(host);
+                    }
                 }
-                self.pump_tx(host);
             }
             NetEvent::RetxTimer { gen, .. } => {
                 // Delivered when another component (tests) drives the HIB
                 // with raw net events; the cluster uses HibTick::RetxTimer.
                 self.on_tick(HibTick::RetxTimer { gen }, host);
-            }
-            NetEvent::CreditSyncReq { token, .. } => {
-                let drained = self.rx_link.as_ref().map(LinkRx::drained).unwrap_or(0);
-                if let Some((up, port)) = self.rx_upstream {
-                    host.schedule_net(
-                        self.timing.link_prop,
-                        up,
-                        NetEvent::CreditSyncAck {
-                            port,
-                            token,
-                            drained,
-                        },
-                    );
-                }
-            }
-            NetEvent::CreditSyncAck { token, drained, .. } => {
-                let now = host.now();
-                let applied = self
-                    .tx
-                    .as_mut()
-                    .map(|tx| tx.on_sync_ack(token, drained, now))
-                    .unwrap_or(false);
-                if applied {
-                    self.emit_resync(now, token);
-                }
-                self.pump_tx(host);
             }
         }
     }
@@ -984,23 +1076,13 @@ impl Hib {
                     .map(|tx| tx.on_timer(gen, host.now()))
                     .unwrap_or(TimerAction::Stale);
                 match action {
-                    TimerAction::Retransmit => self.pump_tx(host),
+                    TimerAction::Retransmit => {
+                        self.check_starvation(host);
+                        self.pump_tx(host);
+                    }
                     TimerAction::Resync { token } => {
-                        let target = self
-                            .tx
-                            .as_ref()
-                            .map(|tx| (tx.neighbor(), tx.neighbor_port()));
-                        if let Some((nbr, nbr_port)) = target {
-                            self.emit_resync(host.now(), token);
-                            host.schedule_net(
-                                self.timing.link_prop,
-                                nbr,
-                                NetEvent::CreditSyncReq {
-                                    port: nbr_port,
-                                    token,
-                                },
-                            );
-                        }
+                        self.emit_resync(host.now(), token);
+                        self.send_ctrl(CtrlMsg::SyncReq { token }, self.timing.link_prop, host);
                     }
                     TimerAction::Dead(err) => self.record_link_error(err, host),
                     TimerAction::Stale | TimerAction::Idle => {}
@@ -1022,6 +1104,43 @@ impl Hib {
             self.timing.interrupt_latency,
             HibInterrupt::LinkFault { error: err },
         );
+    }
+
+    /// Ack-starvation watchdog: when half the retransmit budget has been
+    /// burned on the oldest frame with no ack progress, the control plane
+    /// toward the neighbor is effectively down — raise one interrupt per
+    /// episode so the OS can react before the link is declared dead.
+    fn check_starvation(&mut self, host: &mut dyn HibHost) {
+        let starved = self.tx.as_ref().is_some_and(TxPort::ack_starved);
+        if starved && !self.starvation_alarmed {
+            self.starvation_alarmed = true;
+            self.stats.starvation_alarms += 1;
+            let attempts = self.consecutive_attempts();
+            host.interrupt(
+                self.timing.interrupt_latency,
+                HibInterrupt::LinkStarved { attempts },
+            );
+        } else if !starved {
+            self.starvation_alarmed = false;
+        }
+    }
+
+    /// Seals and launches one control frame toward the upstream switch
+    /// after `delay`, consulting the injector for its fate. The board's
+    /// uplink and its credit-return path share one physical link, so
+    /// control traffic in either role rides `tx.link()`.
+    fn send_ctrl(&mut self, msg: CtrlMsg, delay: SimTime, host: &mut dyn HibHost) {
+        let Some((up, port)) = self.rx_upstream else {
+            return;
+        };
+        let link = self.tx.as_ref().and_then(TxPort::link);
+        let mut frame = CtrlFrame::seal(msg);
+        if let (Some(inj), Some(link)) = (self.injector.as_ref(), link) {
+            if inj.ctrl_fate(link, host.now(), &mut frame) == FrameFate::Drop {
+                return;
+            }
+        }
+        host.schedule_net(delay, up, NetEvent::Ctrl { port, frame });
     }
 
     /// Returns the credit for a consumed arrival, unless the injector

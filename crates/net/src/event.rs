@@ -1,6 +1,6 @@
 //! Network events and the embedding trait.
 
-use tg_wire::Packet;
+use tg_wire::{CtrlFrame, Packet};
 
 /// Events exchanged between network components (switches and endpoints).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -22,22 +22,19 @@ pub enum NetEvent {
         /// The output port that became free.
         port: u32,
     },
-    /// Link-layer cumulative acknowledgement: the receiver on the far end
-    /// of output port `port` has accepted every frame through `seq`.
-    Ack {
-        /// The output port whose retransmit buffer this acknowledges.
+    /// A link-layer control frame (ack, nack, credit-resync handshake)
+    /// finished arriving on the link paired with port `port`. Since
+    /// output port *i* and input port *i* of every element connect to
+    /// the same neighbor, one index addresses both the retransmit buffer
+    /// an ack drives and the receive state a resync probe reads. The
+    /// frame is checksummed wire traffic: receivers must verify
+    /// [`CtrlFrame::checksum_ok`] and discard (count, never act on)
+    /// frames that fail.
+    Ctrl {
+        /// The port pair this control frame belongs to.
         port: u32,
-        /// Highest accepted link sequence number (cumulative).
-        seq: u64,
-    },
-    /// Link-layer negative acknowledgement: the receiver on the far end of
-    /// output port `port` saw a gap or a corrupt frame and wants
-    /// retransmission from `seq` (go-back-N).
-    Nack {
-        /// The output port that must retransmit.
-        port: u32,
-        /// The link sequence number the receiver expects next.
-        seq: u64,
+        /// The sealed (possibly fault-corrupted) control frame.
+        frame: CtrlFrame,
     },
     /// Self-scheduled retransmission/resync timer for output port `port`.
     /// `gen` guards against stale timers (timers cannot be cancelled).
@@ -46,24 +43,6 @@ pub enum NetEvent {
         port: u32,
         /// Timer generation at scheduling time.
         gen: u64,
-    },
-    /// Credit-resync probe: the upstream sender of input port `port` lost
-    /// track of its credits and asks how many frames were drained.
-    CreditSyncReq {
-        /// Receiving input port (like [`NetEvent::Arrive`]).
-        port: u32,
-        /// Handshake token echoed in the reply.
-        token: u64,
-    },
-    /// Credit-resync reply for output port `port`.
-    CreditSyncAck {
-        /// The output port that probed.
-        port: u32,
-        /// Token from the matching request.
-        token: u64,
-        /// Total frames the receiver has drained from its FIFO on this
-        /// link (monotone counter).
-        drained: u64,
     },
 }
 

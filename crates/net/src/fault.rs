@@ -9,11 +9,17 @@
 //! sequence numbers, ACK/NACK retransmission, credit resync) masks what
 //! the injector breaks.
 //!
-//! The injector deliberately never touches link-layer *control* traffic
-//! (ACK/NACK/resync replies): those model the hardware's dedicated
-//! control-symbol channel, which real Telegraphos-class links protect far
-//! more heavily than data frames. Data frames and flow-control credits are
-//! fair game.
+//! Since reliability round 2 the link-layer *control* traffic (ACKs,
+//! NACKs, credit-resync handshakes) is first-class corruptible wire
+//! traffic too: control messages ride in checksummed
+//! [`CtrlFrame`](tg_wire::CtrlFrame)s and the injector decides their
+//! fate via [`FaultInjector::ctrl_fate`] under separate `ctrl_drop` /
+//! `ctrl_corrupt` probabilities (outage windows kill them like anything
+//! else on the link). Receivers discard control frames whose checksum
+//! fails, and the protocol's sender-side machinery — timeout-driven
+//! retransmit, probe retry with fresh tokens, the ack-starvation
+//! watchdog — recovers, so no assumption of an incorruptible control
+//! plane remains.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -21,7 +27,7 @@ use std::rc::Rc;
 
 use tg_sim::{SimRng, SimTime};
 use tg_wire::trace::Site;
-use tg_wire::{NodeId, Packet};
+use tg_wire::{CtrlFrame, NodeId, Packet};
 
 /// One directed link hop, named by its endpoints.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -82,6 +88,12 @@ pub struct FaultPlan {
     pub corrupt_p: f64,
     /// Per-return probability that a flow-control credit is lost.
     pub credit_loss_p: f64,
+    /// Per-hop probability that a link-layer control frame (ack, nack,
+    /// resync handshake) is dropped in flight.
+    pub ctrl_drop_p: f64,
+    /// Per-hop probability that a link-layer control frame arrives
+    /// corrupted (checksum broken; the receiver discards it).
+    pub ctrl_corrupt_p: f64,
     /// Scheduled link outage windows.
     pub outages: Vec<Outage>,
     /// Optional one-shot HIB rx-FIFO wedge.
@@ -96,6 +108,8 @@ impl FaultPlan {
             drop_p: 0.0,
             corrupt_p: 0.0,
             credit_loss_p: 0.0,
+            ctrl_drop_p: 0.0,
+            ctrl_corrupt_p: 0.0,
             outages: Vec::new(),
             wedge: None,
         }
@@ -134,6 +148,29 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-hop control-frame drop probability (acks, nacks,
+    /// credit-resync handshakes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn ctrl_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.ctrl_drop_p = p;
+        self
+    }
+
+    /// Sets the per-hop control-frame corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn ctrl_corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.ctrl_corrupt_p = p;
+        self
+    }
+
     /// Adds an outage window `[from, until)` on the directed link.
     pub fn outage(mut self, link: LinkId, from: SimTime, until: SimTime) -> Self {
         self.outages.push(Outage { link, from, until });
@@ -157,6 +194,8 @@ impl FaultPlan {
         self.drop_p == 0.0
             && self.corrupt_p == 0.0
             && self.credit_loss_p == 0.0
+            && self.ctrl_drop_p == 0.0
+            && self.ctrl_corrupt_p == 0.0
             && self.outages.is_empty()
             && self.wedge.is_none()
     }
@@ -185,6 +224,11 @@ pub struct FaultStats {
     pub outage_drops: u64,
     /// Flow-control credits lost (probability or outage).
     pub credits_lost: u64,
+    /// Control frames dropped (probability or outage).
+    pub ctrl_drops: u64,
+    /// Control frames corrupted (the receiver discards them on checksum
+    /// failure — reconciled exactly against fabric control discards).
+    pub ctrl_corrupts: u64,
 }
 
 impl FaultStats {
@@ -257,6 +301,36 @@ impl FaultInjector {
             st.stats.corrupts += 1;
             // Flip a bit of the wire checksum: detectable, recoverable.
             packet.checksum ^= 0x8000_0001;
+            return FrameFate::Corrupt;
+        }
+        FrameFate::Deliver
+    }
+
+    /// Decides the fate of a link-layer control frame (ack, nack, resync
+    /// handshake) launched on `link` at `now`, breaking `frame`'s
+    /// checksum in place when the fate is [`FrameFate::Corrupt`]. Zero
+    /// control probabilities consume no RNG, so plans written before the
+    /// control plane became corruptible replay identical fault streams.
+    pub fn ctrl_fate(&self, link: LinkId, now: SimTime, frame: &mut CtrlFrame) -> FrameFate {
+        let mut st = self.state.borrow_mut();
+        if st
+            .plan
+            .outages
+            .iter()
+            .any(|o| o.link == link && o.from <= now && now < o.until)
+        {
+            st.stats.ctrl_drops += 1;
+            return FrameFate::Drop;
+        }
+        let drop_p = st.plan.ctrl_drop_p;
+        if drop_p > 0.0 && st.rng.chance(drop_p) {
+            st.stats.ctrl_drops += 1;
+            return FrameFate::Drop;
+        }
+        let corrupt_p = st.plan.ctrl_corrupt_p;
+        if corrupt_p > 0.0 && st.rng.chance(corrupt_p) {
+            st.stats.ctrl_corrupts += 1;
+            frame.corrupt();
             return FrameFate::Corrupt;
         }
         FrameFate::Deliver
@@ -395,6 +469,67 @@ mod tests {
         );
         assert!(inj.credit_lost(link(), SimTime::from_ns(150)));
         assert_eq!(inj.stats().outage_drops, 2);
+    }
+
+    #[test]
+    fn ctrl_frames_are_first_class_fault_targets() {
+        use tg_wire::CtrlMsg;
+        let inj = FaultInjector::new(FaultPlan::new(9).ctrl_corrupt(1.0));
+        let mut f = CtrlFrame::seal(CtrlMsg::Ack { seq: 3, sack: 0 });
+        assert_eq!(
+            inj.ctrl_fate(link(), SimTime::ZERO, &mut f),
+            FrameFate::Corrupt
+        );
+        assert!(!f.checksum_ok(), "corruption must break the checksum");
+        assert_eq!(inj.stats().ctrl_corrupts, 1);
+
+        let inj = FaultInjector::new(FaultPlan::new(9).ctrl_drop(1.0));
+        let mut f = CtrlFrame::seal(CtrlMsg::SyncReq { token: 1 });
+        assert_eq!(
+            inj.ctrl_fate(link(), SimTime::ZERO, &mut f),
+            FrameFate::Drop
+        );
+        assert_eq!(inj.stats().ctrl_drops, 1);
+
+        // An outage window kills control traffic like everything else.
+        let inj = FaultInjector::new(FaultPlan::new(9).outage(
+            link(),
+            SimTime::from_ns(100),
+            SimTime::from_ns(200),
+        ));
+        let mut f = CtrlFrame::seal(CtrlMsg::Ack { seq: 1, sack: 0 });
+        assert_eq!(
+            inj.ctrl_fate(link(), SimTime::from_ns(150), &mut f),
+            FrameFate::Drop
+        );
+        assert_eq!(inj.stats().ctrl_drops, 1);
+
+        // Zero control probabilities consume no RNG: the data-frame fault
+        // stream is unchanged by interleaved control consultations.
+        let with_ctrl = {
+            let inj = FaultInjector::new(FaultPlan::new(42).drop(0.3));
+            (0..100)
+                .map(|i| {
+                    let mut c = CtrlFrame::seal(CtrlMsg::Ack { seq: i, sack: 0 });
+                    assert_eq!(
+                        inj.ctrl_fate(link(), SimTime::from_ns(i), &mut c),
+                        FrameFate::Deliver
+                    );
+                    let mut p = pkt();
+                    inj.frame_fate(link(), SimTime::from_ns(i), &mut p)
+                })
+                .collect::<Vec<_>>()
+        };
+        let without = {
+            let inj = FaultInjector::new(FaultPlan::new(42).drop(0.3));
+            (0..100)
+                .map(|i| {
+                    let mut p = pkt();
+                    inj.frame_fate(link(), SimTime::from_ns(i), &mut p)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(with_ctrl, without);
     }
 
     #[test]

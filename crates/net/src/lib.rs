@@ -64,7 +64,7 @@ mod topology;
 
 pub use event::{NetEvent, NetMessage};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, FrameFate, LinkId, Outage, Wedge};
-pub use link::{CreditLedger, LinkError, LinkRx, RelParams, RxVerdict, StalledLink};
+pub use link::{CreditLedger, LinkError, LinkRx, RelParams, RetxMode, RxVerdict, StalledLink};
 pub use port::{PortSnapshot, RxFifo, TimerAction, TxPort, TxTimes};
 pub use route::{RouteError, Routes};
 pub use switch::{Switch, SwitchStats};

@@ -6,13 +6,20 @@
 //! retransmit directly on its torus links). This module models that layer:
 //! every frame carries a per-link sequence number and a checksum
 //! ([`Packet::seal`]); the receiving end of each link runs a [`LinkRx`]
-//! that accepts exactly the next in-order intact frame and answers
-//! everything else with a cumulative ACK or a go-back-N NACK. The
-//! transmit-side state machine (retransmit buffer, timers, backoff, credit
-//! resync) lives in [`TxPort`](crate::TxPort).
+//! that verifies checksum and sequencing and answers with cumulative
+//! ACKs and NACKs. Two retransmit disciplines are selectable per fabric
+//! ([`RetxMode`]): classic go-back-N, where any out-of-order frame is
+//! discarded and the sender rewinds, and selective repeat (SACK), where
+//! intact out-of-order frames are parked in a bounded reorder window and
+//! acks carry a receipt bitmap so the sender retransmits only the frames
+//! actually missing. Both commit byte-identical payload streams; SACK
+//! just stops paying for every in-flight successor of a single lost
+//! frame. The transmit-side state machine (retransmit buffer, adaptive
+//! RTO, backoff, credit resync) lives in [`TxPort`](crate::TxPort).
 //!
 //! [`Packet::seal`]: tg_wire::Packet::seal
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use tg_sim::SimTime;
@@ -69,23 +76,54 @@ impl fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
+/// Which retransmit discipline the link layer runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RetxMode {
+    /// Go-back-N: receivers accept only the next in-order frame; a NACK
+    /// rewinds the sender to retransmit everything unacknowledged.
+    #[default]
+    GoBackN,
+    /// Selective repeat: receivers park intact out-of-order frames in a
+    /// bounded reorder window and report them in an ack bitmap; the
+    /// sender retransmits only the frames the bitmap says are missing.
+    Sack,
+}
+
 /// Tuning of the link-level reliability protocol.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RelParams {
-    /// Base retransmission timeout for the oldest unacknowledged frame.
-    /// Must comfortably exceed the link round-trip (serialization +
-    /// propagation + ACK return), or every frame retransmits spuriously.
+    /// Initial retransmission timeout for the oldest unacknowledged
+    /// frame, used until the first ack round-trip is sampled; from then
+    /// on the adaptive Jacobson RTO (clamped to `rto_min..=rto_max`)
+    /// takes over. Must comfortably exceed the link round-trip
+    /// (serialization + propagation + ACK return), or the first frames
+    /// retransmit spuriously.
     pub retx_timeout: SimTime,
     /// Per-frame retransmission budget; exhausting it declares the link
     /// dead ([`LinkError::RetryExhausted`]).
     pub max_retries: u32,
-    /// Cap on the exponential backoff multiplier applied to
-    /// `retx_timeout` across consecutive timeouts of the same frame.
+    /// Cap on the exponential backoff multiplier applied to the
+    /// retransmit timeout across consecutive timeouts of the same frame.
     pub backoff_cap: u32,
-    /// How long a port may sit credit-starved with traffic pending (and an
-    /// empty retransmit buffer) before probing its neighbor with a
-    /// credit-resync handshake.
+    /// Ceiling on how long a port may sit credit-starved with traffic
+    /// pending (and an empty retransmit buffer) before probing its
+    /// neighbor with a credit-resync handshake. Once RTT samples exist
+    /// the probe interval is derived from the adaptive RTO
+    /// (`min(resync_timeout, 4 * rto)`), so lightly-loaded lossy links
+    /// reclaim credits proportionally faster.
     pub resync_timeout: SimTime,
+    /// The retransmit discipline ([`RetxMode::GoBackN`] by default).
+    pub mode: RetxMode,
+    /// Reorder-window size in frames for [`RetxMode::Sack`] (clamped to
+    /// the 64-bit ack bitmap; ignored in go-back-N mode).
+    pub sack_window: u32,
+    /// Floor for the adaptive retransmission timeout. Must exceed the
+    /// largest frame's round-trip or clean bulk traffic retransmits
+    /// spuriously.
+    pub rto_min: SimTime,
+    /// Ceiling for the adaptive retransmission timeout (backoff may
+    /// still multiply beyond it, bounded by `backoff_cap`).
+    pub rto_max: SimTime,
 }
 
 impl Default for RelParams {
@@ -95,6 +133,20 @@ impl Default for RelParams {
             max_retries: 16,
             backoff_cap: 8,
             resync_timeout: SimTime::from_us(40),
+            mode: RetxMode::GoBackN,
+            sack_window: 32,
+            rto_min: SimTime::from_us(5),
+            rto_max: SimTime::from_us(100),
+        }
+    }
+}
+
+impl RelParams {
+    /// The default parameter set under the given retransmit mode.
+    pub fn with_mode(mode: RetxMode) -> Self {
+        RelParams {
+            mode,
+            ..RelParams::default()
         }
     }
 }
@@ -102,11 +154,27 @@ impl Default for RelParams {
 /// What the receiving link layer decided about one arrived frame.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RxVerdict {
-    /// In-order, intact: deliver to the input FIFO and send the cumulative
-    /// ACK for `ack`.
+    /// In-order, intact: deliver to the input FIFO and send the
+    /// cumulative ACK for `ack`. In SACK mode the arrival may have
+    /// released buffered successors — drain [`LinkRx::take_ready`] into
+    /// the FIFO after the frame itself; `ack` already covers them.
     Accept {
-        /// Sequence number to acknowledge (the frame's own).
+        /// Highest in-order sequence number received (covers any frames
+        /// released from the reorder window by this arrival).
         ack: u64,
+    },
+    /// SACK mode: an intact out-of-order frame was parked in the reorder
+    /// window (or was already there). Nothing enters the FIFO yet.
+    Held {
+        /// Highest in-order sequence number received.
+        ack: u64,
+        /// True when this arrival first exposed the gap at `ack + 1`:
+        /// send a NACK for it (fast retransmit). Otherwise refresh the
+        /// sender's view with an ACK carrying the grown bitmap.
+        nack: bool,
+        /// True when the frame was already parked (a spurious
+        /// retransmit): it was discarded as a duplicate.
+        dup: bool,
     },
     /// A duplicate of an already-accepted frame (a spurious retransmit):
     /// discard and re-send the cumulative ACK for `ack` so the sender's
@@ -122,7 +190,7 @@ pub enum RxVerdict {
         expected: u64,
     },
     /// Sequence gap (an earlier frame was lost in flight): discard and
-    /// NACK asking for go-back-N retransmission from `expected`.
+    /// NACK asking for retransmission from `expected`.
     NackGap {
         /// The sequence number expected next.
         expected: u64,
@@ -132,13 +200,25 @@ pub enum RxVerdict {
     Discard,
 }
 
-/// Receive-side link-layer state for one input port: in-order sequence
-/// verification, checksum checking, NACK suppression, and the drain
-/// counter the credit-resync handshake reports.
+/// Receive-side link-layer state for one input port: sequence
+/// verification, checksum checking, NACK suppression, the SACK reorder
+/// window, and the drain counter the credit-resync handshake reports.
 #[derive(Clone, Debug)]
 pub struct LinkRx {
+    /// The retransmit discipline this receiver runs.
+    mode: RetxMode,
+    /// Reorder-window size in frames (SACK mode; ≤ 64 so the receipt
+    /// bitmap covers the whole window).
+    window: u64,
     /// Next in-order sequence number (frames are stamped from 1).
     expected: u64,
+    /// Intact out-of-order frames parked until the gap fills (SACK
+    /// mode). Keys are link sequence numbers in
+    /// `expected + 1 .. expected + window`.
+    buffer: BTreeMap<u64, Packet>,
+    /// Frames released from the reorder window by the last in-order
+    /// arrival, in sequence order, awaiting FIFO delivery.
+    ready: Vec<Packet>,
     /// The gap we most recently NACKed; suppresses repeat NACKs for the
     /// same expected frame while in-flight traffic drains.
     nacked_for: Option<u64>,
@@ -154,16 +234,31 @@ pub struct LinkRx {
 }
 
 impl LinkRx {
-    /// Fresh state: expecting sequence 1.
+    /// Fresh go-back-N state: expecting sequence 1.
     pub fn new() -> Self {
+        LinkRx::with_mode(RetxMode::GoBackN, 0)
+    }
+
+    /// Fresh state under an explicit retransmit discipline. The SACK
+    /// reorder window is clamped to the 64-frame bitmap.
+    pub fn with_mode(mode: RetxMode, sack_window: u32) -> Self {
         LinkRx {
+            mode,
+            window: u64::from(sack_window.clamp(1, 64)),
             expected: 1,
+            buffer: BTreeMap::new(),
+            ready: Vec::new(),
             nacked_for: None,
             drained: 0,
             corrupt: 0,
             dups: 0,
             gaps: 0,
         }
+    }
+
+    /// Fresh state matching a parameter set.
+    pub fn for_params(params: &RelParams) -> Self {
+        LinkRx::with_mode(params.mode, params.sack_window)
     }
 
     /// Judges one arrived frame.
@@ -180,13 +275,39 @@ impl LinkRx {
         if packet.link_seq == self.expected {
             self.expected += 1;
             self.nacked_for = None;
+            // The gap just closed; release any buffered successors in
+            // sequence order.
+            while let Some(p) = self.buffer.remove(&self.expected) {
+                self.ready.push(p);
+                self.expected += 1;
+            }
             RxVerdict::Accept {
-                ack: packet.link_seq,
+                ack: self.expected - 1,
             }
         } else if packet.link_seq < self.expected {
             self.dups += 1;
             RxVerdict::DupAck {
                 ack: self.expected - 1,
+            }
+        } else if self.mode == RetxMode::Sack && packet.link_seq - self.expected < self.window {
+            let ack = self.expected - 1;
+            if self.buffer.contains_key(&packet.link_seq) {
+                self.dups += 1;
+                return RxVerdict::Held {
+                    ack,
+                    nack: false,
+                    dup: true,
+                };
+            }
+            self.buffer.insert(packet.link_seq, packet.clone());
+            let nack = self.nacked_for != Some(self.expected);
+            if nack {
+                self.nacked_for = Some(self.expected);
+            }
+            RxVerdict::Held {
+                ack,
+                nack,
+                dup: false,
             }
         } else {
             self.gaps += 1;
@@ -199,6 +320,30 @@ impl LinkRx {
                 }
             }
         }
+    }
+
+    /// Drains the frames released from the reorder window by the last
+    /// in-order arrival, in sequence order.
+    pub fn take_ready(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// The selective-ack bitmap relative to the cumulative ack: bit `i`
+    /// set means frame `ack + 1 + i` is parked in the reorder window
+    /// (bit 0 is always clear — `ack + 1` is the missing frame). Zero
+    /// in go-back-N mode.
+    pub fn sack_bits(&self) -> u64 {
+        let mut bits = 0u64;
+        for &seq in self.buffer.keys() {
+            bits |= 1 << (seq - self.expected);
+        }
+        bits
+    }
+
+    /// Frames currently parked in the reorder window (must be zero at
+    /// quiescence — a non-empty window means a gap never filled).
+    pub fn reorder_depth(&self) -> usize {
+        self.buffer.len()
     }
 
     /// Records one frame drained from the input FIFO (its credit is being
@@ -278,18 +423,30 @@ pub struct StalledLink {
     pub credits: u32,
     /// Retransmissions attempted on this link.
     pub retransmits: u64,
+    /// Consecutive unanswered (re)transmissions of the oldest frame.
+    pub attempts: u32,
+    /// Whether the ack-starvation watchdog considers the link starved
+    /// (half the retry budget burned with no ack progress).
+    pub starved: bool,
 }
 
 impl fmt::Display for StalledLink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {}, {} stranded, {} credits, {} retransmits",
+            "{}: {}, {} stranded, {} credits, {} retransmits ({} unanswered)",
             self.link,
-            if self.dead { "DEAD" } else { "stalled" },
+            if self.dead {
+                "DEAD"
+            } else if self.starved {
+                "ack-starved"
+            } else {
+                "stalled"
+            },
             self.stranded,
             self.credits,
-            self.retransmits
+            self.retransmits,
+            self.attempts
         )
     }
 }
@@ -354,5 +511,87 @@ mod tests {
         rx.on_drain();
         rx.on_drain();
         assert_eq!(rx.drained(), 2);
+    }
+
+    #[test]
+    fn sack_parks_out_of_order_frames_and_releases_in_sequence() {
+        let mut rx = LinkRx::with_mode(RetxMode::Sack, 32);
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        // Frame 2 lost; 3, 4, 5 arrive intact out of order.
+        assert_eq!(
+            rx.accept(&frame(3)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: true,
+                dup: false
+            }
+        );
+        assert_eq!(
+            rx.accept(&frame(4)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: false,
+                dup: false
+            }
+        );
+        assert_eq!(
+            rx.accept(&frame(5)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: false,
+                dup: false
+            }
+        );
+        // Bit i relative to ack=1: frames 3,4,5 are bits 1,2,3.
+        assert_eq!(rx.sack_bits(), 0b1110);
+        assert_eq!(rx.reorder_depth(), 3);
+        assert_eq!(rx.seq_discards(), 0, "parked frames are not discards");
+        // The selective retransmission of 2 releases the whole window.
+        assert_eq!(rx.accept(&frame(2)), RxVerdict::Accept { ack: 5 });
+        let released: Vec<u64> = rx.take_ready().iter().map(|p| p.link_seq).collect();
+        assert_eq!(released, vec![3, 4, 5]);
+        assert_eq!(rx.sack_bits(), 0);
+        assert_eq!(rx.reorder_depth(), 0);
+    }
+
+    #[test]
+    fn sack_duplicate_parked_frame_is_discarded() {
+        let mut rx = LinkRx::with_mode(RetxMode::Sack, 32);
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        assert_eq!(
+            rx.accept(&frame(3)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: true,
+                dup: false
+            }
+        );
+        assert_eq!(
+            rx.accept(&frame(3)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: false,
+                dup: true
+            }
+        );
+        assert_eq!(rx.seq_discards(), 1);
+    }
+
+    #[test]
+    fn sack_frames_beyond_the_window_fall_back_to_gap_nacks() {
+        let mut rx = LinkRx::with_mode(RetxMode::Sack, 4);
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        // Window covers offsets 1..4 from expected=2: seq 3..=5 park.
+        assert_eq!(
+            rx.accept(&frame(5)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: true,
+                dup: false
+            }
+        );
+        // Offset 4 is outside: classic gap handling, already nacked.
+        assert_eq!(rx.accept(&frame(6)), RxVerdict::Discard);
+        assert_eq!(rx.seq_discards(), 1);
     }
 }

@@ -5,9 +5,14 @@
 //! lives here. With [`TxPort::enable_reliability`] the transmit port also
 //! runs the sender half of the link-level reliability protocol: frames are
 //! stamped with per-link sequence numbers, buffered until cumulatively
-//! acknowledged, retransmitted go-back-N on NACK or timeout with bounded
-//! exponential backoff, and the port can resynchronize its credit count
-//! with the receiver when credits were lost in flight.
+//! acknowledged, retransmitted on NACK or timeout with bounded exponential
+//! backoff (go-back-N, or selectively under [`RetxMode::Sack`] where
+//! bitmap-acknowledged frames are skipped), and the port can resynchronize
+//! its credit count with the receiver when credits were lost in flight.
+//! The retransmit timeout adapts per link: ack round-trips feed a
+//! Jacobson-style smoothed RTT + variance estimator (`rto = srtt +
+//! 4·rttvar`, clamped to `rto_min..=rto_max`), with Karn's rule excluding
+//! retransmitted frames from sampling.
 
 use std::collections::VecDeque;
 
@@ -58,6 +63,20 @@ enum ArmKind {
     Resync,
 }
 
+/// One buffered frame awaiting acknowledgement.
+#[derive(Clone, Debug)]
+struct FrameSlot {
+    packet: Packet,
+    /// When the frame was last freshly framed; `None` once retransmitted
+    /// (Karn's rule: a retransmitted frame's ack is ambiguous, so it
+    /// must not feed the RTT estimator).
+    sent_at: Option<SimTime>,
+    /// Selectively acknowledged via an ack bitmap (SACK mode): the
+    /// receiver holds it in its reorder window, so retransmission would
+    /// be pure waste. Stays buffered until cumulatively acknowledged.
+    sacked: bool,
+}
+
 /// Sender half of the link-level reliability protocol (see
 /// [`crate::link`]). Boxed inside [`TxPort`] so the unreliable fast path
 /// stays untouched.
@@ -70,13 +89,13 @@ struct RelTx {
     /// delivered and acknowledged).
     base: u64,
     /// Unacknowledged frames, in sequence order, kept for retransmission.
-    buf: VecDeque<Packet>,
+    buf: VecDeque<FrameSlot>,
     /// Index into `buf` of the next frame to (re)send; `cursor ==
     /// buf.len()` means all buffered frames are on the wire.
     cursor: usize,
     /// Consecutive recovery attempts for the current base frame.
     attempts: u32,
-    /// Current backoff multiplier on `params.retx_timeout`.
+    /// Current backoff multiplier on the retransmit timeout.
     backoff: u32,
     /// Generation counter distinguishing live timers from stale ones.
     timer_gen: u64,
@@ -90,10 +109,61 @@ struct RelTx {
     deadline: SimTime,
     dead: bool,
     retransmits: u64,
+    /// Wire bytes of retransmitted frames (the waste a smarter
+    /// retransmit discipline avoids).
+    retx_bytes: u64,
+    /// Smoothed round-trip time in picoseconds (Jacobson), once the
+    /// first ack round-trip is sampled.
+    srtt: Option<u64>,
+    /// Smoothed RTT variance in picoseconds.
+    rttvar: u64,
+    /// Current adaptive retransmission timeout (starts at
+    /// `params.retx_timeout`, then `srtt + 4·rttvar` clamped to
+    /// `rto_min..=rto_max`).
+    rto: SimTime,
     resync_token: u64,
     resync_outstanding: Option<u64>,
     resyncs: u64,
     resync_probes: u64,
+}
+
+impl RelTx {
+    /// True while any buffered frame still needs (re)transmission —
+    /// sacked frames are parked at the receiver and are skipped.
+    fn retx_pending(&self) -> bool {
+        self.buf.iter().skip(self.cursor).any(|s| !s.sacked)
+    }
+
+    /// Feeds one ack round-trip into the Jacobson estimator and refreshes
+    /// the clamped RTO.
+    fn sample_rtt(&mut self, rtt: SimTime) {
+        let rtt = rtt.as_ps().max(1);
+        let (srtt, rttvar) = match self.srtt {
+            None => (rtt, rtt / 2),
+            Some(s) => {
+                let err = s.abs_diff(rtt);
+                ((7 * s + rtt) / 8, (3 * self.rttvar + err) / 4)
+            }
+        };
+        self.srtt = Some(srtt);
+        self.rttvar = rttvar;
+        let raw = srtt.saturating_add(4 * rttvar);
+        self.rto =
+            SimTime::from_ps(raw.clamp(self.params.rto_min.as_ps(), self.params.rto_max.as_ps()));
+    }
+
+    /// The credit-resync probe interval: derived from the adaptive RTO
+    /// (four round-trip timeouts of silence is plenty), capped by the
+    /// configured ceiling. Before any RTT sample exists this equals
+    /// `min(resync_timeout, 4 · retx_timeout)`.
+    fn resync_interval(&self) -> SimTime {
+        let derived = self.rto * 4;
+        if derived < self.params.resync_timeout {
+            derived
+        } else {
+            self.params.resync_timeout
+        }
+    }
 }
 
 /// One credited transmit port: the sending end of a unidirectional link.
@@ -195,6 +265,10 @@ impl TxPort {
             deadline: SimTime::ZERO,
             dead: false,
             retransmits: 0,
+            retx_bytes: 0,
+            srtt: None,
+            rttvar: 0,
+            rto: params.retx_timeout,
             resync_token: 0,
             resync_outstanding: None,
             resyncs: 0,
@@ -205,6 +279,14 @@ impl TxPort {
     /// True when the reliability protocol is active on this port.
     pub fn is_reliable(&self) -> bool {
         self.rel.is_some()
+    }
+
+    /// The reliability parameter set this port was enrolled with, when
+    /// the protocol is active. Endpoints use it to run a matching
+    /// receiver ([`LinkRx::for_params`](crate::LinkRx::for_params)) on
+    /// their input link.
+    pub fn rel_params(&self) -> Option<RelParams> {
+        self.rel.as_ref().map(|r| r.params)
     }
 
     /// True when a packet may be launched now.
@@ -232,7 +314,7 @@ impl TxPort {
         self.ready()
             && match &self.rel {
                 None => true,
-                Some(r) => !r.dead && r.cursor == r.buf.len(),
+                Some(r) => !r.dead && !r.retx_pending(),
             }
     }
 
@@ -250,14 +332,14 @@ impl TxPort {
     pub fn frame(&mut self, mut packet: Packet, now: SimTime) -> Packet {
         let rel = self.rel.as_mut().expect("frame() requires reliability");
         assert!(
-            !rel.dead && rel.cursor == rel.buf.len(),
+            !rel.dead && !rel.retx_pending(),
             "frame() while retransmitting or dead"
         );
         packet.link_seq = rel.next_seq;
         rel.next_seq += 1;
         packet.seal();
         if rel.buf.is_empty() {
-            rel.deadline = now + rel.params.retx_timeout;
+            rel.deadline = now + rel.rto;
             // A pending slow resync probe must not stand in for this
             // frame's (much shorter) retransmit window: invalidate it and
             // let the pump re-arm a retransmit timer.
@@ -266,27 +348,43 @@ impl TxPort {
                 rel.timer_armed = false;
             }
         }
-        rel.buf.push_back(packet.clone());
+        rel.buf.push_back(FrameSlot {
+            packet: packet.clone(),
+            sent_at: Some(now),
+            sacked: false,
+        });
         rel.cursor = rel.buf.len();
         packet
     }
 
-    /// True when buffered frames await (re)transmission.
+    /// True when buffered frames await (re)transmission (sacked frames
+    /// are parked at the receiver and never resent).
     pub fn has_retx_pending(&self) -> bool {
         self.rel
             .as_ref()
-            .is_some_and(|r| !r.dead && r.cursor < r.buf.len())
+            .is_some_and(|r| !r.dead && r.retx_pending())
     }
 
-    /// Takes the next frame to retransmit, advancing the resend cursor.
+    /// Takes the next frame to retransmit, advancing the resend cursor
+    /// past selectively-acknowledged frames. Retransmitted frames are
+    /// excluded from RTT sampling (Karn's rule).
     pub fn take_retx(&mut self) -> Option<Packet> {
         let rel = self.rel.as_mut()?;
-        if rel.dead || rel.cursor >= rel.buf.len() {
+        if rel.dead {
             return None;
         }
-        let p = rel.buf[rel.cursor].clone();
+        while rel.cursor < rel.buf.len() && rel.buf[rel.cursor].sacked {
+            rel.cursor += 1;
+        }
+        if rel.cursor >= rel.buf.len() {
+            return None;
+        }
+        let slot = &mut rel.buf[rel.cursor];
+        slot.sent_at = None;
+        let p = slot.packet.clone();
         rel.cursor += 1;
         rel.retransmits += 1;
+        rel.retx_bytes += u64::from(p.size_bytes());
         Some(p)
     }
 
@@ -391,23 +489,49 @@ impl TxPort {
         self.busy = false;
     }
 
-    /// Applies a cumulative acknowledgement through `seq` at simulated
-    /// time `now`, dropping acknowledged frames from the retransmit
-    /// buffer. Progress resets the retry counter and backoff and slides
-    /// the recovery deadline forward — the timer pending for the previous
-    /// oldest frame must not fire against a newer one that has not had
-    /// its full timeout yet. The armed timer event is *kept* (it re-arms
-    /// itself for the remainder when it fires early), so a steady ack
-    /// stream costs no timer churn.
-    pub fn on_ack(&mut self, seq: u64, now: SimTime) {
+    /// Applies a cumulative acknowledgement through `seq` with a
+    /// selective-ack bitmap (`sack` bit `i` set means frame `seq + 1 + i`
+    /// is parked in the receiver's reorder window; always zero in
+    /// go-back-N mode) at simulated time `now`, dropping acknowledged
+    /// frames from the retransmit buffer. The newest freshly-transmitted
+    /// frame the ack covers feeds the RTT estimator (Karn's rule skips
+    /// retransmitted frames). Progress resets the retry counter and
+    /// backoff and slides the recovery deadline forward — the timer
+    /// pending for the previous oldest frame must not fire against a
+    /// newer one that has not had its full timeout yet. The armed timer
+    /// event is *kept* (it re-arms itself for the remainder when it fires
+    /// early), so a steady ack stream costs no timer churn.
+    pub fn on_ack(&mut self, seq: u64, sack: u64, now: SimTime) {
         let Some(rel) = self.rel.as_mut() else {
             return;
         };
         let mut progressed = false;
-        while rel.base <= seq && rel.buf.pop_front().is_some() {
+        let mut sample = None;
+        while rel.base <= seq {
+            let Some(slot) = rel.buf.pop_front() else {
+                break;
+            };
             rel.base += 1;
             rel.cursor = rel.cursor.saturating_sub(1);
             progressed = true;
+            if let Some(sent) = slot.sent_at {
+                sample = Some(now.saturating_sub(sent));
+            }
+        }
+        if let Some(rtt) = sample {
+            rel.sample_rtt(rtt);
+        }
+        // Mark frames the receiver reports parked out of order so the
+        // retransmit sweep skips them.
+        let mut bits = sack;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as u64;
+            bits &= bits - 1;
+            if let Some(idx) = (seq + 1 + i).checked_sub(rel.base) {
+                if let Some(slot) = rel.buf.get_mut(idx as usize) {
+                    slot.sacked = true;
+                }
+            }
         }
         if progressed {
             rel.attempts = 0;
@@ -417,22 +541,25 @@ impl TxPort {
                 // full timeout from its own launch.
                 rel.deadline = SimTime::ZERO;
             } else {
-                rel.deadline = now + rel.params.retx_timeout;
+                rel.deadline = now + rel.rto;
             }
         }
     }
 
-    /// Applies a NACK asking for go-back-N retransmission from `expected`.
-    /// Frames below `expected` are cumulatively acknowledged first.
-    pub fn on_nack(&mut self, expected: u64, now: SimTime) -> TimerAction {
-        self.on_ack(expected.saturating_sub(1), now);
+    /// Applies a NACK asking for retransmission from `expected`, with
+    /// the same selective-ack bitmap as [`on_ack`](TxPort::on_ack)
+    /// (relative to `expected - 1`). Frames below `expected` are
+    /// cumulatively acknowledged first; in SACK mode the sweep then
+    /// resends only the frames the bitmap leaves unacknowledged.
+    pub fn on_nack(&mut self, expected: u64, sack: u64, now: SimTime) -> TimerAction {
+        self.on_ack(expected.saturating_sub(1), sack, now);
         let Some(rel) = self.rel.as_mut() else {
             return TimerAction::Idle;
         };
         if rel.dead || rel.buf.is_empty() || expected < rel.base {
             return TimerAction::Stale;
         }
-        if rel.cursor < rel.buf.len() {
+        if rel.retx_pending() {
             // Already resending; the in-progress sweep (or the timer)
             // covers this request.
             return TimerAction::Stale;
@@ -452,14 +579,17 @@ impl TxPort {
     /// Arms the recovery timer if one is needed and none is armed: returns
     /// the delay to self-schedule a `RetxTimer` event and the generation to
     /// carry in it. A timer is needed while unacknowledged frames exist
-    /// (retransmit timeout, scaled by the current backoff) or while any
-    /// credits of the allowance are missing (credit-resync probe: a credit
-    /// lost in flight would otherwise shrink this link's capacity forever
-    /// when traffic is too light to ever fully starve the port — the probe
-    /// simply finds all credits home and goes back to sleep in the common
-    /// case). When the recovery deadline was slid forward by ack progress
-    /// (see [`on_ack`](TxPort::on_ack)), the timer re-arms for the
-    /// remainder rather than a full fresh timeout.
+    /// (the adaptive retransmit timeout, scaled by the current backoff) or
+    /// while any credits of the allowance are missing (credit-resync
+    /// probe: a credit lost in flight would otherwise shrink this link's
+    /// capacity forever when traffic is too light to ever fully starve
+    /// the port — the probe simply finds all credits home and goes back
+    /// to sleep in the common case). A probe timer stays armed even while
+    /// a probe is outstanding: its reply can be lost on a hostile control
+    /// plane, so the next firing simply issues a fresh probe whose token
+    /// supersedes the silent one. When the recovery deadline was slid
+    /// forward by ack progress (see [`on_ack`](TxPort::on_ack)), the
+    /// timer re-arms for the remainder rather than a full fresh timeout.
     pub fn poll_timer(&mut self, now: SimTime) -> Option<(SimTime, u64)> {
         let credits = self.credits;
         let allowance = self.allowance;
@@ -468,12 +598,9 @@ impl TxPort {
             return None;
         }
         let (full, kind) = if !rel.buf.is_empty() {
-            (
-                rel.params.retx_timeout * u64::from(rel.backoff),
-                ArmKind::Retx,
-            )
-        } else if credits < allowance && rel.resync_outstanding.is_none() {
-            (rel.params.resync_timeout, ArmKind::Resync)
+            (rel.rto * u64::from(rel.backoff), ArmKind::Retx)
+        } else if credits < allowance {
+            (rel.resync_interval(), ArmKind::Resync)
         } else {
             return None;
         };
@@ -520,10 +647,10 @@ impl TxPort {
             rel.backoff = (rel.backoff * 2).min(rel.params.backoff_cap);
             rel.cursor = 0;
             TimerAction::Retransmit
-        } else if rel.armed_kind == ArmKind::Resync
-            && credits < allowance
-            && rel.resync_outstanding.is_none()
-        {
+        } else if rel.armed_kind == ArmKind::Resync && credits < allowance {
+            // Always mint a fresh token: if an earlier probe (or its
+            // reply) was lost in flight, the stale token is superseded
+            // and its late reply ignored — the handshake is idempotent.
             rel.resync_token += 1;
             rel.resync_outstanding = Some(rel.resync_token);
             rel.resync_probes += 1;
@@ -586,6 +713,38 @@ impl TxPort {
         self.rel.as_ref().map_or(0, |r| r.retransmits)
     }
 
+    /// Wire bytes of retransmitted frames on this port.
+    pub fn retx_bytes(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.retx_bytes)
+    }
+
+    /// The current adaptive retransmission timeout (the configured
+    /// `retx_timeout` until the first ack round-trip is sampled).
+    pub fn current_rto(&self) -> Option<SimTime> {
+        self.rel.as_ref().map(|r| r.rto)
+    }
+
+    /// The smoothed round-trip estimate, once sampled.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.rel.as_ref().and_then(|r| r.srtt).map(SimTime::from_ps)
+    }
+
+    /// Consecutive unanswered recovery attempts for the oldest
+    /// unacknowledged frame (reset by any ack progress).
+    pub fn consecutive_attempts(&self) -> u32 {
+        self.rel.as_ref().map_or(0, |r| r.attempts)
+    }
+
+    /// True when the link is ack-starved: half the retry budget has been
+    /// burned on the same frame with no ack progress. The watchdog
+    /// surface for "the control plane stopped answering" — fires well
+    /// before [`LinkError::RetryExhausted`] declares the link dead.
+    pub fn ack_starved(&self) -> bool {
+        self.rel
+            .as_ref()
+            .is_some_and(|r| !r.dead && r.attempts > 0 && r.attempts * 2 >= r.params.max_retries)
+    }
+
     /// Completed credit-resync handshakes on this port.
     pub fn resyncs(&self) -> u64 {
         self.rel.as_ref().map_or(0, |r| r.resyncs)
@@ -637,6 +796,8 @@ pub struct PortSnapshot {
     pub credit_stall: SimTime,
     /// Frames retransmitted on `link`.
     pub retransmits: u64,
+    /// Wire bytes of retransmitted frames on `link`.
+    pub retx_bytes: u64,
     /// Completed credit-resync handshakes on `link`.
     pub resyncs: u64,
     /// Credit-resync probes issued on `link`.
@@ -727,6 +888,7 @@ impl RxFifo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::link::RetxMode;
     use tg_wire::{GOffset, NodeId, WireMsg};
 
     fn dummy_comp_id() -> CompId {
@@ -836,10 +998,10 @@ mod tests {
         let b = tx.frame(pkt(), SimTime::ZERO);
         assert_eq!(b.link_seq, 2);
         assert_eq!(tx.unacked(), 2);
-        tx.on_ack(1, SimTime::from_ns(100));
+        tx.on_ack(1, 0, SimTime::from_ns(100));
         assert_eq!(tx.unacked(), 1);
         assert_eq!(tx.delivered(), 1);
-        tx.on_ack(2, SimTime::from_ns(200));
+        tx.on_ack(2, 0, SimTime::from_ns(200));
         assert_eq!(tx.unacked(), 0);
         assert!(!tx.has_retx_pending());
     }
@@ -852,7 +1014,7 @@ mod tests {
             let _ = tx.frame(pkt(), SimTime::ZERO);
         }
         // Receiver saw a gap at 2: frames 2 and 3 must be resent.
-        assert_eq!(tx.on_nack(2, SimTime::ZERO), TimerAction::Retransmit);
+        assert_eq!(tx.on_nack(2, 0, SimTime::ZERO), TimerAction::Retransmit);
         assert_eq!(tx.delivered(), 1, "NACK acks everything below it");
         assert!(tx.has_retx_pending());
         assert!(!tx.can_send_new(), "recovery outranks fresh traffic");
@@ -860,9 +1022,115 @@ mod tests {
         assert_eq!(tx.take_retx().unwrap().link_seq, 3);
         assert!(tx.take_retx().is_none());
         assert_eq!(tx.retransmits(), 2);
+        assert!(tx.retx_bytes() > 0, "retransmitted wire bytes counted");
         // A second NACK while already caught up retriggers the sweep.
-        assert_eq!(tx.on_nack(2, SimTime::ZERO), TimerAction::Retransmit);
+        assert_eq!(tx.on_nack(2, 0, SimTime::ZERO), TimerAction::Retransmit);
         assert_eq!(tx.take_retx().unwrap().link_seq, 2);
+    }
+
+    #[test]
+    fn sacked_frames_are_skipped_by_the_retransmit_sweep() {
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 8);
+        tx.enable_reliability(RelParams {
+            mode: RetxMode::Sack,
+            ..RelParams::default()
+        });
+        for _ in 0..4 {
+            let _ = tx.frame(pkt(), SimTime::ZERO);
+        }
+        // Frame 2 lost; receiver parked 3 and 4 (bits 1 and 2 relative
+        // to ack 1) and nacks for 2.
+        assert_eq!(tx.on_nack(2, 0b110, SimTime::ZERO), TimerAction::Retransmit);
+        assert_eq!(tx.take_retx().unwrap().link_seq, 2, "only the gap resends");
+        assert!(tx.take_retx().is_none(), "sacked 3 and 4 are skipped");
+        assert_eq!(tx.retransmits(), 1);
+        assert!(!tx.has_retx_pending());
+        assert!(tx.can_send_new(), "sacked tail does not block fresh frames");
+        // The receiver releases its window: one cumulative ack drains all.
+        tx.on_ack(4, 0, SimTime::from_us(1));
+        assert_eq!(tx.unacked(), 0);
+        assert_eq!(tx.delivered(), 4);
+    }
+
+    #[test]
+    fn ack_round_trips_adapt_the_rto_within_clamps() {
+        let params = RelParams::default();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 8);
+        tx.enable_reliability(params);
+        assert_eq!(tx.current_rto(), Some(params.retx_timeout));
+        // A 1us round-trip: srtt=1us, rttvar=0.5us, rto=3us -> floor 5us.
+        let _ = tx.frame(pkt(), SimTime::ZERO);
+        tx.on_ack(1, 0, SimTime::from_us(1));
+        assert_eq!(tx.current_rto(), Some(params.rto_min), "clamped to floor");
+        assert_eq!(tx.srtt(), Some(SimTime::from_us(1)));
+        // A huge round-trip pushes toward the ceiling.
+        let t = SimTime::from_ms(1);
+        let _ = tx.frame(pkt(), t);
+        tx.on_ack(2, 0, t + SimTime::from_ms(2));
+        assert_eq!(tx.current_rto(), Some(params.rto_max), "clamped to ceiling");
+        // Retransmitted frames never feed the estimator (Karn).
+        let t2 = SimTime::from_ms(10);
+        let _ = tx.frame(pkt(), t2);
+        assert_eq!(tx.on_nack(3, 0, t2), TimerAction::Retransmit);
+        let _ = tx.take_retx().unwrap();
+        let srtt_before = tx.srtt();
+        tx.on_ack(3, 0, t2 + SimTime::from_ms(5));
+        assert_eq!(tx.srtt(), srtt_before, "ambiguous sample discarded");
+    }
+
+    #[test]
+    fn ack_starvation_trips_at_half_the_retry_budget() {
+        let params = RelParams {
+            max_retries: 6,
+            ..RelParams::default()
+        };
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 4);
+        tx.enable_reliability(params);
+        let _ = tx.frame(pkt(), SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for round in 1..=3u32 {
+            let (d, g) = tx.poll_timer(t).expect("armed");
+            t += d;
+            assert_eq!(tx.on_timer(g, t), TimerAction::Retransmit);
+            let _ = tx.take_retx();
+            assert_eq!(tx.consecutive_attempts(), round);
+            assert_eq!(tx.ack_starved(), round >= 3, "trips at 3 of 6");
+        }
+        // Ack progress clears the alarm.
+        tx.on_ack(1, 0, t);
+        assert!(!tx.ack_starved());
+        assert_eq!(tx.consecutive_attempts(), 0);
+    }
+
+    #[test]
+    fn resync_probe_is_retried_when_the_reply_is_lost() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 2);
+        tx.enable_reliability(RelParams::default());
+        let p = tx.frame(pkt(), SimTime::ZERO);
+        let _ = tx.launch(&p, &timing);
+        tx.on_free();
+        tx.on_ack(1, 0, SimTime::from_ns(400));
+        // The credit never returns; the first probe's reply is lost too.
+        let mut t = SimTime::from_ns(500);
+        let (d1, g1) = tx.poll_timer(t).expect("credit starvation arms resync");
+        t += d1;
+        let tok1 = match tx.on_timer(g1, t) {
+            TimerAction::Resync { token } => token,
+            other => panic!("expected resync, got {other:?}"),
+        };
+        // No reply arrives. The probe timer re-arms and fires again with
+        // a fresh token instead of waiting forever.
+        let (d2, g2) = tx.poll_timer(t).expect("probe re-arms while starved");
+        t += d2;
+        let tok2 = match tx.on_timer(g2, t) {
+            TimerAction::Resync { token } => token,
+            other => panic!("expected retried resync, got {other:?}"),
+        };
+        assert!(tok2 > tok1, "fresh token supersedes the silent probe");
+        assert!(!tx.on_sync_ack(tok1, 1, t), "stale reply is ignored");
+        assert!(tx.on_sync_ack(tok2, 1, t));
+        assert_eq!(tx.credits(), 2);
     }
 
     #[test]
@@ -911,9 +1179,10 @@ mod tests {
         assert_eq!(d1, params.retx_timeout);
         // Frame 1 acked halfway through the window: the pending timer
         // stays armed (no churn), but its deadline slides to cover frame 2
-        // with a full timeout from the ack.
+        // with a full (now RTT-adapted) timeout from the ack.
         let t_ack = params.retx_timeout / 2;
-        tx.on_ack(1, t_ack);
+        tx.on_ack(1, 0, t_ack);
+        let rto = tx.current_rto().expect("reliable port has an RTO");
         assert!(tx.poll_timer(t_ack).is_none(), "timer still armed");
         // The original event fires early and must NOT retransmit.
         let t_fire = SimTime::ZERO + d1;
@@ -921,7 +1190,7 @@ mod tests {
         assert_eq!(tx.retransmits(), 0);
         // Re-arming picks up exactly the remainder of the slid deadline.
         let (d2, g2) = tx.poll_timer(t_fire).expect("re-armed for remainder");
-        assert_eq!(t_fire + d2, t_ack + params.retx_timeout);
+        assert_eq!(t_fire + d2, t_ack + rto);
         // Left alone until the true deadline, it finally retransmits.
         assert_eq!(tx.on_timer(g2, t_fire + d2), TimerAction::Retransmit);
     }
@@ -937,14 +1206,18 @@ mod tests {
             let _ = tx.launch(&p, &timing);
             tx.on_free();
         }
-        tx.on_ack(2, SimTime::from_ns(400));
+        tx.on_ack(2, 0, SimTime::from_ns(400));
         assert_eq!(tx.credits(), 0);
         tx.note_blocked(SimTime::from_ns(500));
         let armed_at = SimTime::from_ns(500);
         let (delay, gen) = tx
             .poll_timer(armed_at)
             .expect("credit starvation arms resync");
-        assert_eq!(delay, RelParams::default().resync_timeout);
+        // The probe interval derives from the adaptive RTO (clamped to
+        // the floor by the sub-microsecond ack round-trip): 4 * rto_min,
+        // well under the configured resync_timeout ceiling.
+        assert_eq!(delay, RelParams::default().rto_min * 4);
+        assert!(delay < RelParams::default().resync_timeout);
         let token = match tx.on_timer(gen, armed_at + delay) {
             TimerAction::Resync { token } => token,
             other => panic!("expected resync, got {other:?}"),
@@ -965,7 +1238,7 @@ mod tests {
             let _ = tx2.launch(&p, &timing);
             tx2.on_free();
         }
-        tx2.on_ack(2, SimTime::from_ns(400));
+        tx2.on_ack(2, 0, SimTime::from_ns(400));
         tx2.note_blocked(SimTime::from_ns(500));
         let armed2 = SimTime::from_ns(500);
         let (d_resync, gen2) = tx2.poll_timer(armed2).unwrap();

@@ -1,8 +1,8 @@
 //! The cut-through switch component.
 
-use tg_sim::{CompId, Component, Ctx, SimTime};
+use tg_sim::{Component, Ctx, SimTime};
 use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
-use tg_wire::{NodeId, Packet, TimingConfig};
+use tg_wire::{CtrlFrame, CtrlMsg, NodeId, Packet, TimingConfig};
 
 use crate::event::{NetEvent, NetMessage};
 use crate::fault::{FaultInjector, FrameFate, LinkId};
@@ -74,6 +74,9 @@ pub struct Switch {
     /// Neighbor-originated protocol violations and dead-link declarations
     /// observed so far.
     errors: Vec<LinkError>,
+    /// Control frames discarded because their checksum failed (the
+    /// injector corrupted them in flight).
+    ctrl_discards: u64,
 }
 
 impl Switch {
@@ -99,6 +102,7 @@ impl Switch {
             reliability: None,
             injector: None,
             errors: Vec::new(),
+            ctrl_discards: 0,
         }
     }
 
@@ -194,7 +198,8 @@ impl Switch {
             self.rr_next.push(0);
             self.pending.push(false);
             self.touched.push(false);
-            self.rx_links.push(self.reliability.map(|_| LinkRx::new()));
+            self.rx_links
+                .push(self.reliability.map(|p| LinkRx::for_params(&p)));
         }
     }
 
@@ -258,6 +263,26 @@ impl Switch {
         self.out.iter().flatten().map(TxPort::resync_probes).sum()
     }
 
+    /// Payload + header bytes retransmitted across all output ports.
+    pub fn retx_bytes(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::retx_bytes).sum()
+    }
+
+    /// Control frames discarded for a failed checksum, across all ports.
+    pub fn ctrl_discards(&self) -> u64 {
+        self.ctrl_discards
+    }
+
+    /// Frames currently parked in SACK reorder windows, across all input
+    /// ports (must be zero at quiescence).
+    pub fn reorder_depth_total(&self) -> usize {
+        self.rx_links
+            .iter()
+            .flatten()
+            .map(LinkRx::reorder_depth)
+            .sum()
+    }
+
     /// Per-port statistics: one snapshot per attached output port, pairing
     /// that port's transmit side (the directed link it drives) with the
     /// input FIFO fed by the reverse hop (links come in bidirectional
@@ -277,6 +302,7 @@ impl Switch {
                 allowance: tx.allowance(),
                 credit_stall: tx.credit_stall(),
                 retransmits: tx.retransmits(),
+                retx_bytes: tx.retx_bytes(),
                 resyncs: tx.resyncs(),
                 resync_probes: tx.resync_probes(),
                 rx_fifo_depth: self.fifos.get(i).map_or(0, |f| f.len() as u32),
@@ -312,6 +338,8 @@ impl Switch {
                 stranded: tx.unacked(),
                 credits: tx.credits(),
                 retransmits: tx.retransmits(),
+                attempts: tx.consecutive_attempts(),
+                starved: tx.ack_starved(),
             })
             .collect()
     }
@@ -373,14 +401,6 @@ impl Switch {
         None
     }
 
-    /// `(component, port)` of whoever feeds input port `in_port`: the same
-    /// neighbor our own output `in_port` points at, because links come in
-    /// bidirectional pairs.
-    fn upstream_of(&self, in_port: usize) -> (CompId, u32) {
-        let p = self.out[in_port].as_ref().expect("paired port attached");
-        (p.neighbor(), p.neighbor_port())
-    }
-
     /// Returns a credit for a frame drained from input `in_port`, unless
     /// the injector loses it in flight.
     fn return_credit<M: NetMessage>(&mut self, in_port: usize, ctx: &mut Ctx<'_, M>) {
@@ -397,6 +417,32 @@ impl Switch {
             up,
             self.timing.link_prop,
             M::from_net(NetEvent::Credit { port: up_port }),
+        );
+    }
+
+    /// Seals and launches one control frame toward the neighbor on the
+    /// link paired with `port`. Control frames are wire traffic like any
+    /// other: the injector may drop them outright (silent return) or
+    /// corrupt them in flight, in which case the receiver's checksum
+    /// check discards them.
+    fn send_ctrl<M: NetMessage>(&mut self, port: usize, msg: CtrlMsg, ctx: &mut Ctx<'_, M>) {
+        let (nbr, nbr_port, link) = {
+            let p = self.out[port].as_ref().expect("paired port attached");
+            (p.neighbor(), p.neighbor_port(), p.link())
+        };
+        let mut frame = CtrlFrame::seal(msg);
+        if let (Some(inj), Some(link)) = (self.injector.as_ref(), link) {
+            if inj.ctrl_fate(link, ctx.now(), &mut frame) == FrameFate::Drop {
+                return;
+            }
+        }
+        ctx.send(
+            nbr,
+            self.timing.link_prop,
+            M::from_net(NetEvent::Ctrl {
+                port: nbr_port,
+                frame,
+            }),
         );
     }
 
@@ -614,15 +660,8 @@ impl<M: NetMessage> Component<M> for Switch {
                 match verdict {
                     None | Some(RxVerdict::Accept { .. }) => {
                         if let Some(RxVerdict::Accept { ack }) = verdict {
-                            let (up, up_port) = self.upstream_of(in_port);
-                            ctx.send(
-                                up,
-                                self.timing.link_prop,
-                                M::from_net(NetEvent::Ack {
-                                    port: up_port,
-                                    seq: ack,
-                                }),
-                            );
+                            let sack = self.rx_links[in_port].as_ref().map_or(0, LinkRx::sack_bits);
+                            self.send_ctrl(in_port, CtrlMsg::Ack { seq: ack, sack }, ctx);
                         }
                         self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
                         // If the arrival became a FIFO head it is new work
@@ -633,32 +672,59 @@ impl<M: NetMessage> Component<M> for Switch {
                             self.errors.push(err);
                         }
                         self.mark_pending(out);
+                        // The arrival may have closed a reorder-window gap:
+                        // deliver the released successors in sequence order.
+                        // Credit accounting bounds FIFO + window occupancy
+                        // by the allowance, so the burst cannot overflow.
+                        let released = self.rx_links[in_port]
+                            .as_mut()
+                            .map(LinkRx::take_ready)
+                            .unwrap_or_default();
+                        for p in released {
+                            self.emit(ctx.now(), &p, Stage::SwitchEnqueue);
+                            let out = self.route(&p) as usize;
+                            if let Err(err) = self.fifos[in_port].push(p) {
+                                self.errors.push(err);
+                            }
+                            self.mark_pending(out);
+                        }
                         self.pump(ctx);
+                    }
+                    Some(RxVerdict::Held { ack, nack, dup }) => {
+                        if dup {
+                            // A spurious retransmit of an already-parked
+                            // frame: drop the copy silently (the sweep that
+                            // resent it leads with the missing base frame,
+                            // whose ack will carry the bitmap).
+                            self.emit(ctx.now(), &packet, Stage::Dropped);
+                        } else if nack {
+                            self.send_ctrl(
+                                in_port,
+                                CtrlMsg::Nack {
+                                    expected: ack + 1,
+                                    sack: self.rx_links[in_port]
+                                        .as_ref()
+                                        .map_or(0, LinkRx::sack_bits),
+                                },
+                                ctx,
+                            );
+                        } else {
+                            // Refresh the sender's view of the window with
+                            // a duplicate cumulative ack + grown bitmap.
+                            let sack = self.rx_links[in_port].as_ref().map_or(0, LinkRx::sack_bits);
+                            self.send_ctrl(in_port, CtrlMsg::Ack { seq: ack, sack }, ctx);
+                        }
                     }
                     Some(RxVerdict::DupAck { ack }) => {
                         self.emit(ctx.now(), &packet, Stage::Dropped);
-                        let (up, up_port) = self.upstream_of(in_port);
-                        ctx.send(
-                            up,
-                            self.timing.link_prop,
-                            M::from_net(NetEvent::Ack {
-                                port: up_port,
-                                seq: ack,
-                            }),
-                        );
+                        let sack = self.rx_links[in_port].as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(in_port, CtrlMsg::Ack { seq: ack, sack }, ctx);
                     }
                     Some(RxVerdict::NackCorrupt { expected })
                     | Some(RxVerdict::NackGap { expected }) => {
                         self.emit(ctx.now(), &packet, Stage::Dropped);
-                        let (up, up_port) = self.upstream_of(in_port);
-                        ctx.send(
-                            up,
-                            self.timing.link_prop,
-                            M::from_net(NetEvent::Nack {
-                                port: up_port,
-                                seq: expected,
-                            }),
-                        );
+                        let sack = self.rx_links[in_port].as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(in_port, CtrlMsg::Nack { expected, sack }, ctx);
                     }
                     Some(RxVerdict::Discard) => {
                         self.emit(ctx.now(), &packet, Stage::Dropped);
@@ -684,26 +750,64 @@ impl<M: NetMessage> Component<M> for Switch {
                 self.mark_pending(port as usize);
                 self.pump(ctx);
             }
-            NetEvent::Ack { port, seq } => {
-                if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
-                    tx.on_ack(seq, ctx.now());
-                    self.mark_pending(port as usize);
+            NetEvent::Ctrl { port, frame } => {
+                if !frame.checksum_ok() {
+                    self.ctrl_discards += 1;
+                    return;
                 }
-                self.pump(ctx);
-            }
-            NetEvent::Nack { port, seq } => {
-                let action = self
-                    .out
-                    .get_mut(port as usize)
-                    .and_then(Option::as_mut)
-                    .map(|tx| tx.on_nack(seq, ctx.now()));
-                if let Some(TimerAction::Dead(err)) = action {
-                    self.errors.push(err);
+                match frame.msg {
+                    CtrlMsg::Ack { seq, sack } => {
+                        if let Some(tx) = self.out.get_mut(port as usize).and_then(Option::as_mut) {
+                            tx.on_ack(seq, sack, ctx.now());
+                            self.mark_pending(port as usize);
+                        }
+                        self.pump(ctx);
+                    }
+                    CtrlMsg::Nack { expected, sack } => {
+                        let action = self
+                            .out
+                            .get_mut(port as usize)
+                            .and_then(Option::as_mut)
+                            .map(|tx| tx.on_nack(expected, sack, ctx.now()));
+                        if let Some(TimerAction::Dead(err)) = action {
+                            self.errors.push(err);
+                        }
+                        if action.is_some() {
+                            self.mark_pending(port as usize);
+                        }
+                        self.pump(ctx);
+                    }
+                    CtrlMsg::SyncReq { token } => {
+                        // Resync replies are idempotent: the drain counter
+                        // is monotone, so answering a retried (or
+                        // duplicated) probe never double-credits.
+                        let drained = self
+                            .rx_links
+                            .get(port as usize)
+                            .and_then(Option::as_ref)
+                            .map(LinkRx::drained)
+                            .unwrap_or(0);
+                        self.send_ctrl(port as usize, CtrlMsg::SyncAck { token, drained }, ctx);
+                    }
+                    CtrlMsg::SyncAck { token, drained } => {
+                        let applied = self
+                            .out
+                            .get_mut(port as usize)
+                            .and_then(Option::as_mut)
+                            .map(|tx| tx.on_sync_ack(token, drained, ctx.now()));
+                        if let Some(applied) = applied {
+                            if applied {
+                                // Mirror the HIB: a completed handshake is
+                                // traced too, so collectors can reconcile
+                                // traced resync events against probe +
+                                // completion counters.
+                                self.emit_resync(ctx.now(), token);
+                            }
+                            self.mark_pending(port as usize);
+                        }
+                        self.pump(ctx);
+                    }
                 }
-                if action.is_some() {
-                    self.mark_pending(port as usize);
-                }
-                self.pump(ctx);
             }
             NetEvent::RetxTimer { port, gen } => {
                 let action = self
@@ -718,63 +822,13 @@ impl<M: NetMessage> Component<M> for Switch {
                         self.pump(ctx);
                     }
                     TimerAction::Resync { token } => {
-                        let (nbr, nbr_port) = {
-                            let tx = self.out[port as usize].as_ref().expect("timed port");
-                            (tx.neighbor(), tx.neighbor_port())
-                        };
                         self.emit_resync(ctx.now(), token);
-                        ctx.send(
-                            nbr,
-                            self.timing.link_prop,
-                            M::from_net(NetEvent::CreditSyncReq {
-                                port: nbr_port,
-                                token,
-                            }),
-                        );
+                        self.send_ctrl(port as usize, CtrlMsg::SyncReq { token }, ctx);
                     }
                     TimerAction::Dead(err) => self.errors.push(err),
                     TimerAction::Stale | TimerAction::Idle => {}
                 }
                 self.arm_timer(port as usize, ctx);
-            }
-            NetEvent::CreditSyncReq { port, token } => {
-                let drained = self
-                    .rx_links
-                    .get(port as usize)
-                    .and_then(Option::as_ref)
-                    .map(LinkRx::drained)
-                    .unwrap_or(0);
-                let (up, up_port) = self.upstream_of(port as usize);
-                ctx.send(
-                    up,
-                    self.timing.link_prop,
-                    M::from_net(NetEvent::CreditSyncAck {
-                        port: up_port,
-                        token,
-                        drained,
-                    }),
-                );
-            }
-            NetEvent::CreditSyncAck {
-                port,
-                token,
-                drained,
-            } => {
-                let applied = self
-                    .out
-                    .get_mut(port as usize)
-                    .and_then(Option::as_mut)
-                    .map(|tx| tx.on_sync_ack(token, drained, ctx.now()));
-                if let Some(applied) = applied {
-                    if applied {
-                        // Mirror the HIB: a completed handshake is traced
-                        // too, so collectors can reconcile traced resync
-                        // events against probe + completion counters.
-                        self.emit_resync(ctx.now(), token);
-                    }
-                    self.mark_pending(port as usize);
-                }
-                self.pump(ctx);
             }
         }
     }

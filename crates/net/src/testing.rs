@@ -14,9 +14,9 @@
 use std::collections::VecDeque;
 
 use tg_sim::{Component, Ctx, SimTime};
-use tg_wire::{NodeId, Packet, TimingConfig, WireMsg};
+use tg_wire::{CtrlFrame, CtrlMsg, NodeId, Packet, TimingConfig, WireMsg};
 
-use crate::event::{NetEvent, NetMessage};
+use crate::event::NetEvent;
 use crate::fault::{FaultInjector, FrameFate};
 use crate::link::{LinkError, LinkRx, RxVerdict};
 use crate::port::{TimerAction, TxPort};
@@ -56,6 +56,8 @@ pub struct SourceSink {
     rx_link: Option<LinkRx>,
     injector: Option<FaultInjector>,
     errors: Vec<LinkError>,
+    /// Control frames discarded for a failed checksum.
+    ctrl_discards: u64,
 }
 
 impl SourceSink {
@@ -75,6 +77,7 @@ impl SourceSink {
             rx_link: None,
             injector: None,
             errors: Vec::new(),
+            ctrl_discards: 0,
         }
     }
 
@@ -82,8 +85,8 @@ impl SourceSink {
     /// A reliability-enrolled transmit port implies the receiver half on
     /// the input link.
     pub fn wire(&mut self, tx: TxPort, rx_upstream: (tg_sim::CompId, u32)) {
-        if tx.is_reliable() {
-            self.rx_link = Some(LinkRx::new());
+        if let Some(params) = tx.rel_params() {
+            self.rx_link = Some(LinkRx::for_params(&params));
         }
         self.tx = Some(tx);
         self.rx_upstream = Some(rx_upstream);
@@ -123,6 +126,16 @@ impl SourceSink {
     /// Frames retransmitted by this endpoint.
     pub fn retransmits(&self) -> u64 {
         self.tx.as_ref().map_or(0, TxPort::retransmits)
+    }
+
+    /// Wire bytes retransmitted by this endpoint.
+    pub fn retx_bytes(&self) -> u64 {
+        self.tx.as_ref().map_or(0, TxPort::retx_bytes)
+    }
+
+    /// Control frames this endpoint discarded for a failed checksum.
+    pub fn ctrl_discards(&self) -> u64 {
+        self.ctrl_discards
     }
 
     /// Completed credit-resync handshakes on this endpoint's output link.
@@ -215,8 +228,37 @@ impl SourceSink {
         ctx.send(
             up,
             self.consume_delay + self.timing.link_prop,
-            NetEvent::from_net(NetEvent::Credit { port }),
+            NetEvent::Credit { port },
         );
+    }
+
+    /// Seals and launches one control frame toward the upstream switch
+    /// after `delay`, consulting the injector for its fate. The endpoint's
+    /// transmit link and its credit-return path share one physical link,
+    /// so control traffic in either role rides `tx.link()`.
+    fn send_ctrl(&mut self, msg: CtrlMsg, delay: SimTime, ctx: &mut Ctx<'_, NetEvent>) {
+        let (up, port) = self.rx_upstream.expect("wired endpoint");
+        let link = self.tx.as_ref().and_then(TxPort::link);
+        let mut frame = CtrlFrame::seal(msg);
+        if let (Some(inj), Some(link)) = (self.injector.as_ref(), link) {
+            if inj.ctrl_fate(link, ctx.now(), &mut frame) == FrameFate::Drop {
+                return;
+            }
+        }
+        ctx.send(up, delay, NetEvent::Ctrl { port, frame });
+    }
+
+    /// Sinks one accepted arrival: record the receipt, bump the drain
+    /// counter, and start the credit on its way back.
+    fn consume(&mut self, packet: Packet, ctx: &mut Ctx<'_, NetEvent>) {
+        if let Some(rx) = self.rx_link.as_mut() {
+            rx.on_drain();
+        }
+        self.received.push(Receipt {
+            at: ctx.now(),
+            packet,
+        });
+        self.return_credit(ctx);
     }
 }
 
@@ -226,34 +268,59 @@ impl Component<NetEvent> for SourceSink {
             NetEvent::Arrive { packet, .. } => {
                 let verdict = self.rx_link.as_mut().map(|rx| rx.accept(&packet));
                 match verdict {
-                    None | Some(RxVerdict::Accept { .. }) => {
-                        if let Some(RxVerdict::Accept { ack }) = verdict {
-                            let (up, port) = self.rx_upstream.expect("wired endpoint");
-                            ctx.send(up, self.timing.link_prop, NetEvent::Ack { port, seq: ack });
-                            // The sink consumes immediately for protocol
-                            // purposes; the drain counter feeds resync.
-                            self.rx_link.as_mut().expect("checked").on_drain();
+                    None => self.consume(packet, ctx),
+                    Some(RxVerdict::Accept { ack }) => {
+                        let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(CtrlMsg::Ack { seq: ack, sack }, self.timing.link_prop, ctx);
+                        // The sink consumes immediately for protocol
+                        // purposes; the drain counter feeds resync.
+                        self.consume(packet, ctx);
+                        // The arrival may have closed a reorder-window
+                        // gap: consume the released successors in order.
+                        let released = self
+                            .rx_link
+                            .as_mut()
+                            .map(LinkRx::take_ready)
+                            .unwrap_or_default();
+                        for p in released {
+                            self.consume(p, ctx);
                         }
-                        self.received.push(Receipt {
-                            at: ctx.now(),
-                            packet,
-                        });
-                        self.return_credit(ctx);
+                    }
+                    Some(RxVerdict::Held { ack, nack, dup }) => {
+                        if dup {
+                            // Spurious retransmit of a parked frame;
+                            // nothing to report (the missing base frame's
+                            // ack will carry the bitmap).
+                        } else if nack {
+                            let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                            self.send_ctrl(
+                                CtrlMsg::Nack {
+                                    expected: ack + 1,
+                                    sack,
+                                },
+                                self.timing.link_prop,
+                                ctx,
+                            );
+                        } else {
+                            let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                            self.send_ctrl(
+                                CtrlMsg::Ack { seq: ack, sack },
+                                self.timing.link_prop,
+                                ctx,
+                            );
+                        }
                     }
                     Some(RxVerdict::DupAck { ack }) => {
-                        let (up, port) = self.rx_upstream.expect("wired endpoint");
-                        ctx.send(up, self.timing.link_prop, NetEvent::Ack { port, seq: ack });
+                        let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(CtrlMsg::Ack { seq: ack, sack }, self.timing.link_prop, ctx);
                     }
                     Some(RxVerdict::NackCorrupt { expected })
                     | Some(RxVerdict::NackGap { expected }) => {
-                        let (up, port) = self.rx_upstream.expect("wired endpoint");
-                        ctx.send(
-                            up,
+                        let sack = self.rx_link.as_ref().map_or(0, LinkRx::sack_bits);
+                        self.send_ctrl(
+                            CtrlMsg::Nack { expected, sack },
                             self.timing.link_prop,
-                            NetEvent::Nack {
-                                port,
-                                seq: expected,
-                            },
+                            ctx,
                         );
                     }
                     Some(RxVerdict::Discard) => {}
@@ -273,19 +340,47 @@ impl Component<NetEvent> for SourceSink {
                 }
                 self.pump(ctx);
             }
-            NetEvent::Ack { seq, .. } => {
-                if let Some(tx) = self.tx.as_mut() {
-                    tx.on_ack(seq, ctx.now());
+            NetEvent::Ctrl { frame, .. } => {
+                if !frame.checksum_ok() {
+                    self.ctrl_discards += 1;
+                    return;
                 }
-                self.pump(ctx);
-            }
-            NetEvent::Nack { seq, .. } => {
-                if let Some(TimerAction::Dead(err)) =
-                    self.tx.as_mut().map(|tx| tx.on_nack(seq, ctx.now()))
-                {
-                    self.errors.push(err);
+                match frame.msg {
+                    CtrlMsg::Ack { seq, sack } => {
+                        if let Some(tx) = self.tx.as_mut() {
+                            tx.on_ack(seq, sack, ctx.now());
+                        }
+                        self.pump(ctx);
+                    }
+                    CtrlMsg::Nack { expected, sack } => {
+                        if let Some(TimerAction::Dead(err)) = self
+                            .tx
+                            .as_mut()
+                            .map(|tx| tx.on_nack(expected, sack, ctx.now()))
+                        {
+                            self.errors.push(err);
+                        }
+                        self.pump(ctx);
+                    }
+                    CtrlMsg::SyncReq { token } => {
+                        let drained = self.rx_link.as_ref().map(LinkRx::drained).unwrap_or(0);
+                        // The reply travels with the same latency as credit
+                        // returns, so it can never overtake a credit
+                        // already in flight (which the drain count
+                        // includes).
+                        self.send_ctrl(
+                            CtrlMsg::SyncAck { token, drained },
+                            self.consume_delay + self.timing.link_prop,
+                            ctx,
+                        );
+                    }
+                    CtrlMsg::SyncAck { token, drained } => {
+                        if let Some(tx) = self.tx.as_mut() {
+                            tx.on_sync_ack(token, drained, ctx.now());
+                        }
+                        self.pump(ctx);
+                    }
                 }
-                self.pump(ctx);
             }
             NetEvent::RetxTimer { gen, .. } => {
                 let action = self
@@ -296,18 +391,7 @@ impl Component<NetEvent> for SourceSink {
                 match action {
                     TimerAction::Retransmit => self.pump(ctx),
                     TimerAction::Resync { token } => {
-                        let (nbr, nbr_port) = {
-                            let tx = self.tx.as_ref().expect("wired endpoint");
-                            (tx.neighbor(), tx.neighbor_port())
-                        };
-                        ctx.send(
-                            nbr,
-                            self.timing.link_prop,
-                            NetEvent::CreditSyncReq {
-                                port: nbr_port,
-                                token,
-                            },
-                        );
+                        self.send_ctrl(CtrlMsg::SyncReq { token }, self.timing.link_prop, ctx);
                     }
                     TimerAction::Dead(err) => self.errors.push(err),
                     TimerAction::Stale | TimerAction::Idle => {}
@@ -317,28 +401,6 @@ impl Component<NetEvent> for SourceSink {
                         ctx.send_self(delay, NetEvent::RetxTimer { port: 0, gen });
                     }
                 }
-            }
-            NetEvent::CreditSyncReq { token, .. } => {
-                let drained = self.rx_link.as_ref().map(LinkRx::drained).unwrap_or(0);
-                let (up, port) = self.rx_upstream.expect("wired endpoint");
-                // The reply travels with the same latency as credit
-                // returns, so it can never overtake a credit already in
-                // flight (which the drain count includes).
-                ctx.send(
-                    up,
-                    self.consume_delay + self.timing.link_prop,
-                    NetEvent::CreditSyncAck {
-                        port,
-                        token,
-                        drained,
-                    },
-                );
-            }
-            NetEvent::CreditSyncAck { token, drained, .. } => {
-                if let Some(tx) = self.tx.as_mut() {
-                    tx.on_sync_ack(token, drained, ctx.now());
-                }
-                self.pump(ctx);
             }
         }
     }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use tg_net::testing::{kick, Receipt, SourceSink};
 use tg_net::{
-    build_network_with, FaultInjector, FaultPlan, LinkId, NetConfig, RelParams, Topology,
+    build_network_with, FaultInjector, FaultPlan, LinkId, NetConfig, RelParams, RetxMode, Topology,
 };
 use tg_sim::{CompId, Engine, RunLimit, SimRng, SimTime};
 use tg_wire::trace::Site;
@@ -110,12 +110,21 @@ fn recoverable_faults_are_fully_masked() {
         let drop_p = sweep.range_between(1, 25) as f64 / 100.0;
         let corrupt_p = sweep.range_between(1, 15) as f64 / 100.0;
         let credit_p = sweep.range_between(0, 10) as f64 / 100.0;
+        let ctrl_drop_p = sweep.range_between(0, 25) as f64 / 100.0;
+        let ctrl_corrupt_p = sweep.range_between(0, 20) as f64 / 100.0;
         let case_seed = sweep.range(u64::MAX);
+        // Alternate retransmit disciplines so the sweep proves the
+        // masking guarantee for both.
+        let mode = if case % 2 == 0 {
+            RetxMode::GoBackN
+        } else {
+            RetxMode::Sack
+        };
         let topo = Topology::star(nodes);
 
         // Fault-free reference.
         let reliable = NetConfig {
-            reliability: Some(RelParams::default()),
+            reliability: Some(RelParams::with_mode(mode)),
             injector: None,
         };
         let (mut engine, ids, _) = build_with(&topo, &timing, &reliable);
@@ -125,15 +134,18 @@ fn recoverable_faults_are_fully_masked() {
         assert_eq!(reference, expected, "lossless baseline broke (case {case})");
 
         // The same workload under a seeded fault plan, including a finite
-        // outage on the first node's uplink.
+        // outage on the first node's uplink and a hostile control plane
+        // (acks, nacks and resync frames dropped or corrupted).
         let victim = LinkId::new(Site::Node(NodeId::new(0)), Site::Switch(0));
         let plan = FaultPlan::new(case_seed ^ 0xD15EA5E)
             .drop(drop_p)
             .corrupt(corrupt_p)
             .credit_loss(credit_p)
+            .ctrl_drop(ctrl_drop_p)
+            .ctrl_corrupt(ctrl_corrupt_p)
             .outage(victim, SimTime::from_us(5), SimTime::from_us(30));
         let faulty = NetConfig {
-            reliability: Some(RelParams::default()),
+            reliability: Some(RelParams::with_mode(mode)),
             injector: Some(FaultInjector::new(plan)),
         };
         let (mut engine, ids, _) = build_with(&topo, &timing, &faulty);
@@ -289,6 +301,75 @@ fn permanent_outage_degrades_into_a_dead_link() {
             .received
             .is_empty(),
         "nothing can cross a dead link"
+    );
+}
+
+/// Property: selective retransmit and go-back-N are interchangeable at
+/// the payload level. Under the same seeded fault plan — data faults,
+/// lost credits, AND a hostile control plane — both disciplines must
+/// drain and commit byte-identical per-pair payload sequences, while
+/// SACK spends no more retransmitted frames than go-back-N.
+#[test]
+fn sack_and_gbn_commit_identical_payload_streams() {
+    let timing = TimingConfig::telegraphos_i();
+    let mut sweep = SimRng::new(0x5AC6_B47E);
+    let (mut gbn_total_bytes, mut sack_total_bytes) = (0u64, 0u64);
+    for case in 0..6 {
+        let nodes = sweep.range_between(2, 5) as u16;
+        let n_sends = sweep.range_between(40, 120) as usize;
+        let drop_p = sweep.range_between(5, 25) as f64 / 100.0;
+        let corrupt_p = sweep.range_between(1, 10) as f64 / 100.0;
+        let ctrl_drop_p = sweep.range_between(5, 25) as f64 / 100.0;
+        let ctrl_corrupt_p = sweep.range_between(1, 15) as f64 / 100.0;
+        let case_seed = sweep.range(u64::MAX);
+        let topo = Topology::star(nodes);
+
+        let run = |mode: RetxMode| {
+            let plan = FaultPlan::new(case_seed ^ 0x0DDB_A115)
+                .drop(drop_p)
+                .corrupt(corrupt_p)
+                .credit_loss(0.05)
+                .ctrl_drop(ctrl_drop_p)
+                .ctrl_corrupt(ctrl_corrupt_p);
+            let config = NetConfig {
+                reliability: Some(RelParams::with_mode(mode)),
+                injector: Some(FaultInjector::new(plan)),
+            };
+            let (mut engine, ids, _) = build_with(&topo, &timing, &config);
+            let expected = load_workload(&mut engine, &ids, case_seed, n_sends);
+            assert_eq!(
+                engine.run_events(16_000_000),
+                RunLimit::Drained,
+                "{mode:?} wedged (case {case})"
+            );
+            let (mut retx, mut retx_bytes) = (0u64, 0u64);
+            for &id in &ids {
+                let ss = engine.get::<SourceSink>(id).unwrap();
+                assert!(!ss.link_dead(), "{mode:?} killed a link (case {case})");
+                retx += ss.retransmits();
+                retx_bytes += ss.retx_bytes();
+            }
+            (observe(&engine, &ids), expected, retx, retx_bytes)
+        };
+
+        let (gbn, expected, _, gbn_bytes) = run(RetxMode::GoBackN);
+        let (sack, _, _, sack_bytes) = run(RetxMode::Sack);
+        assert_eq!(gbn, expected, "go-back-N leaked faults (case {case})");
+        assert_eq!(
+            sack, gbn,
+            "SACK and go-back-N committed different payload streams (case {case})"
+        );
+        gbn_total_bytes += gbn_bytes;
+        sack_total_bytes += sack_bytes;
+    }
+    // Aggregate wire efficiency: per-case fault realizations differ (the
+    // two disciplines interleave events differently, so the injector dice
+    // land differently), but across the sweep selective retransmit must
+    // spend strictly fewer retransmitted bytes.
+    assert!(
+        sack_total_bytes < gbn_total_bytes,
+        "selective retransmit did not beat go-back-N across the sweep \
+         ({sack_total_bytes} vs {gbn_total_bytes} retransmitted bytes)"
     );
 }
 

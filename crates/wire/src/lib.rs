@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+mod ctrl;
 mod ids;
 pub mod metric;
 mod msg;
@@ -21,6 +22,7 @@ mod timing;
 pub mod trace;
 
 pub use addr::{GOffset, PageNum, PAGE_BYTES, PAGE_SHIFT, PAGE_WORDS, WORD_BYTES};
+pub use ctrl::{CtrlFrame, CtrlMsg};
 pub use ids::NodeId;
 pub use msg::{AtomicOp, Packet, WireMsg, HEADER_BYTES};
 pub use payload::{Payload, PayloadPool};

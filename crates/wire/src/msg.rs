@@ -327,8 +327,10 @@ impl Packet {
 }
 
 /// A minimal FNV-1a [`Hasher`] for the frame checksum: one multiply and
-/// xor per byte, no per-hash key setup.
-struct Fnv1a(u64);
+/// xor per byte, no per-hash key setup. Shared with the control-frame
+/// checksum in [`crate::ctrl`] so both frame classes use the same CRC
+/// model.
+pub(crate) struct Fnv1a(u64);
 
 impl Default for Fnv1a {
     fn default() -> Self {

@@ -1,35 +1,49 @@
 //! `simfault` — seeded fault campaigns against the reliable fabric.
 //!
 //! Runs a fixed cluster workload under a matrix of fault scenarios
-//! (frame drops, corruption, a link outage window, credit loss) × seeds,
-//! each with
-//! link-level reliability enabled, and checks that every faulted run is
-//! *fully masked*: same final memory contents and operation counts as
-//! the fault-free reference, no dead links, and the quiescence-time
-//! conservation invariants intact. Prints a recovery report (recovery
-//! latency, retransmissions, resyncs per run) plus a recovery-latency
-//! vs drop-rate sweep, and exits nonzero if any run diverges — the CI
-//! fault-matrix smoke test.
+//! (frame drops, corruption, a link outage window, credit loss, and a
+//! hostile control plane that drops or corrupts acks/nacks/resyncs) ×
+//! seeds × retransmit disciplines (go-back-N and selective retransmit),
+//! and checks that every faulted run is *fully masked*: same final
+//! memory contents and operation counts as the fault-free reference, no
+//! dead links, and the quiescence-time conservation invariants intact.
 //!
-//! Usage: `simfault [--seeds N] [--report FILE]` (default 3 seeds per
-//! scenario). `--report` writes a `tg-report-v1` JSON document with the
-//! per-run recovery metrics (retransmits, resyncs, frames lost, recovery
-//! latency) so the CI perf gate can diff fault-recovery behaviour against
-//! a committed baseline — the whole campaign is seeded, so the report is
-//! deterministic.
+//! A recovery-latency vs drop-rate sweep then runs many seeds per point
+//! through a [`tg_sim::LogHistogram`], reporting p50/p99 recovery
+//! latency and the wire cost (retransmitted frames and bytes) per
+//! discipline — the E19 wire-efficiency comparison. The campaign
+//! hard-fails if selective retransmit does not beat go-back-N on
+//! retransmitted bytes at drop rates ≥ 5%.
+//!
+//! Usage: `simfault [--seeds N] [--sweep-seeds N] [--report FILE]`
+//! (default 3 matrix seeds, 10 sweep seeds per point). `--report`
+//! writes a `tg-report-v1` JSON document with the per-run recovery
+//! metrics so the CI perf gate can diff fault-recovery behaviour
+//! against a committed baseline — the whole campaign is seeded, so the
+//! report is deterministic.
 
 use std::process::ExitCode;
 
 use telegraphos::{
-    Action, Cluster, ClusterBuilder, FaultPlan, LinkId, RelParams, Script, SharedPage,
+    Action, Cluster, ClusterBuilder, FaultPlan, LinkId, RelParams, RetxMode, Script, SharedPage,
 };
 use tg_analyze::{Json, SCHEMA};
-use tg_sim::SimTime;
+use tg_sim::{LogHistogram, SimTime};
 use tg_wire::trace::Site;
 use tg_wire::NodeId;
 
 const NODES: u16 = 3;
 const WRITES: u64 = 60;
+const MODES: [(&str, RetxMode); 2] = [("gbn", RetxMode::GoBackN), ("sack", RetxMode::Sack)];
+const SCENARIOS: [&str; 6] = [
+    "drop",
+    "corrupt",
+    "outage",
+    "creditloss",
+    "ctrldrop",
+    "ctrlcorrupt",
+];
+const SWEEP_PCTS: [u64; 4] = [1, 5, 15, 30];
 
 /// The workload every run executes: two writer nodes stream writes into a
 /// shared page on the third, fence, then read a sample back.
@@ -42,8 +56,8 @@ fn script(page: &SharedPage, base: u64) -> Script {
     Script::new(acts)
 }
 
-fn build(plan: Option<FaultPlan>) -> (Cluster, SharedPage) {
-    let mut b = ClusterBuilder::new(NODES).reliable_links(RelParams::default());
+fn build(plan: Option<FaultPlan>, mode: RetxMode) -> (Cluster, SharedPage) {
+    let mut b = ClusterBuilder::new(NODES).reliable_links(RelParams::with_mode(mode));
     if let Some(p) = plan {
         b = b.with_faults(p);
     }
@@ -69,16 +83,19 @@ struct RunReport {
     finished_at: SimTime,
     halted: bool,
     retransmits: u64,
+    retx_bytes: u64,
     resyncs: u64,
     frames_lost: u64,
     corrupted: u64,
     credits_lost: u64,
+    ctrl_lost: u64,
+    ctrl_corrupted: u64,
     violations: Vec<String>,
     dead_links: bool,
 }
 
-fn run(plan: Option<FaultPlan>) -> RunReport {
-    let (mut cluster, page) = build(plan);
+fn run(plan: Option<FaultPlan>, mode: RetxMode) -> RunReport {
+    let (mut cluster, page) = build(plan, mode);
     cluster.run();
     let memory: Vec<u64> = (0..32).map(|w| cluster.read_shared(&page, w)).collect();
     let st0 = cluster.node(0).stats();
@@ -94,10 +111,13 @@ fn run(plan: Option<FaultPlan>) -> RunReport {
         finished_at: cluster.now(),
         halted: cluster.all_halted(),
         retransmits: cluster.fabric_retransmits(),
+        retx_bytes: cluster.fabric_retx_bytes(),
         resyncs: cluster.fabric_resyncs(),
         frames_lost: fs.as_ref().map_or(0, |s| s.drops + s.outage_drops),
         corrupted: fs.as_ref().map_or(0, |s| s.corrupts),
         credits_lost: fs.as_ref().map_or(0, |s| s.credits_lost),
+        ctrl_lost: fs.as_ref().map_or(0, |s| s.ctrl_drops),
+        ctrl_corrupted: fs.as_ref().map_or(0, |s| s.ctrl_corrupts),
         violations: cluster.conservation_violations(),
         dead_links: !cluster.link_errors().is_empty(),
     }
@@ -117,12 +137,20 @@ fn scenario_plan(name: &str, seed: u64) -> FaultPlan {
             SimTime::from_us(40),
         ),
         "creditloss" => FaultPlan::new(seed).credit_loss(0.5),
+        // The hostile control plane: data faults force recovery traffic,
+        // then the injector attacks the recovery protocol itself.
+        "ctrldrop" => FaultPlan::new(seed).drop(0.10).ctrl_drop(0.25),
+        "ctrlcorrupt" => FaultPlan::new(seed)
+            .corrupt(0.10)
+            .ctrl_corrupt(0.25)
+            .credit_loss(0.1),
         other => panic!("unknown scenario {other}"),
     }
 }
 
 fn main() -> ExitCode {
     let mut n_seeds: u64 = 3;
+    let mut sweep_seeds: u64 = 10;
     let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -132,6 +160,12 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seeds takes a number");
+            }
+            "--sweep-seeds" => {
+                sweep_seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sweep-seeds takes a number");
             }
             "--report" => {
                 report_path = Some(args.next().expect("--report takes a file path"));
@@ -143,107 +177,173 @@ fn main() -> ExitCode {
         }
     }
 
-    let reference = run(None);
-    assert!(reference.halted, "fault-free reference did not halt");
-    assert!(
-        reference.violations.is_empty(),
-        "fault-free reference broke conservation: {:?}",
-        reference.violations
+    // Fault-free reference per discipline. The committed payload state
+    // must be identical across disciplines — SACK vs go-back-N is a
+    // wire-efficiency choice, never a semantic one.
+    let reference: Vec<RunReport> = MODES.iter().map(|&(_, m)| run(None, m)).collect();
+    for ((name, _), r) in MODES.iter().zip(&reference) {
+        assert!(r.halted, "fault-free {name} reference did not halt");
+        assert!(
+            r.violations.is_empty(),
+            "fault-free {name} reference broke conservation: {:?}",
+            r.violations
+        );
+    }
+    assert_eq!(
+        reference[0].outcome, reference[1].outcome,
+        "fault-free outcome differs between disciplines"
     );
     println!(
         "reference: completed at {} ({} retransmits)",
-        reference.finished_at, reference.retransmits
+        reference[0].finished_at, reference[0].retransmits
     );
     println!();
     println!(
-        "{:<10} {:>6} {:>8} {:>8} {:>6} {:>6} {:>6} {:>12} {:>10}  status",
-        "scenario", "seed", "lost", "corrupt", "closs", "retx", "resync", "finished", "recovery"
+        "{:<11} {:>4} {:>6} {:>7} {:>7} {:>6} {:>5} {:>6} {:>7} {:>12} {:>10}  status",
+        "scenario",
+        "mode",
+        "seed",
+        "lost",
+        "corrupt",
+        "closs",
+        "ctrl",
+        "retx",
+        "rtxB",
+        "finished",
+        "recovery"
     );
 
     let mut failures = 0u32;
     let mut metrics = Json::obj();
     metrics.set(
         "reference.finished_us",
-        Json::Num(reference.finished_at.as_us_f64()),
+        Json::Num(reference[0].finished_at.as_us_f64()),
     );
-    for scenario in ["drop", "corrupt", "outage", "creditloss"] {
-        for s in 0..n_seeds {
-            let seed = 0xFA_0001 + 0x1000 * s;
-            let r = run(Some(scenario_plan(scenario, seed)));
-            let masked = r.halted
-                && r.outcome == reference.outcome
-                && r.violations.is_empty()
-                && !r.dead_links;
-            let recovery = r.finished_at.saturating_sub(reference.finished_at);
-            for (leaf, v) in [
-                ("frames_lost", r.frames_lost as f64),
-                ("retransmits", r.retransmits as f64),
-                ("resyncs", r.resyncs as f64),
-                ("recovery_us", recovery.as_us_f64()),
-                ("masked", if masked { 1.0 } else { 0.0 }),
-            ] {
-                metrics.set(&format!("{scenario}.seed{s}.{leaf}"), Json::Num(v));
-            }
-            println!(
-                "{:<10} {:>6x} {:>8} {:>8} {:>6} {:>6} {:>6} {:>12} {:>10}  {}",
-                scenario,
-                seed,
-                r.frames_lost,
-                r.corrupted,
-                r.credits_lost,
-                r.retransmits,
-                r.resyncs,
-                r.finished_at.to_string(),
-                recovery.to_string(),
-                if masked { "ok" } else { "FAIL" }
-            );
-            if !masked {
-                failures += 1;
-                if !r.halted {
-                    eprintln!("  {scenario}/{seed:x}: cluster wedged");
+    for scenario in SCENARIOS {
+        for (mi, &(mode_name, mode)) in MODES.iter().enumerate() {
+            for s in 0..n_seeds {
+                let seed = 0xFA_0001 + 0x1000 * s;
+                let r = run(Some(scenario_plan(scenario, seed)), mode);
+                let masked = r.halted
+                    && r.outcome == reference[mi].outcome
+                    && r.violations.is_empty()
+                    && !r.dead_links;
+                let recovery = r.finished_at.saturating_sub(reference[mi].finished_at);
+                for (leaf, v) in [
+                    ("frames_lost", r.frames_lost as f64),
+                    ("retransmits", r.retransmits as f64),
+                    ("retx_bytes", r.retx_bytes as f64),
+                    ("resyncs", r.resyncs as f64),
+                    ("recovery_us", recovery.as_us_f64()),
+                    ("masked", if masked { 1.0 } else { 0.0 }),
+                ] {
+                    metrics.set(
+                        &format!("{scenario}.{mode_name}.seed{s}.{leaf}"),
+                        Json::Num(v),
+                    );
                 }
-                if r.outcome != reference.outcome {
-                    eprintln!("  {scenario}/{seed:x}: outcome diverged from reference");
-                }
-                for v in &r.violations {
-                    eprintln!("  {scenario}/{seed:x}: {v}");
-                }
-                if r.dead_links {
-                    eprintln!("  {scenario}/{seed:x}: link declared dead");
+                println!(
+                    "{:<11} {:>4} {:>6x} {:>7} {:>7} {:>6} {:>5} {:>6} {:>7} {:>12} {:>10}  {}",
+                    scenario,
+                    mode_name,
+                    seed,
+                    r.frames_lost,
+                    r.corrupted,
+                    r.credits_lost,
+                    r.ctrl_lost + r.ctrl_corrupted,
+                    r.retransmits,
+                    r.retx_bytes,
+                    r.finished_at.to_string(),
+                    recovery.to_string(),
+                    if masked { "ok" } else { "FAIL" }
+                );
+                if !masked {
+                    failures += 1;
+                    if !r.halted {
+                        eprintln!("  {scenario}/{mode_name}/{seed:x}: cluster wedged");
+                    }
+                    if r.outcome != reference[mi].outcome {
+                        eprintln!("  {scenario}/{mode_name}/{seed:x}: outcome diverged");
+                    }
+                    for v in &r.violations {
+                        eprintln!("  {scenario}/{mode_name}/{seed:x}: {v}");
+                    }
+                    if r.dead_links {
+                        eprintln!("  {scenario}/{mode_name}/{seed:x}: link declared dead");
+                    }
                 }
             }
         }
     }
 
+    // Recovery-latency vs drop-rate sweep: many seeds per point through a
+    // log-scale histogram, per retransmit discipline. This is the E19
+    // wire-efficiency comparison: at equal drop rates, SACK must spend
+    // fewer retransmitted bytes than go-back-N while keeping recovery
+    // latency in the same band.
     println!();
-    println!("recovery latency vs drop rate (seed 0xFA2001):");
+    println!("recovery latency vs drop rate ({sweep_seeds} seeds per point):");
     println!(
-        "{:>7} {:>8} {:>8} {:>12} {:>10}",
-        "drop%", "lost", "retx", "finished", "recovery"
+        "{:>7} {:>5} {:>7} {:>7} {:>9} {:>10} {:>10}",
+        "drop%", "mode", "lost", "retx", "rtxB", "p50", "p99"
     );
-    for pct in [5u64, 10, 20, 30, 40] {
-        let plan = FaultPlan::new(0xFA2001).drop(pct as f64 / 100.0);
-        let r = run(Some(plan));
-        let masked = r.halted && r.outcome == reference.outcome && r.violations.is_empty();
-        let recovery = r.finished_at.saturating_sub(reference.finished_at);
-        for (leaf, v) in [
-            ("frames_lost", r.frames_lost as f64),
-            ("retransmits", r.retransmits as f64),
-            ("recovery_us", recovery.as_us_f64()),
-        ] {
-            metrics.set(&format!("sweep.drop{pct}.{leaf}"), Json::Num(v));
+    let mut sweep_bytes = vec![vec![0u64; SWEEP_PCTS.len()]; MODES.len()];
+    for (mi, &(mode_name, mode)) in MODES.iter().enumerate() {
+        for (pi, &pct) in SWEEP_PCTS.iter().enumerate() {
+            let mut hist = LogHistogram::new();
+            let (mut lost, mut retx, mut retx_bytes) = (0u64, 0u64, 0u64);
+            for s in 0..sweep_seeds {
+                let plan = FaultPlan::new(0xFA2001 + 0x77 * s).drop(pct as f64 / 100.0);
+                let r = run(Some(plan), mode);
+                let masked = r.halted
+                    && r.outcome == reference[mi].outcome
+                    && r.violations.is_empty()
+                    && !r.dead_links;
+                if !masked {
+                    failures += 1;
+                    eprintln!("  sweep drop{pct}/{mode_name}/seed{s}: diverged");
+                }
+                let recovery = r.finished_at.saturating_sub(reference[mi].finished_at);
+                // Record in nanoseconds: sub-microsecond recoveries stay
+                // resolvable and the histogram's ≤1% relative error is
+                // far below run-to-run variance.
+                hist.record(recovery.as_ps() / 1_000);
+                lost += r.frames_lost;
+                retx += r.retransmits;
+                retx_bytes += r.retx_bytes;
+            }
+            sweep_bytes[mi][pi] = retx_bytes;
+            let p50_us = hist.quantile(0.50) as f64 / 1_000.0;
+            let p99_us = hist.quantile(0.99) as f64 / 1_000.0;
+            for (leaf, v) in [
+                ("frames_lost", lost as f64),
+                ("retransmits", retx as f64),
+                ("retx_bytes", retx_bytes as f64),
+                ("recovery_p50_us", p50_us),
+                ("recovery_p99_us", p99_us),
+            ] {
+                metrics.set(&format!("sweep.{mode_name}.drop{pct}.{leaf}"), Json::Num(v));
+            }
+            println!(
+                "{:>7} {:>5} {:>7} {:>7} {:>9} {:>9.3}u {:>9.3}u",
+                pct, mode_name, lost, retx, retx_bytes, p50_us, p99_us
+            );
         }
-        println!(
-            "{:>7} {:>8} {:>8} {:>12} {:>10}{}",
-            pct,
-            r.frames_lost,
-            r.retransmits,
-            r.finished_at.to_string(),
-            recovery.to_string(),
-            if masked { "" } else { "  FAIL" }
-        );
-        if !masked {
+    }
+    // The wire-efficiency gate: selective retransmit exists to resend
+    // less. At drop rates ≥ 5% it must beat go-back-N on retransmitted
+    // bytes, strictly.
+    for (pi, &pct) in SWEEP_PCTS.iter().enumerate() {
+        if pct < 5 {
+            continue;
+        }
+        let (gbn, sack) = (sweep_bytes[0][pi], sweep_bytes[1][pi]);
+        if sack >= gbn {
             failures += 1;
+            eprintln!(
+                "simfault: at drop{pct}% SACK retransmitted {sack} bytes, \
+                 go-back-N {gbn} — selective retransmit is not paying for itself"
+            );
         }
     }
 
@@ -253,6 +353,7 @@ fn main() -> ExitCode {
         report.set("name", Json::Str("simfault".to_string()));
         report.set("nodes", Json::Num(f64::from(NODES)));
         report.set("seeds", Json::Num(n_seeds as f64));
+        report.set("sweep_seeds", Json::Num(sweep_seeds as f64));
         report.set("metrics", metrics);
         std::fs::write(&path, report.to_string_pretty()).expect("write report");
         println!();
@@ -264,7 +365,7 @@ fn main() -> ExitCode {
         eprintln!("simfault: {failures} run(s) diverged");
         ExitCode::FAILURE
     } else {
-        println!("simfault: all faulted runs fully masked");
+        println!("simfault: all faulted runs fully masked in both disciplines");
         ExitCode::SUCCESS
     }
 }

@@ -209,6 +209,7 @@ fn cmd_run(args: &mut std::env::Args) -> Result<ExitCode, String> {
         drop: opts.drop,
         corrupt: opts.corrupt,
         fault_seed: opts.fault_seed,
+        ..HarnessOptions::default()
     };
     let (mut cluster, stencil_check): (Cluster, Option<StencilCheck>) = match opts.workload.as_str()
     {

@@ -8,7 +8,8 @@
 //! ```text
 //! simtrace [pingpong|stencil] [--nodes N] [--out FILE] [--metrics]
 //!          [--interval-us U] [--check] [--quiet]
-//!          [--reliable] [--drop P] [--corrupt P] [--fault-seed S]
+//!          [--reliable] [--sack] [--drop P] [--corrupt P]
+//!          [--ctrl-drop P] [--ctrl-corrupt P] [--fault-seed S]
 //! ```
 //!
 //! * `pingpong` (default) — every node stores into, fences on, reads from
@@ -22,13 +23,18 @@
 //!   inject seeded frame faults (implies `--reliable`, since a lossy
 //!   fabric without recovery wedges the workload), so the trace shows
 //!   `dropped`, `retransmit` and `credit-resync` lifecycle points.
+//!   `--ctrl-drop P` / `--ctrl-corrupt P` aim the injector at the
+//!   control plane instead: acks, nacks and credit-resync handshakes
+//!   are lost or checksum-corrupted in flight. `--sack` switches the
+//!   retransmit discipline from go-back-N to selective retransmit.
 //! * `--check` — verify the export: the JSON is well-formed, timestamps
 //!   are monotonically non-decreasing per track, per-stage breakdowns
 //!   sum exactly to the end-to-end latencies in `NodeStats`, and the
 //!   fault-recovery trace reconciles with the fabric counters (traced
 //!   retransmits == `fabric_retransmits()`, traced drops == injector
 //!   drops + outage drops + link-layer discards, traced credit-resync
-//!   events == resync probes issued + resyncs applied, no drops traced
+//!   events == resync probes issued + resyncs applied, control-frame
+//!   checksum discards == injector control corruptions, no drops traced
 //!   on a lossless run, conservation intact). Exits non-zero on any
 //!   violation.
 //!
@@ -41,7 +47,7 @@ use std::process::ExitCode;
 use telegraphos::observe::{
     breakdown_report, chrome_events, chrome_trace_json, json_is_wellformed, ChromeEvent,
 };
-use telegraphos::{Cluster, TraceCollector};
+use telegraphos::{Cluster, RetxMode, TraceCollector};
 use telegraphos_suite::harness::{self, HarnessOptions, StencilCheck};
 use tg_sim::{MetricsRegistry, SimTime};
 use tg_wire::trace::{OpKind, Stage};
@@ -55,8 +61,11 @@ struct Options {
     check: bool,
     quiet: bool,
     reliable: bool,
+    sack: bool,
     drop: f64,
     corrupt: f64,
+    ctrl_drop: f64,
+    ctrl_corrupt: f64,
     fault_seed: u64,
 }
 
@@ -70,8 +79,11 @@ fn parse_args() -> Result<Options, String> {
         check: false,
         quiet: false,
         reliable: false,
+        sack: false,
         drop: 0.0,
         corrupt: 0.0,
+        ctrl_drop: 0.0,
+        ctrl_corrupt: 0.0,
         fault_seed: 0xFA_0001,
     };
     let mut args = std::env::args().skip(1);
@@ -91,6 +103,7 @@ fn parse_args() -> Result<Options, String> {
             "--check" => opts.check = true,
             "--quiet" => opts.quiet = true,
             "--reliable" => opts.reliable = true,
+            "--sack" => opts.sack = true,
             "--drop" => {
                 let v = args.next().ok_or("--drop needs a value")?;
                 opts.drop = v.parse().map_err(|_| format!("bad --drop {v}"))?;
@@ -98,6 +111,14 @@ fn parse_args() -> Result<Options, String> {
             "--corrupt" => {
                 let v = args.next().ok_or("--corrupt needs a value")?;
                 opts.corrupt = v.parse().map_err(|_| format!("bad --corrupt {v}"))?;
+            }
+            "--ctrl-drop" => {
+                let v = args.next().ok_or("--ctrl-drop needs a value")?;
+                opts.ctrl_drop = v.parse().map_err(|_| format!("bad --ctrl-drop {v}"))?;
+            }
+            "--ctrl-corrupt" => {
+                let v = args.next().ok_or("--ctrl-corrupt needs a value")?;
+                opts.ctrl_corrupt = v.parse().map_err(|_| format!("bad --ctrl-corrupt {v}"))?;
             }
             "--fault-seed" => {
                 let v = args.next().ok_or("--fault-seed needs a value")?;
@@ -109,11 +130,13 @@ fn parse_args() -> Result<Options, String> {
     if opts.nodes < 2 {
         return Err("need at least 2 nodes".to_string());
     }
-    if !(0.0..=1.0).contains(&opts.drop) || !(0.0..=1.0).contains(&opts.corrupt) {
-        return Err("fault probabilities must be within [0, 1]".to_string());
+    for p in [opts.drop, opts.corrupt, opts.ctrl_drop, opts.ctrl_corrupt] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err("fault probabilities must be within [0, 1]".to_string());
+        }
     }
     // Injected faults without link-level recovery would wedge the workload.
-    if opts.drop > 0.0 || opts.corrupt > 0.0 {
+    if opts.drop > 0.0 || opts.corrupt > 0.0 || opts.ctrl_drop > 0.0 || opts.ctrl_corrupt > 0.0 {
         opts.reliable = true;
     }
     Ok(opts)
@@ -126,6 +149,13 @@ impl Options {
             reliable: self.reliable,
             drop: self.drop,
             corrupt: self.corrupt,
+            ctrl_drop: self.ctrl_drop,
+            ctrl_corrupt: self.ctrl_corrupt,
+            mode: if self.sack {
+                RetxMode::Sack
+            } else {
+                RetxMode::GoBackN
+            },
             fault_seed: self.fault_seed,
         }
     }
@@ -258,6 +288,19 @@ fn check_export(
              ({discards} link-layer discards)"
         ));
     }
+    // Control-plane reconciliation: a corrupted control frame always
+    // arrives and is discarded on its checksum, so the fabric's discard
+    // counter must equal the injector's corruption counter exactly.
+    // (Dropped control frames never arrive and leave no receiver-side
+    // trace; the retransmit/resync machinery absorbs them.)
+    let ctrl_corrupts = cluster.fault_stats().map_or(0, |fs| fs.ctrl_corrupts);
+    let ctrl_discards = cluster.fabric_ctrl_discards();
+    if ctrl_discards != ctrl_corrupts {
+        problems.push(format!(
+            "fabric discarded {ctrl_discards} control frames, \
+             injector corrupted {ctrl_corrupts}"
+        ));
+    }
     problems.extend(cluster.conservation_violations());
     problems
 }
@@ -317,11 +360,15 @@ fn main() -> ExitCode {
         if opts.reliable {
             let fs = cluster.fault_stats();
             println!(
-                "recovery: {} retransmits, {} resyncs, {} frames lost, {} corrupted",
+                "recovery: {} retransmits ({} bytes), {} resyncs, {} frames lost, \
+                 {} corrupted, {} ctrl lost, {} ctrl corrupted",
                 cluster.fabric_retransmits(),
+                cluster.fabric_retx_bytes(),
                 cluster.fabric_resyncs(),
                 fs.as_ref().map_or(0, |s| s.drops + s.outage_drops),
                 fs.as_ref().map_or(0, |s| s.corrupts),
+                fs.as_ref().map_or(0, |s| s.ctrl_drops),
+                fs.as_ref().map_or(0, |s| s.ctrl_corrupts),
             );
         }
         if opts.metrics {

@@ -7,7 +7,9 @@
 //! perf-gate baselines meaningful: every binary's "stencil_16" is
 //! byte-for-byte the same cluster.
 
-use telegraphos::{Action, Cluster, ClusterBuilder, FaultPlan, RelParams, Script, SharedPage};
+use telegraphos::{
+    Action, Cluster, ClusterBuilder, FaultPlan, RelParams, RetxMode, Script, SharedPage,
+};
 use tg_sim::SimTime;
 use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
 
@@ -22,6 +24,14 @@ pub struct HarnessOptions {
     pub drop: f64,
     /// Seeded frame-corruption probability (implies `reliable`).
     pub corrupt: f64,
+    /// Seeded control-frame drop probability — acks, nacks and resync
+    /// handshakes silently lost (implies `reliable`).
+    pub ctrl_drop: f64,
+    /// Seeded control-frame corruption probability — the receiver
+    /// discards the frame on its checksum (implies `reliable`).
+    pub ctrl_corrupt: f64,
+    /// Retransmit discipline for reliable links.
+    pub mode: RetxMode,
     /// Fault-injector seed.
     pub fault_seed: u64,
 }
@@ -33,8 +43,18 @@ impl Default for HarnessOptions {
             reliable: false,
             drop: 0.0,
             corrupt: 0.0,
+            ctrl_drop: 0.0,
+            ctrl_corrupt: 0.0,
+            mode: RetxMode::GoBackN,
             fault_seed: 0xFA_0001,
         }
+    }
+}
+
+impl HarnessOptions {
+    /// True if any seeded fault probability is non-zero.
+    pub fn any_faults(&self) -> bool {
+        self.drop > 0.0 || self.corrupt > 0.0 || self.ctrl_drop > 0.0 || self.ctrl_corrupt > 0.0
     }
 }
 
@@ -42,13 +62,15 @@ impl Default for HarnessOptions {
 pub fn builder(opts: &HarnessOptions) -> ClusterBuilder {
     let mut b = ClusterBuilder::new(opts.nodes);
     if opts.reliable {
-        b = b.reliable_links(RelParams::default());
+        b = b.reliable_links(RelParams::with_mode(opts.mode));
     }
-    if opts.drop > 0.0 || opts.corrupt > 0.0 {
+    if opts.any_faults() {
         b = b.with_faults(
             FaultPlan::new(opts.fault_seed)
                 .drop(opts.drop)
-                .corrupt(opts.corrupt),
+                .corrupt(opts.corrupt)
+                .ctrl_drop(opts.ctrl_drop)
+                .ctrl_corrupt(opts.ctrl_corrupt),
         );
     }
     b

@@ -22,6 +22,7 @@ fn segments_telescope_under_faults() {
             drop: 0.15,
             corrupt: 0.05,
             fault_seed: seed,
+            ..HarnessOptions::default()
         };
         let mut cluster = harness::build_pingpong(&opts);
         let collector = cluster.enable_tracing();
