@@ -1,10 +1,10 @@
 //! Cluster construction and the experiment-facing API.
 
-use tg_hib::{HibConfig, PageMode};
+use tg_hib::{HibConfig, HibTick, PageMode};
 use tg_mem::{PAddr, PageFlags, VAddr};
 use tg_net::{
-    build_network_with, CreditLedger, FaultInjector, FaultPlan, FaultStats, LinkId, NetConfig,
-    RelParams, StalledLink, Topology,
+    build_network_with, CreditLedger, FabricView, FaultInjector, FaultPlan, FaultStats, LinkId,
+    NetConfig, RelParams, StalledLink, Topology, Vertex,
 };
 use tg_sim::{CompId, Engine, MetricsRegistry, ProgressMeter, RunLimit, SimTime, WatchdogOutcome};
 use tg_wire::metric;
@@ -186,6 +186,7 @@ impl ClusterBuilder {
         };
         let handles = build_network_with(&mut engine, &topo, &self.timing, &node_ids, &config)
             .expect("connected fabric");
+        let view = handles.view.clone();
         for (idx, wiring) in handles.endpoints.into_iter().enumerate() {
             let node = engine
                 .get_mut::<Node>(node_ids[idx])
@@ -214,6 +215,7 @@ impl ClusterBuilder {
             max_seg_page: self.hib.segment_pages.saturating_sub(OS_FRAME_POOL),
             timing: self.timing,
             injector,
+            view,
         }
     }
 }
@@ -345,10 +347,18 @@ pub struct DeadlockReport {
     /// meter stopped advancing.
     pub progress: u64,
     /// Links held up: dead, carrying unacknowledged frames, or
-    /// credit-starved with traffic pending.
+    /// credit-starved with traffic pending. Stalls attributable to a
+    /// crash-injected site (either endpoint inside an active crash
+    /// window) are filtered out — a declared-dead peer is expected
+    /// silence, not a deadlock.
     pub links: Vec<StalledLink>,
-    /// Workstations with work still queued.
+    /// Workstations with work still queued (crash-injected sites
+    /// likewise filtered).
     pub nodes: Vec<StalledNode>,
+    /// *Live* nodes the routing fabric can no longer reach: the cut
+    /// disconnected the graph. Named so a partition reads as a
+    /// partition, not an anonymous wedge.
+    pub partition: Vec<NodeId>,
 }
 
 impl DeadlockReport {
@@ -375,6 +385,18 @@ impl std::fmt::Display for DeadlockReport {
         for n in &self.nodes {
             writeln!(f, "  {n}")?;
         }
+        if !self.partition.is_empty() {
+            let names: Vec<String> = self
+                .partition
+                .iter()
+                .map(|n| format!("node{}", n.raw()))
+                .collect();
+            writeln!(
+                f,
+                "  PARTITION: live nodes unreachable by routing: {}",
+                names.join(", ")
+            )?;
+        }
         Ok(())
     }
 }
@@ -397,6 +419,10 @@ pub struct Cluster {
     max_seg_page: u32,
     timing: TimingConfig,
     injector: Option<FaultInjector>,
+    /// The shared fabric liveness view (present when reliable links with
+    /// heartbeats are configured): switches consult it for route-around
+    /// tables, the cluster for partition diagnosis.
+    view: Option<FabricView>,
 }
 
 impl Cluster {
@@ -636,6 +662,80 @@ impl Cluster {
         self.engine.run_events(n)
     }
 
+    /// Starts per-board heartbeat origination and failure detection on
+    /// every node (requires reliable links built with
+    /// [`RelParams::heartbeat_every`] set, the default). Heartbeats
+    /// self-rearm, so a heartbeat-enabled cluster never drains on its
+    /// own — drive it with [`Cluster::run_to_quiescence`] (or
+    /// [`Cluster::run_until`] plus [`Cluster::stop_heartbeats`]).
+    pub fn enable_heartbeats(&mut self) {
+        let peers: Vec<NodeId> = (0..self.n).map(NodeId::new).collect();
+        let now = self.engine.now();
+        for i in 0..self.n {
+            let comp = self.nodes[i as usize];
+            let node = self.engine.get_mut::<Node>(comp).expect("node component");
+            node.hib_mut().prime_heartbeats(&peers, now);
+            if node.hib().heartbeats_active() {
+                self.engine.schedule(
+                    SimTime::ZERO,
+                    comp,
+                    ClusterEvent::HibTick(HibTick::Heartbeat),
+                );
+            }
+        }
+    }
+
+    /// Stops heartbeat origination everywhere so the event queue can
+    /// drain. Detector verdicts already delivered stay in force.
+    pub fn stop_heartbeats(&mut self) {
+        for i in 0..self.n {
+            let comp = self.nodes[i as usize];
+            let node = self.engine.get_mut::<Node>(comp).expect("node component");
+            node.hib_mut().stop_heartbeats();
+        }
+    }
+
+    /// Drives a heartbeat-enabled cluster in `step`-sized slices until
+    /// the workload completes — every node with processes has halted or
+    /// sits inside an active crash window — or `limit` simulated time
+    /// passes, then stops heartbeats and drains the residual events.
+    ///
+    /// Returns [`RunLimit::Drained`] on completion and
+    /// [`RunLimit::Deadline`] if the limit cut the run short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn run_to_quiescence(&mut self, step: SimTime, limit: SimTime) -> RunLimit {
+        assert!(!step.is_zero(), "zero quiescence step");
+        let mut timed_out = true;
+        while self.now() < limit {
+            let deadline = (self.now() + step).min(limit);
+            self.engine.run_until(deadline);
+            if self.workload_done() {
+                timed_out = false;
+                break;
+            }
+        }
+        self.stop_heartbeats();
+        self.engine.run();
+        if timed_out && !self.workload_done() {
+            RunLimit::Deadline
+        } else {
+            RunLimit::Drained
+        }
+    }
+
+    /// True when every node that has processes is either fully halted or
+    /// crash-silenced by the fault plan right now.
+    fn workload_done(&self) -> bool {
+        let now = self.now();
+        (0..self.n).all(|i| {
+            let node = self.node(i);
+            !node.has_process() || node.halted() || self.site_crashed(Site::Node(node.id()), now)
+        })
+    }
+
     /// Runs under a no-progress watchdog: committed packets and completed
     /// CPU operations count as progress; a window of `window` simulated
     /// time in which events still fire but nothing commits (e.g. a dead
@@ -658,7 +758,8 @@ impl Cluster {
                 // processes still blocked. That is a deadlock, not a
                 // completion.
                 let report = self.deadlock_report(self.now(), meter.count());
-                if report.links.is_empty() && report.nodes.is_empty() {
+                if report.links.is_empty() && report.nodes.is_empty() && report.partition.is_empty()
+                {
                     Ok(WatchdogOutcome::Drained)
                 } else {
                     Err(report)
@@ -666,6 +767,15 @@ impl Cluster {
             }
             outcome => Ok(outcome),
         }
+    }
+
+    /// True when `site` sits inside an active crash window: its silence
+    /// is injected, not a wedge.
+    fn site_crashed(&self, site: Site, at: SimTime) -> bool {
+        self.injector
+            .as_ref()
+            .map(|inj| inj.site_down(site, at))
+            .unwrap_or(false)
     }
 
     fn deadlock_report(&self, at: SimTime, progress: u64) -> DeadlockReport {
@@ -680,6 +790,11 @@ impl Cluster {
         let mut nodes = Vec::new();
         for i in 0..self.n {
             let node = self.node(i);
+            if self.site_crashed(Site::Node(node.id()), at) {
+                // A crashed workstation's stranded queues are the fault
+                // plan at work, not a deadlock.
+                continue;
+            }
             let hib = node.hib();
             let (tx_queue, rx_fifo) = (node.tx_queue_depth(), node.rx_fifo_depth());
             let (unacked, dead) = (hib.unacked(), hib.link_dead());
@@ -707,11 +822,28 @@ impl Cluster {
                 });
             }
         }
+        // A stalled link with a crashed endpoint is expected silence.
+        links.retain(|l| !self.site_crashed(l.link.from, at) && !self.site_crashed(l.link.to, at));
+        // Name live nodes the recomputed routes can no longer reach: a
+        // cut that disconnects the graph reads as a partition.
+        let mut partition = Vec::new();
+        if let Some(view) = self.view.as_ref() {
+            for v in view.unreachable() {
+                if let Vertex::Node(raw) = v {
+                    let id = NodeId::new(raw);
+                    if !self.site_crashed(Site::Node(id), at) {
+                        partition.push(id);
+                    }
+                }
+            }
+            partition.sort_unstable_by_key(|n| n.raw());
+        }
         DeadlockReport {
             at,
             progress,
             links,
             nodes,
+            partition,
         }
     }
 
@@ -729,6 +861,16 @@ impl Cluster {
     /// Returns one human-readable line per violation, naming the culprit
     /// link or totals; empty means all books balance.
     pub fn conservation_violations(&self) -> Vec<String> {
+        // Crash windows legitimately swallow frames, acks, and credits
+        // at the injector boundary, so the strict equalities cannot hold
+        // under a crash plan: the credit and reorder books are skipped
+        // and the packet book degrades to an upper bound against the
+        // injector's loss tallies.
+        let crashy = self
+            .injector
+            .as_ref()
+            .map(|inj| !inj.plan().crash_windows().is_empty())
+            .unwrap_or(false);
         let mut violations = Vec::new();
         let mut ledgers: Vec<CreditLedger> = Vec::new();
         let mut queued: u64 = 0;
@@ -754,11 +896,22 @@ impl Cluster {
         for l in &ledgers {
             unacked += l.unacked as u64;
             let overcommit = u64::from(l.credits) + l.unacked as u64 > u64::from(l.allowance);
-            if overcommit || (drained && !l.balanced()) {
+            if overcommit || (drained && !crashy && !l.balanced()) {
                 violations.push(format!("credit leak on {l}"));
             }
         }
-        if injected != committed + unacked + queued {
+        if crashy {
+            let lost = self
+                .fault_stats()
+                .map(|s| s.frames_lost())
+                .unwrap_or_default();
+            if injected > committed + unacked + queued + lost {
+                violations.push(format!(
+                    "packet leak: {injected} injected > {committed} committed \
+                     + {unacked} unacked + {queued} queued + {lost} crash/fault losses"
+                ));
+            }
+        } else if injected != committed + unacked + queued {
             violations.push(format!(
                 "packet leak: {injected} injected != {committed} committed \
                  + {unacked} unacked + {queued} queued"
@@ -766,21 +919,25 @@ impl Cluster {
         }
         // SACK reorder windows must be empty at quiescence: a parked frame
         // with no pending retransmission means a gap that will never fill.
-        let mut parked: usize = 0;
-        for &id in &self.switches {
-            let sw = self
-                .engine
-                .get::<tg_net::Switch>(id)
-                .expect("switch component");
-            parked += sw.reorder_depth_total();
-        }
-        for i in 0..self.n {
-            parked += self.node(i).hib().reorder_depth();
-        }
-        if parked > 0 {
-            violations.push(format!(
-                "reorder leak: {parked} frames still parked in SACK windows"
-            ));
+        // Under a crash plan a survivor may legitimately hold frames
+        // parked on a gap whose filler died with the crashed origin.
+        if !crashy {
+            let mut parked: usize = 0;
+            for &id in &self.switches {
+                let sw = self
+                    .engine
+                    .get::<tg_net::Switch>(id)
+                    .expect("switch component");
+                parked += sw.reorder_depth_total();
+            }
+            for i in 0..self.n {
+                parked += self.node(i).hib().reorder_depth();
+            }
+            if parked > 0 {
+                violations.push(format!(
+                    "reorder leak: {parked} frames still parked in SACK windows"
+                ));
+            }
         }
         violations
     }
@@ -789,6 +946,13 @@ impl Cluster {
     /// losses, lost credits), when a fault plan is installed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// The installed fault plan, when one was given to the builder — the
+    /// ground truth crash schedule that trace checkers reconcile
+    /// peer-down/peer-up verdicts against.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.injector.as_ref().map(|i| i.plan().clone())
     }
 
     /// Frames retransmitted across the whole fabric (switch output ports

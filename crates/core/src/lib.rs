@@ -71,5 +71,9 @@ pub use stats::NodeStats;
 
 // Fault-injection and reliability vocabulary, re-exported so experiments
 // and binaries need only this crate.
-pub use tg_net::{FaultPlan, FaultStats, LinkError, LinkId, RelParams, RetxMode, StalledLink};
+pub use tg_hib::OpError;
+pub use tg_net::{
+    CrashWindow, FaultPlan, FaultStats, LinkError, LinkId, RelParams, RetxMode, StalledLink,
+    Topology,
+};
 pub use tg_sim::WatchdogOutcome;

@@ -813,6 +813,13 @@ impl Node {
             }
             CpuResult::StoreRetired => self.unfreeze(Resume::Done, SimTime::ZERO),
             CpuResult::FenceDone => self.unfreeze(Resume::Done, SimTime::ZERO),
+            CpuResult::OpFailed { err } => {
+                // A blocking remote operation resolved structurally (its
+                // destination was convicted dead) instead of completing:
+                // release the CPU with the failure, never stall forever.
+                self.stats.op_failures += 1;
+                self.unfreeze(Resume::Failed(err), self.timing.tc_read_overhead);
+            }
         }
     }
 
@@ -844,13 +851,62 @@ impl Node {
                 // names starved links if the fabric wedges for real).
                 self.stats.link_starvations += 1;
             }
+            HibInterrupt::PeerDown { peer } => {
+                // Crash-stop conviction: fail over VSM ownership and any
+                // fault in flight toward the dead node, and release a
+                // pager fetch bound for a dead memory server.
+                self.stats.peer_downs += 1;
+                let fx = self.os.vsm.on_peer_down(peer);
+                self.apply_vsm_effects(fx);
+                let failed = self.os.pager.as_mut().and_then(|p| p.on_peer_down(peer));
+                if let Some(vpage) = failed {
+                    self.fail_fault_thread(vpage, peer);
+                }
+            }
+            HibInterrupt::PeerUp { peer } => {
+                // Crash-stop restart: reconcile — copies of pages the
+                // restarted node manages are stale against its rebuilt
+                // directory and must refault.
+                self.stats.peer_ups += 1;
+                let fx = self.os.vsm.on_peer_up(peer);
+                self.apply_vsm_effects(fx);
+                if let Some(p) = self.os.pager.as_mut() {
+                    p.on_peer_up(peer);
+                }
+            }
         }
+    }
+
+    /// Releases the thread frozen on an OS page fault with a structured
+    /// failure: the home/server the fault depended on was convicted dead.
+    fn fail_fault_thread(&mut self, vpage: u64, peer: NodeId) {
+        let _ = vpage;
+        let Some((i, _action)) = self.fault_thread.take() else {
+            return; // the fault resolved before the conviction landed
+        };
+        debug_assert!(matches!(self.threads[i].state, ThreadState::WaitFault));
+        self.stats.op_failures += 1;
+        self.requeue(
+            i,
+            Resume::Failed(tg_hib::OpError::PeerUnreachable { peer }),
+            self.timing.os_trap,
+        );
+        self.kick(SimTime::ZERO);
+        self.start_queued_fault();
     }
 
     fn on_os_task(&mut self, kind: u16, a: u64, b: u64) {
         match kind {
             task::VSM_FAULT => {
-                let effects = self.os.vsm.on_fault(a, b != 0);
+                let home = self.os.vsm.home(a);
+                let effects = if home != self.id && self.hib.peer_down(home) {
+                    // Fail fast: the manager is already convicted dead.
+                    // Sending the request into the void would only stall
+                    // the thread until the next conviction sweep.
+                    self.os.vsm.fail_fast_fault(a)
+                } else {
+                    self.os.vsm.on_fault(a, b != 0)
+                };
                 self.apply_vsm_effects(effects);
             }
             task::VSM_RETRY => {
@@ -880,13 +936,26 @@ impl Node {
                 self.apply_os_effects(effects);
             }
             task::PAGER_FAULT => {
-                let effects = self
-                    .os
-                    .pager
-                    .as_mut()
-                    .expect("pager fault without a pager")
-                    .on_fault(a);
-                self.apply_pager_effects(effects);
+                let down_server = {
+                    let pager = self.os.pager.as_ref().expect("pager fault without a pager");
+                    if pager.server_is_down() {
+                        pager.server()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(peer) = down_server {
+                    // Fail fast: the memory server is convicted dead.
+                    self.fail_fault_thread(a, peer);
+                } else {
+                    let effects = self
+                        .os
+                        .pager
+                        .as_mut()
+                        .expect("pager fault without a pager")
+                        .on_fault(a);
+                    self.apply_pager_effects(effects);
+                }
             }
             task::PAGER_DISK_DONE => {
                 let effects = self
@@ -1102,6 +1171,9 @@ impl Node {
                             b: 0,
                         },
                     );
+                }
+                VsmEffect::FailFault { vpage, peer } => {
+                    self.fail_fault_thread(vpage, peer);
                 }
             }
         }

@@ -108,6 +108,9 @@ pub struct RemotePager {
     /// LRU order of resident pages (front = least recent).
     lru: VecDeque<u64>,
     pending: Option<u64>,
+    /// True while the remote-memory server is convicted dead by the
+    /// failure detector: faults fail fast instead of fetching.
+    server_down: bool,
     stats: PagerStats,
 }
 
@@ -125,6 +128,7 @@ impl RemotePager {
             pages: HashMap::new(),
             lru: VecDeque::new(),
             pending: None,
+            server_down: false,
             stats: PagerStats::default(),
         }
     }
@@ -132,6 +136,42 @@ impl RemotePager {
     /// The configured backing store.
     pub fn backing(&self) -> Backing {
         self.backing
+    }
+
+    /// The remote-memory server, if the backing is remote.
+    pub fn server(&self) -> Option<NodeId> {
+        match self.backing {
+            Backing::RemoteMemory { server } => Some(server),
+            Backing::Disk => None,
+        }
+    }
+
+    /// True while the backing memory server is convicted dead.
+    pub fn server_is_down(&self) -> bool {
+        self.server_down
+    }
+
+    /// The failure detector convicted `peer`. If it is our memory server,
+    /// future faults fail fast and the in-flight fetch (if any) is
+    /// abandoned — its faulted vpage is returned so the node can release
+    /// the waiting thread with a structured error. Pages already resident
+    /// stay usable; pages swapped out to the dead server are simply lost
+    /// until it restarts (crash-stop).
+    pub fn on_peer_down(&mut self, peer: NodeId) -> Option<u64> {
+        if self.server() != Some(peer) {
+            return None;
+        }
+        self.server_down = true;
+        self.pending.take()
+    }
+
+    /// The convicted server's beacons resumed: resume fetching. The
+    /// restarted server's frames were re-zeroed by the crash, which is
+    /// the documented crash-stop data loss, not an inconsistency.
+    pub fn on_peer_up(&mut self, peer: NodeId) {
+        if self.server() == Some(peer) {
+            self.server_down = false;
+        }
     }
 
     /// Fault/eviction counters.
@@ -229,7 +269,11 @@ impl RemotePager {
     /// Accepts a fetch burst; completes the fault on the last one.
     pub fn on_page_data(&mut self, tag: u32, last: bool) -> Vec<PagerEffect> {
         let vpage = u64::from(tag & !PAGER_TAG_BASE);
-        debug_assert_eq!(self.pending, Some(vpage), "stray pager data");
+        if self.pending != Some(vpage) {
+            // A burst from a fetch that crash cleanup already abandoned
+            // (the server was convicted dead with data in flight): stale.
+            return Vec::new();
+        }
         if !last {
             return Vec::new();
         }

@@ -69,6 +69,10 @@ pub enum Resume {
     Done,
     /// The action produced a value (loads, atomics, receives).
     Value(u64),
+    /// The action failed structurally: its remote destination crashed.
+    /// The process is released to decide what to do — crash-aware
+    /// programs fail over; naive ones treat it like [`Resume::Done`].
+    Failed(tg_hib::OpError),
 }
 
 impl Resume {
@@ -118,6 +122,7 @@ impl<F: FnMut(Resume) -> Action + 'static> Process for F {
 pub struct Script {
     actions: std::vec::IntoIter<Action>,
     values: Vec<u64>,
+    failures: Vec<tg_hib::OpError>,
 }
 
 impl Script {
@@ -126,6 +131,7 @@ impl Script {
         Script {
             actions: actions.into_iter(),
             values: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -133,12 +139,21 @@ impl Script {
     pub fn values(&self) -> &[u64] {
         &self.values
     }
+
+    /// Every structured operation failure delivered to the script, in
+    /// order. A script presses on past failures (crash-stop survivors
+    /// keep computing), recording them here for the test or experiment.
+    pub fn failures(&self) -> &[tg_hib::OpError] {
+        &self.failures
+    }
 }
 
 impl Process for Script {
     fn resume(&mut self, r: Resume) -> Action {
-        if let Resume::Value(v) = r {
-            self.values.push(v);
+        match r {
+            Resume::Value(v) => self.values.push(v),
+            Resume::Failed(err) => self.failures.push(err),
+            _ => {}
         }
         self.actions.next().unwrap_or(Action::Halt)
     }

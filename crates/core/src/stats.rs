@@ -44,6 +44,13 @@ pub struct NodeStats {
     /// the board's uplink went quiet while retransmissions kept burning
     /// budget.
     pub link_starvations: u64,
+    /// Peer-down verdicts delivered to the OS by the failure detector.
+    pub peer_downs: u64,
+    /// Peer-up (restart) verdicts delivered to the OS.
+    pub peer_ups: u64,
+    /// Remote operations resolved with a structured failure
+    /// (`OpError::PeerUnreachable`) instead of completing.
+    pub op_failures: u64,
     /// When the process halted (none if still running).
     pub halted_at: Option<SimTime>,
 }

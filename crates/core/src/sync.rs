@@ -69,7 +69,9 @@ impl LockAcquire {
         match r {
             Resume::Start | Resume::Done => SyncStep::Do(Action::FetchStore(self.lock, 1)),
             Resume::Value(0) => SyncStep::Ready,
-            Resume::Value(_) => {
+            Resume::Value(_) | Resume::Failed(_) => {
+                // Held — or the lock's home is (currently) unreachable:
+                // crash-stop peers can restart, so back off and retry.
                 self.attempts += 1;
                 self.spinning = true;
                 let wait = self.backoff;
@@ -158,7 +160,12 @@ impl BarrierWait {
         use BarrierState as S;
         match self.state {
             S::Arrive => match r {
-                Resume::Start | Resume::Done => SyncStep::Do(Action::FetchAdd(self.counter, 1)),
+                // On a structured failure (the counter's home is
+                // unreachable) re-arrive: the peer may restart, and the
+                // caller decides when to give up.
+                Resume::Start | Resume::Done | Resume::Failed(_) => {
+                    SyncStep::Do(Action::FetchAdd(self.counter, 1))
+                }
                 Resume::Value(old) => {
                     if old + 1 == self.participants {
                         self.state = S::LastFence;
@@ -236,7 +243,11 @@ impl TicketAcquire {
     pub fn step(&mut self, r: Resume) -> SyncStep {
         match self.state {
             TicketState::TakeTicket => match r {
-                Resume::Start | Resume::Done => SyncStep::Do(Action::FetchAdd(self.ticket_word, 1)),
+                // A structured failure re-draws the ticket: the lock
+                // word's home may come back (crash-stop restart).
+                Resume::Start | Resume::Done | Resume::Failed(_) => {
+                    SyncStep::Do(Action::FetchAdd(self.ticket_word, 1))
+                }
                 Resume::Value(t) => {
                     self.my_ticket = t;
                     self.state = TicketState::CheckServing;

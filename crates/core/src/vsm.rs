@@ -105,6 +105,16 @@ pub enum VsmEffect {
         /// Virtual page number.
         vpage: u64,
     },
+    /// The in-flight fault on `vpage` can never complete: the page's home
+    /// (its manager) was declared dead by the failure detector. The node
+    /// must release the faulted thread with a structured failure instead
+    /// of letting it wait forever.
+    FailFault {
+        /// Virtual page number.
+        vpage: u64,
+        /// The dead manager the fault was bound for.
+        peer: NodeId,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -126,7 +136,10 @@ struct PageState {
 struct Pending {
     requester: NodeId,
     write: bool,
-    invs_left: usize,
+    /// Holders whose invalidation acks are still outstanding. A set (not
+    /// a count) so crash recovery can strike a dead holder from the wait
+    /// list without miscounting a late or lost ack.
+    inv_waiting: BTreeSet<NodeId>,
     /// True when the page image must travel from the owner (the requester
     /// holds no current copy).
     needs_data: bool,
@@ -148,6 +161,10 @@ pub struct VsmNode {
     pages: HashMap<u64, PageState>,
     by_gpage: HashMap<u64, u64>,
     dirs: HashMap<u64, Dir>,
+    /// Peers currently convicted dead by the failure detector. Consulted
+    /// when an invalidation round finishes: an op whose requester died
+    /// mid-round is abandoned instead of granted.
+    dead: BTreeSet<NodeId>,
 }
 
 impl VsmNode {
@@ -158,6 +175,7 @@ impl VsmNode {
             pages: HashMap::new(),
             by_gpage: HashMap::new(),
             dirs: HashMap::new(),
+            dead: BTreeSet::new(),
         }
     }
 
@@ -287,15 +305,18 @@ impl VsmNode {
                 let vpage = self.by_gpage[&gpage];
                 let page = self.pages.get_mut(&vpage).expect("owner state");
                 let frame = page.meta.frame;
-                page.mode = VsmMode::Invalid;
-                vec![
-                    VsmEffect::SendPage {
-                        dst: who,
-                        gpage,
-                        frame,
-                    },
-                    VsmEffect::Unmap { vpage },
-                ]
+                let mut fx = vec![VsmEffect::SendPage {
+                    dst: who,
+                    gpage,
+                    frame,
+                }];
+                // After crash failover the home can be asked to serve from
+                // a frame it never had mapped — only unmap a live mapping.
+                if page.mode != VsmMode::Invalid {
+                    page.mode = VsmMode::Invalid;
+                    fx.push(VsmEffect::Unmap { vpage });
+                }
+                fx
             }
             kind::INV => {
                 let vpage = self.by_gpage[&gpage];
@@ -316,7 +337,7 @@ impl VsmNode {
                 });
                 fx
             }
-            kind::INV_ACK => self.mgr_inv_ack(gpage),
+            kind::INV_ACK => self.mgr_inv_ack(gpage, who),
             kind::GRANT_WRITE => {
                 let vpage = self.by_gpage[&gpage];
                 self.complete_fault(vpage)
@@ -347,7 +368,12 @@ impl VsmNode {
     /// Installs the mapping for a resolved fault and notifies the manager.
     fn complete_fault(&mut self, vpage: u64) -> Vec<VsmEffect> {
         let page = self.pages.get_mut(&vpage).expect("faulted page");
-        assert!(page.faulted, "completion without a fault");
+        if !page.faulted {
+            // A grant or page stream for a fault that crash cleanup
+            // already failed (the manager was convicted dead while the
+            // data was in flight): stale, ignore.
+            return Vec::new();
+        }
         page.faulted = false;
         let frame = page.meta.frame;
         let (map, done_kind) = if page.pending_write_fault {
@@ -401,7 +427,7 @@ impl VsmNode {
             dir.busy = Some(Pending {
                 requester,
                 write,
-                invs_left: inv_targets.len(),
+                inv_waiting: inv_targets.iter().copied().collect(),
                 needs_data,
             });
             for t in inv_targets {
@@ -423,7 +449,7 @@ impl VsmNode {
             dir.busy = Some(Pending {
                 requester,
                 write,
-                invs_left: 0,
+                inv_waiting: BTreeSet::new(),
                 needs_data: true,
             });
             let _ = (me, had_copy);
@@ -439,25 +465,60 @@ impl VsmNode {
         fx
     }
 
-    fn mgr_inv_ack(&mut self, gpage: u64) -> Vec<VsmEffect> {
+    fn mgr_inv_ack(&mut self, gpage: u64, who: NodeId) -> Vec<VsmEffect> {
         let dir = self.dirs.get_mut(&gpage).expect("manager directory");
-        let pending = dir.busy.as_mut().expect("ack without pending op");
-        assert!(pending.invs_left > 0, "unexpected invalidation ack");
-        pending.invs_left -= 1;
-        if pending.invs_left == 0 {
-            self.mgr_data_phase(gpage)
+        let Some(pending) = dir.busy.as_mut() else {
+            // The op this ack answers was abandoned by crash cleanup.
+            return Vec::new();
+        };
+        if !pending.inv_waiting.remove(&who) {
+            // Stale or duplicate ack (idempotent retransmission).
+            return Vec::new();
+        }
+        if pending.inv_waiting.is_empty() {
+            self.mgr_after_invs(gpage)
         } else {
             Vec::new()
         }
     }
 
+    /// The invalidation round just completed: grant the op — unless the
+    /// requester was convicted dead while we were collecting acks, in
+    /// which case abandon it and serve the next queued request.
+    fn mgr_after_invs(&mut self, gpage: u64) -> Vec<VsmEffect> {
+        let requester = self.dirs[&gpage]
+            .busy
+            .as_ref()
+            .expect("pending op")
+            .requester;
+        if self.dead.contains(&requester) {
+            let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+            dir.busy = None;
+            if let Some((next, w)) = dir.queue.pop_front() {
+                return self.mgr_start(gpage, next, w);
+            }
+            return Vec::new();
+        }
+        self.mgr_data_phase(gpage)
+    }
+
     /// Write-fault phase two: hand the data (or an upgrade grant) to the
     /// requester.
     fn mgr_data_phase(&mut self, gpage: u64) -> Vec<VsmEffect> {
-        let dir = self.dirs.get_mut(&gpage).expect("manager directory");
-        let pending = dir.busy.as_ref().expect("pending op");
-        let (requester, owner) = (pending.requester, dir.owner);
-        if pending.needs_data {
+        let (requester, owner, needs_data) = {
+            let dir = &self.dirs[&gpage];
+            let pending = dir.busy.as_ref().expect("pending op");
+            (pending.requester, dir.owner, pending.needs_data)
+        };
+        if needs_data {
+            if owner == self.me && requester == self.me {
+                // Crash failover re-homed ownership to us while our own
+                // fault was in flight: the recovered image is already in
+                // our frame — complete locally instead of streaming a
+                // page to ourselves.
+                let vpage = self.by_gpage[&gpage];
+                return self.complete_fault(vpage);
+            }
             vec![VsmEffect::Send {
                 dst: owner,
                 msg: WireMsg::OsCtl {
@@ -481,7 +542,11 @@ impl VsmNode {
 
     fn mgr_done(&mut self, gpage: u64, requester: NodeId, write: bool) -> Vec<VsmEffect> {
         let dir = self.dirs.get_mut(&gpage).expect("manager directory");
-        let pending = dir.busy.take().expect("done without pending op");
+        let Some(pending) = dir.busy.take() else {
+            // A DONE racing crash-driven cleanup (the requester completed
+            // its fault, then was convicted dead): nothing left to close.
+            return Vec::new();
+        };
         debug_assert_eq!(pending.requester, requester);
         debug_assert_eq!(pending.write, write);
         if write {
@@ -495,6 +560,202 @@ impl VsmNode {
         } else {
             Vec::new()
         }
+    }
+
+    // ---------------- crash-stop fault domain ----------------
+
+    /// The home (manager) node of a managed page.
+    pub fn home(&self, vpage: u64) -> NodeId {
+        self.pages[&vpage].meta.home
+    }
+
+    /// Fails a fault *before* it is issued: the page's home is already
+    /// convicted dead, so sending the request would only hang until the
+    /// request timeout. Returns the [`VsmEffect::FailFault`] for the node
+    /// to release the thread with.
+    pub fn fail_fast_fault(&mut self, vpage: u64) -> Vec<VsmEffect> {
+        let page = self.pages.get_mut(&vpage).expect("managed page");
+        debug_assert!(!page.faulted, "fail-fast on an in-flight fault");
+        let peer = page.meta.home;
+        vec![VsmEffect::FailFault { vpage, peer }]
+    }
+
+    /// Crash-stop conviction of `peer`: prune it from every structure.
+    ///
+    /// Manager side (pages homed here): the dead node leaves all
+    /// copysets, request queues, and invalidation wait-sets. If it owned
+    /// a page, ownership migrates to a deterministic successor — the home
+    /// node when its copy is current (or no copies survive at all), else
+    /// the smallest-id surviving holder, so survivors never read an image
+    /// older than one they already hold — and any fault the dead node was
+    /// serving is re-driven against the successor. Holder side (pages
+    /// homed at the dead node): faults in flight to the dead manager can
+    /// never complete and fail with [`VsmEffect::FailFault`].
+    ///
+    /// Crash-stop loses the dead owner's unreflected writes: recovery
+    /// re-serves the newest image a survivor holds. That is the
+    /// documented fault-model semantics, not silent corruption.
+    pub fn on_peer_down(&mut self, peer: NodeId) -> Vec<VsmEffect> {
+        if peer == self.me {
+            return Vec::new();
+        }
+        self.dead.insert(peer);
+        let mut fx = Vec::new();
+        let mut gpages: Vec<u64> = self.dirs.keys().copied().collect();
+        gpages.sort_unstable();
+        for gpage in gpages {
+            fx.extend(self.mgr_peer_down(gpage, peer));
+        }
+        let mut vpages: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.meta.home == peer && p.faulted)
+            .map(|(&v, _)| v)
+            .collect();
+        vpages.sort_unstable();
+        for vpage in vpages {
+            let page = self.pages.get_mut(&vpage).expect("managed page");
+            page.faulted = false;
+            page.pending_write_fault = false;
+            fx.push(VsmEffect::FailFault { vpage, peer });
+        }
+        fx
+    }
+
+    /// A convicted peer's beacons resumed (crash-stop restart). The
+    /// restarted node lost its volatile state — its directories rebuild
+    /// through its own symmetric convictions during the blackout (it saw
+    /// *us* die, which re-homed every page it manages) — so every copy we
+    /// hold of a page it manages is stale relative to that rebuilt
+    /// directory: invalidate locally and let the next access refault.
+    /// Copies of pages the restarted node merely *held* are untouched;
+    /// conviction already pruned it from those copysets.
+    pub fn on_peer_up(&mut self, peer: NodeId) -> Vec<VsmEffect> {
+        if peer == self.me {
+            return Vec::new();
+        }
+        self.dead.remove(&peer);
+        let mut vpages: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.meta.home == peer)
+            .map(|(&v, _)| v)
+            .collect();
+        vpages.sort_unstable();
+        let mut fx = Vec::new();
+        for vpage in vpages {
+            let page = self.pages.get_mut(&vpage).expect("managed page");
+            if page.mode != VsmMode::Invalid {
+                page.mode = VsmMode::Invalid;
+                fx.push(VsmEffect::Unmap { vpage });
+            }
+        }
+        fx
+    }
+
+    fn mgr_peer_down(&mut self, gpage: u64, peer: NodeId) -> Vec<VsmEffect> {
+        let me = self.me;
+        let (owner_died, redrive, abandoned, claim) = {
+            let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+            dir.copyset.remove(&peer);
+            dir.queue.retain(|&(n, _)| n != peer);
+            let owner_died = dir.owner == peer;
+            if owner_died {
+                dir.owner = if dir.copyset.is_empty() || dir.copyset.contains(&me) {
+                    me
+                } else {
+                    *dir.copyset.iter().next().expect("non-empty copyset")
+                };
+                if dir.copyset.is_empty() {
+                    dir.copyset.insert(me);
+                }
+            }
+            let mut redrive = false;
+            let mut abandoned = false;
+            match dir.busy.as_mut() {
+                Some(p)
+                    if p.requester == peer
+                    // The faulting node itself died. With acks still
+                    // outstanding the op stays open so late INV_ACKs
+                    // drain against it — `mgr_after_invs` then abandons
+                    // it (the requester is in the dead set). With nothing
+                    // outstanding, abandon now.
+                    && p.inv_waiting.is_empty() =>
+                {
+                    dir.busy = None;
+                    abandoned = true;
+                }
+                Some(p) => {
+                    let was_waiting = p.inv_waiting.remove(&peer);
+                    let unblocked = was_waiting && p.inv_waiting.is_empty();
+                    // Re-drive the grant if the dead peer was the last
+                    // straggler we were waiting on, or if it was the
+                    // owner an already-issued forward targeted (that
+                    // forward died with it).
+                    redrive =
+                        p.inv_waiting.is_empty() && (unblocked || (owner_died && p.needs_data));
+                }
+                None => {}
+            }
+            let claim = owner_died
+                && dir.owner == me
+                && dir.busy.is_none()
+                && dir.copyset.len() == 1
+                && dir.copyset.contains(&me);
+            (owner_died, redrive, abandoned, claim)
+        };
+        let _ = owner_died;
+        let mut fx = Vec::new();
+        if claim {
+            // Quiescent failover with no surviving copies elsewhere: the
+            // home's frame becomes the authoritative image again.
+            let vpage = self.by_gpage[&gpage];
+            let page = self.pages.get_mut(&vpage).expect("home page state");
+            if !page.faulted && page.mode != VsmMode::Write {
+                page.mode = VsmMode::Write;
+                fx.push(VsmEffect::MapWrite {
+                    vpage,
+                    frame: page.meta.frame,
+                });
+            }
+        }
+        if redrive {
+            fx.extend(self.mgr_reissue(gpage));
+        }
+        if abandoned {
+            let dir = self.dirs.get_mut(&gpage).expect("manager directory");
+            if let Some((next, w)) = dir.queue.pop_front() {
+                fx.extend(self.mgr_start(gpage, next, w));
+            }
+        }
+        fx
+    }
+
+    /// Re-issues the in-progress op's data/grant phase after crash
+    /// failover re-pointed `dir.owner` (the original forward died with
+    /// the old owner).
+    fn mgr_reissue(&mut self, gpage: u64) -> Vec<VsmEffect> {
+        let (write, requester, owner) = {
+            let dir = &self.dirs[&gpage];
+            let p = dir.busy.as_ref().expect("pending op");
+            (p.write, p.requester, dir.owner)
+        };
+        if write {
+            return self.mgr_data_phase(gpage);
+        }
+        if owner == self.me && requester == self.me {
+            // Our own read fault, now self-served from the home frame.
+            let vpage = self.by_gpage[&gpage];
+            return self.complete_fault(vpage);
+        }
+        vec![VsmEffect::Send {
+            dst: owner,
+            msg: WireMsg::OsCtl {
+                kind: kind::FWD_READ,
+                a: gpage,
+                b: u64::from(requester.raw()),
+            },
+        }]
     }
 }
 
@@ -642,6 +903,175 @@ mod tests {
             vals: vec![].into(),
             last: true
         }));
-        assert!(!VsmNode::is_vsm_msg(&WireMsg::WriteAck));
+        assert!(!VsmNode::is_vsm_msg(&WireMsg::WriteAck { tag: 0 }));
+    }
+
+    #[test]
+    fn owner_death_fails_over_to_home() {
+        let mut nodes = setup(3, 0);
+        // Node 1 takes ownership.
+        let fx: Vec<_> = nodes[1]
+            .on_fault(VP, true)
+            .into_iter()
+            .map(|e| (1usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[0].mode(VP), VsmMode::Invalid);
+        // Node 1 crashes: no surviving copies, so the home reclaims the
+        // page writable from its own frame.
+        let fx = nodes[0].on_peer_down(NodeId::new(1));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, VsmEffect::MapWrite { vpage, .. } if *vpage == VP)));
+        assert_eq!(nodes[0].mode(VP), VsmMode::Write);
+        // A survivor's read fault is now served by the home again.
+        let fx: Vec<_> = nodes[2]
+            .on_fault(VP, false)
+            .into_iter()
+            .map(|e| (2usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[2].mode(VP), VsmMode::Read);
+    }
+
+    #[test]
+    fn owner_death_prefers_surviving_copy_holder() {
+        let mut nodes = setup(3, 0);
+        // Node 1 writes (owner), node 2 reads a copy: copyset {1, 2},
+        // home's frame is stale.
+        let fx: Vec<_> = nodes[1]
+            .on_fault(VP, true)
+            .into_iter()
+            .map(|e| (1usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        let fx: Vec<_> = nodes[2]
+            .on_fault(VP, false)
+            .into_iter()
+            .map(|e| (2usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        // Owner 1 dies. Node 2 still holds a current copy while the home
+        // does not, so node 2 — not the home — becomes the owner.
+        let fx = nodes[0].on_peer_down(NodeId::new(1));
+        assert!(
+            fx.is_empty(),
+            "no local remap: a surviving holder serves, got {fx:?}"
+        );
+        assert_eq!(nodes[0].mode(VP), VsmMode::Invalid, "home stays invalid");
+        // The home's own read fault is served by node 2.
+        let fx: Vec<_> = nodes[0]
+            .on_fault(VP, false)
+            .into_iter()
+            .map(|e| (0usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[0].mode(VP), VsmMode::Read);
+    }
+
+    #[test]
+    fn fault_to_dead_home_fails_structurally() {
+        let mut nodes = setup(2, 0);
+        // Node 1 faults toward home 0, whose crash is then convicted
+        // before any reply: the fault must fail, not hang.
+        let fx = nodes[1].on_fault(VP, false);
+        assert_eq!(fx.len(), 1, "request sent into the void");
+        let fx = nodes[1].on_peer_down(NodeId::new(0));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, VsmEffect::FailFault { vpage, peer }
+                    if *vpage == VP && *peer == NodeId::new(0))));
+        // The slot is free again: a later fault (after restart) is legal.
+        let _ = nodes[1].on_peer_up(NodeId::new(0));
+        let fx = nodes[1].on_fault(VP, false);
+        assert_eq!(fx.len(), 1);
+    }
+
+    #[test]
+    fn requester_death_mid_invalidation_abandons_the_op() {
+        let mut nodes = setup(3, 0);
+        // Nodes 1 and 2 hold read copies.
+        for reader in [1usize, 2] {
+            let fx: Vec<_> = nodes[reader]
+                .on_fault(VP, false)
+                .into_iter()
+                .map(|e| (reader, e))
+                .collect();
+            pump(&mut nodes, fx);
+        }
+        // Node 1 write-faults: the manager invalidates holders 0 and 2.
+        let reqs = nodes[1].on_fault(VP, true);
+        let mut invs = Vec::new();
+        for eff in reqs {
+            if let VsmEffect::Send { msg, .. } = eff {
+                invs.extend(nodes[0].on_msg(NodeId::new(1), &msg));
+            }
+        }
+        assert_eq!(invs.len(), 2, "INVs to holders 0 and 2");
+        // Deliver the manager's own INV (loopback) and its ack: only
+        // holder 2's ack remains outstanding.
+        let mut acks = Vec::new();
+        for eff in invs {
+            if let VsmEffect::Send { dst, msg } = eff {
+                if dst == NodeId::new(0) {
+                    acks.extend(nodes[0].on_msg(NodeId::new(0), &msg));
+                }
+            }
+        }
+        for eff in acks {
+            if let VsmEffect::Send { msg, .. } = eff {
+                let fx = nodes[0].on_msg(NodeId::new(0), &msg);
+                assert!(fx.is_empty(), "still waiting on holder 2");
+            }
+        }
+        // Requester 1 dies before holder 2's ack returns.
+        let fx = nodes[0].on_peer_down(NodeId::new(1));
+        assert!(fx.is_empty(), "op stays open for the straggler acks");
+        // Holder 2's ack now closes the round; the op is abandoned (no
+        // grant toward the dead requester) and nothing is queued.
+        let ack = WireMsg::OsCtl {
+            kind: kind::INV_ACK,
+            a: GP,
+            b: 2,
+        };
+        let fx = nodes[0].on_msg(NodeId::new(2), &ack);
+        assert!(fx.is_empty(), "abandoned, no grant: {fx:?}");
+        // The manager is free to serve a survivor immediately.
+        let fx: Vec<_> = nodes[2]
+            .on_fault(VP, true)
+            .into_iter()
+            .map(|e| (2usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[2].mode(VP), VsmMode::Write);
+    }
+
+    #[test]
+    fn owner_death_redrives_an_in_flight_read_fault() {
+        let mut nodes = setup(3, 0);
+        // Node 1 takes ownership, then node 2's read fault is forwarded
+        // to it — and node 1 dies with the forward in flight.
+        let fx: Vec<_> = nodes[1]
+            .on_fault(VP, true)
+            .into_iter()
+            .map(|e| (1usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        let reqs = nodes[2].on_fault(VP, false);
+        for eff in reqs {
+            if let VsmEffect::Send { msg, .. } = eff {
+                // Manager 0 forwards to owner 1; drop the forward (crash).
+                let _ = nodes[0].on_msg(NodeId::new(2), &msg);
+            }
+        }
+        // Conviction re-points the owner and re-issues the forward; with
+        // no surviving copies the home self-serves from its frame.
+        let fx: Vec<_> = nodes[0]
+            .on_peer_down(NodeId::new(1))
+            .into_iter()
+            .map(|e| (0usize, e))
+            .collect();
+        pump(&mut nodes, fx);
+        assert_eq!(nodes[2].mode(VP), VsmMode::Read, "fault completed");
     }
 }

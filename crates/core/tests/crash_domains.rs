@@ -1,0 +1,225 @@
+//! Crash-stop fault domains at the full-cluster level: heartbeat
+//! conviction of a silenced node, structured failure of in-flight remote
+//! operations, bit-for-bit crash replay, route-around recovery past a dead
+//! switch, named partitions when the cut disconnects the fabric, and
+//! restart reconciliation.
+
+use telegraphos::{Action, ClusterBuilder, FaultPlan, OpError, RelParams, Script, Topology};
+use tg_sim::{RunLimit, SimTime};
+use tg_wire::NodeId;
+
+/// A write/read loop against a page homed on `page_home`, padded with
+/// compute so it straddles a mid-run crash window.
+fn pounding_script(page: &telegraphos::SharedPage, rounds: u64) -> Script {
+    let mut acts = Vec::new();
+    for i in 0..rounds {
+        acts.push(Action::Write(page.va((i % 16) * 8), i + 1));
+        acts.push(Action::Compute(SimTime::from_us(20)));
+        acts.push(Action::Read(page.va((i % 16) * 8)));
+    }
+    Script::new(acts)
+}
+
+/// In-flight and future remote operations against a crashed peer resolve
+/// as structured `OpError::PeerUnreachable` — the survivor's script runs
+/// to completion, nothing hangs, nothing panics, and the relaxed
+/// conservation audit still closes its books.
+#[test]
+fn ops_to_a_crashed_peer_fail_structurally() {
+    let plan = FaultPlan::new(0xC0FFEE).node_crash(NodeId::new(1), SimTime::from_us(100));
+    let mut cluster = ClusterBuilder::new(2)
+        .reliable_links(RelParams::default())
+        .with_faults(plan)
+        .build();
+    cluster.enable_heartbeats();
+    let page = cluster.alloc_shared(1);
+    cluster.set_process(0, pounding_script(&page, 40));
+    let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(80));
+    assert_ne!(
+        outcome,
+        RunLimit::Deadline,
+        "the survivor never finished: ops to the dead peer hung"
+    );
+    let st = cluster.node(0).stats();
+    assert!(st.peer_downs > 0, "node 0 never convicted the dead peer");
+    assert!(st.op_failures > 0, "no op ever failed structurally");
+    let errs = cluster.node(0).hib().op_errors();
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, OpError::PeerUnreachable { peer } if *peer == NodeId::new(1))),
+        "no PeerUnreachable{{peer: node1}} was recorded: {errs:?}"
+    );
+    let cons = cluster.conservation_violations();
+    assert!(cons.is_empty(), "crash run broke conservation: {cons:?}");
+}
+
+/// The same seeded crash plan replays bit for bit: identical final
+/// memory, identical operation/failure counters, identical fabric
+/// traffic, identical finish time.
+#[test]
+fn seeded_crash_runs_replay_bit_for_bit() {
+    let run = || {
+        let plan = FaultPlan::new(0x5EED_DEAD)
+            .drop(0.05)
+            .node_crash(NodeId::new(1), SimTime::from_us(120));
+        let mut cluster = ClusterBuilder::new(3)
+            .reliable_links(RelParams::default())
+            .with_faults(plan)
+            .build();
+        cluster.enable_heartbeats();
+        let page = cluster.alloc_shared(1);
+        let page0 = cluster.alloc_shared(0);
+        cluster.set_process(0, pounding_script(&page, 30));
+        cluster.set_process(2, pounding_script(&page0, 30));
+        cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(80));
+        let mem: Vec<u64> = (0..16).map(|w| cluster.read_shared(&page0, w)).collect();
+        let stats: Vec<String> = (0..3)
+            .map(|i| format!("{:?}", cluster.node(i).stats()))
+            .collect();
+        (
+            mem,
+            stats,
+            cluster.fabric_packets(),
+            cluster.fabric_retransmits(),
+            cluster.now(),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "seeded crash replay diverged");
+}
+
+/// A crashed peer must not be blamed by the no-progress diagnosis: the
+/// survivor's run ends cleanly even though the dead node never halts,
+/// because declared-dead sites are filtered out of the deadlock report.
+#[test]
+fn crashed_peers_are_not_reported_as_deadlocks() {
+    let plan = FaultPlan::new(0xDEAD0).node_crash(NodeId::new(1), SimTime::from_us(80));
+    let mut cluster = ClusterBuilder::new(2)
+        .reliable_links(RelParams::default())
+        .with_faults(plan)
+        .build();
+    cluster.enable_heartbeats();
+    let page0 = cluster.alloc_shared(0);
+    // The doomed node pounds a page homed on the survivor; after the
+    // crash its traffic is silenced and it never halts.
+    cluster.set_process(1, pounding_script(&page0, 200));
+    cluster.set_process(
+        0,
+        Script::new(vec![Action::Write(page0.va(0), 7), Action::Fence]),
+    );
+    let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(60));
+    assert_ne!(
+        outcome,
+        RunLimit::Deadline,
+        "survivor wedged behind the dead peer"
+    );
+    assert!(
+        cluster.node(0).halted(),
+        "the survivor's own work did not finish"
+    );
+}
+
+/// On a switch ring, traffic routes around a dead switch: the fabric
+/// recomputes paths from the shared view and the workload completes with
+/// correct memory contents.
+#[test]
+fn traffic_routes_around_a_dead_switch() {
+    // Ring of 4 switches, one node each. Switch 1 dies early and stays
+    // dead; node 0's traffic to node 2 must fail over to the 0-3-2 arc.
+    let plan = FaultPlan::new(0x0FF).switch_outage(1, SimTime::from_us(40), SimTime::from_ms(500));
+    let params = RelParams {
+        max_retries: 6,
+        ..RelParams::default()
+    };
+    let mut cluster = ClusterBuilder::new(4)
+        .topology(Topology::ring(4))
+        .reliable_links(params)
+        .with_faults(plan)
+        .build();
+    cluster.enable_heartbeats();
+    let page = cluster.alloc_shared(2);
+    let mut acts = Vec::new();
+    for i in 0..24u64 {
+        acts.push(Action::Write(page.va((i % 16) * 8), 1000 + i));
+        acts.push(Action::Compute(SimTime::from_us(25)));
+    }
+    acts.push(Action::Fence);
+    cluster.set_process(0, Script::new(acts));
+    let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(100));
+    assert_ne!(
+        outcome,
+        RunLimit::Deadline,
+        "traffic never routed around the dead switch"
+    );
+    assert!(cluster.node(0).halted(), "writer never finished");
+    // Writes from both before and after the outage landed.
+    assert_eq!(cluster.read_shared(&page, 0), 1000 + 16);
+    assert_eq!(cluster.read_shared(&page, 15), 1000 + 15);
+}
+
+/// When the cut disconnects the fabric (a chain loses its middle
+/// switch), recovery is impossible — the run degrades into a structured
+/// deadlock report that names the partition instead of hanging.
+#[test]
+fn a_disconnecting_cut_names_the_partition() {
+    let plan = FaultPlan::new(0xC07).switch_outage(1, SimTime::ZERO, SimTime::from_ms(500));
+    let params = RelParams {
+        max_retries: 4,
+        ..RelParams::default()
+    };
+    let mut cluster = ClusterBuilder::new(3)
+        .topology(Topology::chain(3))
+        .reliable_links(params)
+        .with_faults(plan)
+        .build();
+    let page = cluster.alloc_shared(2);
+    cluster.set_process(
+        0,
+        Script::new(vec![Action::Write(page.va(0), 9), Action::Fence]),
+    );
+    let report = cluster
+        .run_watchdog(SimTime::from_us(500))
+        .expect_err("a disconnected fabric must trip the watchdog");
+    assert!(
+        !report.partition.is_empty(),
+        "the report does not name the partition: {report}"
+    );
+    let shown = format!("{report}");
+    assert!(
+        shown.contains("PARTITION"),
+        "partition missing from the rendered report: {shown}"
+    );
+}
+
+/// A crashed node that restarts is convicted, then rehabilitated: the
+/// survivor sees both transitions and finishes its workload, and the
+/// revived peer's stale copies were discarded on rejoin.
+#[test]
+fn a_restarted_peer_is_convicted_then_rehabilitated() {
+    let plan = FaultPlan::new(0x12E5)
+        .node_crash(NodeId::new(1), SimTime::from_us(100))
+        .node_restart(NodeId::new(1), SimTime::from_ms(4));
+    let mut cluster = ClusterBuilder::new(2)
+        .reliable_links(RelParams::default())
+        .with_faults(plan)
+        .build();
+    cluster.enable_heartbeats();
+    let page = cluster.alloc_shared(0);
+    // Long-running survivor workload spanning crash and restart.
+    cluster.set_process(0, pounding_script(&page, 400));
+    let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(120));
+    assert_ne!(
+        outcome,
+        RunLimit::Deadline,
+        "survivor wedged across the restart"
+    );
+    let st = cluster.node(0).stats();
+    assert!(st.peer_downs > 0, "the crash was never detected");
+    assert!(
+        st.peer_ups > 0,
+        "the restart was never detected (peer_downs={}, now={:?})",
+        st.peer_downs,
+        cluster.now()
+    );
+}

@@ -1,10 +1,11 @@
 //! The Host Interface Board state machine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use tg_mem::{Decoded, PAddr};
 use tg_net::{
-    FaultInjector, FrameFate, LinkError, LinkRx, NetEvent, RxFifo, RxVerdict, TimerAction, TxPort,
+    FaultInjector, FrameFate, HeartbeatDetector, LinkError, LinkRx, Liveness, NetEvent, RxFifo,
+    RxVerdict, TimerAction, TxPort,
 };
 use tg_proto::PendingCam;
 use tg_sim::{CompId, SimTime};
@@ -16,8 +17,14 @@ use tg_wire::{
 
 use crate::config::{HibConfig, LaunchMode, LocalWritePolicy};
 use crate::host::{
-    CounterKind, CpuResult, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome, StoreOutcome,
+    CounterKind, CpuResult, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome, OpError,
+    StoreOutcome,
 };
+
+/// Recently-seen request tags remembered per source for idempotent-retry
+/// deduplication. Retries arrive well within this window: a source has at
+/// most `tx_queue_depth` (64) requests in flight toward one destination.
+const DEDUPE_WINDOW: usize = 128;
 use crate::pagemode::{PageMode, SharedMap};
 use crate::regs::{decode_ctx_reg, opcode, reg, ShadowArg};
 
@@ -64,6 +71,23 @@ pub struct HibStats {
     pub link_faults: u64,
     /// Ack-starvation episodes surfaced as [`HibInterrupt::LinkStarved`].
     pub starvation_alarms: u64,
+    /// Liveness beacons originated by this board.
+    pub heartbeats_tx: u64,
+    /// Liveness beacons received from peers.
+    pub heartbeats_rx: u64,
+    /// Peers this board's failure detector convicted.
+    pub peer_downs: u64,
+    /// Convicted peers whose beacons later resumed.
+    pub peer_ups: u64,
+    /// Tagged requests retried after the request timeout.
+    pub op_retries: u64,
+    /// Tagged requests failed with [`OpError::PeerUnreachable`].
+    pub op_failures: u64,
+    /// Completions that arrived for an operation already resolved (late
+    /// acks after a failover, duplicate responses to a retry).
+    pub stale_acks: u64,
+    /// Duplicate requests suppressed by the idempotent-retry dedupe.
+    pub dup_requests: u64,
 }
 
 /// Why a store is parked at the HIB waiting to retry.
@@ -84,6 +108,43 @@ struct StalledStore {
 #[derive(Clone, Debug)]
 struct CopyInFlight {
     dst: GOffset,
+}
+
+/// Enough of a tagged request to rebuild its wire message for an
+/// idempotent retry.
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    Write {
+        addr: GOffset,
+        val: u64,
+    },
+    Multicast {
+        addr: GOffset,
+        val: u64,
+    },
+    Read {
+        addr: GOffset,
+    },
+    Atomic {
+        op: AtomicOp,
+        addr: GOffset,
+        arg0: u64,
+        arg1: u64,
+    },
+    Copy {
+        from: GOffset,
+        words: u32,
+    },
+}
+
+/// A tagged remote request awaiting its completion, tracked for
+/// request-level timeout/retry recovery.
+#[derive(Clone, Copy, Debug)]
+struct PendingOp {
+    dst: NodeId,
+    kind: OpKind,
+    issued_at: SimTime,
+    attempts: u32,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -169,6 +230,33 @@ pub struct Hib {
     /// The current ack-starvation episode has already raised its
     /// interrupt; cleared when ack progress resumes.
     starvation_alarmed: bool,
+    /// Tagged remote requests in flight, for timeout/retry recovery.
+    pending_ops: BTreeMap<u32, PendingOp>,
+    /// An OpCheck sweep tick is already scheduled.
+    op_check_armed: bool,
+    /// Per-peer failure detector, fed by heartbeat beacons; present when
+    /// the link reliability parameters enable heartbeats.
+    detector: Option<HeartbeatDetector>,
+    /// Beacon origination period, from the link reliability parameters.
+    hb_every: Option<SimTime>,
+    /// Sequence number of the next beacon (for switch flood dedupe).
+    hb_seq: u64,
+    /// Beacons are being originated; the Heartbeat tick rearms while set.
+    /// Off by default so fault-free runs stay beacon-free and drain.
+    hb_active: bool,
+    /// Word keys of coherent updates awaiting their reflection, per owner:
+    /// released one-by-one by rule-2 reflections, or wholesale when the
+    /// owner is declared dead.
+    updates_to: BTreeMap<u16, Vec<u64>>,
+    /// Last atomic served per requester `(tag, old)`: a retried atomic is
+    /// answered from here instead of being re-applied (idempotence).
+    atomic_served: HashMap<u16, (u32, u64)>,
+    /// Recently applied write/multicast tags per source, so a retried
+    /// write is acked but not re-applied.
+    writes_seen: HashMap<u16, VecDeque<u32>>,
+    /// Structured request failures observed (also posted to the CPU for
+    /// blocking operations).
+    op_errors: Vec<OpError>,
 }
 
 impl Hib {
@@ -211,6 +299,16 @@ impl Hib {
             meter: None,
             ctrl_discards: 0,
             starvation_alarmed: false,
+            pending_ops: BTreeMap::new(),
+            op_check_armed: false,
+            detector: None,
+            hb_every: None,
+            hb_seq: 0,
+            hb_active: false,
+            updates_to: BTreeMap::new(),
+            atomic_served: HashMap::new(),
+            writes_seen: HashMap::new(),
+            op_errors: Vec::new(),
         }
     }
 
@@ -269,10 +367,88 @@ impl Hib {
     pub fn wire(&mut self, tx: TxPort, rx_upstream: (CompId, u32), rx_capacity: u32) {
         if let Some(params) = tx.rel_params() {
             self.rx_link = Some(LinkRx::for_params(&params));
+            if let Some(every) = params.heartbeat_every {
+                self.hb_every = Some(every);
+                self.detector = Some(HeartbeatDetector::new(
+                    params.peer_timeout,
+                    params.phi_factor,
+                ));
+            }
         }
         self.tx = Some(tx);
         self.rx_upstream = Some(rx_upstream);
         self.rx_fifo = RxFifo::new(rx_capacity);
+    }
+
+    /// Starts originating liveness beacons and arms the failure detector
+    /// for `peers` (everyone else in the cluster). The caller must follow
+    /// up by routing a [`HibTick::Heartbeat`] into [`on_tick`]; the tick
+    /// then self-rearms every `heartbeat_every` until [`stop_heartbeats`].
+    /// No-op unless the link reliability parameters enable heartbeats.
+    ///
+    /// [`on_tick`]: Hib::on_tick
+    /// [`stop_heartbeats`]: Hib::stop_heartbeats
+    pub fn prime_heartbeats(&mut self, peers: &[NodeId], now: SimTime) {
+        if self.hb_every.is_none() {
+            return;
+        }
+        self.hb_active = true;
+        if let Some(det) = self.detector.as_mut() {
+            for &p in peers {
+                if p != self.node {
+                    det.track(u64::from(p.raw()), now);
+                }
+            }
+        }
+    }
+
+    /// Stops beacon origination: the next Heartbeat tick does not rearm,
+    /// letting the event queue drain.
+    pub fn stop_heartbeats(&mut self) {
+        self.hb_active = false;
+    }
+
+    /// True while this board originates beacons.
+    pub fn heartbeats_active(&self) -> bool {
+        self.hb_active
+    }
+
+    /// True once this board's failure detector convicted `peer`.
+    pub fn peer_down(&self, peer: NodeId) -> bool {
+        self.detector
+            .as_ref()
+            .is_some_and(|d| d.is_down(u64::from(peer.raw())))
+    }
+
+    /// Peers currently convicted by this board's failure detector.
+    pub fn down_peers(&self) -> Vec<NodeId> {
+        self.detector
+            .as_ref()
+            .map(|d| {
+                d.down_keys()
+                    .into_iter()
+                    .map(|k| NodeId::new(k as u16))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// `(down, up)` transitions this board's failure detector recorded.
+    pub fn peer_transitions(&self) -> (u64, u64) {
+        self.detector
+            .as_ref()
+            .map(HeartbeatDetector::transition_counts)
+            .unwrap_or((0, 0))
+    }
+
+    /// Structured request failures observed so far, in order.
+    pub fn op_errors(&self) -> &[OpError] {
+        &self.op_errors
+    }
+
+    /// Tagged remote requests currently awaiting completion.
+    pub fn pending_op_count(&self) -> usize {
+        self.pending_ops.len()
     }
 
     /// Installs the fault injector consulted when this board launches
@@ -519,6 +695,11 @@ impl Hib {
             // The window decodes back to ourselves: treat as local shared.
             return self.store_local_shared(off, val, host);
         }
+        if self.peer_down(node) {
+            // Fail fast: posted writes to a convicted peer resolve as a
+            // recorded structured error instead of burning retries.
+            return self.fail_posted(node);
+        }
         if !self.tx_has_room(1) {
             self.stats.tx_stalls += 1;
             self.stalled_store = Some(StalledStore {
@@ -531,7 +712,26 @@ impl Hib {
         self.count_page_access(node, off.page(), CounterKind::Write, host);
         self.stats.remote_writes += 1;
         self.outstanding_writes += 1;
-        self.enqueue(node, WireMsg::WriteReq { addr: off, val }, host);
+        let tag = self.alloc_tag();
+        self.register_op(tag, node, OpKind::Write { addr: off, val }, host);
+        self.enqueue(
+            node,
+            WireMsg::WriteReq {
+                addr: off,
+                val,
+                tag,
+            },
+            host,
+        );
+        StoreOutcome::Done
+    }
+
+    /// Resolves a posted (non-blocking) operation to a convicted peer: the
+    /// error is recorded, the CPU proceeds — posted semantics never stall
+    /// on a dead destination.
+    fn fail_posted(&mut self, peer: NodeId) -> StoreOutcome {
+        self.stats.op_failures += 1;
+        self.op_errors.push(OpError::PeerUnreachable { peer });
         StoreOutcome::Done
     }
 
@@ -562,16 +762,16 @@ impl Hib {
                 host.segment().write(off, val);
                 let in_page = off.in_page();
                 for (dst, dst_page) in outs {
+                    if self.peer_down(dst) {
+                        self.fail_posted(dst);
+                        continue;
+                    }
                     self.outstanding_writes += 1;
                     self.stats.fanout_tx += 1;
-                    self.enqueue(
-                        dst,
-                        WireMsg::MulticastWrite {
-                            addr: GOffset::from_page(dst_page, in_page),
-                            val,
-                        },
-                        host,
-                    );
+                    let addr = GOffset::from_page(dst_page, in_page);
+                    let tag = self.alloc_tag();
+                    self.register_op(tag, dst, OpKind::Multicast { addr, val }, host);
+                    self.enqueue(dst, WireMsg::MulticastWrite { addr, val, tag }, host);
                 }
                 StoreOutcome::Done
             }
@@ -603,6 +803,13 @@ impl Hib {
         owner_page: PageNum,
         host: &mut dyn HibHost,
     ) -> StoreOutcome {
+        if self.peer_down(owner) {
+            // The serializing owner is dead: apply locally so the store is
+            // at least visible here, record the structured error. Ownership
+            // failover (the OS layer) re-homes the page.
+            host.segment().write(off, val);
+            return self.fail_posted(owner);
+        }
         if !self.tx_has_room(1) {
             self.stats.tx_stalls += 1;
             self.stalled_store = Some(StalledStore {
@@ -628,6 +835,10 @@ impl Hib {
                 host.segment().write(off, val);
                 self.outstanding_updates += 1;
                 self.stats.updates_sent += 1;
+                self.updates_to
+                    .entry(owner.raw())
+                    .or_default()
+                    .push(off.word_index());
                 self.enqueue(
                     owner,
                     WireMsg::UpdateToOwner {
@@ -644,6 +855,10 @@ impl Hib {
                 // copy; hold the CPU until our reflected write applies it.
                 self.outstanding_updates += 1;
                 self.stats.updates_sent += 1;
+                self.updates_to
+                    .entry(owner.raw())
+                    .or_default()
+                    .push(off.word_index());
                 self.enqueue(
                     owner,
                     WireMsg::UpdateToOwner {
@@ -729,11 +944,26 @@ impl Hib {
             // Footnote ¶: "there can be no more than one outstanding read".
             return LoadOutcome::Fault(HibFault::ReadBusy);
         }
+        if self.peer_down(node) {
+            return self.fail_blocking(node, host);
+        }
         self.count_page_access(node, off.page(), CounterKind::Read, host);
         self.stats.remote_reads += 1;
         let tag = self.alloc_tag();
         self.read_pending = Some(tag);
+        self.register_op(tag, node, OpKind::Read { addr: off }, host);
         self.enqueue(node, WireMsg::ReadReq { addr: off, tag }, host);
+        LoadOutcome::Pending
+    }
+
+    /// Resolves a blocking operation addressed to a convicted peer: the
+    /// CPU stalls as usual but is released immediately with the structured
+    /// error instead of a value.
+    fn fail_blocking(&mut self, peer: NodeId, host: &mut dyn HibHost) -> LoadOutcome {
+        let err = OpError::PeerUnreachable { peer };
+        self.stats.op_failures += 1;
+        self.op_errors.push(err);
+        host.cpu_complete(SimTime::ZERO, CpuResult::OpFailed { err });
         LoadOutcome::Pending
     }
 
@@ -794,9 +1024,23 @@ impl Hib {
                 self.stats.atomics += 1;
                 match target.decode() {
                     Decoded::Remote { node, off } if node != self.node => {
+                        if self.peer_down(node) {
+                            return self.fail_blocking(node, host);
+                        }
                         self.count_page_access(node, off.page(), CounterKind::Write, host);
                         let tag = self.alloc_tag();
                         self.launch_pending = Some(tag);
+                        self.register_op(
+                            tag,
+                            node,
+                            OpKind::Atomic {
+                                op: aop,
+                                addr: off,
+                                arg0: datum0,
+                                arg1: datum1,
+                            },
+                            host,
+                        );
                         self.enqueue(
                             node,
                             WireMsg::AtomicReq {
@@ -821,9 +1065,23 @@ impl Hib {
                             // serialized by its owner like any other write
                             // (§2.3.1); executing them on the local copy
                             // would break atomicity across copies.
+                            if self.peer_down(owner) {
+                                return self.fail_blocking(owner, host);
+                            }
                             let owner_addr = GOffset::from_page(owner_page, off.in_page());
                             let tag = self.alloc_tag();
                             self.launch_pending = Some(tag);
+                            self.register_op(
+                                tag,
+                                owner,
+                                OpKind::Atomic {
+                                    op: aop,
+                                    addr: owner_addr,
+                                    arg0: datum0,
+                                    arg1: datum1,
+                                },
+                                host,
+                            );
                             self.enqueue(
                                 owner,
                                 WireMsg::AtomicReq {
@@ -857,11 +1115,27 @@ impl Hib {
                 if words == 0 {
                     return LoadOutcome::Fault(HibFault::MalformedLaunch);
                 }
+                if self.peer_down(node) {
+                    // Copies are posted (§2.2.2): record the error and
+                    // return control without tracking a transfer that can
+                    // never complete.
+                    self.fail_posted(node);
+                    return LoadOutcome::Ready(0);
+                }
                 self.count_page_access(node, off.page(), CounterKind::Read, host);
                 self.stats.copies += 1;
                 let tag = self.alloc_tag();
                 self.copies_in_flight
                     .insert(tag, CopyInFlight { dst: dst_off });
+                self.register_op(
+                    tag,
+                    node,
+                    OpKind::Copy {
+                        from: off,
+                        words: words as u32,
+                    },
+                    host,
+                );
                 self.enqueue(
                     node,
                     WireMsg::CopyReq {
@@ -1036,6 +1310,16 @@ impl Hib {
                         }
                         self.pump_tx(host);
                     }
+                    CtrlMsg::Heartbeat { origin, .. } => {
+                        self.on_heartbeat(origin, host);
+                    }
+                    CtrlMsg::Reset { next } => {
+                        // The neighbor revived its transmit epoch after an
+                        // outage; resynchronize the receive sequence.
+                        if let Some(rx) = self.rx_link.as_mut() {
+                            rx.on_reset(next);
+                        }
+                    }
                 }
             }
             NetEvent::RetxTimer { gen, .. } => {
@@ -1094,6 +1378,272 @@ impl Hib {
                 self.pump_rx(host);
                 self.check_fence(host);
             }
+            HibTick::Heartbeat => {
+                if !self.hb_active {
+                    return;
+                }
+                self.hb_seq += 1;
+                self.stats.heartbeats_tx += 1;
+                self.send_ctrl(
+                    CtrlMsg::Heartbeat {
+                        origin: self.node,
+                        seq: self.hb_seq,
+                    },
+                    self.timing.link_prop,
+                    host,
+                );
+                self.sweep_detector(host);
+                // Operations issued before heartbeats were enabled get
+                // their sweep armed here.
+                self.arm_op_check(host);
+                if let Some(every) = self.hb_every {
+                    host.schedule_tick(every, HibTick::Heartbeat);
+                }
+            }
+            HibTick::OpCheck => {
+                self.op_check_armed = false;
+                self.scan_pending_ops(host);
+                self.arm_op_check(host);
+            }
+        }
+    }
+
+    /// A peer's beacon reached this board (flooded by the switches).
+    fn on_heartbeat(&mut self, origin: NodeId, host: &mut dyn HibHost) {
+        if origin == self.node {
+            return;
+        }
+        self.stats.heartbeats_rx += 1;
+        let now = host.now();
+        // A beacon reached this board, so the fabric path to it works
+        // again; if our own uplink had been declared dead (a switch outage
+        // severs both directions), revive it under a fresh epoch and tell
+        // the neighbor to resynchronize its receive sequence.
+        if self.tx.as_ref().is_some_and(TxPort::is_dead) {
+            let next = self.tx.as_mut().expect("tx wired").reset_epoch(now);
+            self.send_ctrl(CtrlMsg::Reset { next }, self.timing.link_prop, host);
+            self.pump_tx(host);
+            self.arm_timer(host);
+        }
+        let revived = self
+            .detector
+            .as_mut()
+            .and_then(|d| d.saw(u64::from(origin.raw()), now));
+        if revived == Some(Liveness::Up) {
+            self.peer_up_transition(origin, host);
+        }
+        self.sweep_detector(host);
+    }
+
+    /// Runs the failure detector; every newly-convicted peer triggers the
+    /// down transition (interrupt, trace point, sweep-fail of its ops).
+    fn sweep_detector(&mut self, host: &mut dyn HibHost) {
+        let newly = match self.detector.as_mut() {
+            Some(d) => d.check(host.now()),
+            None => return,
+        };
+        for key in newly {
+            self.peer_down_transition(NodeId::new(key as u16), host);
+        }
+    }
+
+    fn peer_down_transition(&mut self, peer: NodeId, host: &mut dyn HibHost) {
+        self.stats.peer_downs += 1;
+        self.emit_peer(host.now(), peer, Stage::PeerDown, self.stats.peer_downs);
+        host.interrupt(
+            self.timing.interrupt_latency,
+            HibInterrupt::PeerDown { peer },
+        );
+        self.fail_ops_to(peer, host);
+    }
+
+    fn peer_up_transition(&mut self, peer: NodeId, host: &mut dyn HibHost) {
+        self.stats.peer_ups += 1;
+        // The restarted peer lost its volatile state and restarts its tag
+        // space; stale dedupe entries would suppress its fresh requests.
+        self.atomic_served.remove(&peer.raw());
+        self.writes_seen.remove(&peer.raw());
+        self.emit_peer(host.now(), peer, Stage::PeerUp, self.stats.peer_ups);
+        host.interrupt(self.timing.interrupt_latency, HibInterrupt::PeerUp { peer });
+    }
+
+    /// Resolves every in-flight operation addressed to a convicted peer
+    /// with [`OpError::PeerUnreachable`] so nothing hangs on a dead node.
+    fn fail_ops_to(&mut self, peer: NodeId, host: &mut dyn HibHost) {
+        let err = OpError::PeerUnreachable { peer };
+        let tags: Vec<u32> = self
+            .pending_ops
+            .iter()
+            .filter(|(_, op)| op.dst == peer)
+            .map(|(&t, _)| t)
+            .collect();
+        for tag in tags {
+            self.fail_op(tag, err, host);
+        }
+        // Coherent updates sent to a dead owner never reflect back:
+        // release their completion accounting and pending-write counters.
+        if let Some(keys) = self.updates_to.remove(&peer.raw()) {
+            self.outstanding_updates = self.outstanding_updates.saturating_sub(keys.len() as u64);
+            if self.config.local_write_policy == LocalWritePolicy::CountFiltered {
+                for key in keys {
+                    self.cam.decrement(key);
+                }
+            }
+            self.retry_stalled(host);
+        }
+        // A store stalled on the dead owner's reflection resolves with the
+        // error instead of holding the CPU forever.
+        if let Some(s) = self.stalled_store {
+            if s.reason == StallReason::WaitReflect {
+                if let Decoded::LocalShared { off } = s.pa.decode() {
+                    if let PageMode::Replica { owner, .. } = self.shared.mode(off.page()).clone() {
+                        if owner == peer {
+                            self.stalled_store = None;
+                            self.stats.op_failures += 1;
+                            self.op_errors.push(err);
+                            host.cpu_complete(SimTime::ZERO, CpuResult::OpFailed { err });
+                        }
+                    }
+                }
+            }
+        }
+        self.check_fence(host);
+    }
+
+    /// Registers a tagged request for timeout/retry recovery.
+    fn register_op(&mut self, tag: u32, dst: NodeId, kind: OpKind, host: &mut dyn HibHost) {
+        self.pending_ops.insert(
+            tag,
+            PendingOp {
+                dst,
+                kind,
+                issued_at: host.now(),
+                attempts: 1,
+            },
+        );
+        self.arm_op_check(host);
+    }
+
+    /// Arms the pending-operation sweep. Only active alongside heartbeats:
+    /// without a failure detector there is no conviction to act on, and
+    /// the reliable link layer already guarantees delivery to live peers.
+    fn arm_op_check(&mut self, host: &mut dyn HibHost) {
+        if self.op_check_armed || !self.hb_active || self.pending_ops.is_empty() {
+            return;
+        }
+        self.op_check_armed = true;
+        host.schedule_tick(self.config.op_timeout, HibTick::OpCheck);
+    }
+
+    /// Retries or fails every tagged request older than the op timeout.
+    fn scan_pending_ops(&mut self, host: &mut dyn HibHost) {
+        let now = host.now();
+        let timeout = self.config.op_timeout;
+        let due: Vec<u32> = self
+            .pending_ops
+            .iter()
+            .filter(|(_, op)| now >= op.issued_at + timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for tag in due {
+            let Some(op) = self.pending_ops.get(&tag).copied() else {
+                continue;
+            };
+            if self.peer_down(op.dst) || op.attempts >= self.config.op_retries.max(1) {
+                self.fail_op(tag, OpError::PeerUnreachable { peer: op.dst }, host);
+            } else if self.tx_has_room(1) {
+                let entry = self.pending_ops.get_mut(&tag).expect("present");
+                entry.attempts += 1;
+                entry.issued_at = now;
+                self.stats.op_retries += 1;
+                self.enqueue(op.dst, Self::rebuild_msg(tag, op.kind), host);
+            }
+            // No TX room: leave issued_at alone; the next sweep retries.
+        }
+    }
+
+    fn rebuild_msg(tag: u32, kind: OpKind) -> WireMsg {
+        match kind {
+            OpKind::Write { addr, val } => WireMsg::WriteReq { addr, val, tag },
+            OpKind::Multicast { addr, val } => WireMsg::MulticastWrite { addr, val, tag },
+            OpKind::Read { addr } => WireMsg::ReadReq { addr, tag },
+            OpKind::Atomic {
+                op,
+                addr,
+                arg0,
+                arg1,
+            } => WireMsg::AtomicReq {
+                op,
+                addr,
+                arg0,
+                arg1,
+                tag,
+            },
+            OpKind::Copy { from, words } => WireMsg::CopyReq { from, words, tag },
+        }
+    }
+
+    /// Resolves one tagged request as failed, releasing whatever CPU or
+    /// fence accounting it held.
+    fn fail_op(&mut self, tag: u32, err: OpError, host: &mut dyn HibHost) {
+        let Some(op) = self.pending_ops.remove(&tag) else {
+            return;
+        };
+        self.stats.op_failures += 1;
+        self.op_errors.push(err);
+        match op.kind {
+            OpKind::Write { .. } | OpKind::Multicast { .. } => {
+                self.outstanding_writes = self.outstanding_writes.saturating_sub(1);
+            }
+            OpKind::Read { .. } => {
+                if self.read_pending == Some(tag) {
+                    self.read_pending = None;
+                    host.cpu_complete(SimTime::ZERO, CpuResult::OpFailed { err });
+                }
+            }
+            OpKind::Atomic { .. } => {
+                if self.launch_pending == Some(tag) {
+                    self.launch_pending = None;
+                    host.cpu_complete(SimTime::ZERO, CpuResult::OpFailed { err });
+                }
+            }
+            OpKind::Copy { .. } => {
+                self.copies_in_flight.remove(&tag);
+            }
+        }
+        self.check_fence(host);
+    }
+
+    /// True when `(src, tag)` has not been applied before; records it.
+    /// Retried requests (same tag) are acked but not re-applied.
+    fn note_first_delivery(&mut self, src: NodeId, tag: u32) -> bool {
+        let window = self.writes_seen.entry(src.raw()).or_default();
+        if window.contains(&tag) {
+            self.stats.dup_requests += 1;
+            return false;
+        }
+        window.push_back(tag);
+        if window.len() > DEDUPE_WINDOW {
+            window.pop_front();
+        }
+        true
+    }
+
+    fn emit_peer(&self, now: SimTime, peer: NodeId, stage: Stage, count: u64) {
+        if let Some(probe) = &self.probe {
+            probe.packet(PacketEvent {
+                at: now,
+                trace: TraceId::packet(peer, count),
+                parent: None,
+                site: Site::Node(self.node),
+                stage,
+                kind: if stage == Stage::PeerDown {
+                    "peer-down"
+                } else {
+                    "peer-up"
+                },
+                bytes: 0,
+            });
         }
     }
 
@@ -1237,23 +1787,34 @@ impl Hib {
     fn dispatch_rx(&mut self, packet: Packet, host: &mut dyn HibHost) {
         let src = packet.src;
         match packet.msg {
-            WireMsg::WriteReq { addr, val } => {
-                self.apply_home_write(addr, val, None, host);
-                self.enqueue(src, WireMsg::WriteAck, host);
+            WireMsg::WriteReq { addr, val, tag } => {
+                if self.note_first_delivery(src, tag) {
+                    self.apply_home_write(addr, val, None, host);
+                }
+                self.enqueue(src, WireMsg::WriteAck { tag }, host);
             }
-            WireMsg::WriteAck => {
-                debug_assert!(self.outstanding_writes > 0, "unmatched ack");
-                self.outstanding_writes = self.outstanding_writes.saturating_sub(1);
-                self.stats.acks_rx += 1;
+            WireMsg::WriteAck { tag } => {
+                if self.pending_ops.remove(&tag).is_some() {
+                    self.outstanding_writes = self.outstanding_writes.saturating_sub(1);
+                    self.stats.acks_rx += 1;
+                } else {
+                    // A late ack for a write already failed over (or a
+                    // duplicate answer to a retry): accounting is done.
+                    self.stats.stale_acks += 1;
+                }
             }
             WireMsg::ReadReq { addr, tag } => {
                 let val = host.segment().read(addr);
                 self.enqueue(src, WireMsg::ReadResp { tag, val }, host);
             }
             WireMsg::ReadResp { tag, val } => {
-                debug_assert_eq!(self.read_pending, Some(tag), "stray read response");
-                self.read_pending = None;
-                host.cpu_complete(SimTime::ZERO, CpuResult::LoadDone { val });
+                if self.read_pending == Some(tag) {
+                    self.read_pending = None;
+                    self.pending_ops.remove(&tag);
+                    host.cpu_complete(SimTime::ZERO, CpuResult::LoadDone { val });
+                } else {
+                    self.stats.stale_acks += 1;
+                }
             }
             WireMsg::AtomicReq {
                 op,
@@ -1262,13 +1823,28 @@ impl Hib {
                 arg1,
                 tag,
             } => {
+                // Idempotent retry: a requester has at most one atomic in
+                // flight, so remembering the last `(tag, old)` served per
+                // requester suffices to answer a retry without re-applying.
+                if let Some(&(t, old)) = self.atomic_served.get(&src.raw()) {
+                    if t == tag {
+                        self.stats.dup_requests += 1;
+                        self.enqueue(src, WireMsg::AtomicResp { tag, old }, host);
+                        return;
+                    }
+                }
                 let old = self.apply_atomic(op, addr, arg0, arg1, host);
+                self.atomic_served.insert(src.raw(), (tag, old));
                 self.enqueue(src, WireMsg::AtomicResp { tag, old }, host);
             }
             WireMsg::AtomicResp { tag, old } => {
-                debug_assert_eq!(self.launch_pending, Some(tag), "stray atomic response");
-                self.launch_pending = None;
-                host.cpu_complete(SimTime::ZERO, CpuResult::LaunchDone { result: old });
+                if self.launch_pending == Some(tag) {
+                    self.launch_pending = None;
+                    self.pending_ops.remove(&tag);
+                    host.cpu_complete(SimTime::ZERO, CpuResult::LaunchDone { result: old });
+                } else {
+                    self.stats.stale_acks += 1;
+                }
             }
             WireMsg::CopyReq { from, words, tag } => {
                 self.stream_block(src, from, words, tag, false, host);
@@ -1280,7 +1856,10 @@ impl Hib {
                 last,
             } => {
                 let Some(copy) = self.copies_in_flight.get(&tag) else {
-                    debug_assert!(false, "copy data for unknown tag {tag}");
+                    // Data for a copy already failed over, or a duplicate
+                    // stream from a retried CopyReq finishing late.
+                    self.stats.stale_acks += 1;
+                    self.pool.recycle(vals);
                     return;
                 };
                 let base = copy.dst.add(u64::from(index) * 8);
@@ -1288,19 +1867,20 @@ impl Hib {
                 self.pool.recycle(vals);
                 if last {
                     self.copies_in_flight.remove(&tag);
+                    self.pending_ops.remove(&tag);
                 }
             }
             WireMsg::UpdateToOwner { addr, val, writer } => {
                 self.apply_home_write(addr, val, Some(writer), host);
             }
             WireMsg::ReflectedWrite { addr, val, writer } => {
-                self.apply_reflected(addr, val, writer, host);
+                self.apply_reflected(src, addr, val, writer, host);
             }
-            WireMsg::MulticastWrite { addr, val } => {
-                if self.in_segment(addr) {
+            WireMsg::MulticastWrite { addr, val, tag } => {
+                if self.note_first_delivery(src, tag) && self.in_segment(addr) {
                     host.segment().write(addr, val);
                 }
-                self.enqueue(src, WireMsg::WriteAck, host);
+                self.enqueue(src, WireMsg::WriteAck { tag }, host);
             }
             WireMsg::PageFetchReq { page, tag } => {
                 let from = PageNum::new(page).base();
@@ -1365,8 +1945,16 @@ impl Hib {
         }
     }
 
-    /// §2.3.3 rules 2 and 3 at a copy holder.
-    fn apply_reflected(&mut self, addr: GOffset, val: u64, writer: NodeId, host: &mut dyn HibHost) {
+    /// §2.3.3 rules 2 and 3 at a copy holder. `src` is the reflecting
+    /// owner, which keys the update-completion accounting.
+    fn apply_reflected(
+        &mut self,
+        src: NodeId,
+        addr: GOffset,
+        val: u64,
+        writer: NodeId,
+        host: &mut dyn HibHost,
+    ) {
         self.stats.reflections_rx += 1;
         if !self.in_segment(addr) {
             debug_assert!(false, "reflected write outside segment at {addr}");
@@ -1376,6 +1964,12 @@ impl Hib {
         if writer == self.node {
             // Rule 2: our own write came back — consume, do not re-apply.
             self.stats.reflections_own += 1;
+            if !self.note_reflection(src.raw(), key) {
+                // A late reflection from an owner already failed over: its
+                // accounting was released at the peer-down transition.
+                self.stats.stale_acks += 1;
+                return;
+            }
             match self.config.local_write_policy {
                 LocalWritePolicy::CountFiltered => {
                     self.cam.decrement(key);
@@ -1390,7 +1984,6 @@ impl Hib {
                     }
                 }
             }
-            debug_assert!(self.outstanding_updates > 0);
             self.outstanding_updates = self.outstanding_updates.saturating_sub(1);
             self.retry_stalled(host);
         } else if self.cam.is_pending(key) {
@@ -1399,6 +1992,21 @@ impl Hib {
         } else {
             host.segment().write(addr, val);
         }
+    }
+
+    /// Consumes one pending-update entry for `(owner, key)`; `false` when
+    /// none is tracked (the owner was already failed over).
+    fn note_reflection(&mut self, owner: u16, key: u64) -> bool {
+        if let Some(keys) = self.updates_to.get_mut(&owner) {
+            if let Some(pos) = keys.iter().position(|&k| k == key) {
+                keys.remove(pos);
+                if keys.is_empty() {
+                    self.updates_to.remove(&owner);
+                }
+                return true;
+            }
+        }
+        false
     }
 
     fn apply_atomic(

@@ -55,7 +55,42 @@ pub enum HibTick {
     /// A fault-injected receive-pipeline wedge released; resume draining
     /// the rx FIFO.
     RxUnwedge,
+    /// The periodic heartbeat-origination timer: emit a liveness beacon
+    /// toward the fabric and sweep the per-peer failure detector.
+    /// Self-rearming while heartbeats are enabled.
+    Heartbeat,
+    /// The pending-operation scan timer: sweep the tagged-operation
+    /// registry for requests that have been in flight past the request
+    /// timeout, retrying (same tag — the receiver side is idempotent)
+    /// or failing them. Self-rearming while operations are pending.
+    OpCheck,
 }
+
+/// Why a remote operation could not complete (§crash-stop fault model):
+/// the structured resolution every in-flight request to a crashed peer
+/// receives instead of hanging or panicking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpError {
+    /// The destination node was declared dead by the failure detector
+    /// (or exhausted its request-retry budget, which is the same verdict
+    /// reached the slow way).
+    PeerUnreachable {
+        /// The unreachable destination.
+        peer: NodeId,
+    },
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::PeerUnreachable { peer } => {
+                write!(f, "peer {peer} unreachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
 
 /// CPU-visible completions delivered through [`HibHost::cpu_complete`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -73,6 +108,13 @@ pub enum CpuResult {
     LaunchDone {
         /// Atomic result (old value) or 0 for remote-copy acceptance.
         result: u64,
+    },
+    /// A blocking remote operation (read or atomic launch) failed
+    /// structurally instead of completing: its destination crashed. The
+    /// CPU is released with the error rather than stalling forever.
+    OpFailed {
+        /// Why the operation could not complete.
+        err: OpError,
     },
 }
 
@@ -138,6 +180,21 @@ pub enum HibInterrupt {
     LinkStarved {
         /// Consecutive unanswered (re)transmissions so far.
         attempts: u32,
+    },
+    /// The per-peer failure detector convicted a peer: its heartbeat
+    /// beacons went silent past the suspicion threshold. The OS layer
+    /// should fail over ownership of pages homed or owned there and stop
+    /// routing work to it.
+    PeerDown {
+        /// The node declared dead.
+        peer: NodeId,
+    },
+    /// A previously-convicted peer's beacons resumed (crash-stop restart):
+    /// the OS layer should reconcile — the restarted node lost its volatile
+    /// state, so copysets and replica maps referencing it are stale.
+    PeerUp {
+        /// The node that came back.
+        peer: NodeId,
     },
 }
 

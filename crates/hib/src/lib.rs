@@ -36,6 +36,7 @@ pub mod regs;
 pub use config::{HibConfig, LaunchMode, LocalWritePolicy};
 pub use hib::{Hib, HibStats};
 pub use host::{
-    CounterKind, CpuResult, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome, StoreOutcome,
+    CounterKind, CpuResult, HibFault, HibHost, HibInterrupt, HibTick, LoadOutcome, OpError,
+    StoreOutcome,
 };
 pub use pagemode::{AccessCounters, PageMode, SharedMap};

@@ -1,0 +1,248 @@
+//! Heartbeat-driven failure detection.
+//!
+//! Every workstation HIB originates periodic [`CtrlMsg::Heartbeat`]
+//! beacons which the switches flood (deduped per origin) across the
+//! fabric, so in steady state every directed link carries every other
+//! node's beacons. Silence is therefore observable *locally*: a HIB
+//! watches per-peer beacon arrivals, a switch watches per-port
+//! arrivals, and each runs its own [`HeartbeatDetector`] — a
+//! simplified phi-accrual detector in the spirit of Hayashibara et
+//! al.: the suspicion threshold adapts to the *observed* inter-arrival
+//! time (an EWMA), floored by a hard timeout so a freshly started
+//! detector with no history is not trigger-happy.
+//!
+//! The detector is a pure function of (observation sequence, knobs):
+//! it holds no RNG and is evaluated only at event-driven instants
+//! (beacon receipt or the observer's own beacon tick), so identical
+//! seeds replay identical verdict sequences — the property the crash
+//! campaign's bit-for-bit replay gate rests on.
+//!
+//! [`CtrlMsg::Heartbeat`]: tg_wire::CtrlMsg::Heartbeat
+
+use std::collections::BTreeMap;
+
+use tg_sim::SimTime;
+
+/// One liveness transition reported by [`HeartbeatDetector::check`] or
+/// [`HeartbeatDetector::saw`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Liveness {
+    /// The watched peer went silent past its suspicion threshold.
+    Down,
+    /// A previously-declared-dead peer's beacons resumed.
+    Up,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watch {
+    /// Last beacon arrival (detector creation time until the first one).
+    last_seen: SimTime,
+    /// EWMA of the beacon inter-arrival gap, in picoseconds; 0 until
+    /// two arrivals have been seen.
+    mean_gap_ps: u64,
+    /// Current verdict.
+    down: bool,
+}
+
+/// A deterministic per-observer failure detector over a set of watched
+/// keys (peer node ids at a HIB, port indexes at a switch).
+///
+/// `timeout` is the hard silence floor; `phi_factor` scales the
+/// adaptive threshold: a peer is suspected when it has been silent for
+/// `max(timeout, phi_factor * mean_gap)`.
+#[derive(Clone, Debug)]
+pub struct HeartbeatDetector {
+    watches: BTreeMap<u64, Watch>,
+    timeout: SimTime,
+    phi_factor: u32,
+    /// Total down verdicts ever issued (monotone, for diagnostics).
+    downs: u64,
+    /// Total up transitions ever issued.
+    ups: u64,
+}
+
+impl HeartbeatDetector {
+    /// A detector with the given silence floor and phi multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi_factor == 0` (the adaptive threshold would be
+    /// instant suspicion) or `timeout` is zero.
+    pub fn new(timeout: SimTime, phi_factor: u32) -> Self {
+        assert!(phi_factor > 0, "phi factor must be positive");
+        assert!(timeout > SimTime::ZERO, "timeout floor must be positive");
+        HeartbeatDetector {
+            watches: BTreeMap::new(),
+            timeout,
+            phi_factor,
+            downs: 0,
+            ups: 0,
+        }
+    }
+
+    /// Starts watching `key`, with the silence clock starting at `now`.
+    /// Re-tracking an existing key is a no-op (the history is kept).
+    pub fn track(&mut self, key: u64, now: SimTime) {
+        self.watches.entry(key).or_insert(Watch {
+            last_seen: now,
+            mean_gap_ps: 0,
+            down: false,
+        });
+    }
+
+    /// Stops watching `key`.
+    pub fn untrack(&mut self, key: u64) {
+        self.watches.remove(&key);
+    }
+
+    /// Records a beacon from `key` at `now`. Auto-tracks unknown keys.
+    /// Returns `Some(Liveness::Up)` when this beacon revives a peer
+    /// previously declared down.
+    pub fn saw(&mut self, key: u64, now: SimTime) -> Option<Liveness> {
+        let w = self.watches.entry(key).or_insert(Watch {
+            last_seen: now,
+            mean_gap_ps: 0,
+            down: false,
+        });
+        let gap = now.saturating_sub(w.last_seen).as_ps();
+        if gap > 0 {
+            // EWMA with alpha = 1/4: slow enough to ride out flood
+            // jitter, fast enough to adapt within a few beacons.
+            w.mean_gap_ps = if w.mean_gap_ps == 0 {
+                gap
+            } else {
+                (3 * w.mean_gap_ps + gap) / 4
+            };
+        }
+        w.last_seen = now;
+        if w.down {
+            w.down = false;
+            self.ups += 1;
+            return Some(Liveness::Up);
+        }
+        None
+    }
+
+    /// The silence duration after which `key` is suspected.
+    fn threshold(&self, w: &Watch) -> u64 {
+        let adaptive = w.mean_gap_ps.saturating_mul(u64::from(self.phi_factor));
+        adaptive.max(self.timeout.as_ps())
+    }
+
+    /// Sweeps every watch for silence at `now`, returning the keys that
+    /// just crossed their suspicion threshold (deterministic key order).
+    pub fn check(&mut self, now: SimTime) -> Vec<u64> {
+        let mut newly_down = Vec::new();
+        let phi = self.phi_factor;
+        let floor = self.timeout.as_ps();
+        for (&key, w) in self.watches.iter_mut() {
+            if w.down {
+                continue;
+            }
+            let silent = now.saturating_sub(w.last_seen).as_ps();
+            let adaptive = w.mean_gap_ps.saturating_mul(u64::from(phi));
+            if silent > adaptive.max(floor) {
+                w.down = true;
+                self.downs += 1;
+                newly_down.push(key);
+            }
+        }
+        newly_down
+    }
+
+    /// Current verdict for `key` (`false` for untracked keys).
+    pub fn is_down(&self, key: u64) -> bool {
+        self.watches.get(&key).is_some_and(|w| w.down)
+    }
+
+    /// Keys currently declared down, in ascending order.
+    pub fn down_keys(&self) -> Vec<u64> {
+        self.watches
+            .iter()
+            .filter(|(_, w)| w.down)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// The instant `key`'s silence will cross its threshold if no more
+    /// beacons arrive — the observer's next useful re-check time.
+    pub fn deadline(&self, key: u64) -> Option<SimTime> {
+        let w = self.watches.get(&key)?;
+        if w.down {
+            return None;
+        }
+        Some(w.last_seen + SimTime::from_ps(self.threshold(w)))
+    }
+
+    /// (down verdicts, up transitions) issued over the detector's life.
+    pub fn transition_counts(&self) -> (u64, u64) {
+        (self.downs, self.ups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> HeartbeatDetector {
+        HeartbeatDetector::new(SimTime::from_us(100), 8)
+    }
+
+    #[test]
+    fn silence_past_the_floor_is_down_and_beacons_revive() {
+        let mut d = det();
+        d.track(1, SimTime::ZERO);
+        assert!(d.check(SimTime::from_us(100)).is_empty(), "floor inclusive");
+        assert_eq!(d.check(SimTime::from_us(101)), vec![1]);
+        assert!(d.is_down(1));
+        assert_eq!(d.down_keys(), vec![1]);
+        // Re-checking an already-down key issues no duplicate verdict.
+        assert!(d.check(SimTime::from_us(500)).is_empty());
+        assert_eq!(d.saw(1, SimTime::from_us(600)), Some(Liveness::Up));
+        assert!(!d.is_down(1));
+        assert_eq!(d.transition_counts(), (1, 1));
+    }
+
+    #[test]
+    fn threshold_adapts_to_observed_gap() {
+        let mut d = det();
+        // Beacons every 50us: after the EWMA settles, the threshold is
+        // 8 * 50us = 400us, above the 100us floor.
+        let mut t = SimTime::ZERO;
+        for _ in 0..16 {
+            t += SimTime::from_us(50);
+            assert_eq!(d.saw(1, t), None);
+        }
+        assert!(
+            d.check(t + SimTime::from_us(300)).is_empty(),
+            "within 8x the observed gap"
+        );
+        assert_eq!(d.check(t + SimTime::from_us(401)), vec![1]);
+        assert_eq!(d.deadline(1), None, "down keys have no deadline");
+    }
+
+    #[test]
+    fn deadline_names_the_next_recheck_instant() {
+        let mut d = det();
+        d.track(3, SimTime::from_us(10));
+        assert_eq!(d.deadline(3), Some(SimTime::from_us(110)));
+        assert_eq!(d.deadline(99), None);
+    }
+
+    #[test]
+    fn verdicts_come_in_deterministic_key_order() {
+        let mut d = det();
+        for k in [9, 2, 5] {
+            d.track(k, SimTime::ZERO);
+        }
+        assert_eq!(d.check(SimTime::from_ms(1)), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn untrack_forgets() {
+        let mut d = det();
+        d.track(1, SimTime::ZERO);
+        d.untrack(1);
+        assert!(d.check(SimTime::from_ms(1)).is_empty());
+    }
+}

@@ -63,6 +63,32 @@ pub struct Outage {
     pub until: SimTime,
 }
 
+/// A crash-stop window for a whole fault domain (a workstation or a
+/// switch): between `from` (inclusive) and `until` (exclusive) the site
+/// is *network-silent* — every data frame, control frame and credit on
+/// any link touching the site is dropped, in both directions. The
+/// component itself keeps running (its memory and protocol state
+/// survive, as a crashed-and-rebooted workstation's disk image would);
+/// what "crashes" is its network personality, which is exactly the
+/// failure the fabric can observe. `until == SimTime::MAX` models a
+/// node that never comes back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrashWindow {
+    /// The crashed fault domain.
+    pub site: Site,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `SimTime::MAX` makes the crash permanent.
+    pub until: SimTime,
+}
+
+impl CrashWindow {
+    /// True when the window covers `now`.
+    pub fn covers(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
 /// A window during which one HIB's receive pipeline wedges: arrived frames
 /// sit in the rx FIFO undrained (and no credits flow back) until the wedge
 /// releases.
@@ -96,6 +122,9 @@ pub struct FaultPlan {
     pub ctrl_corrupt_p: f64,
     /// Scheduled link outage windows.
     pub outages: Vec<Outage>,
+    /// Scheduled crash-stop windows for whole fault domains (nodes and
+    /// switches).
+    pub crashes: Vec<CrashWindow>,
     /// Optional one-shot HIB rx-FIFO wedge.
     pub wedge: Option<Wedge>,
 }
@@ -111,6 +140,7 @@ impl FaultPlan {
             ctrl_drop_p: 0.0,
             ctrl_corrupt_p: 0.0,
             outages: Vec::new(),
+            crashes: Vec::new(),
             wedge: None,
         }
     }
@@ -189,6 +219,48 @@ impl FaultPlan {
         self
     }
 
+    /// Crashes workstation `node` at `at`. The crash is permanent unless
+    /// a later [`FaultPlan::node_restart`] closes the window.
+    pub fn node_crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.push(CrashWindow {
+            site: Site::Node(node),
+            from: at,
+            until: SimTime::MAX,
+        });
+        self
+    }
+
+    /// Restarts workstation `node` at `at`: closes the most recent
+    /// still-open crash window for that node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no open crash window, or if `at` precedes
+    /// the crash it would close — both are plan bugs, caught eagerly so
+    /// a campaign cannot silently run a different schedule than written.
+    pub fn node_restart(mut self, node: NodeId, at: SimTime) -> Self {
+        let w = self
+            .crashes
+            .iter_mut()
+            .rev()
+            .find(|w| w.site == Site::Node(node) && w.until == SimTime::MAX)
+            .expect("node_restart without a matching node_crash");
+        assert!(w.from <= at, "restart precedes the crash it closes");
+        w.until = at;
+        self
+    }
+
+    /// Takes switch `s` out over `[from, until)`: crash-stop silence on
+    /// every link touching the switch, exactly like a node crash.
+    pub fn switch_outage(mut self, s: u16, from: SimTime, until: SimTime) -> Self {
+        self.crashes.push(CrashWindow {
+            site: Site::Switch(s),
+            from,
+            until,
+        });
+        self
+    }
+
     /// True when the plan injects nothing at all.
     pub fn is_zero(&self) -> bool {
         self.drop_p == 0.0
@@ -197,7 +269,20 @@ impl FaultPlan {
             && self.ctrl_drop_p == 0.0
             && self.ctrl_corrupt_p == 0.0
             && self.outages.is_empty()
+            && self.crashes.is_empty()
             && self.wedge.is_none()
+    }
+
+    /// All crash-stop windows, in plan order (for trace reconciliation
+    /// and declared-dead filtering in diagnostics).
+    pub fn crash_windows(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// True when `site` is inside one of the plan's crash windows at
+    /// `now`.
+    pub fn site_down(&self, site: Site, now: SimTime) -> bool {
+        self.crashes.iter().any(|w| w.site == site && w.covers(now))
     }
 }
 
@@ -229,12 +314,20 @@ pub struct FaultStats {
     /// Control frames corrupted (the receiver discards them on checksum
     /// failure — reconciled exactly against fabric control discards).
     pub ctrl_corrupts: u64,
+    /// Data frames swallowed by a crashed fault domain (either link
+    /// endpoint inside an active crash window).
+    pub crash_frame_drops: u64,
+    /// Control frames (acks, heartbeats, resyncs…) swallowed by a
+    /// crashed fault domain.
+    pub crash_ctrl_drops: u64,
+    /// Flow-control credits swallowed by a crashed fault domain.
+    pub crash_credit_drops: u64,
 }
 
 impl FaultStats {
     /// Total data frames that never arrived intact.
     pub fn frames_lost(&self) -> u64 {
-        self.drops + self.corrupts + self.outage_drops
+        self.drops + self.corrupts + self.outage_drops + self.crash_frame_drops
     }
 }
 
@@ -277,11 +370,30 @@ impl FaultInjector {
             .any(|o| o.link == link && o.from <= now && now < o.until)
     }
 
+    /// True when `site` is inside an active crash-stop window at `now`.
+    pub fn site_down(&self, site: Site, now: SimTime) -> bool {
+        self.state.borrow().plan.site_down(site, now)
+    }
+
+    /// True when either endpoint of the directed link is crashed at
+    /// `now` — nothing crosses such a link, in either direction.
+    pub fn link_crashed(&self, link: LinkId, now: SimTime) -> bool {
+        let st = self.state.borrow();
+        st.plan.site_down(link.from, now) || st.plan.site_down(link.to, now)
+    }
+
     /// Decides the fate of a data frame launched on `link` at `now`,
     /// corrupting `packet` in place when the fate is
     /// [`FrameFate::Corrupt`]. One injector-RNG consultation per hop.
     pub fn frame_fate(&self, link: LinkId, now: SimTime, packet: &mut Packet) -> FrameFate {
         let mut st = self.state.borrow_mut();
+        // Crash-stop silence is checked first and consumes no RNG, so a
+        // plan that only adds crash windows replays the same probability
+        // stream as the plan without them.
+        if st.plan.site_down(link.from, now) || st.plan.site_down(link.to, now) {
+            st.stats.crash_frame_drops += 1;
+            return FrameFate::Drop;
+        }
         if st
             .plan
             .outages
@@ -313,6 +425,10 @@ impl FaultInjector {
     /// control plane became corruptible replay identical fault streams.
     pub fn ctrl_fate(&self, link: LinkId, now: SimTime, frame: &mut CtrlFrame) -> FrameFate {
         let mut st = self.state.borrow_mut();
+        if st.plan.site_down(link.from, now) || st.plan.site_down(link.to, now) {
+            st.stats.crash_ctrl_drops += 1;
+            return FrameFate::Drop;
+        }
         if st
             .plan
             .outages
@@ -340,6 +456,10 @@ impl FaultInjector {
     /// is lost.
     pub fn credit_lost(&self, link: LinkId, now: SimTime) -> bool {
         let mut st = self.state.borrow_mut();
+        if st.plan.site_down(link.from, now) || st.plan.site_down(link.to, now) {
+            st.stats.crash_credit_drops += 1;
+            return true;
+        }
         if st
             .plan
             .outages
@@ -384,7 +504,12 @@ mod tests {
     use tg_wire::WireMsg;
 
     fn pkt() -> Packet {
-        let mut p = Packet::new(NodeId::new(0), NodeId::new(1), WireMsg::WriteAck, 0);
+        let mut p = Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            WireMsg::WriteAck { tag: 0 },
+            0,
+        );
         p.link_seq = 1;
         p.seal();
         p
@@ -530,6 +655,101 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(with_ctrl, without);
+    }
+
+    #[test]
+    fn crash_windows_silence_every_link_touching_the_site() {
+        use tg_wire::CtrlMsg;
+        let n0 = NodeId::new(0);
+        let inj = FaultInjector::new(
+            FaultPlan::new(5)
+                .node_crash(n0, SimTime::from_us(10))
+                .node_restart(n0, SimTime::from_us(20)),
+        );
+        let up = link(); // node0 -> switch0
+        let down = LinkId::new(link().to, link().from);
+        let far = LinkId::new(Site::Node(NodeId::new(2)), Site::Switch(0));
+        let mut p = pkt();
+        // Before the crash everything flows.
+        assert_eq!(
+            inj.frame_fate(up, SimTime::from_us(9), &mut p),
+            FrameFate::Deliver
+        );
+        // Inside the window: both directions dead, ctrl and credits too.
+        for t in [SimTime::from_us(10), SimTime::from_us(19)] {
+            assert!(inj.site_down(Site::Node(n0), t));
+            assert!(inj.link_crashed(up, t) && inj.link_crashed(down, t));
+            assert_eq!(inj.frame_fate(up, t, &mut p), FrameFate::Drop);
+            assert_eq!(inj.frame_fate(down, t, &mut p), FrameFate::Drop);
+            let mut f = CtrlFrame::seal(CtrlMsg::Heartbeat { origin: n0, seq: 1 });
+            assert_eq!(inj.ctrl_fate(down, t, &mut f), FrameFate::Drop);
+            assert!(inj.credit_lost(up, t));
+            // A link not touching the crashed site is unaffected.
+            assert_eq!(inj.frame_fate(far, t, &mut p), FrameFate::Deliver);
+        }
+        // The restart closes the window.
+        assert!(!inj.site_down(Site::Node(n0), SimTime::from_us(20)));
+        assert_eq!(
+            inj.frame_fate(up, SimTime::from_us(20), &mut p),
+            FrameFate::Deliver
+        );
+        let s = inj.stats();
+        assert_eq!(s.crash_frame_drops, 4);
+        assert_eq!(s.crash_ctrl_drops, 2);
+        assert_eq!(s.crash_credit_drops, 2);
+        assert!(!inj.plan().is_zero());
+    }
+
+    #[test]
+    fn switch_outage_is_a_crash_window_on_the_switch() {
+        let inj = FaultInjector::new(FaultPlan::new(5).switch_outage(
+            0,
+            SimTime::from_us(1),
+            SimTime::from_us(2),
+        ));
+        let mut p = pkt();
+        assert!(inj.site_down(Site::Switch(0), SimTime::from_us(1)));
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::from_us(1), &mut p),
+            FrameFate::Drop
+        );
+        assert_eq!(
+            inj.frame_fate(link(), SimTime::from_us(2), &mut p),
+            FrameFate::Deliver
+        );
+    }
+
+    #[test]
+    fn crash_windows_consume_no_rng() {
+        // Interleaving crash-window consultations (hit or miss) must not
+        // perturb the probability stream: same fates with and without.
+        let fates = |with_crash: bool| {
+            let mut plan = FaultPlan::new(42).drop(0.3);
+            if with_crash {
+                plan = plan.node_crash(NodeId::new(7), SimTime::from_us(1));
+            }
+            let inj = FaultInjector::new(plan);
+            let dead = LinkId::new(Site::Node(NodeId::new(7)), Site::Switch(0));
+            (0..200)
+                .map(|_i| {
+                    if with_crash {
+                        // A consultation that hits the window…
+                        let mut q = pkt();
+                        inj.frame_fate(dead, SimTime::from_us(2), &mut q);
+                    }
+                    // …leaves the live link's stream untouched.
+                    let mut p = pkt();
+                    inj.frame_fate(link(), SimTime::from_us(2), &mut p)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(true), fates(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "node_restart without a matching node_crash")]
+    fn restart_requires_a_crash() {
+        let _ = FaultPlan::new(1).node_restart(NodeId::new(0), SimTime::from_us(1));
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //! engine
 //!     .get_mut::<SourceSink>(a)
 //!     .unwrap()
-//!     .enqueue(NodeId::new(1), WireMsg::WriteReq { addr: GOffset::new(0), val: 7 });
+//!     .enqueue(NodeId::new(1), WireMsg::WriteReq { addr: GOffset::new(0), val: 7, tag: 1 });
 //! tg_net::testing::kick(&mut engine, a);
 //! engine.run();
 //! assert_eq!(engine.get::<SourceSink>(b).unwrap().received.len(), 1);
@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod detect;
 mod event;
 pub mod fault;
 mod link;
@@ -62,11 +63,14 @@ mod switch;
 pub mod testing;
 mod topology;
 
+pub use detect::{HeartbeatDetector, Liveness};
 pub use event::{NetEvent, NetMessage};
-pub use fault::{FaultInjector, FaultPlan, FaultStats, FrameFate, LinkId, Outage, Wedge};
+pub use fault::{
+    CrashWindow, FaultInjector, FaultPlan, FaultStats, FrameFate, LinkId, Outage, Wedge,
+};
 pub use link::{CreditLedger, LinkError, LinkRx, RelParams, RetxMode, RxVerdict, StalledLink};
 pub use port::{PortSnapshot, RxFifo, TimerAction, TxPort, TxTimes};
-pub use route::{RouteError, Routes};
+pub use route::{FabricView, RouteError, Routes};
 pub use switch::{Switch, SwitchStats};
 pub use topology::{Topology, TopologyError, Vertex};
 
@@ -98,6 +102,10 @@ pub struct NetworkHandles {
     pub endpoints: Vec<EndpointWiring>,
     /// Engine ids of the switches, in topology order.
     pub switches: Vec<CompId>,
+    /// The shared dead-set + route view the switches report failure
+    /// verdicts to; present when the reliability parameters enable
+    /// heartbeats (the failure-detection substrate).
+    pub view: Option<FabricView>,
 }
 
 /// Optional fabric behaviors threaded through [`build_network_with`]:
@@ -165,6 +173,13 @@ pub fn build_network_with<M: NetMessage>(
         "one engine component required per topology endpoint"
     );
     let routes = Routes::compute(topology)?;
+    // With heartbeats on, the switches share a fabric view: their port
+    // detectors report dead vertices into it and every switch refreshes
+    // its table from the one globally-consistent recomputed tree.
+    let view = config
+        .reliability
+        .filter(|p| p.heartbeat_every.is_some())
+        .map(|_| FabricView::new(topology.clone(), routes.clone()));
 
     // Create the switch components first so every CompId is known.
     let mut switch_ids = Vec::with_capacity(topology.switch_count());
@@ -183,6 +198,9 @@ pub fn build_network_with<M: NetMessage>(
         }
         if let Some(injector) = &config.injector {
             sw.set_injector(injector.clone());
+        }
+        if let Some(view) = &view {
+            sw.set_fabric(view.clone());
         }
         switch_ids.push(engine.add(sw));
     }
@@ -227,5 +245,6 @@ pub fn build_network_with<M: NetMessage>(
     Ok(NetworkHandles {
         endpoints: wirings,
         switches: switch_ids,
+        view,
     })
 }

@@ -49,6 +49,14 @@ pub enum LinkError {
         /// Frames stranded in the retransmit buffer.
         stranded: usize,
     },
+    /// A credit-starved port's resync probes went unanswered for a full
+    /// retry budget: the neighbor is totally silent and the link is dead.
+    ProbeExhausted {
+        /// Consecutive probes sent without a reply or a returned credit.
+        probes: u32,
+        /// Credits still missing from the allowance when the port gave up.
+        missing: u32,
+    },
 }
 
 impl fmt::Display for LinkError {
@@ -68,6 +76,13 @@ impl fmt::Display for LinkError {
                     f,
                     "link dead: retransmit budget exhausted after {retries} retries \
                      ({stranded} frames stranded)"
+                )
+            }
+            LinkError::ProbeExhausted { probes, missing } => {
+                write!(
+                    f,
+                    "link dead: {probes} consecutive resync probes unanswered \
+                     ({missing} credits never returned)"
                 )
             }
         }
@@ -124,6 +139,17 @@ pub struct RelParams {
     /// Ceiling for the adaptive retransmission timeout (backoff may
     /// still multiply beyond it, bounded by `backoff_cap`).
     pub rto_max: SimTime,
+    /// Interval between the liveness beacons each HIB originates
+    /// (flooded fabric-wide by the switches). `None` disables
+    /// heartbeats — and with them crash-stop failure detection.
+    pub heartbeat_every: Option<SimTime>,
+    /// Hard floor on how long a peer may be beacon-silent before the
+    /// failure detector declares it down. The effective threshold is
+    /// `max(peer_timeout, phi_factor * observed mean beacon gap)`.
+    pub peer_timeout: SimTime,
+    /// Multiplier on the observed mean beacon gap in the suspicion
+    /// threshold (the simplified phi-accrual knob).
+    pub phi_factor: u32,
 }
 
 impl Default for RelParams {
@@ -137,6 +163,9 @@ impl Default for RelParams {
             sack_window: 32,
             rto_min: SimTime::from_us(5),
             rto_max: SimTime::from_us(100),
+            heartbeat_every: Some(SimTime::from_us(20)),
+            peer_timeout: SimTime::from_us(100),
+            phi_factor: 8,
         }
     }
 }
@@ -148,6 +177,26 @@ impl RelParams {
             mode,
             ..RelParams::default()
         }
+    }
+
+    /// Overrides the SACK reorder-window size (frames; clamped to the
+    /// 64-bit receipt bitmap by the receiver).
+    pub fn with_sack_window(mut self, frames: u32) -> Self {
+        self.sack_window = frames;
+        self
+    }
+
+    /// Disables heartbeat origination (and with it failure detection) —
+    /// the configuration the zero-fault overhead gate compares against.
+    pub fn without_heartbeats(mut self) -> Self {
+        self.heartbeat_every = None;
+        self
+    }
+
+    /// Overrides the heartbeat interval.
+    pub fn with_heartbeat_every(mut self, every: SimTime) -> Self {
+        self.heartbeat_every = Some(every);
+        self
     }
 }
 
@@ -231,6 +280,8 @@ pub struct LinkRx {
     dups: u64,
     /// Frames discarded for a sequence gap.
     gaps: u64,
+    /// Frames flushed by link-epoch resets (the sender abandoned them).
+    reset_flushed: u64,
 }
 
 impl LinkRx {
@@ -253,6 +304,7 @@ impl LinkRx {
             corrupt: 0,
             dups: 0,
             gaps: 0,
+            reset_flushed: 0,
         }
     }
 
@@ -366,6 +418,41 @@ impl LinkRx {
     pub fn seq_discards(&self) -> u64 {
         self.dups + self.gaps
     }
+
+    /// Frames that arrived beyond the reorder window (or in go-back-N
+    /// mode, past the expected frame) and were NACKed back for
+    /// retransmission rather than parked. A non-zero count under a small
+    /// SACK window shows the overflow path ran — the frame was asked for
+    /// again, never silently dropped.
+    pub fn gap_discards(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Applies a link-epoch reset from the sender ([`CtrlMsg::Reset`]):
+    /// reseats the expected sequence number at `next`, flushes any
+    /// parked reorder frames and pending releases (the sender abandoned
+    /// everything before `next`), clears NACK suppression, and zeroes
+    /// the drain counter so post-reset credit resyncs account only the
+    /// new epoch. Idempotent for repeated resets carrying the same
+    /// `next`. Returns the number of frames flushed.
+    ///
+    /// [`CtrlMsg::Reset`]: tg_wire::CtrlMsg::Reset
+    pub fn on_reset(&mut self, next: u64) -> usize {
+        let flushed = self.buffer.len() + self.ready.len();
+        self.buffer.clear();
+        self.ready.clear();
+        self.expected = next;
+        self.nacked_for = None;
+        self.drained = 0;
+        self.reset_flushed += flushed as u64;
+        flushed
+    }
+
+    /// Frames flushed by link-epoch resets so far (conservation-audit
+    /// input: these frames were abandoned by the sender, not leaked).
+    pub fn reset_flushes(&self) -> u64 {
+        self.reset_flushed
+    }
 }
 
 impl Default for LinkRx {
@@ -457,7 +544,12 @@ mod tests {
     use tg_wire::{NodeId, WireMsg};
 
     fn frame(seq: u64) -> Packet {
-        let mut p = Packet::new(NodeId::new(0), NodeId::new(1), WireMsg::WriteAck, seq);
+        let mut p = Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            WireMsg::WriteAck { tag: 0 },
+            seq,
+        );
         p.link_seq = seq;
         p.seal();
         p
@@ -555,6 +647,44 @@ mod tests {
     }
 
     #[test]
+    fn sack_window_overflow_nacks_instead_of_parking() {
+        // Regression: a frame landing beyond the configured reorder
+        // window must be NACKed back for retransmission, never parked
+        // past the bitmap or silently dropped.
+        let mut rx = LinkRx::with_mode(RetxMode::Sack, 2);
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        // Expected is 2; frame 3 sits one slot ahead — inside the
+        // 2-frame window — and parks.
+        assert_eq!(
+            rx.accept(&frame(3)),
+            RxVerdict::Held {
+                ack: 1,
+                nack: true,
+                dup: false
+            }
+        );
+        // Frame 4 would need slot expected+2: past the window. The NACK
+        // for 2 is already outstanding, so it discards (counted), and a
+        // later overflow after the gap closes raises a fresh NACK.
+        assert_eq!(rx.accept(&frame(4)), RxVerdict::Discard);
+        assert_eq!(rx.gap_discards(), 1, "overflow counted as a gap");
+        assert_eq!(rx.reorder_depth(), 1, "overflow frame was not parked");
+        // Retransmitted 2 closes the gap and releases 3.
+        assert_eq!(rx.accept(&frame(2)), RxVerdict::Accept { ack: 3 });
+        assert_eq!(
+            rx.take_ready()
+                .iter()
+                .map(|p| p.link_seq)
+                .collect::<Vec<_>>(),
+            vec![3]
+        );
+        // Now expected is 4; an overflow with no outstanding NACK must
+        // speak up, not stay silent.
+        assert_eq!(rx.accept(&frame(6)), RxVerdict::NackGap { expected: 4 });
+        assert_eq!(rx.gap_discards(), 2);
+    }
+
+    #[test]
     fn sack_duplicate_parked_frame_is_discarded() {
         let mut rx = LinkRx::with_mode(RetxMode::Sack, 32);
         assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
@@ -575,6 +705,27 @@ mod tests {
             }
         );
         assert_eq!(rx.seq_discards(), 1);
+    }
+
+    #[test]
+    fn reset_reseats_the_epoch_and_flushes_the_window() {
+        let mut rx = LinkRx::with_mode(RetxMode::Sack, 32);
+        assert_eq!(rx.accept(&frame(1)), RxVerdict::Accept { ack: 1 });
+        rx.on_drain();
+        // Frame 2 lost, 3 and 4 parked; then the sender declares a new
+        // epoch starting at 10 (it abandoned 2..=4 after a crash).
+        rx.accept(&frame(3));
+        rx.accept(&frame(4));
+        assert_eq!(rx.on_reset(10), 2);
+        assert_eq!(rx.reorder_depth(), 0);
+        assert_eq!(rx.drained(), 0, "drain counter restarts with the epoch");
+        assert_eq!(rx.reset_flushes(), 2);
+        // Pre-epoch retransmits are dups; the new epoch flows in order.
+        assert_eq!(rx.accept(&frame(2)), RxVerdict::DupAck { ack: 9 });
+        assert_eq!(rx.accept(&frame(10)), RxVerdict::Accept { ack: 10 });
+        // Idempotent re-application.
+        assert_eq!(rx.on_reset(10), 0);
+        assert_eq!(rx.accept(&frame(10)), RxVerdict::Accept { ack: 10 });
     }
 
     #[test]

@@ -125,6 +125,23 @@ struct RelTx {
     resync_outstanding: Option<u64>,
     resyncs: u64,
     resync_probes: u64,
+    /// Consecutive resync probes with neither a reply nor a returned
+    /// credit in between. A neighbor that answers nothing for a full
+    /// retry budget of probes is as dead as one that never acks a frame.
+    probe_streak: u32,
+    /// Frames abandoned by link-epoch resets: buffered but never
+    /// delivered when the peer was declared dead. They leave the
+    /// conservation books through this counter, not silently.
+    abandoned: u64,
+    /// Wire bytes of abandoned frames.
+    abandoned_bytes: u64,
+    /// Cumulative acks consumed by pre-reset epochs: `base - 1 -
+    /// acked_offset` is the ack count *within the current epoch*, which
+    /// is what the credit-resync math must compare against the
+    /// receiver's (epoch-zeroed) drain counter.
+    acked_offset: u64,
+    /// Link-epoch resets performed (peer revivals).
+    revivals: u64,
 }
 
 impl RelTx {
@@ -196,6 +213,13 @@ pub struct TxPort {
     tx_packets: u64,
     /// Wire bytes of those frames.
     tx_bytes: u64,
+    /// Credits from pre-reset epochs that may still straggle home after
+    /// a link revival; while positive, credits arriving at a full
+    /// allowance are swallowed (counted) instead of reported as
+    /// duplicate-credit protocol violations.
+    stale_credit_grace: u32,
+    /// Stale pre-epoch credits swallowed after revivals.
+    stale_credits: u64,
     rel: Option<Box<RelTx>>,
 }
 
@@ -214,6 +238,8 @@ impl TxPort {
             link: None,
             tx_packets: 0,
             tx_bytes: 0,
+            stale_credit_grace: 0,
+            stale_credits: 0,
             rel: None,
         }
     }
@@ -273,6 +299,11 @@ impl TxPort {
             resync_outstanding: None,
             resyncs: 0,
             resync_probes: 0,
+            probe_streak: 0,
+            abandoned: 0,
+            abandoned_bytes: 0,
+            acked_offset: 0,
+            revivals: 0,
         }));
     }
 
@@ -435,11 +466,22 @@ impl TxPort {
     /// violation and must degrade the link, not wedge the cluster.
     pub fn on_credit(&mut self) -> Result<(), LinkError> {
         if self.credits >= self.allowance {
+            if self.stale_credit_grace > 0 {
+                // A pre-reset-epoch credit straggling home after a link
+                // revival restored the full allowance: swallow it within
+                // the grace budget instead of declaring a violation.
+                self.stale_credit_grace -= 1;
+                self.stale_credits += 1;
+                return Ok(());
+            }
             return Err(LinkError::DuplicateCredit {
                 allowance: self.allowance,
             });
         }
         self.credits += 1;
+        if let Some(rel) = self.rel.as_mut() {
+            rel.probe_streak = 0;
+        }
         Ok(())
     }
 
@@ -452,6 +494,11 @@ impl TxPort {
     /// stays open: no usable credit arrived).
     pub fn on_credit_at(&mut self, now: SimTime) -> Result<(), LinkError> {
         if self.credits >= self.allowance {
+            if self.stale_credit_grace > 0 {
+                self.stale_credit_grace -= 1;
+                self.stale_credits += 1;
+                return Ok(());
+            }
             return Err(LinkError::DuplicateCredit {
                 allowance: self.allowance,
             });
@@ -460,6 +507,9 @@ impl TxPort {
             self.credit_stall += now.saturating_sub(since);
         }
         self.credits += 1;
+        if let Some(rel) = self.rel.as_mut() {
+            rel.probe_streak = 0;
+        }
         Ok(())
     }
 
@@ -648,6 +698,19 @@ impl TxPort {
             rel.cursor = 0;
             TimerAction::Retransmit
         } else if rel.armed_kind == ArmKind::Resync && credits < allowance {
+            // A starved port may probe forever against a crashed
+            // neighbor whose replies are silenced: consecutive unanswered
+            // probes draw on the same retry budget as retransmissions, so
+            // total silence eventually degrades the link instead of
+            // re-arming the probe timer for the rest of time.
+            rel.probe_streak += 1;
+            if rel.probe_streak > rel.params.max_retries {
+                rel.dead = true;
+                return TimerAction::Dead(LinkError::ProbeExhausted {
+                    probes: rel.probe_streak - 1,
+                    missing: allowance - credits,
+                });
+            }
             // Always mint a fresh token: if an earlier probe (or its
             // reply) was lost in flight, the stale token is superseded
             // and its late reply ignored — the handshake is idempotent.
@@ -684,7 +747,10 @@ impl TxPort {
         }
         rel.resync_outstanding = None;
         rel.resyncs += 1;
-        let acked = rel.base - 1;
+        rel.probe_streak = 0;
+        // Acks *within the current link epoch* only: the receiver zeroes
+        // its drain counter on an epoch reset, so the comparison must too.
+        let acked = (rel.base - 1).saturating_sub(rel.acked_offset);
         let outstanding = acked.saturating_sub(drained) + rel.buf.len() as u64;
         let new_credits =
             u32::try_from(u64::from(allowance).saturating_sub(outstanding)).unwrap_or(allowance);
@@ -695,6 +761,79 @@ impl TxPort {
         }
         self.credits = new_credits;
         true
+    }
+
+    /// Starts a fresh link epoch after the peer revived from a crash:
+    /// abandons every buffered frame (the peer's receive state is gone —
+    /// retransmitting into it would be re-delivering into a different
+    /// incarnation), clears the dead verdict and all recovery state, and
+    /// restores the full credit allowance (the peer's input FIFO drained
+    /// or vanished during the outage; any pre-epoch credits that still
+    /// straggle home are swallowed under a grace budget rather than
+    /// reported as duplicates). Returns the sequence number the next
+    /// frame of the new epoch will carry — the caller announces it to
+    /// the receiver in a [`CtrlMsg::Reset`](tg_wire::CtrlMsg::Reset) so
+    /// it reseats its expected sequence and zeroes its drain counter.
+    ///
+    /// Abandoned frames are counted ([`abandoned`](TxPort::abandoned))
+    /// so the conservation audit can account for them explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reliability is not enabled (unreliable ports have no
+    /// epoch state to reset).
+    pub fn reset_epoch(&mut self, now: SimTime) -> u64 {
+        let credits = self.credits;
+        let allowance = self.allowance;
+        let rel = self.rel.as_mut().expect("reset_epoch requires reliability");
+        rel.abandoned += rel.buf.len() as u64;
+        rel.abandoned_bytes += rel
+            .buf
+            .iter()
+            .map(|s| u64::from(s.packet.size_bytes()))
+            .sum::<u64>();
+        rel.buf.clear();
+        rel.cursor = 0;
+        rel.attempts = 0;
+        rel.backoff = 1;
+        rel.dead = false;
+        rel.deadline = SimTime::ZERO;
+        // Invalidate any in-flight recovery timer: it belongs to the old
+        // epoch and must not time the new one out.
+        rel.timer_gen += 1;
+        rel.timer_armed = false;
+        rel.resync_outstanding = None;
+        rel.probe_streak = 0;
+        rel.acked_offset = rel.next_seq - 1;
+        rel.base = rel.next_seq;
+        rel.revivals += 1;
+        self.stale_credit_grace += allowance - credits;
+        self.credits = allowance;
+        if let Some(since) = self.stall_since.take() {
+            self.credit_stall += now.saturating_sub(since);
+        }
+        rel.next_seq
+    }
+
+    /// Frames abandoned by link-epoch resets (buffered for a peer that
+    /// was declared dead; they were never delivered).
+    pub fn abandoned(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.abandoned)
+    }
+
+    /// Wire bytes of abandoned frames.
+    pub fn abandoned_bytes(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.abandoned_bytes)
+    }
+
+    /// Link-epoch resets performed on this port (peer revivals).
+    pub fn revivals(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.revivals)
+    }
+
+    /// Stale pre-epoch credits swallowed after revivals.
+    pub fn stale_credits(&self) -> u64 {
+        self.stale_credits
     }
 
     /// Frames launched but not yet cumulatively acknowledged.
@@ -768,8 +907,10 @@ impl TxPort {
     }
 
     /// Frames delivered (cumulatively acknowledged) on this port.
+    /// Frames abandoned by epoch resets were never acknowledged even
+    /// though the epoch base jumped over their sequence numbers.
     pub fn delivered(&self) -> u64 {
-        self.rel.as_ref().map_or(0, |r| r.base - 1)
+        self.rel.as_ref().map_or(0, |r| r.base - 1 - r.abandoned)
     }
 }
 
@@ -883,6 +1024,24 @@ impl RxFifo {
     pub fn high_water(&self) -> u32 {
         self.high_water
     }
+
+    /// Removes every queued packet matching `pred`, preserving the order
+    /// of the rest; returns the removed packets in queue order. Used when
+    /// a route recompute orphans already-queued traffic — it must leave
+    /// the FIFO (with its credits returned) rather than wedge it.
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&Packet) -> bool) -> Vec<Packet> {
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        let mut out = Vec::new();
+        for p in self.queue.drain(..) {
+            if pred(&p) {
+                out.push(p);
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.queue = kept;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -907,7 +1066,12 @@ mod tests {
     }
 
     fn pkt() -> Packet {
-        Packet::new(NodeId::new(0), NodeId::new(1), WireMsg::WriteAck, 0)
+        Packet::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            WireMsg::WriteAck { tag: 0 },
+            0,
+        )
     }
 
     #[test]
@@ -1251,6 +1415,150 @@ mod tests {
     }
 
     #[test]
+    fn reset_epoch_abandons_stranded_frames_and_revives_the_link() {
+        let timing = TimingConfig::telegraphos_i();
+        let params = RelParams {
+            max_retries: 1,
+            ..RelParams::default()
+        };
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 4);
+        tx.enable_reliability(params);
+        // Two frames launched into a crashed peer: no acks ever come,
+        // the retry budget burns out, the link is declared dead.
+        for _ in 0..2 {
+            let p = tx.frame(pkt(), SimTime::ZERO);
+            let _ = tx.launch(&p, &timing);
+            tx.on_free();
+        }
+        let (d1, g1) = tx.poll_timer(SimTime::ZERO).expect("armed");
+        assert_eq!(tx.on_timer(g1, d1), TimerAction::Retransmit);
+        while tx.take_retx().is_some() {}
+        let (d2, g2) = tx.poll_timer(d1).expect("re-armed");
+        match tx.on_timer(g2, d1 + d2) {
+            TimerAction::Dead(LinkError::RetryExhausted { stranded, .. }) => {
+                assert_eq!(stranded, 2);
+            }
+            other => panic!("expected dead link, got {other:?}"),
+        }
+        assert!(tx.is_dead());
+        assert_eq!(tx.credits(), 2);
+        // The peer's heartbeats resume: start a fresh epoch.
+        let next = tx.reset_epoch(SimTime::from_ms(1));
+        assert_eq!(next, 3, "epoch resumes the sequence space");
+        assert!(!tx.is_dead());
+        assert_eq!(tx.abandoned(), 2);
+        assert!(tx.abandoned_bytes() > 0);
+        assert_eq!(tx.revivals(), 1);
+        assert_eq!(tx.unacked(), 0);
+        assert_eq!(tx.delivered(), 0, "abandoned frames were never delivered");
+        assert_eq!(tx.credits(), 4, "full allowance restored");
+        assert!(tx.can_send_new());
+        assert_eq!(tx.consecutive_attempts(), 0);
+        // The old epoch's timer generation is dead on arrival.
+        assert_eq!(tx.on_timer(g2, SimTime::from_ms(2)), TimerAction::Stale);
+        assert!(
+            tx.poll_timer(SimTime::from_ms(2)).is_none(),
+            "empty buffer and full credits arm nothing"
+        );
+        // Two stale pre-epoch credits straggle home: swallowed under the
+        // grace budget; a third is a genuine protocol violation.
+        assert_eq!(tx.on_credit(), Ok(()));
+        assert_eq!(tx.on_credit_at(SimTime::from_ms(3)), Ok(()));
+        assert_eq!(tx.credits(), 4, "stale credits are not banked");
+        assert_eq!(tx.stale_credits(), 2);
+        assert_eq!(
+            tx.on_credit(),
+            Err(LinkError::DuplicateCredit { allowance: 4 })
+        );
+        // The new epoch frames and delivers normally.
+        let p = tx.frame(pkt(), SimTime::from_ms(4));
+        assert_eq!(p.link_seq, 3);
+        tx.on_ack(3, 0, SimTime::from_ms(5));
+        assert_eq!(tx.delivered(), 1);
+    }
+
+    #[test]
+    fn post_reset_resync_uses_epoch_relative_acks() {
+        let timing = TimingConfig::telegraphos_i();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 2);
+        tx.enable_reliability(RelParams::default());
+        // One delivered pre-crash frame, then the epoch resets (the
+        // receiver zeroes its drain counter on the Reset it gets).
+        let p = tx.frame(pkt(), SimTime::ZERO);
+        let _ = tx.launch(&p, &timing);
+        tx.on_free();
+        tx.on_ack(1, 0, SimTime::from_ns(400));
+        tx.on_credit().unwrap();
+        let _ = tx.reset_epoch(SimTime::from_ms(1));
+        // New epoch: one frame delivered and drained, but its credit is
+        // lost — the resync probe must conclude exactly one credit is
+        // outstanding, not be confused by the pre-epoch ack.
+        let t = SimTime::from_ms(2);
+        let p = tx.frame(pkt(), t);
+        let _ = tx.launch(&p, &timing);
+        tx.on_free();
+        tx.on_ack(2, 0, t + SimTime::from_us(1));
+        assert_eq!(tx.credits(), 1);
+        let (d, gen) = tx.poll_timer(t + SimTime::from_us(1)).expect("resync");
+        let token = match tx.on_timer(gen, t + SimTime::from_us(1) + d) {
+            TimerAction::Resync { token } => token,
+            other => panic!("expected resync, got {other:?}"),
+        };
+        // Receiver drained 1 frame *this epoch*: allowance fully home.
+        assert!(tx.on_sync_ack(token, 1, t + SimTime::from_us(50)));
+        assert_eq!(tx.credits(), 2);
+    }
+
+    #[test]
+    fn rto_stays_clamped_under_pathological_rtt_samples() {
+        // Satellite property: no sequence of RTT samples — zero delay,
+        // absurdly huge, or violently alternating — may ever push the
+        // adaptive RTO outside [rto_min, rto_max], and srtt stays sane.
+        let params = RelParams::default();
+        let mut tx = TxPort::new(dummy_comp_id(), 0, 64);
+        tx.enable_reliability(params);
+        let samples_ps: [u64; 12] = [
+            0,
+            0,
+            u64::from(u32::MAX) * 1_000,
+            1,
+            10_000_000_000_000,
+            1,
+            0,
+            5_000_000_000_000,
+            2,
+            9_999_999_999_999,
+            0,
+            3,
+        ];
+        let mut t = SimTime::ZERO;
+        for (i, &rtt_ps) in samples_ps.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let _ = tx.frame(pkt(), t);
+            t += SimTime::from_ps(rtt_ps);
+            tx.on_ack(seq, 0, t);
+            let rto = tx.current_rto().expect("reliable port has an RTO");
+            assert!(
+                rto >= params.rto_min && rto <= params.rto_max,
+                "sample {i} ({rtt_ps}ps) pushed rto to {rto:?}"
+            );
+            let srtt = tx.srtt().expect("sampled");
+            assert!(srtt.as_ps() >= 1, "srtt floored at one picosecond");
+            t += SimTime::from_ns(10);
+        }
+        // Karn's rule: an ack covering a retransmitted frame leaves the
+        // estimator untouched even amid the pathological history.
+        let _ = tx.frame(pkt(), t);
+        assert_eq!(tx.on_nack(13, 0, t), TimerAction::Retransmit);
+        let _ = tx.take_retx().unwrap();
+        let srtt_before = tx.srtt();
+        let rto_before = tx.current_rto();
+        tx.on_ack(13, 0, t + SimTime::from_ms(100));
+        assert_eq!(tx.srtt(), srtt_before, "ambiguous sample discarded");
+        assert_eq!(tx.current_rto(), rto_before);
+    }
+
+    #[test]
     fn rxfifo_orders_and_counts() {
         let mut fifo = RxFifo::new(3);
         for i in 0..3u64 {
@@ -1258,6 +1566,7 @@ mod tests {
                 msg: WireMsg::WriteReq {
                     addr: GOffset::new(i * 8),
                     val: i,
+                    tag: 0,
                 },
                 ..pkt()
             })

@@ -1,7 +1,9 @@
 //! Deterministic, deadlock-free route computation.
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::rc::Rc;
 
 use tg_wire::NodeId;
 
@@ -39,6 +41,10 @@ pub struct Routes {
     tables: Vec<Vec<u32>>,
     /// Parent pointers of the spanning tree, for diagnostics/tests.
     parent: HashMap<Vertex, Vertex>,
+    /// Vertices the spanning tree could not reach (only non-empty for
+    /// [`Routes::compute_avoiding`]: the named partition cut off by the
+    /// avoided fault domain), in ascending vertex order.
+    unreachable: Vec<Vertex>,
 }
 
 impl Routes {
@@ -117,7 +123,102 @@ impl Routes {
             }
             tables.push(table);
         }
-        Ok(Routes { tables, parent })
+        Ok(Routes {
+            tables,
+            parent,
+            unreachable: Vec::new(),
+        })
+    }
+
+    /// Recomputes routes over the surviving fabric: a fresh BFS spanning
+    /// tree that never enters a `dead` vertex. Unlike [`Routes::compute`]
+    /// this cannot fail — a fault domain whose loss disconnects the graph
+    /// yields *partial* tables instead: destinations with no surviving
+    /// path get [`u32::MAX`] entries (the switch blackholes such traffic,
+    /// counted, rather than wedging), and the cut-off vertices are named
+    /// by [`Routes::unreachable`] so the deadlock report can describe the
+    /// partition instead of a mystery stall.
+    ///
+    /// The tree is rooted at the first live switch (first live node in a
+    /// switchless wiring), so every survivor computes the identical tree
+    /// from the identical dead set — route-around stays deterministic.
+    pub fn compute_avoiding(topology: &Topology, dead: &BTreeSet<Vertex>) -> Routes {
+        let root = (0..topology.switch_count())
+            .map(|s| Vertex::Switch(s as u16))
+            .chain((0..topology.endpoint_count()).map(|n| Vertex::Node(n as u16)))
+            .find(|v| !dead.contains(v));
+
+        let mut parent: HashMap<Vertex, Vertex> = HashMap::new();
+        let mut seen: HashMap<Vertex, bool> = HashMap::new();
+        if let Some(root) = root {
+            let mut queue = VecDeque::new();
+            seen.insert(root, true);
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                for &(nbr, _) in topology.ports_of(v) {
+                    if dead.contains(&nbr) {
+                        continue;
+                    }
+                    if !seen.get(&nbr).copied().unwrap_or(false) {
+                        seen.insert(nbr, true);
+                        parent.insert(nbr, v);
+                        queue.push_back(nbr);
+                    }
+                }
+            }
+        }
+
+        let path_to_root = |mut v: Vertex| -> Vec<Vertex> {
+            let mut path = vec![v];
+            while let Some(&p) = parent.get(&v) {
+                path.push(p);
+                v = p;
+            }
+            path
+        };
+
+        let mut tables = Vec::with_capacity(topology.switch_count());
+        for s in 0..topology.switch_count() {
+            let from = Vertex::Switch(s as u16);
+            let mut table = vec![u32::MAX; topology.endpoint_count()];
+            if seen.get(&from).copied().unwrap_or(false) {
+                let up_from = path_to_root(from);
+                for (dst, slot) in table.iter_mut().enumerate() {
+                    let to = Vertex::Node(dst as u16);
+                    if to == from || !seen.get(&to).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let up_to = path_to_root(to);
+                    let next = next_hop_on_tree(&up_from, &up_to);
+                    let port = topology
+                        .ports_of(from)
+                        .iter()
+                        .position(|&(nbr, _)| nbr == next)
+                        .expect("tree edge is a real port");
+                    *slot = port as u32;
+                }
+            }
+            tables.push(table);
+        }
+
+        let mut unreachable: Vec<Vertex> = (0..topology.switch_count())
+            .map(|s| Vertex::Switch(s as u16))
+            .chain((0..topology.endpoint_count()).map(|n| Vertex::Node(n as u16)))
+            .filter(|v| !seen.get(v).copied().unwrap_or(false))
+            .collect();
+        unreachable.sort();
+        Routes {
+            tables,
+            parent,
+            unreachable,
+        }
+    }
+
+    /// Vertices no surviving route reaches (the partition cut off by the
+    /// dead set handed to [`Routes::compute_avoiding`]; dead vertices
+    /// themselves are included). Empty for a fully connected computation.
+    pub fn unreachable(&self) -> &[Vertex] {
+        &self.unreachable
     }
 
     /// The routing table for switch `s`: `table[dst.index()]` is the output
@@ -150,6 +251,112 @@ impl Routes {
             v = p;
         }
         path
+    }
+}
+
+#[derive(Debug)]
+struct ViewInner {
+    topology: Topology,
+    dead: BTreeSet<Vertex>,
+    version: u64,
+    routes: Routes,
+    recomputes: u64,
+}
+
+/// The fabric's shared, versioned view of which vertices are dead and
+/// what the surviving routes are — the simulation's stand-in for the
+/// route-distribution a fabric manager (or a link-state flood) would
+/// perform in hardware. Every switch holds a clone (cheap: shared state,
+/// like [`FaultInjector`](crate::FaultInjector)); a switch whose failure
+/// detector convicts an adjacent vertex calls [`declare_down`], which
+/// recomputes a single globally-consistent spanning tree avoiding the
+/// whole dead set, and every other switch picks the new table up at its
+/// next event (a version compare, one branch in the common case).
+///
+/// Distributing one global tree — rather than letting each survivor
+/// patch its own table from local knowledge — is what keeps route-around
+/// loop-free: two switches routing on *different* trees can forward a
+/// packet back and forth forever. Updates happen at deterministic event
+/// boundaries, so recovery replays bit-for-bit under a fixed seed.
+///
+/// [`declare_down`]: FabricView::declare_down
+#[derive(Clone, Debug)]
+pub struct FabricView {
+    inner: Rc<RefCell<ViewInner>>,
+}
+
+impl FabricView {
+    /// Wraps the initial (fault-free) routes over `topology`.
+    pub fn new(topology: Topology, routes: Routes) -> Self {
+        FabricView {
+            inner: Rc::new(RefCell::new(ViewInner {
+                topology,
+                dead: BTreeSet::new(),
+                version: 0,
+                routes,
+                recomputes: 0,
+            })),
+        }
+    }
+
+    /// Declares `v` dead and recomputes the surviving routes. Returns
+    /// `true` if this was news (the version bumped); duplicate verdicts
+    /// from independent observers are idempotent.
+    pub fn declare_down(&self, v: Vertex) -> bool {
+        let mut st = self.inner.borrow_mut();
+        if !st.dead.insert(v) {
+            return false;
+        }
+        st.version += 1;
+        st.recomputes += 1;
+        st.routes = Routes::compute_avoiding(&st.topology, &st.dead);
+        true
+    }
+
+    /// Declares `v` alive again and recomputes. Returns `true` if `v`
+    /// was previously dead.
+    pub fn declare_up(&self, v: Vertex) -> bool {
+        let mut st = self.inner.borrow_mut();
+        if !st.dead.remove(&v) {
+            return false;
+        }
+        st.version += 1;
+        st.recomputes += 1;
+        st.routes = Routes::compute_avoiding(&st.topology, &st.dead);
+        true
+    }
+
+    /// Monotone change counter; a switch whose cached table carries an
+    /// older version must refresh it.
+    pub fn version(&self) -> u64 {
+        self.inner.borrow().version
+    }
+
+    /// The current routing table for switch `s`.
+    pub fn table_for_switch(&self, s: u16) -> Vec<u32> {
+        self.inner.borrow().routes.table_for_switch(s)
+    }
+
+    /// Vertices currently declared dead, in ascending order.
+    pub fn dead_set(&self) -> Vec<Vertex> {
+        self.inner.borrow().dead.iter().copied().collect()
+    }
+
+    /// True when `v` is currently declared dead.
+    pub fn is_dead(&self, v: Vertex) -> bool {
+        self.inner.borrow().dead.contains(&v)
+    }
+
+    /// Vertices no surviving route reaches (the named partition; includes
+    /// the dead vertices themselves). Empty while the survivors are
+    /// fully connected.
+    pub fn unreachable(&self) -> Vec<Vertex> {
+        self.inner.borrow().routes.unreachable().to_vec()
+    }
+
+    /// Route recomputations performed over the view's life.
+    pub fn recomputes(&self) -> u64 {
+        self.inner.borrow().recomputes
     }
 }
 
@@ -256,6 +463,63 @@ mod tests {
             Err(RouteError::Disconnected(v)) => assert_eq!(v, Vertex::Switch(1)),
             other => panic!("expected disconnection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn avoiding_a_ring_switch_routes_the_long_way_around() {
+        // ring(4): s0-s1-s2-s3-s0 with node i on switch i. With s1 dead,
+        // s0 still reaches n2 via the closing edge through s3, and only
+        // s1's own endpoint n1 is cut off.
+        let topo = Topology::ring(4);
+        let dead: BTreeSet<Vertex> = [Vertex::Switch(1)].into();
+        let routes = Routes::compute_avoiding(&topo, &dead);
+        assert_eq!(routes.unreachable(), &[Vertex::Node(1), Vertex::Switch(1)]);
+        // Walk the surviving tables from s0 to n2 and confirm arrival
+        // without ever entering s1.
+        let mut at = Vertex::Switch(0);
+        let mut hops = 0;
+        loop {
+            match at {
+                Vertex::Node(n) => {
+                    assert_eq!(n, 2);
+                    break;
+                }
+                Vertex::Switch(sw) => {
+                    assert_ne!(sw, 1, "route entered the dead switch");
+                    let port = routes.tables[sw as usize][2];
+                    assert_ne!(port, u32::MAX, "n2 must stay reachable");
+                    at = topo.ports_of(at)[port as usize].0;
+                    hops += 1;
+                    assert!(hops < 8, "routing loop");
+                }
+            }
+        }
+        // Traffic for the dead switch's endpoint is blackholed, not wedged.
+        assert_eq!(routes.tables[0][1], u32::MAX);
+    }
+
+    #[test]
+    fn avoiding_a_chain_cut_names_the_partition() {
+        // chain(3): s0-s1-s2. Losing s1 severs s2's side entirely.
+        let topo = Topology::chain(3);
+        let dead: BTreeSet<Vertex> = [Vertex::Switch(1)].into();
+        let routes = Routes::compute_avoiding(&topo, &dead);
+        assert_eq!(
+            routes.unreachable(),
+            &[
+                Vertex::Node(1),
+                Vertex::Node(2),
+                Vertex::Switch(1),
+                Vertex::Switch(2)
+            ]
+        );
+        assert_eq!(routes.tables[0][2], u32::MAX, "severed side blackholes");
+        assert_ne!(routes.tables[0][0], u32::MAX, "own side still routes");
+        // The severed survivor s2 also keeps a partial table: it can
+        // still reach its own endpoint even though BFS never found it.
+        // (Rooted at s0, s2 is unreached, so its table is all-blackhole;
+        // the fabric-level recompute hands every switch the same tree.)
+        assert_eq!(routes.tables[2][2], u32::MAX);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The cut-through switch component.
 
+use std::collections::BTreeMap;
+
 use tg_sim::{Component, Ctx, SimTime};
 use tg_wire::trace::{PacketEvent, SharedProbe, Site, Stage, TraceId};
 use tg_wire::{CtrlFrame, CtrlMsg, NodeId, Packet, TimingConfig};
 
+use crate::detect::{HeartbeatDetector, Liveness};
 use crate::event::{NetEvent, NetMessage};
 use crate::fault::{FaultInjector, FrameFate, LinkId};
 use crate::link::{CreditLedger, LinkError, LinkRx, RelParams, RxVerdict, StalledLink};
 use crate::port::{PortSnapshot, RxFifo, TimerAction, TxPort};
+use crate::route::FabricView;
+use crate::topology::Vertex;
 
 /// Traffic counters for one switch.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -18,6 +23,18 @@ pub struct SwitchStats {
     pub bytes: u64,
     /// Forwarding attempts deferred for want of credit or a busy output.
     pub blocked: u64,
+    /// Packets dropped (counted, credit returned) because no surviving
+    /// route reaches their destination — the graceful degradation of a
+    /// partitioned fabric, in place of the old no-route panic.
+    pub blackholed: u64,
+}
+
+/// The fabric vertex at the far end of a port's directed link.
+fn vertex_of_site(s: Site) -> Vertex {
+    match s {
+        Site::Switch(i) => Vertex::Switch(i),
+        Site::Node(n) => Vertex::Node(n.raw()),
+    }
 }
 
 /// A Telegraphos switch: one input FIFO per port, a routing table mapping
@@ -77,6 +94,21 @@ pub struct Switch {
     /// Control frames discarded because their checksum failed (the
     /// injector corrupted them in flight).
     ctrl_discards: u64,
+    /// Per-port failure detector over heartbeat arrivals; present when
+    /// the reliability parameters enable heartbeats. Ports are watched
+    /// lazily, from their first beacon.
+    detector: Option<HeartbeatDetector>,
+    /// Per-origin highest heartbeat sequence flooded so far: the dedupe
+    /// that keeps beacon floods from circulating forever on cyclic
+    /// topologies.
+    hb_last: BTreeMap<u16, u64>,
+    /// The fabric's shared dead-set + route view; `None` leaves the
+    /// boot-time table in place forever.
+    view: Option<FabricView>,
+    /// Version of `view` the cached `table` reflects.
+    view_version: u64,
+    /// Times this switch refreshed its table from the view.
+    route_refreshes: u64,
 }
 
 impl Switch {
@@ -103,6 +135,11 @@ impl Switch {
             injector: None,
             errors: Vec::new(),
             ctrl_discards: 0,
+            detector: None,
+            hb_last: BTreeMap::new(),
+            view: None,
+            view_version: 0,
+            route_refreshes: 0,
         }
     }
 
@@ -123,7 +160,20 @@ impl Switch {
     /// called before [`Switch::attach_port`].
     pub fn set_reliability(&mut self, params: RelParams) {
         assert!(self.fifos.is_empty(), "set reliability before wiring ports");
+        if params.heartbeat_every.is_some() {
+            self.detector = Some(HeartbeatDetector::new(
+                params.peer_timeout,
+                params.phi_factor,
+            ));
+        }
         self.reliability = Some(params);
+    }
+
+    /// Installs the shared fabric view this switch reports peer verdicts
+    /// to and refreshes its routing table from.
+    pub fn set_fabric(&mut self, view: FabricView) {
+        self.view_version = view.version();
+        self.view = Some(view);
     }
 
     /// Installs the fault injector consulted at every frame launch and
@@ -258,6 +308,16 @@ impl Switch {
             .sum()
     }
 
+    /// Frames NACKed for landing beyond the reorder window (go-back-N:
+    /// past the expected frame), across all input ports.
+    pub fn rx_gap_discards(&self) -> u64 {
+        self.rx_links
+            .iter()
+            .flatten()
+            .map(LinkRx::gap_discards)
+            .sum()
+    }
+
     /// Credit-resync probes issued across all output ports.
     pub fn resync_probes(&self) -> u64 {
         self.out.iter().flatten().map(TxPort::resync_probes).sum()
@@ -271,6 +331,49 @@ impl Switch {
     /// Control frames discarded for a failed checksum, across all ports.
     pub fn ctrl_discards(&self) -> u64 {
         self.ctrl_discards
+    }
+
+    /// (down verdicts, up transitions) this switch's port detector has
+    /// issued over its life.
+    pub fn peer_transitions(&self) -> (u64, u64) {
+        self.detector
+            .as_ref()
+            .map_or((0, 0), HeartbeatDetector::transition_counts)
+    }
+
+    /// Packets dropped for want of a surviving route.
+    pub fn blackholed(&self) -> u64 {
+        self.stats.blackholed
+    }
+
+    /// Times this switch refreshed its table from the fabric view.
+    pub fn route_refreshes(&self) -> u64 {
+        self.route_refreshes
+    }
+
+    /// Frames abandoned by link-epoch resets across all output ports.
+    pub fn abandoned(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::abandoned).sum()
+    }
+
+    /// Link-epoch resets (peer revivals) across all output ports.
+    pub fn revivals(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::revivals).sum()
+    }
+
+    /// Frames flushed from reorder windows by epoch resets, across all
+    /// input ports.
+    pub fn reset_flushes(&self) -> u64 {
+        self.rx_links
+            .iter()
+            .flatten()
+            .map(LinkRx::reset_flushes)
+            .sum()
+    }
+
+    /// Stale pre-epoch credits swallowed after revivals, across ports.
+    pub fn stale_credits(&self) -> u64 {
+        self.out.iter().flatten().map(TxPort::stale_credits).sum()
     }
 
     /// Frames currently parked in SACK reorder windows, across all input
@@ -379,10 +482,11 @@ impl Switch {
             .collect()
     }
 
-    fn route(&self, packet: &Packet) -> u32 {
+    /// The output port toward `packet.dst`, or `None` when no surviving
+    /// route reaches it (the caller blackholes the packet, counted).
+    fn route(&self, packet: &Packet) -> Option<u32> {
         let port = self.table[packet.dst.index()];
-        assert_ne!(port, u32::MAX, "no route for {}", packet.dst);
-        port
+        (port != u32::MAX).then_some(port)
     }
 
     /// The input port whose head is routed to `out_port`, round-robin from
@@ -393,12 +497,213 @@ impl Switch {
         for k in 0..nports {
             let in_port = (start + k) % nports;
             if let Some(packet) = self.fifos[in_port].head() {
-                if self.route(packet) as usize == out_port {
+                if self.route(packet) == Some(out_port as u32) {
                     return Some(in_port);
                 }
             }
         }
         None
+    }
+
+    /// Disposes of a packet with no surviving route: counted drop, drain
+    /// bookkeeping, and the upstream credit returned — the slot it held
+    /// must not leak just because its destination is partitioned away.
+    fn blackhole_one<M: NetMessage>(
+        &mut self,
+        in_port: usize,
+        packet: &Packet,
+        ctx: &mut Ctx<'_, M>,
+    ) {
+        self.emit(ctx.now(), packet, Stage::Dropped);
+        self.stats.blackholed += 1;
+        if let Some(rx) = self.rx_links.get_mut(in_port).and_then(Option::as_mut) {
+            rx.on_drain();
+        }
+        self.return_credit(in_port, ctx);
+    }
+
+    /// Re-reads the routing table from the shared fabric view when its
+    /// version moved (one compare in the common case), then blackholes
+    /// any already-queued traffic the new table orphans and re-examines
+    /// every output for redirected heads.
+    fn refresh_routes<M: NetMessage>(&mut self, ctx: &mut Ctx<'_, M>) {
+        let Some(view) = self.view.clone() else {
+            return;
+        };
+        let version = view.version();
+        if version == self.view_version {
+            return;
+        }
+        self.view_version = version;
+        let Site::Switch(idx) = self.site else {
+            return;
+        };
+        self.table = view.table_for_switch(idx);
+        self.route_refreshes += 1;
+        let table = self.table.clone();
+        for in_port in 0..self.fifos.len() {
+            let orphaned = self.fifos[in_port].drain_matching(|p| table[p.dst.index()] == u32::MAX);
+            for p in orphaned {
+                self.blackhole_one(in_port, &p, ctx);
+            }
+        }
+        for port in 0..self.out.len() {
+            if self.out[port].is_some() {
+                self.mark_pending(port);
+            }
+        }
+    }
+
+    /// Marks a peer liveness transition in the packet trace. The trace id
+    /// encodes the convicted peer (switch peers carry bit 15) and this
+    /// observer's running verdict count; the site is the observer.
+    fn emit_peer(&self, at: SimTime, peer: Site, stage: Stage, count: u64) {
+        if let Some(probe) = &self.probe {
+            let raw = match peer {
+                Site::Node(n) => n.raw(),
+                Site::Switch(s) => 0x8000 | s,
+            };
+            probe.packet(PacketEvent {
+                at,
+                trace: TraceId::packet(NodeId::new(raw), count),
+                parent: None,
+                site: self.site,
+                stage,
+                kind: match stage {
+                    Stage::PeerDown => "peer-down",
+                    _ => "peer-up",
+                },
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Handles a beacon arriving on `in_port`: feeds the port detector
+    /// (reviving a convicted port if its silence ended), floods the
+    /// beacon out every other port unless an equal-or-newer sequence from
+    /// this origin was already flooded (the loop-killer on rings), and
+    /// sweeps all watched ports for silence — detection is event-driven,
+    /// clocked by the surviving ports' beacon arrivals.
+    fn on_heartbeat<M: NetMessage>(
+        &mut self,
+        in_port: usize,
+        origin: NodeId,
+        seq: u64,
+        ctx: &mut Ctx<'_, M>,
+    ) {
+        let now = ctx.now();
+        let revived = self
+            .detector
+            .as_mut()
+            .and_then(|d| d.saw(in_port as u64, now))
+            == Some(Liveness::Up);
+        if revived {
+            self.on_peer_up(in_port, ctx);
+        }
+        let fresh = self
+            .hb_last
+            .get(&origin.raw())
+            .is_none_or(|&last| seq > last);
+        if fresh {
+            self.hb_last.insert(origin.raw(), seq);
+            for port in 0..self.out.len() {
+                if port != in_port && self.out[port].is_some() {
+                    self.send_ctrl(port, CtrlMsg::Heartbeat { origin, seq }, ctx);
+                }
+            }
+        }
+        let newly_down = self
+            .detector
+            .as_mut()
+            .map(|d| d.check(now))
+            .unwrap_or_default();
+        for port in newly_down {
+            self.on_peer_down(port as usize, ctx);
+        }
+        self.pump(ctx);
+    }
+
+    /// Reacts to a transmit port dying of exhausted recovery (retransmit
+    /// or resync-probe budget): records the error and — like a heartbeat
+    /// conviction — declares the silent neighbor down in the fabric view
+    /// so routes recompute around it even when no detector is running.
+    fn on_link_dead<M: NetMessage>(&mut self, port: usize, err: LinkError, ctx: &mut Ctx<'_, M>) {
+        self.errors.push(err);
+        let Some(link) = self
+            .out
+            .get(port)
+            .and_then(Option::as_ref)
+            .and_then(TxPort::link)
+        else {
+            return;
+        };
+        if let Some(view) = self.view.clone() {
+            if !view.is_dead(vertex_of_site(link.to)) {
+                view.declare_down(vertex_of_site(link.to));
+                self.refresh_routes(ctx);
+            }
+        }
+    }
+
+    /// Reacts to this switch's own detector convicting the peer on
+    /// `port`: trace the verdict and report it to the fabric view, which
+    /// recomputes routes around the dead vertex for every switch.
+    fn on_peer_down<M: NetMessage>(&mut self, port: usize, ctx: &mut Ctx<'_, M>) {
+        let Some(link) = self
+            .out
+            .get(port)
+            .and_then(Option::as_ref)
+            .and_then(TxPort::link)
+        else {
+            return;
+        };
+        let downs = self
+            .detector
+            .as_ref()
+            .map_or(0, |d| d.transition_counts().0);
+        self.emit_peer(ctx.now(), link.to, Stage::PeerDown, downs);
+        if let Some(view) = self.view.clone() {
+            view.declare_down(vertex_of_site(link.to));
+            self.refresh_routes(ctx);
+        }
+    }
+
+    /// Reacts to beacons resuming on a convicted `port`: trace the
+    /// revival, restore the vertex in the fabric view, and start a fresh
+    /// link epoch on the transmit side (abandoning frames stranded for
+    /// the dead incarnation), announcing it to the receiver so both ends
+    /// agree on sequence numbers and drain counts.
+    fn on_peer_up<M: NetMessage>(&mut self, port: usize, ctx: &mut Ctx<'_, M>) {
+        let Some(link) = self
+            .out
+            .get(port)
+            .and_then(Option::as_ref)
+            .and_then(TxPort::link)
+        else {
+            return;
+        };
+        let ups = self
+            .detector
+            .as_ref()
+            .map_or(0, |d| d.transition_counts().1);
+        self.emit_peer(ctx.now(), link.to, Stage::PeerUp, ups);
+        if let Some(view) = self.view.clone() {
+            view.declare_up(vertex_of_site(link.to));
+            self.refresh_routes(ctx);
+        }
+        let reliable = self
+            .out
+            .get(port)
+            .and_then(Option::as_ref)
+            .is_some_and(TxPort::is_reliable);
+        if reliable {
+            let next = self.out[port]
+                .as_mut()
+                .expect("checked reliable")
+                .reset_epoch(ctx.now());
+            self.send_ctrl(port, CtrlMsg::Reset { next }, ctx);
+            self.mark_pending(port);
+        }
     }
 
     /// Returns a credit for a frame drained from input `in_port`, unless
@@ -624,9 +929,13 @@ impl Switch {
                 self.rr_next[out_port] = (in_port + 1) % nports;
                 // The pop may have exposed a new head behind this one;
                 // its output is work the rescan loop would have found.
+                // (An unroutable head cannot appear here — arrivals and
+                // route refreshes blackhole those — but degrade to a
+                // no-op rather than trusting that invariant with a panic.)
                 if let Some(next) = self.fifos[in_port].head() {
-                    let next_out = self.route(next) as usize;
-                    self.mark_pending(next_out);
+                    if let Some(next_out) = self.route(next) {
+                        self.mark_pending(next_out as usize);
+                    }
                 }
                 progressed = true;
             }
@@ -649,6 +958,9 @@ impl<M: NetMessage> Component<M> for Switch {
             Ok(ev) => ev,
             Err(_) => panic!("switch {} received a non-network event", self.name),
         };
+        // Another switch may have moved the fabric view since our last
+        // event; one version compare keeps every switch's table current.
+        self.refresh_routes(ctx);
         match ev {
             NetEvent::Arrive { port, packet } => {
                 let in_port = port as usize;
@@ -663,15 +975,20 @@ impl<M: NetMessage> Component<M> for Switch {
                             let sack = self.rx_links[in_port].as_ref().map_or(0, LinkRx::sack_bits);
                             self.send_ctrl(in_port, CtrlMsg::Ack { seq: ack, sack }, ctx);
                         }
-                        self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
                         // If the arrival became a FIFO head it is new work
                         // for its routed output; if it queued behind others
-                        // the mark is a cheap no-op grant check.
-                        let out = self.route(&packet) as usize;
-                        if let Err(err) = self.fifos[in_port].push(packet) {
-                            self.errors.push(err);
+                        // the mark is a cheap no-op grant check. With no
+                        // surviving route it is blackholed instead.
+                        match self.route(&packet) {
+                            Some(out) => {
+                                self.emit(ctx.now(), &packet, Stage::SwitchEnqueue);
+                                if let Err(err) = self.fifos[in_port].push(packet) {
+                                    self.errors.push(err);
+                                }
+                                self.mark_pending(out as usize);
+                            }
+                            None => self.blackhole_one(in_port, &packet, ctx),
                         }
-                        self.mark_pending(out);
                         // The arrival may have closed a reorder-window gap:
                         // deliver the released successors in sequence order.
                         // Credit accounting bounds FIFO + window occupancy
@@ -681,12 +998,16 @@ impl<M: NetMessage> Component<M> for Switch {
                             .map(LinkRx::take_ready)
                             .unwrap_or_default();
                         for p in released {
-                            self.emit(ctx.now(), &p, Stage::SwitchEnqueue);
-                            let out = self.route(&p) as usize;
-                            if let Err(err) = self.fifos[in_port].push(p) {
-                                self.errors.push(err);
+                            match self.route(&p) {
+                                Some(out) => {
+                                    self.emit(ctx.now(), &p, Stage::SwitchEnqueue);
+                                    if let Err(err) = self.fifos[in_port].push(p) {
+                                        self.errors.push(err);
+                                    }
+                                    self.mark_pending(out as usize);
+                                }
+                                None => self.blackhole_one(in_port, &p, ctx),
                             }
-                            self.mark_pending(out);
                         }
                         self.pump(ctx);
                     }
@@ -770,7 +1091,7 @@ impl<M: NetMessage> Component<M> for Switch {
                             .and_then(Option::as_mut)
                             .map(|tx| tx.on_nack(expected, sack, ctx.now()));
                         if let Some(TimerAction::Dead(err)) = action {
-                            self.errors.push(err);
+                            self.on_link_dead(port as usize, err, ctx);
                         }
                         if action.is_some() {
                             self.mark_pending(port as usize);
@@ -807,6 +1128,22 @@ impl<M: NetMessage> Component<M> for Switch {
                         }
                         self.pump(ctx);
                     }
+                    CtrlMsg::Heartbeat { origin, seq } => {
+                        self.on_heartbeat(port as usize, origin, seq, ctx);
+                    }
+                    CtrlMsg::Reset { next } => {
+                        // The neighbor's transmit side started a fresh
+                        // epoch after our revival: reseat the expected
+                        // sequence, flush the reorder window (counted),
+                        // and zero the drain counter for resync math.
+                        if let Some(rx) = self
+                            .rx_links
+                            .get_mut(port as usize)
+                            .and_then(Option::as_mut)
+                        {
+                            rx.on_reset(next);
+                        }
+                    }
                 }
             }
             NetEvent::RetxTimer { port, gen } => {
@@ -825,7 +1162,7 @@ impl<M: NetMessage> Component<M> for Switch {
                         self.emit_resync(ctx.now(), token);
                         self.send_ctrl(port as usize, CtrlMsg::SyncReq { token }, ctx);
                     }
-                    TimerAction::Dead(err) => self.errors.push(err),
+                    TimerAction::Dead(err) => self.on_link_dead(port as usize, err, ctx),
                     TimerAction::Stale | TimerAction::Idle => {}
                 }
                 self.arm_timer(port as usize, ctx);

@@ -148,6 +148,12 @@ impl SourceSink {
         self.tx.as_ref().is_some_and(TxPort::is_dead)
     }
 
+    /// Frames this endpoint's receiver NACKed back for landing beyond
+    /// the reorder window (go-back-N: past the expected frame).
+    pub fn rx_gap_discards(&self) -> u64 {
+        self.rx_link.as_ref().map_or(0, LinkRx::gap_discards)
+    }
+
     /// Launches `packet` (fresh or retransmission), consulting the fault
     /// injector for its fate.
     fn dispatch(&mut self, mut packet: Packet, fresh: bool, ctx: &mut Ctx<'_, NetEvent>) {
@@ -379,6 +385,14 @@ impl Component<NetEvent> for SourceSink {
                             tx.on_sync_ack(token, drained, ctx.now());
                         }
                         self.pump(ctx);
+                    }
+                    // Test endpoints run no failure detector: beacons
+                    // flooding past are sunk silently.
+                    CtrlMsg::Heartbeat { .. } => {}
+                    CtrlMsg::Reset { next } => {
+                        if let Some(rx) = self.rx_link.as_mut() {
+                            rx.on_reset(next);
+                        }
                     }
                 }
             }

@@ -28,6 +28,7 @@ fn write(addr: u64, val: u64) -> WireMsg {
     WireMsg::WriteReq {
         addr: GOffset::new(addr),
         val,
+        tag: 0,
     }
 }
 

@@ -95,6 +95,29 @@ impl<M> AbstractNet<M> {
         Some((pick / self.n, pick % self.n, msg))
     }
 
+    /// Drops every queued message to or from `node` — crash-stop silence:
+    /// nothing the dead node sent arrives, nothing addressed to it is
+    /// consumed. Returns the number of messages dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn purge_node(&mut self, node: usize) -> usize {
+        assert!(node < self.n, "node out of range");
+        let mut dropped = 0;
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if src == node || dst == node {
+                    let ch = &mut self.channels[src * self.n + dst];
+                    dropped += ch.len();
+                    ch.clear();
+                }
+            }
+        }
+        self.in_flight -= dropped;
+        dropped
+    }
+
     /// Messages still queued.
     pub fn in_flight(&self) -> usize {
         self.in_flight

@@ -26,6 +26,16 @@ enum Msg {
     Reflected { value: u64, writer: usize },
 }
 
+/// A crash-stop failover plan: the owner halts mid-run and serialization
+/// fails over to the smallest-id surviving node — the same deterministic
+/// successor rule the cluster's coherence layer uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OwnerFailover {
+    /// The owner crashes immediately after this many writes have been
+    /// serialized (its in-flight state vanishes with it).
+    pub crash_after_serialized: usize,
+}
+
 /// Configuration of an owner-protocol run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct OwnerConfig {
@@ -34,6 +44,8 @@ pub struct OwnerConfig {
     /// CAM entries per node (pending-write counters); `usize::MAX` for the
     /// unbounded strawman.
     pub cam_entries: usize,
+    /// Crash the owner mid-run and fail over (`None`: fault-free).
+    pub failover: Option<OwnerFailover>,
 }
 
 impl Default for OwnerConfig {
@@ -41,6 +53,7 @@ impl Default for OwnerConfig {
         OwnerConfig {
             owner: 0,
             cam_entries: 16,
+            failover: None,
         }
     }
 }
@@ -64,16 +77,24 @@ impl OwnerSerialized {
         Self::run_with(scenario, OwnerConfig::default())
     }
 
-    /// Executes `scenario` with an explicit owner and CAM size.
+    /// Executes `scenario` with an explicit owner and CAM size, and
+    /// optionally a crash-stop failover plan. Under a failover plan the
+    /// crashed owner's in-flight traffic is lost; survivors retransmit
+    /// their pending (unreflected) writes to the deterministic successor,
+    /// so every surviving writer's store is serialized *at least* once —
+    /// a write whose reflection partially escaped the crash may appear
+    /// twice in the serialization, which rule 3's pending filter and
+    /// per-channel FIFO keep harmless.
     ///
     /// # Panics
     ///
-    /// Panics if the scenario is invalid or the owner index out of range.
+    /// Panics if the scenario is invalid, the owner index is out of
+    /// range, or a failover plan crashes the only node.
     pub fn run_with(scenario: &Scenario, config: OwnerConfig) -> Outcome {
         scenario.validate().expect("valid scenario");
         let n = scenario.nodes;
         assert!(config.owner < n, "owner out of range");
-        let owner = config.owner;
+        let mut owner = config.owner;
 
         let mut rng = SimRng::new(scenario.seed);
         let mut net: AbstractNet<Msg> = AbstractNet::new(n);
@@ -84,16 +105,24 @@ impl OwnerSerialized {
             .map(|_| PendingCam::new(config.cam_entries))
             .collect();
         let mut serialization: Vec<u64> = Vec::new();
+        // Per-writer FIFO of issued-but-unreflected values, mirroring the
+        // CAM counters; on an owner crash these are exactly the writes the
+        // survivor must retransmit to the successor.
+        let mut inflight: Vec<std::collections::VecDeque<u64>> =
+            (0..n).map(|_| std::collections::VecDeque::new()).collect();
+        let mut alive = vec![true; n];
+        let mut crashed = false;
         // Reused across iterations; this loop is the proto_sweep hot path
         // and must not allocate per step.
         let mut issuers: Vec<usize> = Vec::with_capacity(n);
 
         loop {
-            // A node can issue its next write if it has one and (for
-            // non-owners) the CAM can take another pending entry.
+            // A node can issue its next write if it is alive, has one, and
+            // (for non-owners) the CAM can take another pending entry.
             issuers.clear();
             issuers.extend((0..n).filter(|&i| {
-                !scripts[i].is_empty()
+                alive[i]
+                    && !scripts[i].is_empty()
                     && (i == owner
                         || cams[i].is_pending(WORD)
                         || cams[i].len() < cams[i].capacity())
@@ -112,8 +141,8 @@ impl OwnerSerialized {
                     values[w] = v;
                     recorders[w].observe(v);
                     serialization.push(v);
-                    for dst in 0..n {
-                        if dst != owner {
+                    for (dst, &up) in alive.iter().enumerate() {
+                        if dst != owner && up {
                             net.send(
                                 owner,
                                 dst,
@@ -131,6 +160,7 @@ impl OwnerSerialized {
                     assert!(accepted, "issuer availability was checked above");
                     values[w] = v;
                     recorders[w].observe(v);
+                    inflight[w].push_back(v);
                     net.send(
                         w,
                         owner,
@@ -151,8 +181,8 @@ impl OwnerSerialized {
                         values[owner] = value;
                         recorders[owner].observe(value);
                         serialization.push(value);
-                        for copy in 0..n {
-                            if copy != owner {
+                        for (copy, &up) in alive.iter().enumerate() {
+                            if copy != owner && up {
                                 net.send(owner, copy, Msg::Reflected { value, writer });
                             }
                         }
@@ -162,6 +192,8 @@ impl OwnerSerialized {
                             // Rule 2: our own write came back; consume the
                             // counter, ignore the value.
                             cams[dst].decrement(WORD);
+                            let front = inflight[dst].pop_front();
+                            debug_assert_eq!(front, Some(value), "reflection out of issue order");
                         } else if cams[dst].is_pending(WORD) {
                             // Rule 3: older than our pending write; ignore.
                         } else {
@@ -172,6 +204,58 @@ impl OwnerSerialized {
                         }
                     }
                 }
+            }
+
+            // The configured crash-stop fault fires the moment enough
+            // writes have been serialized: the owner's queued traffic
+            // vanishes with it, the smallest surviving node takes over,
+            // and every survivor retransmits its still-pending writes to
+            // the successor (at-least-once re-serialization).
+            if !crashed
+                && config
+                    .failover
+                    .is_some_and(|f| serialization.len() >= f.crash_after_serialized)
+            {
+                crashed = true;
+                alive[owner] = false;
+                scripts[owner].clear();
+                inflight[owner].clear();
+                net.purge_node(owner);
+                let successor = (0..n).find(|&i| alive[i]).expect("a surviving node");
+                // The successor serializes its own unreflected writes
+                // first — they are already applied locally, so only the
+                // counters and the multicast remain.
+                while let Some(v) = inflight[successor].pop_front() {
+                    cams[successor].decrement(WORD);
+                    serialization.push(v);
+                    for (dst, &up) in alive.iter().enumerate() {
+                        if dst != successor && up {
+                            net.send(
+                                successor,
+                                dst,
+                                Msg::Reflected {
+                                    value: v,
+                                    writer: successor,
+                                },
+                            );
+                        }
+                    }
+                }
+                for w in 0..n {
+                    if w != successor && alive[w] {
+                        for &v in &inflight[w] {
+                            net.send(
+                                w,
+                                successor,
+                                Msg::ToOwner {
+                                    value: v,
+                                    writer: w,
+                                },
+                            );
+                        }
+                    }
+                }
+                owner = successor;
             }
         }
 
@@ -248,6 +332,7 @@ mod tests {
                 OwnerConfig {
                     owner: seed as usize % 6,
                     cam_entries: 2,
+                    failover: None,
                 },
             );
             assert!(out.converged(), "seed {seed}");
@@ -270,6 +355,7 @@ mod tests {
             OwnerConfig {
                 owner: 3,
                 cam_entries: 1,
+                failover: None,
             },
         );
         assert!(out.converged());
@@ -281,5 +367,97 @@ mod tests {
         let a = OwnerSerialized::run(&Scenario::random(3, 3, 1, 5));
         let b = OwnerSerialized::run(&Scenario::random(3, 3, 1, 5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owner_crash_fails_over_to_smallest_survivor() {
+        // The owner crashes mid-run; the smallest surviving node takes
+        // over serialization. Every survivor must converge on the last
+        // serialized value, every surviving writer's store must be
+        // serialized at least once, and each node's view must stay a
+        // subsequence of the (concatenated) serialization.
+        for seed in 0..64 {
+            let s = Scenario::random(4, 4, 1, seed);
+            let out = OwnerSerialized::run_with(
+                &s,
+                OwnerConfig {
+                    owner: 0,
+                    cam_entries: 4,
+                    failover: Some(OwnerFailover {
+                        crash_after_serialized: 2,
+                    }),
+                },
+            );
+            let ser = out.serialization.as_ref().unwrap();
+            let last = *ser.last().unwrap();
+            for i in 1..s.nodes {
+                assert_eq!(
+                    out.final_values[i], last,
+                    "survivor {i} diverged on seed {seed}: {out:?}"
+                );
+            }
+            assert!(
+                out.subsequence_violations().is_empty(),
+                "subsequence violation on seed {seed}: {out:?}"
+            );
+            for w in &s.writes {
+                if w.node != 0 {
+                    assert!(
+                        ser.contains(&w.value),
+                        "surviving writer {}'s store {} lost on seed {seed}",
+                        w.node,
+                        w.value
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owner_crash_replay_is_deterministic() {
+        let run = || {
+            OwnerSerialized::run_with(
+                &Scenario::random(4, 5, 2, 11),
+                OwnerConfig {
+                    owner: 2,
+                    cam_entries: 2,
+                    failover: Some(OwnerFailover {
+                        crash_after_serialized: 3,
+                    }),
+                },
+            )
+        };
+        assert_eq!(run(), run(), "crash replay diverged");
+    }
+
+    #[test]
+    fn crash_before_any_serialization_still_completes() {
+        // crash_after_serialized = 0: the owner dies on the first step;
+        // the successor serializes everything the survivors wrote.
+        let s = Scenario {
+            nodes: 3,
+            writes: vec![
+                ScriptedWrite { node: 1, value: 7 },
+                ScriptedWrite { node: 2, value: 9 },
+            ],
+            seed: 4,
+        };
+        let out = OwnerSerialized::run_with(
+            &s,
+            OwnerConfig {
+                owner: 0,
+                cam_entries: 4,
+                failover: Some(OwnerFailover {
+                    crash_after_serialized: 0,
+                }),
+            },
+        );
+        let mut ser = out.serialization.clone().unwrap();
+        ser.sort_unstable();
+        ser.dedup();
+        assert_eq!(ser, vec![7, 9], "a survivor's write was lost");
+        let last = *out.serialization.as_ref().unwrap().last().unwrap();
+        assert_eq!(out.final_values[1], last);
+        assert_eq!(out.final_values[2], last);
     }
 }

@@ -30,6 +30,7 @@ fn owner_protocol_invariants() {
             OwnerConfig {
                 owner: owner_pick % s.nodes,
                 cam_entries: cam,
+                failover: None,
             },
         );
         assert!(out.converged(), "{out:?}");

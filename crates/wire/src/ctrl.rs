@@ -17,6 +17,7 @@
 
 use std::hash::{Hash, Hasher};
 
+use crate::ids::NodeId;
 use crate::msg::Fnv1a;
 
 /// The control-plane message set of the link-level reliability
@@ -57,6 +58,28 @@ pub enum CtrlMsg {
         /// Total frames the receiver has drained from its FIFO.
         drained: u64,
     },
+    /// Liveness beacon originated by a workstation HIB and flooded by
+    /// switches out every port except the ingress (per-origin sequence
+    /// numbers dedupe the flood on cyclic topologies). Heartbeats are
+    /// ordinary control traffic: the fault injector drops them on links
+    /// into a crashed fault domain, which is exactly how silence — and
+    /// therefore failure detection — propagates.
+    Heartbeat {
+        /// The workstation that originated this beacon.
+        origin: NodeId,
+        /// Monotone per-origin beacon number (dedupes flood copies).
+        seq: u64,
+    },
+    /// Link-epoch reset, sent by a transmit port reviving after its
+    /// peer was declared dead and came back: "forget everything before
+    /// `next`". The receiver reseats its expected sequence number at
+    /// `next`, flushes any parked reorder frames, and zeroes its drain
+    /// counter so post-revival credit resyncs account only the new
+    /// epoch. Idempotent: re-applying the same reset is harmless.
+    Reset {
+        /// The first link sequence number of the new epoch.
+        next: u64,
+    },
 }
 
 impl CtrlMsg {
@@ -67,6 +90,8 @@ impl CtrlMsg {
             CtrlMsg::Nack { .. } => "nack",
             CtrlMsg::SyncReq { .. } => "sync-req",
             CtrlMsg::SyncAck { .. } => "sync-ack",
+            CtrlMsg::Heartbeat { .. } => "heartbeat",
+            CtrlMsg::Reset { .. } => "reset",
         }
     }
 }
@@ -135,6 +160,11 @@ mod tests {
                 token: 1,
                 drained: 42,
             },
+            CtrlMsg::Heartbeat {
+                origin: NodeId::new(3),
+                seq: 9,
+            },
+            CtrlMsg::Reset { next: 17 },
         ];
         for msg in msgs {
             let mut f = CtrlFrame::seal(msg);

@@ -47,9 +47,18 @@ pub enum WireMsg {
         addr: GOffset,
         /// The 64-bit datum.
         val: u64,
+        /// Idempotency tag echoed in the `WriteAck`. A timed-out write
+        /// is retried with the *same* tag; the home HIB dedupes recently
+        /// applied tags per source so a retry after a lost ack re-acks
+        /// without re-applying the store.
+        tag: u32,
     },
-    /// Acknowledgement of a `WriteReq` (feeds the outstanding-op counters).
-    WriteAck,
+    /// Acknowledgement of a `WriteReq`/`MulticastWrite` (feeds the
+    /// outstanding-op registry).
+    WriteAck {
+        /// Tag from the request being acknowledged.
+        tag: u32,
+    },
     /// Blocking remote read of the word at `addr`.
     ReadReq {
         /// Source offset in the home node's shared segment.
@@ -131,6 +140,8 @@ pub enum WireMsg {
         addr: GOffset,
         /// New value.
         val: u64,
+        /// Idempotency tag (same discipline as [`WireMsg::WriteReq`]).
+        tag: u32,
     },
     /// VSM baseline: request a whole page image.
     PageFetchReq {
@@ -190,8 +201,8 @@ impl WireMsg {
     /// [`TimingConfig`](crate::TimingConfig).
     pub fn payload_bytes(&self) -> u32 {
         match self {
-            WireMsg::WriteReq { .. } => 14,
-            WireMsg::WriteAck => 2,
+            WireMsg::WriteReq { .. } => 18,
+            WireMsg::WriteAck { .. } => 6,
             WireMsg::ReadReq { .. } => 10,
             WireMsg::ReadResp { .. } => 12,
             WireMsg::AtomicReq { .. } => 26,
@@ -200,7 +211,7 @@ impl WireMsg {
             WireMsg::CopyData { vals, .. } => 8 + 8 * vals.len() as u32,
             WireMsg::UpdateToOwner { .. } => 16,
             WireMsg::ReflectedWrite { .. } => 16,
-            WireMsg::MulticastWrite { .. } => 14,
+            WireMsg::MulticastWrite { .. } => 18,
             WireMsg::PageFetchReq { .. } => 8,
             WireMsg::PageData { vals, .. } => 8 + 8 * vals.len() as u32,
             WireMsg::InvalidateReq { .. } => 6,
@@ -215,7 +226,7 @@ impl WireMsg {
     pub fn kind_str(&self) -> &'static str {
         match self {
             WireMsg::WriteReq { .. } => "write_req",
-            WireMsg::WriteAck => "write_ack",
+            WireMsg::WriteAck { .. } => "write_ack",
             WireMsg::ReadReq { .. } => "read_req",
             WireMsg::ReadResp { .. } => "read_resp",
             WireMsg::AtomicReq { .. } => "atomic_req",
@@ -385,8 +396,9 @@ mod tests {
         let p = packet(WireMsg::WriteReq {
             addr: GOffset::new(8),
             val: 1,
+            tag: 1,
         });
-        assert_eq!(p.size_bytes(), HEADER_BYTES + 14);
+        assert_eq!(p.size_bytes(), HEADER_BYTES + 18);
     }
 
     #[test]
@@ -416,7 +428,8 @@ mod tests {
     fn posted_classification() {
         assert!(WireMsg::WriteReq {
             addr: GOffset::new(0),
-            val: 0
+            val: 0,
+            tag: 0
         }
         .is_posted());
         assert!(WireMsg::ReflectedWrite {
@@ -430,7 +443,7 @@ mod tests {
             tag: 0
         }
         .is_posted());
-        assert!(!WireMsg::WriteAck.is_posted());
+        assert!(!WireMsg::WriteAck { tag: 0 }.is_posted());
     }
 
     #[test]
@@ -438,6 +451,7 @@ mod tests {
         let mut p = packet(WireMsg::WriteReq {
             addr: GOffset::new(8),
             val: 42,
+            tag: 3,
         });
         p.link_seq = 7;
         p.seal();
@@ -447,6 +461,7 @@ mod tests {
         bad.msg = WireMsg::WriteReq {
             addr: GOffset::new(8),
             val: 43,
+            tag: 3,
         };
         assert!(!bad.checksum_ok());
         // Checksum-field corruption is caught.
@@ -461,6 +476,7 @@ mod tests {
         let mut again = packet(WireMsg::WriteReq {
             addr: GOffset::new(8),
             val: 42,
+            tag: 3,
         });
         again.link_seq = 7;
         again.seal();

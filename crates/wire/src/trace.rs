@@ -113,6 +113,16 @@ pub enum Stage {
     /// closes when a credit arrives), so attribution can classify the
     /// queue time that follows as credit-stall rather than arbitration.
     CreditStall,
+    /// A node's failure detector declared a peer dead (heartbeat silence
+    /// exceeded the phi/timeout threshold). The trace id encodes the
+    /// *declared-dead peer* and the per-observer verdict count; the site
+    /// is the observing node. `simtrace --check` reconciles these
+    /// verdicts against the fault plan's crash/outage windows.
+    PeerDown,
+    /// A node's failure detector saw heartbeats resume from a peer it
+    /// had declared dead. Same id/site convention as
+    /// [`Stage::PeerDown`].
+    PeerUp,
 }
 
 impl Stage {
@@ -130,6 +140,8 @@ impl Stage {
             Stage::Retransmit => "retransmit",
             Stage::CreditResync => "credit-resync",
             Stage::CreditStall => "credit-stall",
+            Stage::PeerDown => "peer-down",
+            Stage::PeerUp => "peer-up",
         }
     }
 }

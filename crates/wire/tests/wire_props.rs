@@ -55,8 +55,9 @@ fn packet_size_is_header_plus_payload() {
             WireMsg::WriteReq {
                 addr: GOffset::new(addr),
                 val,
+                tag: 1,
             },
-            WireMsg::WriteAck,
+            WireMsg::WriteAck { tag: 1 },
             WireMsg::ReadReq {
                 addr: GOffset::new(addr),
                 tag: 1,
@@ -125,8 +126,16 @@ fn posted_messages_are_exactly_the_unacked_writes() {
         let n = NodeId::new(3);
         // Posted (covered by outstanding counters, no direct reply):
         for m in [
-            WireMsg::WriteReq { addr: g, val },
-            WireMsg::MulticastWrite { addr: g, val },
+            WireMsg::WriteReq {
+                addr: g,
+                val,
+                tag: 0,
+            },
+            WireMsg::MulticastWrite {
+                addr: g,
+                val,
+                tag: 0,
+            },
             WireMsg::UpdateToOwner {
                 addr: g,
                 val,
@@ -144,7 +153,7 @@ fn posted_messages_are_exactly_the_unacked_writes() {
         for m in [
             WireMsg::ReadReq { addr: g, tag: 0 },
             WireMsg::ReadResp { tag: 0, val },
-            WireMsg::WriteAck,
+            WireMsg::WriteAck { tag: 0 },
             WireMsg::PageFetchReq { page: 0, tag: 0 },
             WireMsg::OsCtl {
                 kind: 1,

@@ -193,6 +193,7 @@ fn ping_pong_net_inner(reliable: bool) -> (u64, u64) {
         let msg = WireMsg::WriteReq {
             addr: GOffset::new(i * 8),
             val: i,
+            tag: 0,
         };
         engine
             .get_mut::<SourceSink>(ids[0])

@@ -15,6 +15,16 @@
 //! hard-fails if selective retransmit does not beat go-back-N on
 //! retransmitted bytes at drop rates ≥ 5%.
 //!
+//! A crash-stop campaign follows (E20): node crash, crash + restart, a
+//! routed-around switch outage and a disconnecting partition, per
+//! discipline. Every scenario must be *detected* (heartbeat conviction),
+//! *survived* (survivors complete; in-flight ops to the dead fail
+//! structurally; a disconnecting cut is named as a partition) and
+//! *replayed bit for bit* under the same seed; detection and recovery
+//! latency go through p50/p99 log-histograms into the report. A final
+//! gate bounds heartbeat overhead on the zero-fault reliable ping-pong
+//! workload at 2% of mean remote-op latency.
+//!
 //! Usage: `simfault [--seeds N] [--sweep-seeds N] [--report FILE]`
 //! (default 3 matrix seeds, 10 sweep seeds per point). `--report`
 //! writes a `tg-report-v1` JSON document with the per-run recovery
@@ -26,10 +36,12 @@ use std::process::ExitCode;
 
 use telegraphos::{
     Action, Cluster, ClusterBuilder, FaultPlan, LinkId, RelParams, RetxMode, Script, SharedPage,
+    Topology,
 };
+use telegraphos_suite::harness::{self, HarnessOptions};
 use tg_analyze::{Json, SCHEMA};
-use tg_sim::{LogHistogram, SimTime};
-use tg_wire::trace::Site;
+use tg_sim::{LogHistogram, RunLimit, SimTime};
+use tg_wire::trace::{Site, Stage};
 use tg_wire::NodeId;
 
 const NODES: u16 = 3;
@@ -145,6 +157,186 @@ fn scenario_plan(name: &str, seed: u64) -> FaultPlan {
             .ctrl_corrupt(0.25)
             .credit_loss(0.1),
         other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// The crash-stop fault domains: a permanent node crash, a crash with a
+/// later restart, a switch outage the ring routes around, and a chain cut
+/// that disconnects the fabric.
+const CRASH_SCENARIOS: [&str; 4] = ["crash", "crashrestart", "switchout", "partition"];
+
+/// What a crash-stop run is judged and replay-compared on.
+struct CrashOutcome {
+    completed: bool,
+    finished_at: SimTime,
+    /// First heartbeat conviction after the crash window opened, in ns.
+    detect_ns: Option<u64>,
+    peer_downs: u64,
+    peer_ups: u64,
+    op_failures: u64,
+    partition: Vec<u16>,
+    violations: Vec<String>,
+    fingerprint: String,
+}
+
+/// The crash-campaign workload: rounds of write / compute / read against
+/// one page, sized to straddle the scenario's crash window.
+fn pound(page: &SharedPage, rounds: u64) -> Script {
+    let mut acts = Vec::new();
+    for i in 0..rounds {
+        acts.push(Action::Write(page.va((i % 16) * 8), i + 1));
+        acts.push(Action::Compute(SimTime::from_us(20)));
+        acts.push(Action::Read(page.va((i % 16) * 8)));
+    }
+    Script::new(acts)
+}
+
+/// One crash-stop run. `seed: None` builds the fault-free reference for
+/// the same workload, topology and discipline, driven identically, so
+/// finish-time deltas isolate what the crash cost.
+fn crash_run(scenario: &str, mode: RetxMode, seed: Option<u64>) -> CrashOutcome {
+    let params = RelParams::with_mode(mode);
+    let faulted = seed.is_some();
+    let seedv = seed.unwrap_or(0);
+    let crash_from;
+    let mut cluster = match scenario {
+        "crash" | "crashrestart" => {
+            crash_from = SimTime::from_us(200);
+            let mut plan = FaultPlan::new(seedv).node_crash(NodeId::new(1), crash_from);
+            let rounds = if scenario == "crashrestart" {
+                plan = plan.node_restart(NodeId::new(1), SimTime::from_us(2_500));
+                200
+            } else {
+                60
+            };
+            let mut b = ClusterBuilder::new(3).reliable_links(params);
+            if faulted {
+                b = b.with_faults(plan);
+            }
+            let mut cluster = b.build();
+            let victim_page = cluster.alloc_shared(1);
+            let survivor_page = cluster.alloc_shared(0);
+            cluster.set_process(0, pound(&victim_page, rounds));
+            cluster.set_process(2, pound(&survivor_page, 40));
+            cluster
+        }
+        "switchout" => {
+            crash_from = SimTime::from_us(100);
+            let plan = FaultPlan::new(seedv).switch_outage(1, crash_from, SimTime::from_ms(100));
+            let mut b = ClusterBuilder::new(4)
+                .topology(Topology::ring(4))
+                .reliable_links(params);
+            if faulted {
+                b = b.with_faults(plan);
+            }
+            let mut cluster = b.build();
+            let page = cluster.alloc_shared(2);
+            let mut acts = Vec::new();
+            for i in 0..30u64 {
+                acts.push(Action::Write(page.va((i % 16) * 8), 1000 + i));
+                acts.push(Action::Compute(SimTime::from_us(25)));
+            }
+            acts.push(Action::Fence);
+            cluster.set_process(0, Script::new(acts));
+            cluster
+        }
+        "partition" => {
+            crash_from = SimTime::from_us(50);
+            let plan = FaultPlan::new(seedv).switch_outage(1, crash_from, SimTime::from_ms(500));
+            let mut b = ClusterBuilder::new(3)
+                .topology(Topology::chain(3))
+                .reliable_links(params);
+            if faulted {
+                b = b.with_faults(plan);
+            }
+            let mut cluster = b.build();
+            let page = cluster.alloc_shared(2);
+            cluster.set_process(0, pound(&page, 20));
+            cluster
+        }
+        other => panic!("unknown crash scenario {other}"),
+    };
+    let collector = cluster.enable_tracing();
+    let mut partition = Vec::new();
+    let completed = if scenario == "partition" && faulted {
+        // Recovery is impossible across a disconnecting cut: the run must
+        // degrade into a structured report naming the partition.
+        cluster.enable_heartbeats();
+        match cluster.run_watchdog(SimTime::from_us(300)) {
+            Err(report) => {
+                partition = report.partition.iter().map(|n| n.raw()).collect();
+                !partition.is_empty()
+            }
+            Ok(_) => false,
+        }
+    } else {
+        cluster.enable_heartbeats();
+        let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(100));
+        outcome != RunLimit::Deadline && cluster.node(0).halted()
+    };
+    let detect_ns = faulted
+        .then(|| {
+            collector
+                .packet_events()
+                .iter()
+                .filter(|e| e.stage == Stage::PeerDown && e.at >= crash_from)
+                .map(|e| e.at.saturating_sub(crash_from).as_ps() / 1_000)
+                .min()
+        })
+        .flatten();
+    let (mut peer_downs, mut peer_ups, mut op_failures) = (0u64, 0u64, 0u64);
+    let mut stats = Vec::new();
+    for i in 0..cluster.node_count() {
+        let st = cluster.node(i).stats();
+        peer_downs += st.peer_downs;
+        peer_ups += st.peer_ups;
+        op_failures += st.op_failures;
+        stats.push(format!("{st:?}"));
+    }
+    // The conservation audit is meant for quiescence; a partition run is
+    // stopped mid-flight by the watchdog, so its books stay open.
+    let violations = if scenario == "partition" {
+        Vec::new()
+    } else {
+        cluster.conservation_violations()
+    };
+    let fingerprint = format!(
+        "{:?}|{}|{}|{:?}|{:?}|{:?}",
+        cluster.now(),
+        cluster.fabric_packets(),
+        cluster.fabric_retransmits(),
+        detect_ns,
+        partition,
+        stats,
+    );
+    CrashOutcome {
+        completed,
+        finished_at: cluster.now(),
+        detect_ns,
+        peer_downs,
+        peer_ups,
+        op_failures,
+        partition,
+        violations,
+        fingerprint,
+    }
+}
+
+/// Count-weighted mean latency of the remote operation classes, in µs —
+/// the metric the heartbeat-overhead gate compares.
+fn mean_op_latency(cluster: &Cluster) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for i in 0..cluster.node_count() {
+        let st = cluster.node(i).stats();
+        for s in [&st.remote_writes, &st.remote_reads, &st.atomics] {
+            sum += s.mean() * s.count() as f64;
+            n += s.count();
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
     }
 }
 
@@ -345,6 +537,163 @@ fn main() -> ExitCode {
                  go-back-N {gbn} — selective retransmit is not paying for itself"
             );
         }
+    }
+
+    // ---- Crash-stop campaign -------------------------------------------
+    //
+    // Node crashes, crash+restart, a routed-around switch outage and a
+    // disconnecting partition, per retransmit discipline: every scenario
+    // must detect the failure (heartbeat conviction), resolve or route
+    // around it, and replay bit for bit under the same seed. Detection
+    // and recovery latency go through log-scale histograms.
+    println!();
+    println!("crash-stop campaign ({n_seeds} seeds per scenario x discipline):");
+    println!(
+        "{:<13} {:>5} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}  status",
+        "scenario", "mode", "downs", "ups", "opfail", "det p50", "det p99", "rec p50", "rec p99"
+    );
+    for scenario in CRASH_SCENARIOS {
+        for &(mode_name, mode) in MODES.iter() {
+            let reference = (scenario != "partition").then(|| crash_run(scenario, mode, None));
+            let ref_finish = reference.as_ref().map(|r| r.finished_at);
+            let mut detect = LogHistogram::new();
+            let mut recover = LogHistogram::new();
+            let (mut downs, mut ups, mut opfails) = (0u64, 0u64, 0u64);
+            let mut ok = true;
+            for s in 0..n_seeds {
+                let seed = 0xC8A5_0001 + 0x915 * s;
+                let r = crash_run(scenario, mode, Some(seed));
+                downs += r.peer_downs;
+                ups += r.peer_ups;
+                opfails += r.op_failures;
+                let mut bad = Vec::new();
+                if !r.completed {
+                    bad.push("did not complete".to_string());
+                }
+                if !r.violations.is_empty() {
+                    bad.push(format!("conservation: {:?}", r.violations));
+                }
+                match r.detect_ns {
+                    Some(d) => detect.record(d),
+                    None => bad.push("failure never detected".to_string()),
+                }
+                if let Some(reft) = ref_finish {
+                    let rec_ns = r.finished_at.saturating_sub(reft).as_ps() / 1_000;
+                    recover.record(rec_ns);
+                    metrics.set(
+                        &format!("campaign.{scenario}.{mode_name}.seed{s}.recovery_us"),
+                        Json::Num(rec_ns as f64 / 1_000.0),
+                    );
+                }
+                match scenario {
+                    "crash" if r.op_failures == 0 => {
+                        bad.push("no structured op failure on a crashed peer".to_string());
+                    }
+                    "crashrestart" if r.peer_ups == 0 => {
+                        bad.push("restart never rehabilitated the peer".to_string());
+                    }
+                    "partition" if r.partition.is_empty() => {
+                        bad.push("disconnecting cut did not name the partition".to_string());
+                    }
+                    _ => {}
+                }
+                metrics.set(
+                    &format!("campaign.{scenario}.{mode_name}.seed{s}.detect_us"),
+                    Json::Num(r.detect_ns.unwrap_or(0) as f64 / 1_000.0),
+                );
+                if !bad.is_empty() {
+                    failures += 1;
+                    ok = false;
+                    for b in bad {
+                        eprintln!("  campaign {scenario}/{mode_name}/seed{s}: {b}");
+                    }
+                }
+            }
+            // Replay gate: the same seeded schedule must reproduce the
+            // run bit for bit — memory, counters, verdicts and times.
+            let a = crash_run(scenario, mode, Some(0xC8A5_0001));
+            let b = crash_run(scenario, mode, Some(0xC8A5_0001));
+            if a.fingerprint != b.fingerprint {
+                failures += 1;
+                ok = false;
+                eprintln!("  campaign {scenario}/{mode_name}: seeded replay diverged");
+                eprintln!("    first : {}", a.fingerprint);
+                eprintln!("    second: {}", b.fingerprint);
+            }
+            let q = |h: &LogHistogram, p: f64| h.quantile(p) as f64 / 1_000.0;
+            for (leaf, v) in [
+                ("detect_p50_us", q(&detect, 0.50)),
+                ("detect_p99_us", q(&detect, 0.99)),
+                ("recovery_p50_us", q(&recover, 0.50)),
+                ("recovery_p99_us", q(&recover, 0.99)),
+            ] {
+                metrics.set(
+                    &format!("campaign.{scenario}.{mode_name}.{leaf}"),
+                    Json::Num(v),
+                );
+            }
+            println!(
+                "{:<13} {:>5} {:>6} {:>6} {:>6} {:>9.1}u {:>9.1}u {:>9.1}u {:>9.1}u  {}",
+                scenario,
+                mode_name,
+                downs,
+                ups,
+                opfails,
+                q(&detect, 0.50),
+                q(&detect, 0.99),
+                q(&recover, 0.50),
+                q(&recover, 0.99),
+                if ok { "ok" } else { "FAIL" }
+            );
+        }
+    }
+
+    // Heartbeat overhead gate: on the zero-fault reliable ping-pong
+    // workload, running the failure detector must cost at most 2% on the
+    // mean remote-operation latency.
+    let base = {
+        let opts = HarnessOptions {
+            reliable: true,
+            ..HarnessOptions::default()
+        };
+        let mut c = harness::build_pingpong(&opts);
+        assert!(
+            harness::run_cluster(&mut c, &opts),
+            "baseline pingpong wedged"
+        );
+        mean_op_latency(&c)
+    };
+    let with_hb = {
+        let opts = HarnessOptions {
+            reliable: true,
+            heartbeats: true,
+            ..HarnessOptions::default()
+        };
+        let mut c = harness::build_pingpong(&opts);
+        assert!(
+            harness::run_cluster(&mut c, &opts),
+            "heartbeat pingpong wedged"
+        );
+        mean_op_latency(&c)
+    };
+    let overhead = (with_hb - base) / base;
+    metrics.set(
+        "campaign.heartbeat_overhead_pct",
+        Json::Num(overhead * 100.0),
+    );
+    println!();
+    println!(
+        "heartbeat overhead on zero-fault ping-pong: {:.3}us -> {:.3}us ({:+.2}%)",
+        base,
+        with_hb,
+        overhead * 100.0
+    );
+    if overhead > 0.02 {
+        failures += 1;
+        eprintln!(
+            "simfault: heartbeat overhead {:.2}% exceeds the 2% budget",
+            overhead * 100.0
+        );
     }
 
     if let Some(path) = report_path {

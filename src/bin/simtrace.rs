@@ -10,6 +10,8 @@
 //!          [--interval-us U] [--check] [--quiet]
 //!          [--reliable] [--sack] [--drop P] [--corrupt P]
 //!          [--ctrl-drop P] [--ctrl-corrupt P] [--fault-seed S]
+//!          [--heartbeats] [--crash NODE,AT_US] [--restart AT_US]
+//!          [--switch-out S,FROM_US,UNTIL_US]
 //! ```
 //!
 //! * `pingpong` (default) — every node stores into, fences on, reads from
@@ -27,6 +29,12 @@
 //!   control plane instead: acks, nacks and credit-resync handshakes
 //!   are lost or checksum-corrupted in flight. `--sack` switches the
 //!   retransmit discipline from go-back-N to selective retransmit.
+//! * `--heartbeats` — run per-link heartbeat failure detection during the
+//!   workload; `--crash NODE,AT_US` crashes a workstation mid-run
+//!   (permanent unless `--restart AT_US` closes the window) and
+//!   `--switch-out S,FROM_US,UNTIL_US` silences a whole switch on a ring
+//!   fabric. Crash-stop flags imply `--reliable --heartbeats`, and the
+//!   trace gains `peer-down` / `peer-up` verdict points.
 //! * `--check` — verify the export: the JSON is well-formed, timestamps
 //!   are monotonically non-decreasing per track, per-stage breakdowns
 //!   sum exactly to the end-to-end latencies in `NodeStats`, and the
@@ -36,7 +44,11 @@
 //!   events == resync probes issued + resyncs applied, control-frame
 //!   checksum discards == injector control corruptions, no drops traced
 //!   on a lossless run, conservation intact). Exits non-zero on any
-//!   violation.
+//!   violation. Under a crash-stop plan the masking checks give way to
+//!   verdict reconciliation: every traced `peer-down` names a site inside
+//!   a declared crash window, every `peer-up` follows a declared restart,
+//!   a declared crash produced at least one verdict, and a crash-free run
+//!   traced no verdicts at all.
 //!
 //! Dependency-free by design (hand-rolled JSON both ways) so it runs in
 //! offline/vendored environments.
@@ -47,10 +59,10 @@ use std::process::ExitCode;
 use telegraphos::observe::{
     breakdown_report, chrome_events, chrome_trace_json, json_is_wellformed, ChromeEvent,
 };
-use telegraphos::{Cluster, RetxMode, TraceCollector};
+use telegraphos::{Cluster, CrashWindow, RetxMode, TraceCollector};
 use telegraphos_suite::harness::{self, HarnessOptions, StencilCheck};
 use tg_sim::{MetricsRegistry, SimTime};
-use tg_wire::trace::{OpKind, Stage};
+use tg_wire::trace::{OpKind, PacketEvent, Site, Stage};
 
 struct Options {
     workload: String,
@@ -67,6 +79,10 @@ struct Options {
     ctrl_drop: f64,
     ctrl_corrupt: f64,
     fault_seed: u64,
+    heartbeats: bool,
+    crash: Option<(u16, u64)>,
+    restart_us: Option<u64>,
+    switch_out: Option<(u16, u64, u64)>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -85,6 +101,10 @@ fn parse_args() -> Result<Options, String> {
         ctrl_drop: 0.0,
         ctrl_corrupt: 0.0,
         fault_seed: 0xFA_0001,
+        heartbeats: false,
+        crash: None,
+        restart_us: None,
+        switch_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -124,6 +144,37 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--fault-seed needs a value")?;
                 opts.fault_seed = v.parse().map_err(|_| format!("bad --fault-seed {v}"))?;
             }
+            "--heartbeats" => opts.heartbeats = true,
+            "--crash" => {
+                let v = args.next().ok_or("--crash needs NODE,AT_US")?;
+                let parts: Vec<_> = v.split(',').collect();
+                let parsed = (parts.len() == 2)
+                    .then(|| Some((parts[0].parse().ok()?, parts[1].parse().ok()?)))
+                    .flatten();
+                opts.crash = Some(parsed.ok_or(format!("bad --crash {v} (want NODE,AT_US)"))?);
+            }
+            "--restart" => {
+                let v = args.next().ok_or("--restart needs AT_US")?;
+                opts.restart_us = Some(v.parse().map_err(|_| format!("bad --restart {v}"))?);
+            }
+            "--switch-out" => {
+                let v = args
+                    .next()
+                    .ok_or("--switch-out needs SWITCH,FROM_US,UNTIL_US")?;
+                let parts: Vec<_> = v.split(',').collect();
+                let parsed = (parts.len() == 3)
+                    .then(|| {
+                        Some((
+                            parts[0].parse().ok()?,
+                            parts[1].parse().ok()?,
+                            parts[2].parse().ok()?,
+                        ))
+                    })
+                    .flatten();
+                opts.switch_out = Some(parsed.ok_or(format!(
+                    "bad --switch-out {v} (want SWITCH,FROM_US,UNTIL_US)"
+                ))?);
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -138,6 +189,24 @@ fn parse_args() -> Result<Options, String> {
     // Injected faults without link-level recovery would wedge the workload.
     if opts.drop > 0.0 || opts.corrupt > 0.0 || opts.ctrl_drop > 0.0 || opts.ctrl_corrupt > 0.0 {
         opts.reliable = true;
+    }
+    // Crash-stop windows need the reliability layer (detection and
+    // structured op failure both live there) and a stepped run that
+    // periodic metrics sampling does not support.
+    if opts.crash.is_some() || opts.switch_out.is_some() {
+        opts.reliable = true;
+        opts.heartbeats = true;
+        if opts.metrics {
+            return Err("--metrics cannot be combined with --crash/--switch-out".to_string());
+        }
+    }
+    if opts.restart_us.is_some() && opts.crash.is_none() {
+        return Err("--restart needs --crash".to_string());
+    }
+    if let Some((s, _, _)) = opts.switch_out {
+        if s >= opts.nodes {
+            return Err("--switch-out switch index out of range (ring has one per node)".into());
+        }
     }
     Ok(opts)
 }
@@ -157,6 +226,10 @@ impl Options {
                 RetxMode::GoBackN
             },
             fault_seed: self.fault_seed,
+            heartbeats: self.heartbeats,
+            crash: self.crash,
+            restart_us: self.restart_us,
+            switch_out: self.switch_out,
         }
     }
 }
@@ -183,6 +256,22 @@ fn check_export(
             ));
         }
         *t = ev.ts_us;
+    }
+    let packets = collector.packet_events();
+    let windows = cluster
+        .fault_plan()
+        .map(|p| p.crash_windows().to_vec())
+        .unwrap_or_default();
+    // The masking reconciliations below assume every fault is recovered
+    // from; a crash-stop plan deliberately breaks that (ops fail
+    // structurally, frames are abandoned to dead incarnations), so those
+    // checks only run on crash-free plans. Crash runs get the peer-verdict
+    // reconciliation at the end instead.
+    let crashy = !windows.is_empty();
+    if crashy {
+        check_peer_verdicts(&windows, &packets, &mut problems);
+        problems.extend(cluster.conservation_violations());
+        return problems;
     }
     // Per-stage breakdowns telescope to the op's end-to-end window.
     for b in collector.breakdowns() {
@@ -238,7 +327,6 @@ fn check_export(
     // injector killed shows up as a dropped lifecycle point, and a
     // lossless run traces no drops at all. Either way, a drained fabric
     // must still conserve credits and packets.
-    let packets = collector.packet_events();
     let stage_count = |stage: Stage| packets.iter().filter(|e| e.stage == stage).count() as u64;
     let retx = stage_count(Stage::Retransmit);
     if retx != cluster.fabric_retransmits() {
@@ -301,8 +389,85 @@ fn check_export(
              injector corrupted {ctrl_corrupts}"
         ));
     }
+    // No crash windows were declared, so no peer may have been convicted:
+    // a peer-down verdict on a healthy fabric is a false conviction.
+    let false_convictions = stage_count(Stage::PeerDown);
+    if false_convictions > 0 {
+        problems.push(format!(
+            "{false_convictions} peer-down verdict(s) traced with no crash window declared"
+        ));
+    }
     problems.extend(cluster.conservation_violations());
     problems
+}
+
+/// Reconciles traced peer-down / peer-up verdicts against the injector's
+/// declared crash schedule: every conviction names a site the plan could
+/// actually have silenced, no earlier than its window opens (a dead
+/// *switch* cuts node↔node heartbeat paths, so node verdicts during a
+/// switch window are legitimate indirect observations); every
+/// rehabilitation follows a closed window; and a crash window the run
+/// straddled produced at least one conviction.
+fn check_peer_verdicts(
+    windows: &[CrashWindow],
+    packets: &[PacketEvent],
+    problems: &mut Vec<String>,
+) {
+    // Switch peers ride in the trace id with the top bit set (node ids
+    // stay below it); see the switch-side `emit_peer`.
+    let peer_of = |ev: &PacketEvent| -> Site {
+        let raw = ev.trace.src().raw();
+        if raw & 0x8000 != 0 {
+            Site::Switch(raw & 0x7fff)
+        } else {
+            Site::Node(tg_wire::NodeId::new(raw))
+        }
+    };
+    // A window explains a verdict about `peer` observed from `from` if it
+    // names the peer itself, the observer (a crashed workstation's world
+    // goes dark: its own detector convicts everyone, then rehabilitates
+    // them after its restart), or a switch (whose silence severs paths
+    // between arbitrary node pairs).
+    let explains = |w: &CrashWindow, peer: Site, observer: Site| -> bool {
+        w.site == peer || w.site == observer || matches!(w.site, Site::Switch(_))
+    };
+    let mut convictions = 0u64;
+    for ev in packets.iter().filter(|e| e.stage == Stage::PeerDown) {
+        let peer = peer_of(ev);
+        convictions += 1;
+        if !windows
+            .iter()
+            .any(|w| explains(w, peer, ev.site) && ev.at >= w.from)
+        {
+            problems.push(format!(
+                "peer-down verdict for {peer:?} at {} matches no declared crash window",
+                ev.at
+            ));
+        }
+    }
+    for ev in packets.iter().filter(|e| e.stage == Stage::PeerUp) {
+        let peer = peer_of(ev);
+        if !windows
+            .iter()
+            .any(|w| explains(w, peer, ev.site) && w.until != SimTime::MAX && ev.at >= w.until)
+        {
+            problems.push(format!(
+                "peer-up verdict for {peer:?} at {} precedes any declared restart",
+                ev.at
+            ));
+        }
+    }
+    // Only demand a conviction when the fabric was still carrying traffic
+    // once the window opened — a crash scheduled after quiescence (or
+    // after heartbeats stopped) convicts no one, and that is correct.
+    let straddled = windows.iter().any(|w| {
+        packets
+            .iter()
+            .any(|ev| ev.at >= w.from && !matches!(ev.stage, Stage::PeerDown | Stage::PeerUp))
+    });
+    if convictions == 0 && straddled {
+        problems.push("a crash was declared but no peer-down verdict was traced".to_string());
+    }
 }
 
 fn main() -> ExitCode {
@@ -324,20 +489,26 @@ fn main() -> ExitCode {
     };
     let collector = cluster.enable_tracing();
 
+    let hopts = opts.harness();
     let mut metrics = MetricsRegistry::new();
     if opts.metrics {
         cluster.run_sampled(SimTime::from_us(opts.interval_us), &mut metrics);
-    } else {
-        cluster.run();
-    }
-    if !cluster.all_halted() {
+        if !cluster.all_halted() {
+            eprintln!("simtrace: workload deadlocked");
+            return ExitCode::FAILURE;
+        }
+    } else if !harness::run_cluster(&mut cluster, &hopts) {
         eprintln!("simtrace: workload deadlocked");
         return ExitCode::FAILURE;
     }
-    if let Some(check) = &stencil_check {
-        if let Err(e) = harness::verify_stencil(&cluster, check) {
-            eprintln!("simtrace: {e}");
-            return ExitCode::FAILURE;
+    // Under a crash-stop plan only the survivors' results are checkable,
+    // so the stencil cross-check (which needs every strip) is skipped.
+    if !hopts.any_crash() {
+        if let Some(check) = &stencil_check {
+            if let Err(e) = harness::verify_stencil(&cluster, check) {
+                eprintln!("simtrace: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

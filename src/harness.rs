@@ -8,9 +8,10 @@
 //! byte-for-byte the same cluster.
 
 use telegraphos::{
-    Action, Cluster, ClusterBuilder, FaultPlan, RelParams, RetxMode, Script, SharedPage,
+    Action, Cluster, ClusterBuilder, FaultPlan, RelParams, RetxMode, Script, SharedPage, Topology,
 };
-use tg_sim::SimTime;
+use tg_sim::{RunLimit, SimTime};
+use tg_wire::NodeId;
 use tg_workloads::{jacobi_reference, JacobiShared, JacobiWorker};
 
 /// Reliability / fault-injection knobs shared by every harness workload.
@@ -34,6 +35,20 @@ pub struct HarnessOptions {
     pub mode: RetxMode,
     /// Fault-injector seed.
     pub fault_seed: u64,
+    /// Run per-link heartbeats (crash-stop failure detection) during the
+    /// workload. Implied by any crash-stop fault below — a crashed peer
+    /// can only be convicted, and blocked ops only resolved, by the
+    /// detector.
+    pub heartbeats: bool,
+    /// Crash workstation `(node, at_us)`. Permanent unless `restart_us`
+    /// closes the window.
+    pub crash: Option<(u16, u64)>,
+    /// Restart time (µs) closing the crash window of [`Self::crash`].
+    pub restart_us: Option<u64>,
+    /// Take switch `(s, from_us, until_us)` out — crash-stop silence on
+    /// every link touching it. Switches the fabric to a ring of one
+    /// switch per node so surviving routes exist to recompute onto.
+    pub switch_out: Option<(u16, u64, u64)>,
 }
 
 impl Default for HarnessOptions {
@@ -47,33 +62,77 @@ impl Default for HarnessOptions {
             ctrl_corrupt: 0.0,
             mode: RetxMode::GoBackN,
             fault_seed: 0xFA_0001,
+            heartbeats: false,
+            crash: None,
+            restart_us: None,
+            switch_out: None,
         }
     }
 }
 
 impl HarnessOptions {
-    /// True if any seeded fault probability is non-zero.
+    /// True if any seeded fault probability is non-zero or a crash-stop
+    /// window is scheduled.
     pub fn any_faults(&self) -> bool {
-        self.drop > 0.0 || self.corrupt > 0.0 || self.ctrl_drop > 0.0 || self.ctrl_corrupt > 0.0
+        self.drop > 0.0
+            || self.corrupt > 0.0
+            || self.ctrl_drop > 0.0
+            || self.ctrl_corrupt > 0.0
+            || self.crash.is_some()
+            || self.switch_out.is_some()
+    }
+
+    /// True when a crash-stop window (node crash or switch outage) is
+    /// scheduled: such runs never drain on their own and must be driven
+    /// with heartbeats through [`run_cluster`].
+    pub fn any_crash(&self) -> bool {
+        self.crash.is_some() || self.switch_out.is_some()
     }
 }
 
 /// A cluster builder reflecting the reliability / fault options.
 pub fn builder(opts: &HarnessOptions) -> ClusterBuilder {
     let mut b = ClusterBuilder::new(opts.nodes);
+    if opts.switch_out.is_some() {
+        b = b.topology(Topology::ring(opts.nodes));
+    }
     if opts.reliable {
         b = b.reliable_links(RelParams::with_mode(opts.mode));
     }
     if opts.any_faults() {
-        b = b.with_faults(
-            FaultPlan::new(opts.fault_seed)
-                .drop(opts.drop)
-                .corrupt(opts.corrupt)
-                .ctrl_drop(opts.ctrl_drop)
-                .ctrl_corrupt(opts.ctrl_corrupt),
-        );
+        let mut plan = FaultPlan::new(opts.fault_seed)
+            .drop(opts.drop)
+            .corrupt(opts.corrupt)
+            .ctrl_drop(opts.ctrl_drop)
+            .ctrl_corrupt(opts.ctrl_corrupt);
+        if let Some((node, at_us)) = opts.crash {
+            plan = plan.node_crash(NodeId::new(node), SimTime::from_us(at_us));
+            if let Some(restart_us) = opts.restart_us {
+                plan = plan.node_restart(NodeId::new(node), SimTime::from_us(restart_us));
+            }
+        }
+        if let Some((s, from_us, until_us)) = opts.switch_out {
+            plan = plan.switch_outage(s, SimTime::from_us(from_us), SimTime::from_us(until_us));
+        }
+        b = b.with_faults(plan);
     }
     b
+}
+
+/// Drives `cluster` to completion the way the options demand: a plain
+/// `run()` for fault-masked workloads, a stepped heartbeat-driven run for
+/// crash-stop plans (whose event queues never drain on their own — the
+/// detector must convict the dead and fail blocked ops). Returns `true`
+/// when the surviving workload completed within the time limit.
+pub fn run_cluster(cluster: &mut Cluster, opts: &HarnessOptions) -> bool {
+    if opts.heartbeats || opts.any_crash() {
+        cluster.enable_heartbeats();
+        let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(200));
+        outcome != RunLimit::Deadline
+    } else {
+        cluster.run();
+        cluster.all_halted()
+    }
 }
 
 /// Every node writes to / fences on / reads from / atomically increments
