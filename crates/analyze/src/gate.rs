@@ -297,6 +297,33 @@ mod tests {
         assert_eq!(r.new_metrics, vec!["b.p99_ns".to_string()]);
     }
 
+    /// Reader tolerance across the v1 → v2 schema bump: a v1 baseline
+    /// (no p999 fields) gates cleanly against a v2 report whose extra
+    /// p999 metrics surface as informational `new_metrics`, and both
+    /// schema tags are accepted.
+    #[test]
+    fn v1_field_set_gates_cleanly_against_a_v2_report() {
+        use crate::report::{schema_accepted, SCHEMA, SCHEMA_V1};
+        assert!(schema_accepted(SCHEMA));
+        assert!(schema_accepted(SCHEMA_V1));
+        assert!(!schema_accepted("tg-report-v0"));
+        let base = doc(&[
+            ("campaign.crash.gbn.detect_p50_us", 140.0),
+            ("campaign.crash.gbn.detect_p99_us", 150.0),
+        ]);
+        let cur = doc(&[
+            ("campaign.crash.gbn.detect_p50_us", 140.0),
+            ("campaign.crash.gbn.detect_p99_us", 150.0),
+            ("campaign.crash.gbn.detect_p999_us", 155.0),
+        ]);
+        let r = gate_reports(&base, &cur, &Tolerances::exact());
+        assert!(r.passed(), "failures: {:?}", r.failures);
+        assert_eq!(
+            r.new_metrics,
+            vec!["campaign.crash.gbn.detect_p999_us".to_string()]
+        );
+    }
+
     #[test]
     fn overrides_and_skips_apply() {
         let base = doc(&[

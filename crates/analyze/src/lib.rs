@@ -17,7 +17,7 @@
 //!   `link.<a>-<b>.<metric>` time series and counters recorded by
 //!   `Cluster::run_sampled` into per-link usage summaries and a top-K
 //!   "hottest links" report that names the saturated hop.
-//! * [`report`] / [`gate`] — the **`tg-report-v1` JSON schema** shared by
+//! * [`report`] / [`gate`] — the **`tg-report-v2` JSON schema** shared by
 //!   `simbench`, `simfault` and `simreport`, and the CI perf-regression
 //!   gate that diffs a current report against a committed baseline with
 //!   per-metric, direction-aware tolerances.
@@ -40,4 +40,4 @@ pub use attrib::{
 };
 pub use congestion::{hottest_links, link_usage, LinkUsage};
 pub use gate::{gate_reports, Direction, GateFailure, GateResult, Tolerances};
-pub use report::{flatten, scale_matching, Json, SCHEMA};
+pub use report::{flatten, scale_matching, schema_accepted, Json, SCHEMA, SCHEMA_V1};

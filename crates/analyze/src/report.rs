@@ -1,11 +1,12 @@
-//! The `tg-report-v1` structured report and its std-only JSON model.
+//! The `tg-report-v2` structured report and its std-only JSON model.
 //!
-//! Every run binary (`simbench`, `simfault`, `simreport`) emits the same
-//! schema so the CI gate can diff any report against any baseline:
+//! Every run binary (`simbench`, `simfault`, `simreport`, `simkv`) emits
+//! the same schema so the CI gate can diff any report against any
+//! baseline:
 //!
 //! ```json
 //! {
-//!   "schema": "tg-report-v1",
+//!   "schema": "tg-report-v2",
 //!   "name": "stencil_16",
 //!   "sim_time_us": 123.4,
 //!   "metrics": { "fabric.retransmits": 0, "link.node0-switch0.tx_bytes": 4096, ... },
@@ -27,8 +28,21 @@
 
 use std::fmt::Write as _;
 
-/// Version tag every report carries in its `schema` field.
-pub const SCHEMA: &str = "tg-report-v1";
+/// Version tag every report carries in its `schema` field. v2 added
+/// `p999_us`/`p999_ns` fields to the latency and recovery summaries; the
+/// field set is otherwise a superset of v1, so readers accept both (see
+/// [`schema_accepted`]).
+pub const SCHEMA: &str = "tg-report-v2";
+
+/// The previous schema tag, still accepted by readers: a v1 report is a
+/// v2 report minus the p999 fields, and the gate treats current-only
+/// metrics as informational rather than failures.
+pub const SCHEMA_V1: &str = "tg-report-v1";
+
+/// Whether `tag` names a report schema this crate's readers understand.
+pub fn schema_accepted(tag: &str) -> bool {
+    tag == SCHEMA || tag == SCHEMA_V1
+}
 
 /// A JSON value. Objects preserve insertion order.
 #[derive(Clone, Debug, PartialEq)]

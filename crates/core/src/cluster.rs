@@ -3,8 +3,8 @@
 use tg_hib::{HibConfig, HibTick, PageMode};
 use tg_mem::{PAddr, PageFlags, VAddr};
 use tg_net::{
-    build_network_with, CreditLedger, FabricView, FaultInjector, FaultPlan, FaultStats, LinkId,
-    NetConfig, RelParams, StalledLink, Topology, Vertex,
+    build_network_with, CreditLedger, DetectParams, FabricView, FaultInjector, FaultPlan,
+    FaultStats, LinkId, NetConfig, RelParams, StalledLink, Topology, Vertex,
 };
 use tg_sim::{CompId, Engine, MetricsRegistry, ProgressMeter, RunLimit, SimTime, WatchdogOutcome};
 use tg_wire::metric;
@@ -507,12 +507,14 @@ impl Cluster {
 
     /// Maps a shared page out for eager-update multicast (§2.2.7): every
     /// store by the home lands in each consumer's local frame; consumers
-    /// read locally (read-only mapping).
+    /// read locally (read-only mapping). Returns each consumer's local
+    /// frame so services and audits can inspect the replicated copies
+    /// (see [`Cluster::read_local_frame`]).
     ///
     /// # Panics
     ///
     /// Panics if a consumer node is the home or out of range.
-    pub fn make_eager(&mut self, sp: &SharedPage, consumers: &[u16]) {
+    pub fn make_eager(&mut self, sp: &SharedPage, consumers: &[u16]) -> Vec<(NodeId, PageNum)> {
         let mut outs = Vec::new();
         for &c in consumers {
             assert!(c < self.n && NodeId::new(c) != sp.home, "bad consumer");
@@ -528,7 +530,8 @@ impl Cluster {
         let home = self.node_mut(sp.home.raw());
         home.hib_mut()
             .shared_map()
-            .set_mode(sp.home_page, PageMode::EagerMapped { outs });
+            .set_mode(sp.home_page, PageMode::EagerMapped { outs: outs.clone() });
+        outs
     }
 
     /// Converts a shared page to software VSM management (the invalidate
@@ -664,17 +667,26 @@ impl Cluster {
 
     /// Starts per-board heartbeat origination and failure detection on
     /// every node (requires reliable links built with
-    /// [`RelParams::heartbeat_every`] set, the default). Heartbeats
+    /// [`RelParams::heartbeat_every`] set, the default), with the beacon
+    /// cadence and suspicion thresholds taken from `params`. Heartbeats
     /// self-rearm, so a heartbeat-enabled cluster never drains on its
     /// own — drive it with [`Cluster::run_to_quiescence`] (or
     /// [`Cluster::run_until`] plus [`Cluster::stop_heartbeats`]).
-    pub fn enable_heartbeats(&mut self) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`DetectParams::validate`] (zero periods
+    /// or an inverted `peer_timeout <= heartbeat_every`).
+    pub fn enable_heartbeats(&mut self, params: DetectParams) {
+        if let Err(e) = params.validate() {
+            panic!("invalid DetectParams: {e}");
+        }
         let peers: Vec<NodeId> = (0..self.n).map(NodeId::new).collect();
         let now = self.engine.now();
         for i in 0..self.n {
             let comp = self.nodes[i as usize];
             let node = self.engine.get_mut::<Node>(comp).expect("node component");
-            node.hib_mut().prime_heartbeats(&peers, now);
+            node.hib_mut().prime_heartbeats(&peers, now, &params);
             if node.hib().heartbeats_active() {
                 self.engine.schedule(
                     SimTime::ZERO,
@@ -1429,6 +1441,14 @@ impl Cluster {
     pub fn read_shared(&self, sp: &SharedPage, word: u64) -> u64 {
         self.node(sp.home.raw())
             .segment_read(GOffset::from_page(sp.home_page, word * 8))
+    }
+
+    /// Writes word `word` of a shared page at its home — privileged
+    /// initialization (service directories, seeded data sets) that
+    /// bypasses the fabric, for use before a run starts.
+    pub fn write_shared(&mut self, sp: &SharedPage, word: u64, val: u64) {
+        self.node_mut(sp.home.raw())
+            .segment_write(GOffset::from_page(sp.home_page, word * 8), val);
     }
 
     /// Reads word `word` of the frame backing `sp` at `node` (the local

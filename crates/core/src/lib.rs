@@ -73,7 +73,7 @@ pub use stats::NodeStats;
 // and binaries need only this crate.
 pub use tg_hib::OpError;
 pub use tg_net::{
-    CrashWindow, FaultPlan, FaultStats, LinkError, LinkId, RelParams, RetxMode, StalledLink,
-    Topology,
+    CrashWindow, DetectParams, FaultPlan, FaultStats, LinkError, LinkId, RelParams, RetxMode,
+    StalledLink, Topology,
 };
 pub use tg_sim::WatchdogOutcome;

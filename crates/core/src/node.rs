@@ -436,7 +436,7 @@ impl Node {
                 }
             }
         }
-        let action = self.threads[i].proc.resume(saved.r);
+        let action = self.threads[i].proc.resume_at(saved.r, now);
         self.dispatch(i, action, now, true);
     }
 
@@ -767,7 +767,7 @@ impl Node {
             while sent < bytes {
                 let n = DMA_BURST.min(bytes - sent);
                 let last = sent + n >= bytes;
-                self.with_hib_traced(i, |hib, shim| {
+                let accepted = self.with_hib_traced(i, |hib, shim| {
                     hib.send_os_message(
                         dst,
                         WireMsg::DmaData {
@@ -778,6 +778,19 @@ impl Node {
                         shim,
                     )
                 });
+                if !accepted {
+                    // The destination is already convicted: fail the send
+                    // at issue time instead of streaming DMA bursts into a
+                    // dead link's retry budget.
+                    self.stats.op_failures += 1;
+                    self.requeue(
+                        i,
+                        Resume::Failed(tg_hib::OpError::PeerUnreachable { peer: dst }),
+                        cost,
+                    );
+                    self.kick(SimTime::ZERO);
+                    return;
+                }
                 sent += n;
             }
         }

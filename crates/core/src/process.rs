@@ -93,6 +93,16 @@ impl Resume {
 pub trait Process: 'static {
     /// Produces the next action given the previous action's result.
     fn resume(&mut self, r: Resume) -> Action;
+
+    /// [`Process::resume`] with the current simulated instant available.
+    /// The CPU always calls this entry point; the default ignores the
+    /// clock and delegates, so plain programs only implement `resume`.
+    /// Time-aware services (adaptive request timeouts, open-loop load
+    /// generators) override this instead.
+    fn resume_at(&mut self, r: Resume, now: SimTime) -> Action {
+        let _ = now;
+        self.resume(r)
+    }
 }
 
 impl<F: FnMut(Resume) -> Action + 'static> Process for F {

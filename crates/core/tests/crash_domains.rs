@@ -4,7 +4,9 @@
 //! switch, named partitions when the cut disconnects the fabric, and
 //! restart reconciliation.
 
-use telegraphos::{Action, ClusterBuilder, FaultPlan, OpError, RelParams, Script, Topology};
+use telegraphos::{
+    Action, ClusterBuilder, DetectParams, FaultPlan, OpError, RelParams, Script, Topology,
+};
 use tg_sim::{RunLimit, SimTime};
 use tg_wire::NodeId;
 
@@ -31,7 +33,7 @@ fn ops_to_a_crashed_peer_fail_structurally() {
         .reliable_links(RelParams::default())
         .with_faults(plan)
         .build();
-    cluster.enable_heartbeats();
+    cluster.enable_heartbeats(DetectParams::default());
     let page = cluster.alloc_shared(1);
     cluster.set_process(0, pounding_script(&page, 40));
     let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(80));
@@ -66,7 +68,7 @@ fn seeded_crash_runs_replay_bit_for_bit() {
             .reliable_links(RelParams::default())
             .with_faults(plan)
             .build();
-        cluster.enable_heartbeats();
+        cluster.enable_heartbeats(DetectParams::default());
         let page = cluster.alloc_shared(1);
         let page0 = cluster.alloc_shared(0);
         cluster.set_process(0, pounding_script(&page, 30));
@@ -99,7 +101,7 @@ fn crashed_peers_are_not_reported_as_deadlocks() {
         .reliable_links(RelParams::default())
         .with_faults(plan)
         .build();
-    cluster.enable_heartbeats();
+    cluster.enable_heartbeats(DetectParams::default());
     let page0 = cluster.alloc_shared(0);
     // The doomed node pounds a page homed on the survivor; after the
     // crash its traffic is silenced and it never halts.
@@ -137,7 +139,7 @@ fn traffic_routes_around_a_dead_switch() {
         .reliable_links(params)
         .with_faults(plan)
         .build();
-    cluster.enable_heartbeats();
+    cluster.enable_heartbeats(DetectParams::default());
     let page = cluster.alloc_shared(2);
     let mut acts = Vec::new();
     for i in 0..24u64 {
@@ -192,6 +194,95 @@ fn a_disconnecting_cut_names_the_partition() {
     );
 }
 
+/// An OS-trap send issued *after* the destination's conviction fails fast
+/// at issue time (`OpError::PeerUnreachable`, refused-send counted)
+/// instead of streaming DMA bursts into a dead link's retry budget.
+#[test]
+fn sends_issued_after_conviction_fail_at_issue_time() {
+    let plan = FaultPlan::new(0xFA57).node_crash(NodeId::new(1), SimTime::from_us(100));
+    let mut cluster = ClusterBuilder::new(2)
+        .reliable_links(RelParams::default())
+        .with_faults(plan)
+        .build();
+    cluster.enable_heartbeats(DetectParams::default());
+    // Wait out the crash + conviction locally, then try to message the
+    // corpse: nothing here touches node 1 before its conviction.
+    cluster.set_process(
+        0,
+        Script::new(vec![
+            Action::Compute(SimTime::from_ms(1)),
+            Action::Send {
+                dst: NodeId::new(1),
+                bytes: 4096,
+                tag: 7,
+            },
+            Action::Halt,
+        ]),
+    );
+    let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(10));
+    assert_ne!(outcome, RunLimit::Deadline, "sender never finished");
+    let hib = cluster.node(0).hib().stats();
+    assert!(
+        hib.os_sends_refused > 0,
+        "the post-conviction send was not refused at issue time"
+    );
+    assert!(
+        cluster.node(0).stats().op_failures > 0,
+        "the refused send never surfaced as a structured op failure"
+    );
+}
+
+/// `DetectParams` is a real knob, not decoration: the same crash is
+/// convicted under the default thresholds but goes unnoticed when the
+/// caller stretches `peer_timeout` past the whole run.
+#[test]
+fn detect_params_tune_the_conviction_threshold() {
+    let run = |params: DetectParams| {
+        let plan = FaultPlan::new(0xD7EC).node_crash(NodeId::new(1), SimTime::from_us(100));
+        let mut cluster = ClusterBuilder::new(2)
+            .reliable_links(RelParams::default())
+            .with_faults(plan)
+            .build();
+        cluster.enable_heartbeats(params);
+        // Pure local compute: the survivor never touches the dead peer,
+        // so the only down verdict can come from the detector.
+        cluster.set_process(
+            0,
+            Script::new(vec![Action::Compute(SimTime::from_ms(1)), Action::Halt]),
+        );
+        cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(10));
+        cluster.node(0).stats().peer_downs
+    };
+    assert!(
+        run(DetectParams::default()) > 0,
+        "default thresholds missed a 100us crash over a 1ms run"
+    );
+    let deaf = DetectParams {
+        peer_timeout: SimTime::from_ms(50),
+        ..DetectParams::default()
+    };
+    assert_eq!(
+        run(deaf),
+        0,
+        "a 50ms peer_timeout convicted within a 1ms run"
+    );
+}
+
+/// Invalid detector knobs are rejected at `enable_heartbeats` instead of
+/// silently convicting healthy peers between their own beacons.
+#[test]
+#[should_panic(expected = "inverted")]
+fn inverted_detect_params_are_rejected_at_enable() {
+    let mut cluster = ClusterBuilder::new(2)
+        .reliable_links(RelParams::default())
+        .build();
+    cluster.enable_heartbeats(DetectParams {
+        heartbeat_every: SimTime::from_us(100),
+        peer_timeout: SimTime::from_us(50),
+        phi_factor: 8,
+    });
+}
+
 /// A crashed node that restarts is convicted, then rehabilitated: the
 /// survivor sees both transitions and finishes its workload, and the
 /// revived peer's stale copies were discarded on rejoin.
@@ -204,7 +295,7 @@ fn a_restarted_peer_is_convicted_then_rehabilitated() {
         .reliable_links(RelParams::default())
         .with_faults(plan)
         .build();
-    cluster.enable_heartbeats();
+    cluster.enable_heartbeats(DetectParams::default());
     let page = cluster.alloc_shared(0);
     // Long-running survivor workload spanning crash and restart.
     cluster.set_process(0, pounding_script(&page, 400));
@@ -222,4 +313,138 @@ fn a_restarted_peer_is_convicted_then_rehabilitated() {
         st.peer_downs,
         cluster.now()
     );
+}
+
+/// A failover-aware writer that re-targets on structural failure using
+/// the service-layer successor rule ([`tg_proto::RangeMap::promote`]:
+/// smallest-id live replica). Each round fetch-stores the round number
+/// into the current owner's page; a `Resume::Failed` convicts the
+/// target locally and promotes the next live replica, retrying the same
+/// round — so a crash of the *promoted* owner mid-migration cascades to
+/// the next survivor.
+struct CascadingWriter {
+    map: tg_proto::RangeMap,
+    pages: Vec<telegraphos::SharedPage>,
+    live: Vec<bool>,
+    target: usize,
+    round: u64,
+    rounds: u64,
+    reroutes: u32,
+    /// True while waiting out the per-round compute padding (which makes
+    /// the migration span both crash windows).
+    padding: bool,
+}
+
+impl CascadingWriter {
+    fn new(pages: Vec<telegraphos::SharedPage>, rounds: u64) -> Self {
+        let replicas: Vec<NodeId> = pages.iter().map(|p| p.home).collect();
+        CascadingWriter {
+            map: tg_proto::RangeMap::new(1, &replicas),
+            pages,
+            live: vec![true; 3],
+            target: 0,
+            round: 0,
+            rounds,
+            reroutes: 0,
+            padding: false,
+        }
+    }
+
+    fn store(&self) -> Action {
+        Action::FetchStore(self.pages[self.target].va(0), self.round + 1)
+    }
+}
+
+impl telegraphos::Process for CascadingWriter {
+    fn resume(&mut self, r: telegraphos::Resume) -> Action {
+        match r {
+            telegraphos::Resume::Start => self.store(),
+            telegraphos::Resume::Failed(OpError::PeerUnreachable { peer }) => {
+                // Convict and promote: the same smallest-id-live rule the
+                // KV service's clients use.
+                if let Some(i) = self.pages.iter().position(|p| p.home == peer) {
+                    self.live[i] = false;
+                }
+                self.live[self.target] = false;
+                self.reroutes += 1;
+                let live = self.live.clone();
+                let next = self.map.promote(|n| {
+                    self.pages
+                        .iter()
+                        .position(|p| p.home == n)
+                        .is_some_and(|i| live[i])
+                });
+                match next {
+                    Some(n) => {
+                        self.target = self
+                            .pages
+                            .iter()
+                            .position(|p| p.home == n)
+                            .expect("promoted a non-replica");
+                        self.store()
+                    }
+                    None => Action::Halt,
+                }
+            }
+            _ => {
+                if self.padding {
+                    self.padding = false;
+                    return self.store();
+                }
+                self.round += 1;
+                if self.round >= self.rounds {
+                    return Action::Halt;
+                }
+                self.padding = true;
+                Action::Compute(SimTime::from_us(20))
+            }
+        }
+    }
+}
+
+/// Cascading failover: the owner crashes, writes migrate to the promoted
+/// successor, then the *successor* crashes mid-migration and ownership
+/// must settle on the third replica — with every round's write landing
+/// exactly once on whichever replica finally owned it, nothing hung, and
+/// both convictions visible at the writer.
+#[test]
+fn cascading_failover_settles_on_the_third_replica() {
+    let plan = FaultPlan::new(0xCA5CADE)
+        .node_crash(NodeId::new(1), SimTime::from_us(150))
+        .node_crash(NodeId::new(2), SimTime::from_us(700));
+    let mut cluster = ClusterBuilder::new(4)
+        .reliable_links(RelParams::default())
+        .with_faults(plan)
+        .build();
+    cluster.enable_heartbeats(DetectParams::default());
+    let pages: Vec<_> = (1..4).map(|n| cluster.alloc_shared(n)).collect();
+    let rounds = 40u64;
+    cluster.set_process(0, CascadingWriter::new(pages.clone(), rounds));
+    let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(120));
+    assert_ne!(
+        outcome,
+        RunLimit::Deadline,
+        "writer wedged across the cascade"
+    );
+    assert!(cluster.node(0).halted(), "writer never finished its rounds");
+    let st = cluster.node(0).stats();
+    assert!(
+        st.peer_downs >= 2,
+        "both crashes must be convicted (peer_downs={})",
+        st.peer_downs
+    );
+    assert!(
+        st.op_failures >= 2,
+        "each crash should fail at least one in-flight op (op_failures={})",
+        st.op_failures
+    );
+    // Ownership settled on the third replica: the final rounds landed on
+    // node 3's page and reached the last round number.
+    assert_eq!(
+        cluster.read_shared(&pages[2], 0),
+        rounds,
+        "the last write did not land on the final owner"
+    );
+    let cons = cluster.conservation_violations();
+    assert!(cons.is_empty(), "cascade broke conservation: {cons:?}");
 }

@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use tg_mem::{Decoded, PAddr};
 use tg_net::{
-    FaultInjector, FrameFate, HeartbeatDetector, LinkError, LinkRx, Liveness, NetEvent, RxFifo,
-    RxVerdict, TimerAction, TxPort,
+    DetectParams, FaultInjector, FrameFate, HeartbeatDetector, LinkError, LinkRx, Liveness,
+    NetEvent, RxFifo, RxVerdict, TimerAction, TxPort,
 };
 use tg_proto::PendingCam;
 use tg_sim::{CompId, SimTime};
@@ -88,6 +88,9 @@ pub struct HibStats {
     pub stale_acks: u64,
     /// Duplicate requests suppressed by the idempotent-retry dedupe.
     pub dup_requests: u64,
+    /// OS messages refused at issue time because the destination peer was
+    /// already convicted (fail-fast instead of burning the retry budget).
+    pub os_sends_refused: u64,
 }
 
 /// Why a store is parked at the HIB waiting to retry.
@@ -381,17 +384,24 @@ impl Hib {
     }
 
     /// Starts originating liveness beacons and arms the failure detector
-    /// for `peers` (everyone else in the cluster). The caller must follow
-    /// up by routing a [`HibTick::Heartbeat`] into [`on_tick`]; the tick
-    /// then self-rearms every `heartbeat_every` until [`stop_heartbeats`].
-    /// No-op unless the link reliability parameters enable heartbeats.
+    /// for `peers` (everyone else in the cluster), reconfiguring the
+    /// beacon period and suspicion thresholds from `params` (which the
+    /// caller has validated). The caller must follow up by routing a
+    /// [`HibTick::Heartbeat`] into [`on_tick`]; the tick then self-rearms
+    /// every `heartbeat_every` until [`stop_heartbeats`]. No-op unless
+    /// the link reliability parameters enable heartbeats.
     ///
     /// [`on_tick`]: Hib::on_tick
     /// [`stop_heartbeats`]: Hib::stop_heartbeats
-    pub fn prime_heartbeats(&mut self, peers: &[NodeId], now: SimTime) {
+    pub fn prime_heartbeats(&mut self, peers: &[NodeId], now: SimTime, params: &DetectParams) {
         if self.hb_every.is_none() {
             return;
         }
+        self.hb_every = Some(params.heartbeat_every);
+        self.detector = Some(HeartbeatDetector::new(
+            params.peer_timeout,
+            params.phi_factor,
+        ));
         self.hb_active = true;
         if let Some(det) = self.detector.as_mut() {
             for &p in peers {
@@ -2084,8 +2094,18 @@ impl Hib {
 
     /// Sends an OS-generated message (VSM traffic, DMA bursts) through the
     /// board. OS traffic bypasses the posted-write accounting.
-    pub fn send_os_message(&mut self, dst: NodeId, msg: WireMsg, host: &mut dyn HibHost) {
+    ///
+    /// Returns `false` — refusing the send — when the failure detector has
+    /// already convicted `dst`: frames to a declared-dead peer would only
+    /// burn the link retry budget before failing anyway, so the caller
+    /// hears `PeerUnreachable` at issue time instead.
+    pub fn send_os_message(&mut self, dst: NodeId, msg: WireMsg, host: &mut dyn HibHost) -> bool {
+        if self.peer_down(dst) {
+            self.stats.os_sends_refused += 1;
+            return false;
+        }
         self.enqueue(dst, msg, host);
+        true
     }
 
     fn tx_has_room(&self, needed: usize) -> bool {

@@ -23,6 +23,60 @@ use std::collections::BTreeMap;
 
 use tg_sim::SimTime;
 
+/// Failure-detection knobs, promoted out of the link parameters so a
+/// campaign can tune beacon cadence and suspicion thresholds per run
+/// without rebuilding the cluster: beacons every `heartbeat_every`,
+/// conviction at `max(peer_timeout, phi_factor × observed mean gap)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DetectParams {
+    /// Beacon origination period.
+    pub heartbeat_every: SimTime,
+    /// Hard silence floor before a peer is suspected.
+    pub peer_timeout: SimTime,
+    /// Adaptive multiplier over the observed beacon gap (phi-accrual
+    /// style); the effective threshold is the max of both.
+    pub phi_factor: u32,
+}
+
+impl Default for DetectParams {
+    /// The crash-campaign defaults: 20 µs beacons, 100 µs floor, φ = 8 —
+    /// identical to [`RelParams`]'s built-in heartbeat constants.
+    ///
+    /// [`RelParams`]: crate::RelParams
+    fn default() -> Self {
+        DetectParams {
+            heartbeat_every: SimTime::from_us(20),
+            peer_timeout: SimTime::from_us(100),
+            phi_factor: 8,
+        }
+    }
+}
+
+impl DetectParams {
+    /// Validates the parameter set: every duration must be positive, the
+    /// phi multiplier non-zero, and the timeout must not be *inverted*
+    /// (a `peer_timeout` at or below `heartbeat_every` convicts a healthy
+    /// peer between two of its own beacons).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_every.is_zero() {
+            return Err("heartbeat_every must be positive".to_string());
+        }
+        if self.peer_timeout.is_zero() {
+            return Err("peer_timeout must be positive".to_string());
+        }
+        if self.phi_factor == 0 {
+            return Err("phi_factor must be positive".to_string());
+        }
+        if self.peer_timeout <= self.heartbeat_every {
+            return Err(format!(
+                "inverted timeouts: peer_timeout {:?} must exceed heartbeat_every {:?}",
+                self.peer_timeout, self.heartbeat_every
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One liveness transition reported by [`HeartbeatDetector::check`] or
 /// [`HeartbeatDetector::saw`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -236,6 +290,41 @@ mod tests {
             d.track(k, SimTime::ZERO);
         }
         assert_eq!(d.check(SimTime::from_ms(1)), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn detect_params_default_is_valid_and_matches_link_constants() {
+        let p = DetectParams::default();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.heartbeat_every, SimTime::from_us(20));
+        assert_eq!(p.peer_timeout, SimTime::from_us(100));
+        assert_eq!(p.phi_factor, 8);
+    }
+
+    #[test]
+    fn detect_params_validation_rejects_zero_and_inverted_timeouts() {
+        let zero_beat = DetectParams {
+            heartbeat_every: SimTime::ZERO,
+            ..DetectParams::default()
+        };
+        assert!(zero_beat.validate().is_err(), "zero beacon period accepted");
+        let zero_timeout = DetectParams {
+            peer_timeout: SimTime::ZERO,
+            ..DetectParams::default()
+        };
+        assert!(zero_timeout.validate().is_err(), "zero timeout accepted");
+        let zero_phi = DetectParams {
+            phi_factor: 0,
+            ..DetectParams::default()
+        };
+        assert!(zero_phi.validate().is_err(), "zero phi accepted");
+        let inverted = DetectParams {
+            heartbeat_every: SimTime::from_us(100),
+            peer_timeout: SimTime::from_us(50),
+            phi_factor: 8,
+        };
+        let err = inverted.validate().expect_err("inverted timeouts accepted");
+        assert!(err.contains("inverted"), "unexpected message: {err}");
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod switch;
 pub mod testing;
 mod topology;
 
-pub use detect::{HeartbeatDetector, Liveness};
+pub use detect::{DetectParams, HeartbeatDetector, Liveness};
 pub use event::{NetEvent, NetMessage};
 pub use fault::{
     CrashWindow, FaultInjector, FaultPlan, FaultStats, FrameFate, LinkId, Outage, Wedge,

@@ -33,10 +33,12 @@ mod cam;
 pub mod galactica;
 pub mod naive;
 pub mod owner;
+pub mod ranges;
 mod recorder;
 mod scenario;
 
 pub use abstract_net::AbstractNet;
 pub use cam::PendingCam;
+pub use ranges::RangeMap;
 pub use recorder::{is_subsequence, revisit_anomalies, SeqRecorder};
 pub use scenario::{Outcome, Scenario, ScriptedWrite};

@@ -25,7 +25,7 @@
 //! 7. `proto_sweep` — a coherence-interleaving sweep of the owner
 //!    protocol via `tg-proto` (adversarial RNG-driven delivery).
 //!
-//! Besides `BENCH_engine.json`, a `tg-report-v1` `report_bench.json` is
+//! Besides `BENCH_engine.json`, a `tg-report-v2` `report_bench.json` is
 //! written for the CI perf gate: deterministic structural counts
 //! (`events`, `peak_queue_depth`) under `metrics` (gate tolerance 0) and
 //! machine-dependent wall-clock numbers under `throughput` (gated
@@ -335,7 +335,7 @@ fn main() {
         }
     }
 
-    // tg-report-v1 companion for the CI gate: deterministic structural
+    // tg-report-v2 companion for the CI gate: deterministic structural
     // counts under `metrics`, machine-dependent timings under
     // `throughput`.
     let mut report = Json::obj();

@@ -27,7 +27,7 @@
 //!
 //! Usage: `simfault [--seeds N] [--sweep-seeds N] [--report FILE]`
 //! (default 3 matrix seeds, 10 sweep seeds per point). `--report`
-//! writes a `tg-report-v1` JSON document with the per-run recovery
+//! writes a `tg-report-v2` JSON document with the per-run recovery
 //! metrics so the CI perf gate can diff fault-recovery behaviour
 //! against a committed baseline — the whole campaign is seeded, so the
 //! report is deterministic.
@@ -35,8 +35,8 @@
 use std::process::ExitCode;
 
 use telegraphos::{
-    Action, Cluster, ClusterBuilder, FaultPlan, LinkId, RelParams, RetxMode, Script, SharedPage,
-    Topology,
+    Action, Cluster, ClusterBuilder, DetectParams, FaultPlan, LinkId, RelParams, RetxMode, Script,
+    SharedPage, Topology,
 };
 use telegraphos_suite::harness::{self, HarnessOptions};
 use tg_analyze::{Json, SCHEMA};
@@ -261,7 +261,7 @@ fn crash_run(scenario: &str, mode: RetxMode, seed: Option<u64>) -> CrashOutcome 
     let completed = if scenario == "partition" && faulted {
         // Recovery is impossible across a disconnecting cut: the run must
         // degrade into a structured report naming the partition.
-        cluster.enable_heartbeats();
+        cluster.enable_heartbeats(DetectParams::default());
         match cluster.run_watchdog(SimTime::from_us(300)) {
             Err(report) => {
                 partition = report.partition.iter().map(|n| n.raw()).collect();
@@ -270,7 +270,7 @@ fn crash_run(scenario: &str, mode: RetxMode, seed: Option<u64>) -> CrashOutcome 
             Ok(_) => false,
         }
     } else {
-        cluster.enable_heartbeats();
+        cluster.enable_heartbeats(DetectParams::default());
         let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(100));
         outcome != RunLimit::Deadline && cluster.node(0).halted()
     };
@@ -476,8 +476,8 @@ fn main() -> ExitCode {
     println!();
     println!("recovery latency vs drop rate ({sweep_seeds} seeds per point):");
     println!(
-        "{:>7} {:>5} {:>7} {:>7} {:>9} {:>10} {:>10}",
-        "drop%", "mode", "lost", "retx", "rtxB", "p50", "p99"
+        "{:>7} {:>5} {:>7} {:>7} {:>9} {:>10} {:>10} {:>10}",
+        "drop%", "mode", "lost", "retx", "rtxB", "p50", "p99", "p999"
     );
     let mut sweep_bytes = vec![vec![0u64; SWEEP_PCTS.len()]; MODES.len()];
     for (mi, &(mode_name, mode)) in MODES.iter().enumerate() {
@@ -507,18 +507,20 @@ fn main() -> ExitCode {
             sweep_bytes[mi][pi] = retx_bytes;
             let p50_us = hist.quantile(0.50) as f64 / 1_000.0;
             let p99_us = hist.quantile(0.99) as f64 / 1_000.0;
+            let p999_us = hist.quantile(0.999) as f64 / 1_000.0;
             for (leaf, v) in [
                 ("frames_lost", lost as f64),
                 ("retransmits", retx as f64),
                 ("retx_bytes", retx_bytes as f64),
                 ("recovery_p50_us", p50_us),
                 ("recovery_p99_us", p99_us),
+                ("recovery_p999_us", p999_us),
             ] {
                 metrics.set(&format!("sweep.{mode_name}.drop{pct}.{leaf}"), Json::Num(v));
             }
             println!(
-                "{:>7} {:>5} {:>7} {:>7} {:>9} {:>9.3}u {:>9.3}u",
-                pct, mode_name, lost, retx, retx_bytes, p50_us, p99_us
+                "{:>7} {:>5} {:>7} {:>7} {:>9} {:>9.3}u {:>9.3}u {:>9.3}u",
+                pct, mode_name, lost, retx, retx_bytes, p50_us, p99_us, p999_us
             );
         }
     }
@@ -549,8 +551,18 @@ fn main() -> ExitCode {
     println!();
     println!("crash-stop campaign ({n_seeds} seeds per scenario x discipline):");
     println!(
-        "{:<13} {:>5} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}  status",
-        "scenario", "mode", "downs", "ups", "opfail", "det p50", "det p99", "rec p50", "rec p99"
+        "{:<13} {:>5} {:>6} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  status",
+        "scenario",
+        "mode",
+        "downs",
+        "ups",
+        "opfail",
+        "det p50",
+        "det p99",
+        "det p999",
+        "rec p50",
+        "rec p99",
+        "rec p999"
     );
     for scenario in CRASH_SCENARIOS {
         for &(mode_name, mode) in MODES.iter() {
@@ -624,8 +636,10 @@ fn main() -> ExitCode {
             for (leaf, v) in [
                 ("detect_p50_us", q(&detect, 0.50)),
                 ("detect_p99_us", q(&detect, 0.99)),
+                ("detect_p999_us", q(&detect, 0.999)),
                 ("recovery_p50_us", q(&recover, 0.50)),
                 ("recovery_p99_us", q(&recover, 0.99)),
+                ("recovery_p999_us", q(&recover, 0.999)),
             ] {
                 metrics.set(
                     &format!("campaign.{scenario}.{mode_name}.{leaf}"),
@@ -633,7 +647,8 @@ fn main() -> ExitCode {
                 );
             }
             println!(
-                "{:<13} {:>5} {:>6} {:>6} {:>6} {:>9.1}u {:>9.1}u {:>9.1}u {:>9.1}u  {}",
+                "{:<13} {:>5} {:>6} {:>6} {:>6} {:>9.1}u {:>9.1}u {:>9.1}u {:>9.1}u {:>9.1}u \
+                 {:>9.1}u  {}",
                 scenario,
                 mode_name,
                 downs,
@@ -641,8 +656,10 @@ fn main() -> ExitCode {
                 opfails,
                 q(&detect, 0.50),
                 q(&detect, 0.99),
+                q(&detect, 0.999),
                 q(&recover, 0.50),
                 q(&recover, 0.99),
+                q(&recover, 0.999),
                 if ok { "ok" } else { "FAIL" }
             );
         }

@@ -14,7 +14,7 @@
 //! * `run` executes a harness workload with tracing and metric sampling
 //!   enabled, prints the per-hop critical-path attribution (p50/p99
 //!   exemplars whose segments sum *exactly* to their measured latency),
-//!   names the hottest links, and writes a `tg-report-v1` `report.json`.
+//!   names the hottest links, and writes a `tg-report-v2` `report.json`.
 //!   `--perfetto FILE` additionally exports a Chrome trace with the
 //!   congestion time series as counter tracks.
 //! * `gate` diffs a current report against a committed baseline with
@@ -390,7 +390,15 @@ fn cmd_gate(args: &mut std::env::Args) -> Result<ExitCode, String> {
     let current = current.ok_or("gate needs --current")?;
     let read = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        // v1 baselines stay gateable: they are a strict field subset of
+        // v2, and current-only metrics are informational, not failures.
+        if let Some(tag) = doc.get("schema").and_then(|s| s.as_str()) {
+            if !tg_analyze::schema_accepted(tag) {
+                return Err(format!("{path}: unsupported report schema {tag:?}"));
+            }
+        }
+        Ok(doc)
     };
     let result = gate_reports(&read(&baseline)?, &read(&current)?, &tol);
     for f in &result.failures {

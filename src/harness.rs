@@ -8,7 +8,8 @@
 //! byte-for-byte the same cluster.
 
 use telegraphos::{
-    Action, Cluster, ClusterBuilder, FaultPlan, RelParams, RetxMode, Script, SharedPage, Topology,
+    Action, Cluster, ClusterBuilder, DetectParams, FaultPlan, RelParams, RetxMode, Script,
+    SharedPage, Topology,
 };
 use tg_sim::{RunLimit, SimTime};
 use tg_wire::NodeId;
@@ -126,7 +127,7 @@ pub fn builder(opts: &HarnessOptions) -> ClusterBuilder {
 /// when the surviving workload completed within the time limit.
 pub fn run_cluster(cluster: &mut Cluster, opts: &HarnessOptions) -> bool {
     if opts.heartbeats || opts.any_crash() {
-        cluster.enable_heartbeats();
+        cluster.enable_heartbeats(DetectParams::default());
         let outcome = cluster.run_to_quiescence(SimTime::from_us(50), SimTime::from_ms(200));
         outcome != RunLimit::Deadline
     } else {
@@ -216,6 +217,21 @@ pub fn build_stencil(opts: &HarnessOptions, strip: usize, iters: u32) -> (Cluste
     }
     let want = jacobi_reference(&initial, iters, left_bc, right_bc);
     (cluster, StencilCheck { want, results })
+}
+
+/// The replicated KV service deployed on a fabric that reflects the
+/// fault options. The topology is always a ring — the campaign's
+/// switch-outage scenarios need surviving routes to recompute onto, and
+/// the healthy scenarios must measure the same fabric they are compared
+/// against. Heartbeats are enabled unconditionally: the service's
+/// failover path runs on conviction verdicts.
+pub fn build_kv(opts: &HarnessOptions, cfg: &tg_kv::KvConfig) -> (Cluster, tg_kv::KvHandles) {
+    let mut opts = opts.clone();
+    opts.nodes = cfg.nodes_required();
+    let mut cluster = builder(&opts).topology(Topology::ring(opts.nodes)).build();
+    cluster.enable_heartbeats(DetectParams::default());
+    let handles = tg_kv::deploy(&mut cluster, cfg);
+    (cluster, handles)
 }
 
 /// Reads the stencil result back and compares it to the sequential

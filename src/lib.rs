@@ -11,6 +11,7 @@ pub use telegraphos as core;
 pub use tg_analyze as analyze;
 pub use tg_hib as hib;
 pub use tg_hw as hw;
+pub use tg_kv as kv;
 pub use tg_mem as mem;
 pub use tg_net as net;
 pub use tg_proto as proto;
